@@ -1,0 +1,235 @@
+package forkbase_test
+
+// One benchmark family per table and figure of the paper's evaluation
+// (§6) — each wraps the corresponding experiment of internal/bench so
+// `go test -bench .` regenerates the full study (output goes to the
+// benchmark log), plus focused micro-benchmarks for the operations the
+// tables measure. See EXPERIMENTS.md for the paper-vs-measured record.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	forkbase "forkbase"
+
+	"forkbase/internal/bench"
+	"forkbase/internal/workload"
+)
+
+// experimentOut returns the destination for experiment rows: verbose
+// benchmark runs (-v) print them; normal runs keep the log clean.
+func experimentOut() io.Writer {
+	if testing.Verbose() {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+func runExperiment(b *testing.B, fn func(io.Writer, bench.Scale) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := fn(experimentOut(), bench.Quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Operations(b *testing.B)   { runExperiment(b, bench.RunTable3) }
+func BenchmarkTable4PutBreakdown(b *testing.B) { runExperiment(b, bench.RunTable4) }
+func BenchmarkFig8Scalability(b *testing.B)    { runExperiment(b, bench.RunFig8) }
+func BenchmarkFig9ChainOps(b *testing.B)       { runExperiment(b, bench.RunFig9) }
+func BenchmarkFig10Throughput(b *testing.B)    { runExperiment(b, bench.RunFig10) }
+func BenchmarkFig11MerkleTrees(b *testing.B)   { runExperiment(b, bench.RunFig11) }
+func BenchmarkFig12Scans(b *testing.B)         { runExperiment(b, bench.RunFig12) }
+func BenchmarkFig13WikiEdit(b *testing.B)      { runExperiment(b, bench.RunFig13) }
+func BenchmarkFig14WikiVersions(b *testing.B)  { runExperiment(b, bench.RunFig14) }
+func BenchmarkFig15SkewBalance(b *testing.B)   { runExperiment(b, bench.RunFig15) }
+func BenchmarkFig16DatasetMod(b *testing.B)    { runExperiment(b, bench.RunFig16) }
+func BenchmarkFig17DiffAggregate(b *testing.B) { runExperiment(b, bench.RunFig17) }
+
+func BenchmarkAblationFixedVsPattern(b *testing.B) { runExperiment(b, bench.RunAblationFixedVsPattern) }
+func BenchmarkAblationChunkSize(b *testing.B)      { runExperiment(b, bench.RunAblationChunkSize) }
+func BenchmarkAblationHash(b *testing.B)           { runExperiment(b, bench.RunAblationHash) }
+func BenchmarkAblationIndexPattern(b *testing.B)   { runExperiment(b, bench.RunAblationIndexPattern) }
+
+// --- focused micro-benchmarks ---------------------------------------
+
+func BenchmarkPutString1K(b *testing.B) {
+	db := forkbase.Open()
+	defer db.Close()
+	data := workload.RandText(rand.New(rand.NewSource(1)), 1<<10)
+	b.SetBytes(1 << 10)
+	b.ResetTimer()
+	// A bounded key space keeps the branch tables small so the bench
+	// measures Put itself, not map growth; versions still accumulate.
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Put(fmt.Sprintf("k%d", i%8192), forkbase.String(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutBlob20K(b *testing.B) {
+	db := forkbase.Open()
+	defer db.Close()
+	data := workload.RandText(rand.New(rand.NewSource(2)), 20<<10)
+	b.SetBytes(20 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := append([]byte(nil), data...)
+		copy(p, fmt.Sprintf("%016d", i))
+		if _, err := db.Put(fmt.Sprintf("k%d", i%8192), forkbase.NewBlob(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetBlobFull20K(b *testing.B) {
+	db := forkbase.Open()
+	defer db.Close()
+	data := workload.RandText(rand.New(rand.NewSource(3)), 20<<10)
+	for i := 0; i < 64; i++ {
+		if _, err := db.Put(fmt.Sprintf("k%d", i), forkbase.NewBlob(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(20 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := db.Get(fmt.Sprintf("k%d", i%64))
+		if err != nil {
+			b.Fatal(err)
+		}
+		blob, err := db.BlobOf(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := blob.Bytes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlobSpliceMiddle(b *testing.B) {
+	db := forkbase.Open()
+	defer db.Close()
+	data := workload.RandText(rand.New(rand.NewSource(4)), 256<<10)
+	if _, err := db.Put("blob", forkbase.NewBlob(data)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := db.Get("blob")
+		if err != nil {
+			b.Fatal(err)
+		}
+		blob, err := db.BlobOf(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := blob.Splice(128<<10, 8, []byte(fmt.Sprintf("%08d", i))); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Put("blob", blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapSetIn100K(b *testing.B) {
+	db := forkbase.Open()
+	defer db.Close()
+	m := forkbase.NewMap()
+	for i := 0; i < 100_000; i++ {
+		m.Set([]byte(fmt.Sprintf("key-%08d", i)), []byte("value-00000000"))
+	}
+	if _, err := db.Put("map", m); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := db.Get("map")
+		if err != nil {
+			b.Fatal(err)
+		}
+		mm, err := db.MapOf(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := mm.Set([]byte(fmt.Sprintf("key-%08d", i%100_000)), []byte(fmt.Sprintf("value-%08d", i))); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Put("map", mm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapGetIn100K(b *testing.B) {
+	db := forkbase.Open()
+	defer db.Close()
+	m := forkbase.NewMap()
+	for i := 0; i < 100_000; i++ {
+		m.Set([]byte(fmt.Sprintf("key-%08d", i)), []byte("value"))
+	}
+	if _, err := db.Put("map", m); err != nil {
+		b.Fatal(err)
+	}
+	o, _ := db.Get("map")
+	mm, _ := db.MapOf(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := mm.Get([]byte(fmt.Sprintf("key-%08d", i%100_000))); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrackHistory(b *testing.B) {
+	db := forkbase.Open()
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := db.Put("doc", forkbase.String(fmt.Sprintf("v%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Track("doc", forkbase.DefaultBranch, 0, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiffLargeMaps(b *testing.B) {
+	db := forkbase.Open()
+	defer db.Close()
+	m := forkbase.NewMap()
+	for i := 0; i < 50_000; i++ {
+		m.Set([]byte(fmt.Sprintf("key-%08d", i)), []byte("value"))
+	}
+	u1, err := db.Put("map", m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, _ := db.Get("map")
+	mm, _ := db.MapOf(o)
+	mm.Set([]byte("key-00025000"), []byte("changed"))
+	u2, err := db.Put("map", mm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := db.DiffVersions(u1, u2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Sorted.Modified) != 1 {
+			b.Fatal("diff wrong")
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Command forkcli is an interactive shell over a ForkBase store,
+// exercising the Table 1 API from the command line.
+//
+// Usage:
+//
+//	forkcli [-path dir]
+//
+// Without -path the store is in-memory and vanishes on exit; with it,
+// versions persist in a log-structured chunk store and remain reachable
+// by uid across runs.
+//
+// Commands:
+//
+//	put <key> <value...>            write to master
+//	putb <key> <branch> <value...>  write to a branch
+//	get <key> [branch]              read a branch head
+//	getu <uid>                      read a version by uid
+//	keys                            list keys
+//	branches <key>                  list tagged branches
+//	heads <key>                     list untagged heads
+//	fork <key> <ref> <new>          fork a branch
+//	merge <key> <tgt> <ref>         merge branches (choose-ref on conflict)
+//	track <key> [n]                 show the last n versions (default 5)
+//	diff <uid1> <uid2>              compare two versions
+//	verify <key>                    verify a key's history hash chain
+//	stats                           storage statistics
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"forkbase"
+)
+
+func main() {
+	path := flag.String("path", "", "persist the store in this directory")
+	flag.Parse()
+
+	var db *forkbase.DB
+	var err error
+	if *path != "" {
+		db, err = forkbase.OpenPath(*path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("forkbase store at %s\n", *path)
+	} else {
+		db = forkbase.Open()
+		fmt.Println("in-memory forkbase store")
+	}
+	defer db.Close()
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		args := strings.Fields(sc.Text())
+		if len(args) > 0 {
+			if args[0] == "quit" || args[0] == "exit" {
+				return
+			}
+			if err := run(db, args); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+func run(db *forkbase.DB, args []string) error {
+	switch args[0] {
+	case "put":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: put <key> <value...>")
+		}
+		uid, err := db.Put(args[1], forkbase.NewBlob([]byte(strings.Join(args[2:], " "))))
+		if err != nil {
+			return err
+		}
+		fmt.Println("version", uid.Short())
+	case "putb":
+		if len(args) < 4 {
+			return fmt.Errorf("usage: putb <key> <branch> <value...>")
+		}
+		uid, err := db.PutBranch(args[1], args[2], forkbase.NewBlob([]byte(strings.Join(args[3:], " "))))
+		if err != nil {
+			return err
+		}
+		fmt.Println("version", uid.Short())
+	case "get":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: get <key> [branch]")
+		}
+		branch := forkbase.DefaultBranch
+		if len(args) > 2 {
+			branch = args[2]
+		}
+		o, err := db.GetBranch(args[1], branch)
+		if err != nil {
+			return err
+		}
+		return printObject(db, o)
+	case "getu":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: getu <uid>")
+		}
+		uid, err := parseUID(args[1])
+		if err != nil {
+			return err
+		}
+		o, err := db.GetUID(uid)
+		if err != nil {
+			return err
+		}
+		return printObject(db, o)
+	case "keys":
+		for _, k := range db.ListKeys() {
+			fmt.Println(k)
+		}
+	case "branches":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: branches <key>")
+		}
+		for _, b := range db.ListTaggedBranches(args[1]) {
+			fmt.Printf("%-20s %s\n", b.Name, b.Head)
+		}
+	case "heads":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: heads <key>")
+		}
+		for _, uid := range db.ListUntaggedBranches(args[1]) {
+			fmt.Println(uid)
+		}
+	case "fork":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: fork <key> <ref-branch> <new-branch>")
+		}
+		return db.Fork(args[1], args[2], args[3])
+	case "merge":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: merge <key> <tgt-branch> <ref-branch>")
+		}
+		uid, conflicts, err := db.Merge(args[1], args[2], args[3], forkbase.ChooseB)
+		if err != nil {
+			return fmt.Errorf("%w (%d conflicts)", err, len(conflicts))
+		}
+		fmt.Println("merged into", uid.Short())
+	case "track":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: track <key> [n]")
+		}
+		n := 5
+		if len(args) > 2 {
+			var err error
+			if n, err = strconv.Atoi(args[2]); err != nil {
+				return err
+			}
+		}
+		hist, err := db.Track(args[1], forkbase.DefaultBranch, 0, n-1)
+		if err != nil {
+			return err
+		}
+		for i, o := range hist {
+			fmt.Printf("-%d %s depth=%d\n", i, o.UID().Short(), o.Depth)
+		}
+	case "diff":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: diff <uid1> <uid2>")
+		}
+		u1, err := parseUID(args[1])
+		if err != nil {
+			return err
+		}
+		u2, err := parseUID(args[2])
+		if err != nil {
+			return err
+		}
+		d, err := db.DiffVersions(u1, u2)
+		if err != nil {
+			return err
+		}
+		switch {
+		case d.Sorted != nil:
+			fmt.Printf("+%d -%d ~%d (leaves shared %d)\n",
+				len(d.Sorted.Added), len(d.Sorted.Removed), len(d.Sorted.Modified), d.Sorted.SharedLeaves)
+		case d.Unsorted != nil:
+			fmt.Printf("shared leaves %d, only-left %d, only-right %d\n",
+				d.Unsorted.SharedLeaves, d.Unsorted.OnlyA, d.Unsorted.OnlyB)
+		default:
+			fmt.Println("equal:", d.PrimitiveEqual)
+		}
+	case "verify":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: verify <key>")
+		}
+		o, err := db.Get(args[1])
+		if err != nil {
+			return err
+		}
+		n, err := db.VerifyHistory(o)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok: %d versions verified\n", n)
+	case "stats":
+		fmt.Println(db.Stats())
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+	return nil
+}
+
+func printObject(db *forkbase.DB, o *forkbase.FObject) error {
+	v, err := db.ValueOf(o)
+	if err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case *forkbase.Blob:
+		data, err := x.Bytes()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s (uid %s, depth %d)\n", data, o.UID().Short(), o.Depth)
+	default:
+		fmt.Printf("%v (uid %s, depth %d)\n", v, o.UID().Short(), o.Depth)
+	}
+	return nil
+}
+
+func parseUID(s string) (forkbase.UID, error) {
+	return forkbase.ParseUID(s)
+}

@@ -1,0 +1,78 @@
+// The collab example is the collaborative-analytics workflow of §5.3:
+// a shared relational dataset on ForkBase, forked by two analysts with
+// different goals, edited independently, compared with the POS-Tree
+// diff, and queried with layout-appropriate scans.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"forkbase"
+	"forkbase/internal/tabular"
+	"forkbase/internal/workload"
+)
+
+func main() {
+	db := forkbase.Open()
+	defer db.Close()
+
+	records := workload.Dataset(7, 20_000)
+	table := tabular.NewFBTable(db, "purchases", tabular.RowLayout)
+	if err := table.Import("master", records); err != nil {
+		log.Fatal(err)
+	}
+	n, _ := table.Count("master")
+	fmt.Printf("imported %d records into branch master (storage %s)\n", n, db.Stats())
+
+	// Analyst 1 cleans a block of records on their own branch; the
+	// fork copies nothing.
+	if err := table.Fork("master", "cleaning"); err != nil {
+		log.Fatal(err)
+	}
+	var cleaned []workload.Record
+	for i := 0; i < 200; i++ {
+		r := records[i]
+		r.Text1 = "normalized"
+		cleaned = append(cleaned, r)
+	}
+	if err := table.Update("cleaning", cleaned, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// Analyst 2 runs aggregations on master, untouched by the fork.
+	sum, err := table.Aggregate("master", "int1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sum(int1) on master: %d\n", sum)
+
+	// Compare the branches: only the changed subtrees are visited.
+	added, removed, modified, err := table.DiffCount("master", "cleaning")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diff master..cleaning: +%d -%d ~%d records\n", added, removed, modified)
+
+	// The column layout serves analytical scans ~10x faster by reading
+	// one column's chunks only (Figure 17b).
+	colTable := tabular.NewFBTable(forkbase.Open(), "purchases-col", tabular.ColLayout)
+	if err := colTable.Import("master", records); err != nil {
+		log.Fatal(err)
+	}
+	colSum, err := colTable.Aggregate("master", "int1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if colSum != sum {
+		log.Fatalf("layouts disagree: %d vs %d", colSum, sum)
+	}
+	fmt.Printf("column layout agrees: sum(int1) = %d\n", colSum)
+
+	// Version history of the dataset itself.
+	branches := db.ListTaggedBranches("tbl/purchases/rows")
+	fmt.Println("dataset branches:")
+	for _, b := range branches {
+		fmt.Printf("  %-10s head %s\n", b.Name, b.Head.Short())
+	}
+}

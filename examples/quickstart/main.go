@@ -1,0 +1,101 @@
+// Quickstart walks through ForkBase's core API: put/get with implicit
+// versioning, history tracking, fork-on-demand with named branches,
+// three-way merge, fork-on-conflict with untagged heads, and tamper
+// evidence. It mirrors the paper's Figure 4 example and Table 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"forkbase"
+)
+
+func main() {
+	db := forkbase.Open()
+	defer db.Close()
+
+	// --- Versioned key-value basics -------------------------------
+	fmt.Println("== versioning ==")
+	for _, v := range []string{"draft", "reviewed", "published"} {
+		uid, err := db.Put("article", forkbase.String(v))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("put %-10q -> version %s\n", v, uid.Short())
+	}
+	history, err := db.Track("article", forkbase.DefaultBranch, 0, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("history, newest first:")
+	for i, o := range history {
+		fmt.Printf("  -%d: %s\n", i, o.Data)
+	}
+
+	// --- Figure 4: fork and edit a Blob ---------------------------
+	fmt.Println("\n== fork on demand (Figure 4) ==")
+	if _, err := db.Put("my key", forkbase.NewBlob([]byte("my value"))); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Fork("my key", "master", "new branch"); err != nil {
+		log.Fatal(err)
+	}
+	obj, err := db.GetBranch("my key", "new branch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := db.BlobOf(obj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Remove 3 bytes from the beginning and append; changes stay
+	// local until the Put commits them to the branch.
+	blob.Remove(0, 3)
+	blob.Append([]byte(" and some more"))
+	if _, err := db.PutBranch("my key", "new branch", blob); err != nil {
+		log.Fatal(err)
+	}
+	for _, branch := range []string{"master", "new branch"} {
+		o, _ := db.GetBranch("my key", branch)
+		b, _ := db.BlobOf(o)
+		content, _ := b.Bytes()
+		fmt.Printf("%-12s: %q\n", branch, content)
+	}
+
+	// --- Merge with a built-in resolver ---------------------------
+	fmt.Println("\n== merge ==")
+	uid, conflicts, err := db.Merge("my key", "master", "new branch", forkbase.ChooseB)
+	if err != nil {
+		log.Fatalf("merge: %v (%d conflicts)", err, len(conflicts))
+	}
+	merged, _ := db.GetUID(uid)
+	b, _ := db.BlobOf(merged)
+	content, _ := b.Bytes()
+	fmt.Printf("master after merge: %q (derives from %d parents)\n", content, len(merged.Bases))
+
+	// --- Fork on conflict (untagged branches) ---------------------
+	fmt.Println("\n== fork on conflict ==")
+	base, _ := db.PutBase("counter", forkbase.UID{}, forkbase.Int(100))
+	u1, _ := db.PutBase("counter", base, forkbase.Int(110)) // +10
+	u2, _ := db.PutBase("counter", base, forkbase.Int(95))  // -5
+	heads := db.ListUntaggedBranches("counter")
+	fmt.Printf("concurrent writers left %d untagged heads\n", len(heads))
+	mergedUID, _, err := db.MergeUntagged("counter", forkbase.Aggregate, u1, u2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o, _ := db.GetUID(mergedUID)
+	v, _ := db.ValueOf(o)
+	fmt.Printf("aggregate-merged counter: %d (100 +10 -5)\n", v.(forkbase.Int))
+
+	// --- Tamper evidence -------------------------------------------
+	fmt.Println("\n== tamper evidence ==")
+	head, _ := db.Get("article")
+	n, err := db.VerifyHistory(head)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified %d versions against the uid hash chain\n", n)
+	fmt.Printf("storage: %s\n", db.Stats())
+}

@@ -1,0 +1,373 @@
+// Package forkbase is a Go implementation of ForkBase, the storage
+// engine for blockchain and forkable applications described in
+//
+//	Wang et al., "ForkBase: An Efficient Storage Engine for Blockchain
+//	and Forkable Applications", VLDB 2018.
+//
+// ForkBase extends the key-value model with three properties that
+// modern applications otherwise rebuild ad hoc:
+//
+//   - Data versioning: every Put creates a new immutable version; the
+//     full evolution history of each key is retained and queryable.
+//   - Fork semantics: both fork-on-demand (named branches, as in git)
+//     and fork-on-conflict (implicit sibling versions under concurrent
+//     updates, as in blockchains and weakly consistent stores).
+//   - Tamper evidence: a version's UID is a cryptographic digest that
+//     commits to the value and its entire derivation history.
+//
+// Large values (Blob, List, Map, Set) are stored as POS-Trees —
+// pattern-oriented-split trees that combine content-defined chunking, a
+// Merkle tree and a B+-tree — giving fine-grained access, fast diffs,
+// and chunk-level deduplication across versions and objects.
+//
+// # Quick start
+//
+//	db := forkbase.Open()
+//	db.Put("my key", forkbase.NewBlob([]byte("my value")))
+//	db.Fork("my key", "master", "new branch")
+//	obj, _ := db.GetBranch("my key", "new branch")
+//	blob, _ := db.BlobOf(obj)
+//	blob.Remove(0, 10)
+//	blob.Append([]byte("some more"))
+//	db.PutBranch("my key", "new branch", blob)
+package forkbase
+
+import (
+	"forkbase/internal/branch"
+	"forkbase/internal/chunk"
+	"forkbase/internal/core"
+	"forkbase/internal/merge"
+	"forkbase/internal/postree"
+	"forkbase/internal/store"
+	"forkbase/internal/types"
+)
+
+// ParseUID decodes the 64-character hexadecimal form of a UID.
+func ParseUID(s string) (UID, error) { return chunk.ParseID(s) }
+
+// Re-exported value types. Primitive types (String, Int, Float, Bool,
+// Tuple) are embedded in the version record; chunkable types (Blob,
+// List, Map, Set) are POS-Trees fetched on demand.
+type (
+	// Value is any ForkBase value.
+	Value = types.Value
+	// String is a primitive byte string.
+	String = types.String
+	// Int is a primitive 64-bit integer.
+	Int = types.Int
+	// Float is a primitive 64-bit float.
+	Float = types.Float
+	// Bool is a primitive boolean.
+	Bool = types.Bool
+	// Tuple is a primitive ordered field collection.
+	Tuple = types.Tuple
+	// Blob is a chunkable byte sequence.
+	Blob = types.Blob
+	// List is a chunkable element sequence.
+	List = types.List
+	// Map is a chunkable sorted key-value collection.
+	Map = types.Map
+	// Set is a chunkable sorted element collection.
+	Set = types.Set
+	// FObject is one version of an object: its value plus derivation
+	// metadata (paper Figure 2).
+	FObject = types.FObject
+	// UID is a tamper-evident version identifier.
+	UID = types.UID
+	// TaggedBranch pairs a branch name and its head version.
+	TaggedBranch = branch.TaggedBranch
+	// Conflict is one unresolved difference from a merge.
+	Conflict = merge.Conflict
+	// Resolver resolves merge conflicts; see ChooseA, ChooseB,
+	// Append, Aggregate for built-ins.
+	Resolver = merge.Resolver
+	// Diff is the result of comparing two versions.
+	Diff = core.Diff
+	// StoreStats reports chunk-storage counters.
+	StoreStats = store.Stats
+	// KV is a key-value pair for Map batch updates.
+	KV = postree.KV
+)
+
+// Tuple codecs, exposed for applications that store Tuples inside
+// chunkable collections (e.g. records in a Map).
+var (
+	// EncodeTuple serializes a Tuple to bytes.
+	EncodeTuple = types.EncodeTuple
+	// DecodeTuple parses a serialized Tuple.
+	DecodeTuple = types.DecodeTuple
+)
+
+// Constructors for fresh chunkable values.
+var (
+	// NewBlob returns a Blob staging the given bytes.
+	NewBlob = types.NewBlob
+	// NewMap returns an empty Map.
+	NewMap = types.NewMap
+	// NewList returns a List staging the given elements.
+	NewList = types.NewList
+	// NewSet returns a Set staging the given elements.
+	NewSet = types.NewSet
+)
+
+// Built-in conflict resolvers (§4.5.2).
+var (
+	// ChooseA keeps the target branch's value.
+	ChooseA = merge.ChooseA
+	// ChooseB keeps the reference branch's value.
+	ChooseB = merge.ChooseB
+	// AppendResolve concatenates both values.
+	AppendResolve = merge.Append
+	// Aggregate sums integer deltas from the base.
+	Aggregate = merge.Aggregate
+)
+
+// Sentinel errors.
+var (
+	// ErrKeyNotFound reports an unknown key.
+	ErrKeyNotFound = core.ErrKeyNotFound
+	// ErrBranchNotFound reports an unknown branch.
+	ErrBranchNotFound = branch.ErrBranchNotFound
+	// ErrBranchExists reports a branch-name collision on Fork/Rename.
+	ErrBranchExists = branch.ErrBranchExists
+	// ErrGuardFailed reports a guarded Put that lost a race.
+	ErrGuardFailed = branch.ErrGuardFailed
+	// ErrConflict reports unresolved merge conflicts.
+	ErrConflict = merge.ErrConflict
+)
+
+// DefaultBranch is the branch used by the single-argument Get/Put.
+const DefaultBranch = branch.DefaultBranch
+
+// DB is an embedded ForkBase instance.
+type DB struct {
+	eng *core.Engine
+}
+
+// Options configures Open/OpenPath.
+type Options struct {
+	// ChunkSizeLog2 sets the expected POS-Tree chunk size to
+	// 2^ChunkSizeLog2 bytes; 0 means the paper default of 4 KB.
+	ChunkSizeLog2 uint
+	// SyncWrites fsyncs the chunk log after every write (file-backed
+	// stores only).
+	SyncWrites bool
+}
+
+func (o Options) treeConfig() postree.Config {
+	cfg := postree.DefaultConfig()
+	if o.ChunkSizeLog2 != 0 {
+		cfg.LeafQ = o.ChunkSizeLog2
+	}
+	return cfg
+}
+
+// Open returns an in-memory ForkBase instance.
+func Open(opts ...Options) *DB {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	return &DB{eng: core.NewEngine(store.NewMemStore(), o.treeConfig())}
+}
+
+// OpenPath returns a ForkBase instance persisted in dir using the
+// log-structured chunk store.
+func OpenPath(dir string, opts ...Options) (*DB, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	fs, err := store.OpenFileStore(dir, store.FileStoreOptions{Sync: o.SyncWrites})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: core.NewEngine(fs, o.treeConfig())}, nil
+}
+
+// NewDBOn builds a DB over an arbitrary chunk store; used by the
+// cluster layer and by tests.
+func NewDBOn(s store.Store, cfg postree.Config) *DB {
+	return &DB{eng: core.NewEngine(s, cfg)}
+}
+
+// Close releases the underlying store.
+func (db *DB) Close() error { return db.eng.Store().Close() }
+
+// Engine exposes the underlying engine for advanced integrations
+// (cluster layer, benchmarks).
+func (db *DB) Engine() *core.Engine { return db.eng }
+
+// Stats returns chunk-storage counters, including deduplication rates.
+func (db *DB) Stats() StoreStats { return db.eng.Store().Stats() }
+
+// Get reads the head of the default branch (M1 with the branch absent).
+func (db *DB) Get(key string) (*FObject, error) {
+	return db.eng.Get([]byte(key), DefaultBranch)
+}
+
+// GetBranch reads the head of a named branch (M1).
+func (db *DB) GetBranch(key, branchName string) (*FObject, error) {
+	return db.eng.Get([]byte(key), branchName)
+}
+
+// GetUID reads a specific version (M2) and verifies it against uid.
+func (db *DB) GetUID(uid UID) (*FObject, error) { return db.eng.GetUID(uid) }
+
+// Put writes to the default branch (M3 with the branch absent).
+func (db *DB) Put(key string, v Value) (UID, error) {
+	return db.eng.Put([]byte(key), DefaultBranch, v, nil)
+}
+
+// PutBranch writes to a named branch, creating it on first write (M3).
+func (db *DB) PutBranch(key, branchName string, v Value) (UID, error) {
+	return db.eng.Put([]byte(key), branchName, v, nil)
+}
+
+// PutWithContext writes to a branch with application metadata stored in
+// the version's context field (e.g. a commit message).
+func (db *DB) PutWithContext(key, branchName string, v Value, context []byte) (UID, error) {
+	return db.eng.Put([]byte(key), branchName, v, context)
+}
+
+// PutGuarded writes only if the branch head still equals guard.
+func (db *DB) PutGuarded(key, branchName string, v Value, guard UID) (UID, error) {
+	return db.eng.PutGuarded([]byte(key), branchName, v, nil, guard)
+}
+
+// PutBase writes a new version deriving from an explicit base (M4), the
+// fork-on-conflict path: concurrent writers against the same base
+// produce sibling untagged heads instead of overwriting each other.
+func (db *DB) PutBase(key string, base UID, v Value) (UID, error) {
+	return db.eng.PutBase([]byte(key), base, v, nil)
+}
+
+// Fork creates a new branch at an existing branch's head (M11).
+func (db *DB) Fork(key, refBranch, newBranch string) error {
+	return db.eng.Fork([]byte(key), refBranch, newBranch)
+}
+
+// ForkUID creates a new branch at an arbitrary version (M12).
+func (db *DB) ForkUID(key string, uid UID, newBranch string) error {
+	return db.eng.ForkUID([]byte(key), uid, newBranch)
+}
+
+// Rename renames a branch (M13).
+func (db *DB) Rename(key, branchName, newName string) error {
+	return db.eng.Rename([]byte(key), branchName, newName)
+}
+
+// RemoveBranch drops a branch name; versions remain reachable by uid
+// (M14).
+func (db *DB) RemoveBranch(key, branchName string) error {
+	return db.eng.RemoveBranch([]byte(key), branchName)
+}
+
+// ListKeys returns all keys (M8).
+func (db *DB) ListKeys() []string { return db.eng.ListKeys() }
+
+// ListTaggedBranches returns a key's named branches and heads (M9).
+func (db *DB) ListTaggedBranches(key string) []TaggedBranch {
+	return db.eng.ListTaggedBranches([]byte(key))
+}
+
+// ListUntaggedBranches returns a key's untagged heads (M10); more than
+// one means unresolved fork-on-conflict siblings.
+func (db *DB) ListUntaggedBranches(key string) []UID {
+	return db.eng.ListUntaggedBranches([]byte(key))
+}
+
+// Merge merges refBranch into tgtBranch (M5).
+func (db *DB) Merge(key, tgtBranch, refBranch string, res Resolver) (UID, []Conflict, error) {
+	return db.eng.MergeBranches([]byte(key), tgtBranch, refBranch, res, nil)
+}
+
+// MergeUID merges a specific version into tgtBranch (M6).
+func (db *DB) MergeUID(key, tgtBranch string, ref UID, res Resolver) (UID, []Conflict, error) {
+	return db.eng.MergeUID([]byte(key), tgtBranch, ref, res, nil)
+}
+
+// MergeUntagged merges untagged heads into one, replacing them in the
+// untagged table (M7).
+func (db *DB) MergeUntagged(key string, res Resolver, uids ...UID) (UID, []Conflict, error) {
+	return db.eng.MergeUntagged([]byte(key), res, nil, uids...)
+}
+
+// Track returns versions at derivation distances [from, to] behind a
+// branch head (M15).
+func (db *DB) Track(key, branchName string, from, to int) ([]*FObject, error) {
+	return db.eng.Track([]byte(key), branchName, from, to)
+}
+
+// TrackUID returns versions at derivation distances [from, to] behind a
+// version (M16).
+func (db *DB) TrackUID(uid UID, from, to int) ([]*FObject, error) {
+	return db.eng.TrackUID(uid, from, to)
+}
+
+// LCA returns the least common ancestor of two versions (M17).
+func (db *DB) LCA(uid1, uid2 UID) (*FObject, error) { return db.eng.LCA(uid1, uid2) }
+
+// DiffVersions compares two versions of the same type.
+func (db *DB) DiffVersions(uid1, uid2 UID) (*Diff, error) { return db.eng.Diff(uid1, uid2) }
+
+// ValueOf decodes an FObject's value.
+func (db *DB) ValueOf(o *FObject) (Value, error) { return db.eng.Value(o) }
+
+// BlobOf decodes an FObject known to hold a Blob.
+func (db *DB) BlobOf(o *FObject) (*Blob, error) {
+	v, err := db.eng.Value(o)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := v.(*Blob)
+	if !ok {
+		return nil, core.ErrTypeMismatch
+	}
+	return b, nil
+}
+
+// MapOf decodes an FObject known to hold a Map.
+func (db *DB) MapOf(o *FObject) (*Map, error) {
+	v, err := db.eng.Value(o)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := v.(*Map)
+	if !ok {
+		return nil, core.ErrTypeMismatch
+	}
+	return m, nil
+}
+
+// ListOf decodes an FObject known to hold a List.
+func (db *DB) ListOf(o *FObject) (*List, error) {
+	v, err := db.eng.Value(o)
+	if err != nil {
+		return nil, err
+	}
+	l, ok := v.(*List)
+	if !ok {
+		return nil, core.ErrTypeMismatch
+	}
+	return l, nil
+}
+
+// SetOf decodes an FObject known to hold a Set.
+func (db *DB) SetOf(o *FObject) (*Set, error) {
+	v, err := db.eng.Value(o)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := v.(*Set)
+	if !ok {
+		return nil, core.ErrTypeMismatch
+	}
+	return s, nil
+}
+
+// VerifyHistory verifies the hash chain from a version back to its
+// first ancestor and returns the number of versions checked (§3.2).
+func (db *DB) VerifyHistory(o *FObject) (int, error) {
+	return o.VerifyHistory(db.eng.Store())
+}

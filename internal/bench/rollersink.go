@@ -1,0 +1,15 @@
+package bench
+
+import "forkbase/internal/rollsum"
+
+// newRollerSink returns a function that rolls bytes through the
+// cyclic-polynomial hash, used to price a hypothetical P-over-entries
+// index splitter.
+func newRollerSink() func([]byte) {
+	r := rollsum.NewRoller()
+	return func(p []byte) {
+		for _, b := range p {
+			r.Roll(b)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package blockchain
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"forkbase"
+	"forkbase/internal/workload"
+)
+
+// backends returns one of each backend kind over fresh storage.
+func backends(t *testing.T) map[string]Backend {
+	t.Helper()
+	rocks, err := NewRocksDBStyle(t.TempDir(), BucketMerkle, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Backend{
+		"native":     NewNative(forkbase.Open(), "kv"),
+		"rocksdb":    rocks,
+		"forkbasekv": NewForkBaseKV(forkbase.Open(), BucketMerkle, 64),
+	}
+}
+
+func TestLedgerAllBackendsAgree(t *testing.T) {
+	const blocks, txPerBlock = 8, 10
+	gen := func() *workload.YCSB {
+		return workload.NewYCSB(workload.YCSBConfig{Seed: 1, Keys: 40, ReadRatio: 0.3, ValueSize: 40})
+	}
+	results := map[string]map[string][]byte{}
+	histories := map[string]map[string][][]byte{}
+	for name, be := range backends(t) {
+		l := NewLedger(be, txPerBlock)
+		y := gen()
+		for i := 0; i < blocks*txPerBlock; i++ {
+			op := y.Next()
+			if err := l.Submit(Tx{Contract: "kv", Ops: []Op{{Key: op.Key, Value: op.Value, Read: op.Read}}}); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		if l.Height() != blocks {
+			t.Fatalf("%s: height %d, want %d", name, l.Height(), blocks)
+		}
+		if err := l.VerifyChain(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Snapshot the full latest state and one key's history.
+		state, err := be.BlockScan(uint64(blocks - 1))
+		if err != nil {
+			t.Fatalf("%s: block scan: %v", name, err)
+		}
+		results[name] = state
+		hist, err := be.ScanStates(keysOf(state), 1<<30)
+		if err != nil {
+			t.Fatalf("%s: state scan: %v", name, err)
+		}
+		histories[name] = hist
+		be.Close()
+	}
+	// All three backends must agree on the final state and histories.
+	ref := results["native"]
+	if len(ref) == 0 {
+		t.Fatal("empty final state")
+	}
+	for name, state := range results {
+		if len(state) != len(ref) {
+			t.Fatalf("%s: %d states, native has %d", name, len(state), len(ref))
+		}
+		for k, v := range ref {
+			if !bytes.Equal(state[k], v) {
+				t.Fatalf("%s: state[%s] = %q, native %q", name, k, state[k], v)
+			}
+		}
+	}
+	refHist := histories["native"]
+	for name, hist := range histories {
+		for k, versions := range refHist {
+			got := hist[k]
+			if len(got) != len(versions) {
+				t.Fatalf("%s: history len of %s = %d, native %d", name, k, len(got), len(versions))
+			}
+			for i := range versions {
+				if !bytes.Equal(got[i], versions[i]) {
+					t.Fatalf("%s: history[%s][%d] mismatch", name, k, i)
+				}
+			}
+		}
+	}
+}
+
+func keysOf(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestBlockScanHistorical(t *testing.T) {
+	for name, be := range backends(t) {
+		l := NewLedger(be, 1)
+		// Block h writes key "k" = "v<h>".
+		for h := 0; h < 5; h++ {
+			if err := l.Submit(Tx{Contract: "kv", Ops: []Op{
+				{Key: "k", Value: []byte(fmt.Sprintf("v%d", h))},
+				{Key: fmt.Sprintf("only-%d", h), Value: []byte("x")},
+			}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for h := 0; h < 5; h++ {
+			state, err := be.BlockScan(uint64(h))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if string(state["k"]) != fmt.Sprintf("v%d", h) {
+				t.Fatalf("%s: block %d state k = %q", name, h, state["k"])
+			}
+			// Keys created later must be absent.
+			if _, ok := state[fmt.Sprintf("only-%d", h+1)]; ok {
+				t.Fatalf("%s: block %d sees a future key", name, h)
+			}
+			// Keys created earlier must be present.
+			if h > 0 {
+				if _, ok := state[fmt.Sprintf("only-%d", h-1)]; !ok {
+					t.Fatalf("%s: block %d lost a past key", name, h)
+				}
+			}
+		}
+		be.Close()
+	}
+}
+
+func TestStateScanOrder(t *testing.T) {
+	for name, be := range backends(t) {
+		l := NewLedger(be, 1)
+		for h := 0; h < 6; h++ {
+			l.Submit(Tx{Contract: "kv", Ops: []Op{{Key: "x", Value: []byte(fmt.Sprintf("v%d", h))}}})
+		}
+		hist, err := be.StateScan("x", 100)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(hist) != 6 {
+			t.Fatalf("%s: history length %d, want 6", name, len(hist))
+		}
+		for i, v := range hist {
+			want := fmt.Sprintf("v%d", 5-i)
+			if string(v) != want {
+				t.Fatalf("%s: hist[%d] = %q, want %q", name, i, v, want)
+			}
+		}
+		// Limited scan.
+		hist, _ = be.StateScan("x", 2)
+		if len(hist) != 2 || string(hist[0]) != "v5" {
+			t.Fatalf("%s: limited scan: %v", name, hist)
+		}
+		// Missing key.
+		if h, err := be.StateScan("never-written", 5); err != nil || len(h) != 0 {
+			t.Fatalf("%s: missing key scan: %v %v", name, h, err)
+		}
+		be.Close()
+	}
+}
+
+func TestChainTamperDetection(t *testing.T) {
+	be := NewNative(forkbase.Open(), "kv")
+	defer be.Close()
+	l := NewLedger(be, 2)
+	for i := 0; i < 10; i++ {
+		l.Submit(Tx{Contract: "kv", Ops: []Op{{Key: "k", Value: []byte{byte(i)}}}})
+	}
+	if err := l.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+	l.blocks[2].StateRef = []byte("forged")
+	if err := l.VerifyChain(); err == nil {
+		t.Fatal("forged block passed verification")
+	}
+}
+
+func TestReadsDoNotSeeBuffer(t *testing.T) {
+	for name, be := range backends(t) {
+		l := NewLedger(be, 100) // never auto-commits
+		l.Submit(Tx{Contract: "kv", Ops: []Op{{Key: "k", Value: []byte("buffered")}}})
+		v, err := be.Read("k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != nil {
+			t.Fatalf("%s: read observed the write buffer: %q", name, v)
+		}
+		l.CommitBlock()
+		v, _ = be.Read("k")
+		if string(v) != "buffered" {
+			t.Fatalf("%s: read after commit: %q", name, v)
+		}
+		be.Close()
+	}
+}
+
+func TestStateRefsDifferAcrossBlocks(t *testing.T) {
+	be := NewNative(forkbase.Open(), "kv")
+	defer be.Close()
+	l := NewLedger(be, 1)
+	l.Submit(Tx{Contract: "kv", Ops: []Op{{Key: "a", Value: []byte("1")}}})
+	l.Submit(Tx{Contract: "kv", Ops: []Op{{Key: "a", Value: []byte("2")}}})
+	if bytes.Equal(l.Block(0).StateRef, l.Block(1).StateRef) {
+		t.Fatal("state commitment did not change across blocks")
+	}
+}

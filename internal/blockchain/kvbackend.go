@@ -1,0 +1,391 @@
+package blockchain
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"forkbase"
+	"forkbase/internal/lsm"
+	"forkbase/internal/merkle"
+)
+
+// kvStore abstracts the flat key-value engine under the original
+// Hyperledger design (Figure 7a): an LSM store playing RocksDB, or
+// ForkBase driven as a plain KV store.
+type kvStore interface {
+	get(key string) ([]byte, bool, error)
+	put(key string, value []byte) error
+	scanPrefix(prefix string, fn func(key string, value []byte) bool) error
+	close() error
+}
+
+// stateTree abstracts the application-level Merkle structure.
+type stateTree interface {
+	Set(key string, value []byte)
+	Commit() []byte
+	// DirtySerialized returns the structure records Hyperledger would
+	// persist to its KV store for this commit (changed buckets, or
+	// trie path nodes).
+	DirtySerialized() map[string][]byte
+}
+
+type bucketTreeAdapter struct{ t *merkle.BucketTree }
+
+func (a bucketTreeAdapter) Set(k string, v []byte) { a.t.Set(k, v) }
+func (a bucketTreeAdapter) Commit() []byte {
+	h := a.t.Commit()
+	return h[:]
+}
+func (a bucketTreeAdapter) DirtySerialized() map[string][]byte { return a.t.DirtySerialized() }
+
+type trieAdapter struct{ t *merkle.Trie }
+
+func (a trieAdapter) Set(k string, v []byte) { a.t.Set(k, v) }
+func (a trieAdapter) Commit() []byte {
+	h := a.t.Commit()
+	return h[:]
+}
+func (a trieAdapter) DirtySerialized() map[string][]byte { return a.t.DirtySerialized() }
+
+// KVBackend is the original Hyperledger storage design: states in a
+// flat KV store, integrity from an application-maintained Merkle
+// structure, history from per-block state deltas. Analytical queries
+// must parse every block's delta — the pre-processing cost Figure 12
+// measures.
+type KVBackend struct {
+	name      string
+	kv        kvStore
+	tree      stateTree
+	buffer    map[string][]byte
+	stateRefs [][]byte
+	height    uint64
+}
+
+// MerkleKind selects the state structure for a KVBackend.
+type MerkleKind int
+
+const (
+	// BucketMerkle uses Hyperledger's default bucket tree.
+	BucketMerkle MerkleKind = iota
+	// TrieMerkle uses the trie alternative.
+	TrieMerkle
+)
+
+// NewRocksDBStyle returns the "Rocksdb" baseline: our LSM engine under
+// a bucket tree (or trie) with state deltas.
+func NewRocksDBStyle(dir string, kind MerkleKind, buckets int) (*KVBackend, error) {
+	db, err := lsm.Open(dir, lsm.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return newKVBackend("Rocksdb", &lsmKV{db: db}, kind, buckets), nil
+}
+
+// NewForkBaseKV returns the "ForkBase-KV" baseline: ForkBase as a plain
+// key-value store, hashing both inside the storage (uids) and outside
+// (the application Merkle tree) — the double-hashing overhead §6.2.1
+// calls out.
+func NewForkBaseKV(db *forkbase.DB, kind MerkleKind, buckets int) *KVBackend {
+	return newKVBackend("ForkBase-KV", &fbKV{db: db}, kind, buckets)
+}
+
+func newKVBackend(name string, kv kvStore, kind MerkleKind, buckets int) *KVBackend {
+	var tree stateTree
+	if kind == TrieMerkle {
+		tree = trieAdapter{t: merkle.NewTrie()}
+	} else {
+		if buckets <= 0 {
+			buckets = 1024
+		}
+		tree = bucketTreeAdapter{t: merkle.NewBucketTree(buckets)}
+	}
+	return &KVBackend{name: name, kv: kv, tree: tree, buffer: make(map[string][]byte)}
+}
+
+// Name implements Backend.
+func (b *KVBackend) Name() string { return b.name }
+
+// Read implements Backend.
+func (b *KVBackend) Read(key string) ([]byte, error) {
+	v, ok, err := b.kv.get("s/" + key)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return v, nil
+}
+
+// BufferWrite implements Backend.
+func (b *KVBackend) BufferWrite(key string, value []byte) {
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	b.buffer[key] = cp
+}
+
+// Commit implements Backend: record the delta, update the Merkle
+// structure and the flat store, persist the delta for history queries.
+func (b *KVBackend) Commit(height uint64) ([]byte, error) {
+	keys := make([]string, 0, len(b.buffer))
+	for k := range b.buffer {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	delta := merkle.NewStateDelta()
+	for _, k := range keys {
+		old, existed, err := b.kv.get("s/" + k)
+		if err != nil {
+			return nil, err
+		}
+		delta.Record(k, old, existed)
+		b.tree.Set(k, b.buffer[k])
+		if err := b.kv.put("s/"+k, b.buffer[k]); err != nil {
+			return nil, err
+		}
+	}
+	b.buffer = make(map[string][]byte)
+	// Persist the changed state-structure records before sealing the
+	// root, as Hyperledger writes changed buckets / trie nodes to its
+	// KV store on every commit.
+	for k, v := range b.tree.DirtySerialized() {
+		if err := b.kv.put(k, v); err != nil {
+			return nil, err
+		}
+	}
+	root := b.tree.Commit()
+	if err := b.kv.put(deltaKey(height), encodeDelta(delta)); err != nil {
+		return nil, err
+	}
+	for uint64(len(b.stateRefs)) < height {
+		b.stateRefs = append(b.stateRefs, root)
+	}
+	b.stateRefs = append(b.stateRefs, root)
+	b.height = height + 1
+	return root, nil
+}
+
+func deltaKey(height uint64) string { return fmt.Sprintf("delta/%012d", height) }
+
+func encodeDelta(d *merkle.StateDelta) []byte {
+	keys := make([]string, 0, len(d.Old))
+	for k := range d.Old {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []byte
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(keys)))
+	out = append(out, b[:]...)
+	for _, k := range keys {
+		old := d.Old[k]
+		binary.LittleEndian.PutUint32(b[:], uint32(len(k)))
+		out = append(out, b[:]...)
+		out = append(out, k...)
+		if old == nil {
+			out = append(out, 0)
+			binary.LittleEndian.PutUint32(b[:], 0)
+			out = append(out, b[:]...)
+		} else {
+			out = append(out, 1)
+			binary.LittleEndian.PutUint32(b[:], uint32(len(old)))
+			out = append(out, b[:]...)
+			out = append(out, old...)
+		}
+	}
+	return out
+}
+
+func decodeDelta(data []byte) (map[string][]byte, error) {
+	if len(data) < 4 {
+		return nil, errors.New("blockchain: truncated delta")
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	out := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 4 {
+			return nil, errors.New("blockchain: truncated delta")
+		}
+		kl := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		k := string(data[:kl])
+		data = data[kl:]
+		existed := data[0] == 1
+		vl := int(binary.LittleEndian.Uint32(data[1:5]))
+		data = data[5:]
+		if existed {
+			out[k] = append([]byte(nil), data[:vl]...)
+			data = data[vl:]
+		} else {
+			out[k] = nil
+		}
+	}
+	return out, nil
+}
+
+// preprocess parses every block's delta — "a pre-processing step that
+// parses all the internal structures of all the blocks" (§5.1.2) —
+// and returns them newest-first.
+func (b *KVBackend) preprocess() ([]map[string][]byte, error) {
+	deltas := make([]map[string][]byte, 0, b.height)
+	for h := int64(b.height) - 1; h >= 0; h-- {
+		raw, ok, err := b.kv.get(deltaKey(uint64(h)))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("blockchain: missing delta %d", h)
+		}
+		d, err := decodeDelta(raw)
+		if err != nil {
+			return nil, err
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, nil
+}
+
+// StateScan implements Backend via the full delta walk.
+func (b *KVBackend) StateScan(key string, max int) ([][]byte, error) {
+	m, err := b.ScanStates([]string{key}, max)
+	if err != nil {
+		return nil, err
+	}
+	return m[key], nil
+}
+
+// ScanStates returns the history of each requested key. One delta walk
+// serves all keys, which is why the gap to ForkBase narrows as more
+// keys are scanned per query (Figure 12a).
+func (b *KVBackend) ScanStates(keys []string, max int) (map[string][][]byte, error) {
+	deltas, err := b.preprocess()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][][]byte, len(keys))
+	for _, k := range keys {
+		cur, ok, err := b.kv.get("s/" + k)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		hist := [][]byte{cur}
+		for _, d := range deltas {
+			if len(hist) >= max {
+				break
+			}
+			old, touched := d[k]
+			if !touched {
+				continue
+			}
+			if old == nil {
+				break // creation point
+			}
+			hist = append(hist, old)
+		}
+		out[k] = hist
+	}
+	return out, nil
+}
+
+// BlockScan implements Backend. Like the paper's Hyperledger port, it
+// pays a pre-processing pass over every block's internal structures
+// before reconstructing the requested block's states by rolling deltas
+// back from the current state.
+func (b *KVBackend) BlockScan(height uint64) (map[string][]byte, error) {
+	if height >= b.height {
+		return nil, fmt.Errorf("blockchain: no block %d", height)
+	}
+	deltas, err := b.preprocess() // newest first, one per block
+	if err != nil {
+		return nil, err
+	}
+	state := make(map[string][]byte)
+	if err := b.kv.scanPrefix("s/", func(k string, v []byte) bool {
+		state[strings.TrimPrefix(k, "s/")] = v
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	for i, h := 0, int64(b.height)-1; h > int64(height); i, h = i+1, h-1 {
+		for k, old := range deltas[i] {
+			if old == nil {
+				delete(state, k)
+			} else {
+				state[k] = old
+			}
+		}
+	}
+	return state, nil
+}
+
+// Close implements Backend.
+func (b *KVBackend) Close() error { return b.kv.close() }
+
+// lsmKV adapts lsm.DB to kvStore.
+type lsmKV struct{ db *lsm.DB }
+
+func (l *lsmKV) get(key string) ([]byte, bool, error) {
+	v, err := l.db.Get([]byte(key))
+	if errors.Is(err, lsm.ErrNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+func (l *lsmKV) put(key string, value []byte) error {
+	return l.db.Put([]byte(key), value)
+}
+
+func (l *lsmKV) scanPrefix(prefix string, fn func(string, []byte) bool) error {
+	end := prefix[:len(prefix)-1] + string(prefix[len(prefix)-1]+1)
+	return l.db.Scan([]byte(prefix), []byte(end), func(k, v []byte) bool {
+		return fn(string(k), v)
+	})
+}
+
+func (l *lsmKV) close() error { return l.db.Close() }
+
+// fbKV adapts forkbase.DB to kvStore, deliberately ignoring all of
+// ForkBase's versioning features.
+type fbKV struct{ db *forkbase.DB }
+
+func (f *fbKV) get(key string) ([]byte, bool, error) {
+	o, err := f.db.Get(key)
+	if errors.Is(err, forkbase.ErrKeyNotFound) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return o.Data, true, nil
+}
+
+func (f *fbKV) put(key string, value []byte) error {
+	_, err := f.db.Put(key, forkbase.String(value))
+	return err
+}
+
+func (f *fbKV) scanPrefix(prefix string, fn func(string, []byte) bool) error {
+	for _, k := range f.db.ListKeys() {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		o, err := f.db.Get(k)
+		if err != nil {
+			return err
+		}
+		if !fn(k, o.Data) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (f *fbKV) close() error { return nil }

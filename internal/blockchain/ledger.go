@@ -1,0 +1,193 @@
+// Package blockchain implements a miniature Hyperledger-style ledger
+// (paper §5.1): blocks of key-value transactions chained by hash, a
+// pluggable state backend, and the two analytical queries of §5.1.2 —
+// state scan (history of one key) and block scan (all states at one
+// block). Three backends reproduce the paper's comparison:
+//
+//   - Native: Hyperledger's data structures re-expressed on ForkBase
+//     (Figure 7b) — two levels of Map objects plus a Blob per state.
+//   - KVMerkle: the original design (Figure 7a) — an LSM store (the
+//     RocksDB stand-in) under a bucket Merkle tree or trie with state
+//     deltas.
+//   - ForkBaseKV: ForkBase used as a dumb key-value store with the
+//     Merkle machinery still implemented at the application layer.
+//
+// Consensus is replaced by a single sequencer: the paper's §6.2
+// evaluation isolates the storage component on one server, where
+// consensus contributes nothing to the measured path.
+package blockchain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Hash is a block or transaction digest.
+type Hash [sha256.Size]byte
+
+// Op is one state access within a transaction.
+type Op struct {
+	Key   string
+	Value []byte // ignored for reads
+	Read  bool
+}
+
+// Tx is one transaction against the key-value smart contract.
+type Tx struct {
+	Contract string
+	Ops      []Op
+}
+
+func (t *Tx) hash() Hash {
+	h := sha256.New()
+	h.Write([]byte(t.Contract))
+	var b [8]byte
+	for _, op := range t.Ops {
+		binary.LittleEndian.PutUint64(b[:], uint64(len(op.Key)))
+		h.Write(b[:])
+		h.Write([]byte(op.Key))
+		if op.Read {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+			h.Write(op.Value)
+		}
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Block is one ledger entry.
+type Block struct {
+	Height   uint64
+	PrevHash Hash
+	TxRoot   Hash
+	StateRef []byte // backend state commitment: Merkle root or FObject uid
+	NumTxs   int
+	Hash     Hash
+}
+
+func (b *Block) computeHash() Hash {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], b.Height)
+	h.Write(buf[:])
+	h.Write(b.PrevHash[:])
+	h.Write(b.TxRoot[:])
+	h.Write(b.StateRef)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Backend is the storage engine under the ledger.
+type Backend interface {
+	// Name identifies the backend in benchmark output.
+	Name() string
+	// Read returns the latest committed (or block-buffered) value.
+	Read(key string) ([]byte, error)
+	// BufferWrite stages a write for the current block, as
+	// Hyperledger buffers writes in memory until commit (§5.1.1).
+	BufferWrite(key string, value []byte)
+	// Commit applies the buffered writes as block `height` and
+	// returns the state commitment to embed in the block.
+	Commit(height uint64) ([]byte, error)
+	// StateScan returns the historical values of key, newest first,
+	// up to max entries (§5.1.2).
+	StateScan(key string, max int) ([][]byte, error)
+	// ScanStates answers a state-scan query covering several keys at
+	// once; Figure 12a varies the number of keys per query.
+	ScanStates(keys []string, max int) (map[string][][]byte, error)
+	// BlockScan returns all states as of block height (§5.1.2).
+	BlockScan(height uint64) (map[string][]byte, error)
+	// Close releases resources.
+	Close() error
+}
+
+// Ledger batches transactions into blocks over a backend.
+type Ledger struct {
+	backend   Backend
+	blockSize int
+	pending   []Tx
+	blocks    []*Block
+}
+
+// NewLedger returns a ledger committing a block every blockSize
+// transactions (the paper uses b=50).
+func NewLedger(b Backend, blockSize int) *Ledger {
+	if blockSize <= 0 {
+		blockSize = 50
+	}
+	return &Ledger{backend: b, blockSize: blockSize}
+}
+
+// Backend returns the ledger's storage backend.
+func (l *Ledger) Backend() Backend { return l.backend }
+
+// Submit executes a transaction: reads go to the backend, writes are
+// buffered. A block commits automatically when blockSize transactions
+// have accumulated.
+func (l *Ledger) Submit(tx Tx) error {
+	for _, op := range tx.Ops {
+		if op.Read {
+			if _, err := l.backend.Read(op.Key); err != nil {
+				return err
+			}
+		} else {
+			l.backend.BufferWrite(op.Key, op.Value)
+		}
+	}
+	l.pending = append(l.pending, tx)
+	if len(l.pending) >= l.blockSize {
+		return l.CommitBlock()
+	}
+	return nil
+}
+
+// CommitBlock seals the pending transactions into a new block.
+func (l *Ledger) CommitBlock() error {
+	if len(l.pending) == 0 {
+		return nil
+	}
+	height := uint64(len(l.blocks))
+	stateRef, err := l.backend.Commit(height)
+	if err != nil {
+		return err
+	}
+	blk := &Block{Height: height, StateRef: stateRef, NumTxs: len(l.pending)}
+	if height > 0 {
+		blk.PrevHash = l.blocks[height-1].Hash
+	}
+	th := sha256.New()
+	for i := range l.pending {
+		x := l.pending[i].hash()
+		th.Write(x[:])
+	}
+	th.Sum(blk.TxRoot[:0])
+	blk.Hash = blk.computeHash()
+	l.blocks = append(l.blocks, blk)
+	l.pending = l.pending[:0]
+	return nil
+}
+
+// Height returns the number of committed blocks.
+func (l *Ledger) Height() int { return len(l.blocks) }
+
+// Block returns block i.
+func (l *Ledger) Block(i int) *Block { return l.blocks[i] }
+
+// VerifyChain re-computes the hash chain, detecting any tampering with
+// committed blocks.
+func (l *Ledger) VerifyChain() error {
+	for i, b := range l.blocks {
+		if b.computeHash() != b.Hash {
+			return fmt.Errorf("blockchain: block %d hash mismatch", i)
+		}
+		if i > 0 && b.PrevHash != l.blocks[i-1].Hash {
+			return fmt.Errorf("blockchain: block %d prev-hash broken", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package blockchain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"forkbase"
+	"forkbase/internal/postree"
+)
+
+// Native is Hyperledger's data model re-expressed on ForkBase
+// (Figure 7b). The Merkle tree and state delta are replaced by two
+// levels of Map objects: the first level maps contract id to the
+// version of a second-level Map, which maps data keys to the versions
+// of Blob objects holding state values. The state hash of a block is
+// simply the first-level Map's version uid — tamper evidence comes for
+// free, and every state's history is reachable by following base
+// versions (no pre-processing, no delta walk).
+type Native struct {
+	db       *forkbase.DB
+	contract string
+	buffer   map[string][]byte
+	// stateRefs[h] is the first-level Map uid committed at block h.
+	stateRefs []forkbase.UID
+}
+
+// NewNative returns a native ForkBase backend for one contract.
+func NewNative(db *forkbase.DB, contract string) *Native {
+	return &Native{db: db, contract: contract, buffer: make(map[string][]byte)}
+}
+
+// Name implements Backend.
+func (n *Native) Name() string { return "ForkBase" }
+
+func (n *Native) stateKey(key string) string { return "s/" + n.contract + "/" + key }
+
+// Read implements Backend: it fetches the committed value from storage
+// (Hyperledger reads do not observe the in-block write buffer, §5.1.1).
+func (n *Native) Read(key string) ([]byte, error) {
+	o, err := n.db.Get(n.stateKey(key))
+	if errors.Is(err, forkbase.ErrKeyNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	b, err := n.db.BlobOf(o)
+	if err != nil {
+		return nil, err
+	}
+	return b.Bytes()
+}
+
+// BufferWrite implements Backend.
+func (n *Native) BufferWrite(key string, value []byte) {
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	n.buffer[key] = cp
+}
+
+// Commit implements Backend: each dirty state gets a new Blob version,
+// the second-level Map is updated in one batch, and the first-level Map
+// version becomes the block's state reference.
+func (n *Native) Commit(height uint64) ([]byte, error) {
+	keys := make([]string, 0, len(n.buffer))
+	for k := range n.buffer {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sets := make([]postree.KV, 0, len(keys))
+	for _, k := range keys {
+		uid, err := n.db.Put(n.stateKey(k), forkbase.NewBlob(n.buffer[k]))
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, postree.KV{Key: []byte(k), Value: uid[:]})
+	}
+	n.buffer = make(map[string][]byte)
+
+	// Second-level Map: data key -> Blob version.
+	contractKey := "contract/" + n.contract
+	var cmap *forkbase.Map
+	if o, err := n.db.Get(contractKey); err == nil {
+		cmap, err = n.db.MapOf(o)
+		if err != nil {
+			return nil, err
+		}
+	} else if errors.Is(err, forkbase.ErrKeyNotFound) {
+		cmap = forkbase.NewMap()
+	} else {
+		return nil, err
+	}
+	if err := cmap.Apply(sets, nil); err != nil {
+		return nil, err
+	}
+	cuid, err := n.db.Put(contractKey, cmap)
+	if err != nil {
+		return nil, err
+	}
+
+	// First-level Map: contract -> second-level version.
+	var smap *forkbase.Map
+	if o, err := n.db.Get("states"); err == nil {
+		smap, err = n.db.MapOf(o)
+		if err != nil {
+			return nil, err
+		}
+	} else if errors.Is(err, forkbase.ErrKeyNotFound) {
+		smap = forkbase.NewMap()
+	} else {
+		return nil, err
+	}
+	if err := smap.Set([]byte(n.contract), cuid[:]); err != nil {
+		return nil, err
+	}
+	suid, err := n.db.Put("states", smap)
+	if err != nil {
+		return nil, err
+	}
+	for uint64(len(n.stateRefs)) < height {
+		// Fill gaps if blocks committed without state changes.
+		n.stateRefs = append(n.stateRefs, suid)
+	}
+	n.stateRefs = append(n.stateRefs, suid)
+	return suid[:], nil
+}
+
+// StateScan implements Backend: follow the Blob's base-version chain —
+// no chain scan, no pre-processing (§5.1.3).
+func (n *Native) StateScan(key string, max int) ([][]byte, error) {
+	o, err := n.db.Get(n.stateKey(key))
+	if errors.Is(err, forkbase.ErrKeyNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	hist, err := n.db.TrackUID(o.UID(), 0, max-1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, 0, len(hist))
+	for _, h := range hist {
+		b, err := n.db.BlobOf(h)
+		if err != nil {
+			return nil, err
+		}
+		data, err := b.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}
+
+// ScanStates implements Backend: each key's history is one cheap walk
+// down its base-version chain; no shared pre-processing is needed.
+func (n *Native) ScanStates(keys []string, max int) (map[string][][]byte, error) {
+	out := make(map[string][][]byte, len(keys))
+	for _, k := range keys {
+		hist, err := n.StateScan(k, max)
+		if err != nil {
+			return nil, err
+		}
+		if hist != nil {
+			out[k] = hist
+		}
+	}
+	return out, nil
+}
+
+// BlockScan implements Backend: resolve the block's first-level Map,
+// then the contract's second-level Map, then each Blob version.
+func (n *Native) BlockScan(height uint64) (map[string][]byte, error) {
+	if height >= uint64(len(n.stateRefs)) {
+		return nil, fmt.Errorf("blockchain: no block %d", height)
+	}
+	top, err := n.db.GetUID(n.stateRefs[height])
+	if err != nil {
+		return nil, err
+	}
+	tm, err := n.db.MapOf(top)
+	if err != nil {
+		return nil, err
+	}
+	cref, ok, err := tm.Get([]byte(n.contract))
+	if err != nil || !ok {
+		return nil, err
+	}
+	var cuid forkbase.UID
+	copy(cuid[:], cref)
+	co, err := n.db.GetUID(cuid)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := n.db.MapOf(co)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte)
+	var iterErr error
+	cm.Iter(func(k, v []byte) bool {
+		var buid forkbase.UID
+		copy(buid[:], v)
+		bo, err := n.db.GetUID(buid)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		b, err := n.db.BlobOf(bo)
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		data, err := b.Bytes()
+		if err != nil {
+			iterErr = err
+			return false
+		}
+		out[string(k)] = data
+		return true
+	})
+	if iterErr != nil {
+		return nil, iterErr
+	}
+	return out, nil
+}
+
+// Close implements Backend.
+func (n *Native) Close() error { return nil }

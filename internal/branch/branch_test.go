@@ -1,0 +1,135 @@
+package branch
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"forkbase/internal/types"
+)
+
+func uid(b byte) types.UID {
+	var u types.UID
+	u[0] = b
+	return u
+}
+
+func TestTaggedLifecycle(t *testing.T) {
+	tb := NewTable()
+	if _, ok := tb.Head("master"); ok {
+		t.Fatal("head on empty table")
+	}
+	if err := tb.UpdateTagged("master", uid(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if h, ok := tb.Head("master"); !ok || h != uid(1) {
+		t.Fatal("head mismatch")
+	}
+	if err := tb.Fork("dev", uid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Fork("dev", uid(2)); !errors.Is(err, ErrBranchExists) {
+		t.Fatalf("duplicate fork: %v", err)
+	}
+	if err := tb.Rename("dev", "feature"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tb.Head("dev"); ok {
+		t.Fatal("renamed branch still resolvable")
+	}
+	if err := tb.Rename("feature", "master"); !errors.Is(err, ErrBranchExists) {
+		t.Fatalf("rename onto existing: %v", err)
+	}
+	if err := tb.Remove("feature"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Remove("feature"); !errors.Is(err, ErrBranchNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+	got := tb.Tagged()
+	if len(got) != 1 || got[0].Name != "master" {
+		t.Fatalf("tagged list: %v", got)
+	}
+}
+
+func TestGuardedUpdate(t *testing.T) {
+	tb := NewTable()
+	tb.UpdateTagged("master", uid(1), nil)
+	g := uid(1)
+	if err := tb.UpdateTagged("master", uid(2), &g); err != nil {
+		t.Fatalf("matching guard rejected: %v", err)
+	}
+	if err := tb.UpdateTagged("master", uid(3), &g); !errors.Is(err, ErrGuardFailed) {
+		t.Fatalf("stale guard accepted: %v", err)
+	}
+	if h, _ := tb.Head("master"); h != uid(2) {
+		t.Fatal("failed guard modified the head")
+	}
+}
+
+func TestUntaggedConflictSemantics(t *testing.T) {
+	tb := NewTable()
+	// v1 is the initial head.
+	tb.AddUntagged(uid(1), nil)
+	if got := tb.Untagged(); len(got) != 1 {
+		t.Fatalf("heads: %d", len(got))
+	}
+	// A linear derivation replaces its base.
+	tb.AddUntagged(uid(2), []types.UID{uid(1)})
+	if got := tb.Untagged(); len(got) != 1 || got[0] != uid(2) {
+		t.Fatalf("linear derivation: %v", got)
+	}
+	// Concurrent derivation from the already-consumed base: conflict,
+	// two heads (Figure 3b).
+	tb.AddUntagged(uid(3), []types.UID{uid(1)})
+	if got := tb.Untagged(); len(got) != 2 {
+		t.Fatalf("conflict should leave 2 heads, got %d", len(got))
+	}
+	// Re-adding an existing uid is ignored.
+	tb.AddUntagged(uid(3), []types.UID{uid(2)})
+	if got := tb.Untagged(); len(got) != 2 {
+		t.Fatalf("duplicate add changed heads: %d", len(got))
+	}
+	// Merge replaces both with the result.
+	tb.ReplaceUntagged(uid(9), []types.UID{uid(2), uid(3)})
+	if got := tb.Untagged(); len(got) != 1 || got[0] != uid(9) {
+		t.Fatalf("merge result: %v", got)
+	}
+}
+
+func TestSpace(t *testing.T) {
+	s := NewSpace()
+	if _, ok := s.Lookup([]byte("k")); ok {
+		t.Fatal("lookup on empty space")
+	}
+	t1 := s.Table([]byte("k"))
+	t2 := s.Table([]byte("k"))
+	if t1 != t2 {
+		t.Fatal("Table not idempotent")
+	}
+	s.Table([]byte("a"))
+	keys := s.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "k" {
+		t.Fatalf("keys: %v", keys)
+	}
+}
+
+func TestSpaceConcurrent(t *testing.T) {
+	s := NewSpace()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tb := s.Table([]byte{byte(i % 7)})
+				tb.UpdateTagged("master", uid(byte(g)), nil)
+				tb.Head("master")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(s.Keys()) != 7 {
+		t.Fatalf("keys: %v", s.Keys())
+	}
+}

@@ -1,0 +1,110 @@
+package chunk
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewComputesDigestOverTypeAndData(t *testing.T) {
+	data := []byte("hello forkbase")
+	c := New(TypeBlob, data)
+	h := sha256.New()
+	h.Write([]byte{byte(TypeBlob)})
+	h.Write(data)
+	var want ID
+	h.Sum(want[:0])
+	if c.ID() != want {
+		t.Fatalf("ID = %s, want %s", c.ID(), want)
+	}
+}
+
+func TestSameContentSameID(t *testing.T) {
+	a := New(TypeMap, []byte("abc"))
+	b := New(TypeMap, []byte("abc"))
+	if a.ID() != b.ID() {
+		t.Fatalf("identical chunks got different ids")
+	}
+}
+
+func TestTypeAffectsID(t *testing.T) {
+	a := New(TypeBlob, []byte("abc"))
+	b := New(TypeList, []byte("abc"))
+	if a.ID() == b.ID() {
+		t.Fatalf("different chunk types produced the same id")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, typ := range []Type{TypeMeta, TypeUIndex, TypeSIndex, TypeBlob, TypeList, TypeSet, TypeMap} {
+		c := New(typ, []byte{1, 2, 3, 4})
+		got, err := Decode(c.Bytes())
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", typ, err)
+		}
+		if got.Type() != typ || !bytes.Equal(got.Data(), c.Data()) || got.ID() != c.ID() {
+			t.Fatalf("round trip mismatch for %v", typ)
+		}
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("Decode(nil) succeeded")
+	}
+	if _, err := Decode([]byte{0xff, 1, 2}); err == nil {
+		t.Fatal("Decode with unknown type succeeded")
+	}
+	if _, err := Decode([]byte{0}); err == nil {
+		t.Fatal("Decode with TypeInvalid succeeded")
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	c := New(TypeBlob, []byte("original"))
+	forged := New(TypeBlob, []byte("tampered"))
+	if err := forged.Verify(c.ID()); err == nil {
+		t.Fatal("Verify accepted tampered content")
+	}
+	if err := c.Verify(c.ID()); err != nil {
+		t.Fatalf("Verify rejected valid content: %v", err)
+	}
+}
+
+func TestParseIDRoundTrip(t *testing.T) {
+	c := New(TypeBlob, []byte("x"))
+	id, err := ParseID(c.ID().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != c.ID() {
+		t.Fatal("ParseID round trip mismatch")
+	}
+	if _, err := ParseID("zz"); err == nil {
+		t.Fatal("ParseID accepted short input")
+	}
+	if _, err := ParseID(string(make([]byte, 64))); err == nil {
+		t.Fatal("ParseID accepted non-hex input")
+	}
+}
+
+func TestNilID(t *testing.T) {
+	if !NilID.IsNil() {
+		t.Fatal("NilID.IsNil() = false")
+	}
+	if New(TypeBlob, nil).ID().IsNil() {
+		t.Fatal("real chunk id is nil")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		c := New(TypeBlob, data)
+		got, err := Decode(c.Bytes())
+		return err == nil && got.ID() == c.ID() && bytes.Equal(got.Data(), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

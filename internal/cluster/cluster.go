@@ -1,0 +1,266 @@
+// Package cluster implements the distributed deployment of ForkBase
+// (paper §4.1, §4.6): a master holding cluster runtime information, a
+// request dispatcher, N servlets each owning a hash slice of the key
+// space, and the two-layer partitioning scheme that spreads chunks
+// across all chunk-storage instances by cid.
+//
+// The paper evaluates on a 64-node cluster over 1 GbE. This package
+// simulates that cluster in one process: servlets run as independent
+// single-threaded workers connected by channels, and an optional
+// per-request latency models the network hop. Partitioning, routing,
+// re-balancing and the 1LP/2LP placement policies are implemented for
+// real; only the transport is simulated (see DESIGN.md §4).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"forkbase/internal/branch"
+	"forkbase/internal/chunk"
+	"forkbase/internal/core"
+	"forkbase/internal/postree"
+	"forkbase/internal/servlet"
+	"forkbase/internal/store"
+	"forkbase/internal/types"
+)
+
+// Placement selects how a servlet's chunks are placed on chunk storage.
+type Placement int
+
+const (
+	// OneLayer (1LP) stores all of a key's chunks on the servlet that
+	// owns the key. Skewed key workloads skew storage (Figure 15).
+	OneLayer Placement = iota
+	// TwoLayer (2LP) partitions ordinary chunks across all storage
+	// instances by cid; only meta chunks stay local (§4.6). Storage
+	// stays balanced even under skew.
+	TwoLayer
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Nodes is the number of servlet/chunk-storage pairs.
+	Nodes int
+	// Placement selects 1LP or 2LP chunk placement.
+	Placement Placement
+	// Replicas is the chunk replication factor under 2LP.
+	Replicas int
+	// NetLatency, when non-zero, is slept once per dispatched request
+	// to model the client-servlet network hop.
+	NetLatency time.Duration
+	// Tree is the POS-Tree configuration for all servlets.
+	Tree postree.Config
+	// Rebalance enables forwarding POS-Tree construction away from
+	// overloaded servlets (§4.6.1).
+	Rebalance bool
+	// RebalanceThreshold is the queue depth beyond which construction
+	// is forwarded; 0 means 8.
+	RebalanceThreshold int
+}
+
+// Master maintains cluster runtime information: the member list and the
+// key-space routing table (§4.1).
+type Master struct {
+	members []int // servlet ids, index = hash slot
+}
+
+// Route returns the servlet id owning the key.
+func (m *Master) Route(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return m.members[int(h.Sum32())%len(m.members)]
+}
+
+// Members returns the servlet ids.
+func (m *Master) Members() []int { return append([]int(nil), m.members...) }
+
+// Cluster is a simulated multi-servlet ForkBase deployment.
+type Cluster struct {
+	opts     Options
+	master   *Master
+	servlets []*servlet.Servlet
+	locals   []*store.MemStore // per-node local storage
+	pool     *store.Pool       // 2LP shared pool (nil under 1LP)
+}
+
+// metaLocalStore routes Meta chunks to the servlet's local storage and
+// everything else through the shared pool — "meta chunks are always
+// stored locally" (§4.6).
+type metaLocalStore struct {
+	local store.Store
+	pool  *store.Pool
+}
+
+func (m *metaLocalStore) Put(c *chunk.Chunk) (bool, error) {
+	if c.Type() == chunk.TypeMeta {
+		return m.local.Put(c)
+	}
+	return m.pool.Put(c)
+}
+
+func (m *metaLocalStore) Get(id chunk.ID) (*chunk.Chunk, error) {
+	if c, err := m.local.Get(id); err == nil {
+		return c, nil
+	}
+	return m.pool.Get(id)
+}
+
+func (m *metaLocalStore) Has(id chunk.ID) bool {
+	return m.local.Has(id) || m.pool.Has(id)
+}
+
+func (m *metaLocalStore) Stats() store.Stats { return m.local.Stats() }
+func (m *metaLocalStore) Close() error       { return nil }
+
+// New starts a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least 1 node")
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = 1
+	}
+	if opts.RebalanceThreshold <= 0 {
+		opts.RebalanceThreshold = 8
+	}
+	if opts.Tree.LeafQ == 0 {
+		opts.Tree = postree.DefaultConfig()
+	}
+	c := &Cluster{opts: opts, master: &Master{}}
+	for i := 0; i < opts.Nodes; i++ {
+		c.locals = append(c.locals, store.NewMemStore())
+		c.master.members = append(c.master.members, i)
+	}
+	if opts.Placement == TwoLayer {
+		members := make([]store.Store, opts.Nodes)
+		for i, l := range c.locals {
+			members[i] = l
+		}
+		c.pool = store.NewPool(members, opts.Replicas)
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		var s store.Store = c.locals[i]
+		if opts.Placement == TwoLayer {
+			s = &metaLocalStore{local: c.locals[i], pool: c.pool}
+		}
+		c.servlets = append(c.servlets, servlet.New(i, s, opts.Tree, nil))
+	}
+	return c, nil
+}
+
+// Close stops all servlets.
+func (c *Cluster) Close() {
+	for _, sv := range c.servlets {
+		sv.Close()
+	}
+}
+
+// Master returns the cluster master.
+func (c *Cluster) Master() *Master { return c.master }
+
+// Servlet returns servlet i (for instrumentation).
+func (c *Cluster) Servlet(i int) *servlet.Servlet { return c.servlets[i] }
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return len(c.servlets) }
+
+// NodeStorageBytes returns the bytes held by each node's local chunk
+// storage; Figure 15 plots its distribution under skew.
+func (c *Cluster) NodeStorageBytes() []int64 {
+	out := make([]int64, len(c.locals))
+	for i, l := range c.locals {
+		out[i] = l.Stats().Bytes
+	}
+	return out
+}
+
+// dispatch routes a request to the owning servlet and executes it there.
+func (c *Cluster) dispatch(key string, fn func(eng *core.Engine) error) error {
+	if c.opts.NetLatency > 0 {
+		time.Sleep(c.opts.NetLatency)
+	}
+	return c.servlets[c.master.Route(key)].Exec(fn)
+}
+
+// Put writes a value to a branch of key via the owning servlet. When
+// re-balancing is enabled and the owner is overloaded, POS-Tree
+// construction runs on the least-loaded servlet first and only the
+// branch-table update runs on the owner (§4.6.1).
+func (c *Cluster) Put(key, branchName string, v types.Value) (types.UID, error) {
+	owner := c.master.Route(key)
+	if c.opts.Rebalance && c.opts.Placement == TwoLayer &&
+		c.servlets[owner].QueueDepth() >= c.opts.RebalanceThreshold {
+		if helper := c.leastLoaded(owner); helper != owner {
+			if err := c.servlets[helper].Exec(func(eng *core.Engine) error {
+				return types.Persist(eng.Store(), c.opts.Tree, v)
+			}); err != nil {
+				return types.UID{}, err
+			}
+		}
+	}
+	var uid types.UID
+	err := c.dispatch(key, func(eng *core.Engine) error {
+		var err error
+		uid, err = eng.Put([]byte(key), branchName, v, nil)
+		return err
+	})
+	return uid, err
+}
+
+// leastLoaded returns the servlet with the shortest queue, excluding
+// owner only if another candidate is strictly shorter.
+func (c *Cluster) leastLoaded(owner int) int {
+	best, depth := owner, c.servlets[owner].QueueDepth()
+	for i, sv := range c.servlets {
+		if d := sv.QueueDepth(); d < depth {
+			best, depth = i, d
+		}
+	}
+	return best
+}
+
+// Get reads the head of a branch of key via the owning servlet.
+func (c *Cluster) Get(key, branchName string) (*types.FObject, error) {
+	var o *types.FObject
+	err := c.dispatch(key, func(eng *core.Engine) error {
+		var err error
+		o, err = eng.Get([]byte(key), branchName)
+		return err
+	})
+	return o, err
+}
+
+// GetChunk serves a chunk read directly from storage, bypassing the
+// servlet execution thread the way dispatchers forward Get-Chunk
+// requests straight to chunk storage (§4.6).
+func (c *Cluster) GetChunk(owner int, id chunk.ID) (*chunk.Chunk, error) {
+	if c.pool != nil {
+		return c.pool.Get(id)
+	}
+	return c.locals[owner].Get(id)
+}
+
+// Value decodes an FObject fetched from the cluster against the store
+// visible to its owning servlet.
+func (c *Cluster) Value(key string, o *types.FObject) (types.Value, error) {
+	return o.Value(c.servlets[c.master.Route(key)].Engine().Store(), c.opts.Tree)
+}
+
+// Fork forwards a Fork request to the owning servlet.
+func (c *Cluster) Fork(key, refBranch, newBranch string) error {
+	return c.dispatch(key, func(eng *core.Engine) error {
+		return eng.Fork([]byte(key), refBranch, newBranch)
+	})
+}
+
+// ListTaggedBranches lists the branches of key.
+func (c *Cluster) ListTaggedBranches(key string) ([]branch.TaggedBranch, error) {
+	var out []branch.TaggedBranch
+	err := c.dispatch(key, func(eng *core.Engine) error {
+		out = eng.ListTaggedBranches([]byte(key))
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"forkbase/internal/types"
+)
+
+func TestRoutingIsStable(t *testing.T) {
+	c, err := New(Options{Nodes: 4, Placement: TwoLayer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.Master().Route(k) != c.Master().Route(k) {
+			t.Fatal("routing not deterministic")
+		}
+	}
+}
+
+func TestClusterPutGet(t *testing.T) {
+	for _, placement := range []Placement{OneLayer, TwoLayer} {
+		c, err := New(Options{Nodes: 4, Placement: placement})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			if _, err := c.Put(k, "master", types.String(fmt.Sprintf("v-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			o, err := c.Get(k, "master")
+			if err != nil {
+				t.Fatalf("placement %v: %v", placement, err)
+			}
+			if string(o.Data) != fmt.Sprintf("v-%d", i) {
+				t.Fatalf("placement %v: got %q", placement, o.Data)
+			}
+		}
+		c.Close()
+	}
+}
+
+func TestClusterChunkableValues(t *testing.T) {
+	c, err := New(Options{Nodes: 4, Placement: TwoLayer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(data)
+	if _, err := c.Put("blob", "master", types.NewBlob(data)); err != nil {
+		t.Fatal(err)
+	}
+	o, err := c.Get("blob", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Value("blob", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.(*types.Blob).Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("len %d, want %d", len(got), len(data))
+	}
+	// Under 2LP the blob's chunks must be spread across nodes, not
+	// concentrated on the key's owner.
+	nodesWithData := 0
+	for _, b := range c.NodeStorageBytes() {
+		if b > 0 {
+			nodesWithData++
+		}
+	}
+	if nodesWithData < 3 {
+		t.Fatalf("2LP left chunks on only %d nodes", nodesWithData)
+	}
+}
+
+// TestSkewBalance is the Figure 15 property: under a Zipf-skewed key
+// workload, 1LP storage is skewed and 2LP storage stays balanced.
+func TestSkewBalance(t *testing.T) {
+	imbalance := func(placement Placement) float64 {
+		c, err := New(Options{Nodes: 8, Placement: placement})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		rng := rand.New(rand.NewSource(7))
+		zipf := rand.NewZipf(rng, 1.5, 1, 63)
+		payload := make([]byte, 8<<10)
+		for i := 0; i < 300; i++ {
+			rng.Read(payload)
+			k := fmt.Sprintf("page-%d", zipf.Uint64())
+			if _, err := c.Put(k, "master", types.NewBlob(payload)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bytes := c.NodeStorageBytes()
+		var max, sum float64
+		for _, b := range bytes {
+			sum += float64(b)
+			max = math.Max(max, float64(b))
+		}
+		return max / (sum / float64(len(bytes)))
+	}
+	skew1 := imbalance(OneLayer)
+	skew2 := imbalance(TwoLayer)
+	if skew2 > 2 {
+		t.Fatalf("2LP imbalance %.2f, want near 1", skew2)
+	}
+	if skew1 < skew2 {
+		t.Fatalf("1LP (%.2f) should be more skewed than 2LP (%.2f)", skew1, skew2)
+	}
+}
+
+func TestClusterConcurrentClients(t *testing.T) {
+	c, err := New(Options{Nodes: 4, Placement: TwoLayer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("key-%d", (g*50+i)%64)
+				if _, err := c.Put(k, "master", types.String("v")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Get(k, "master"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestRebalancedPut(t *testing.T) {
+	c, err := New(Options{Nodes: 4, Placement: TwoLayer, Rebalance: true, RebalanceThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := make([]byte, 32<<10)
+	rand.New(rand.NewSource(2)).Read(data)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Put("hot-key", "master", types.NewBlob(data)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	o, err := c.Get("hot-key", "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Value("hot-key", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.(*types.Blob).Bytes()
+	if err != nil || len(got) != len(data) {
+		t.Fatalf("rebalanced value broken: %v len=%d", err, len(got))
+	}
+}
+
+func TestForkAcrossCluster(t *testing.T) {
+	c, err := New(Options{Nodes: 3, Placement: TwoLayer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Put("doc", "master", types.String("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fork("doc", "master", "dev"); err != nil {
+		t.Fatal(err)
+	}
+	branches, err := c.ListTaggedBranches("doc")
+	if err != nil || len(branches) != 2 {
+		t.Fatalf("branches: %v %v", branches, err)
+	}
+	if _, err := c.Put("doc", "dev", types.String("v2")); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := c.Get("doc", "master")
+	if string(o.Data) != "v1" {
+		t.Fatal("fork isolation broken across cluster")
+	}
+}

@@ -1,0 +1,440 @@
+// Package core wires the substrates together into the ForkBase engine:
+// chunk storage underneath, branch tables per key, the object manager
+// (types), and merge semantics on top. It implements the operations of
+// paper Table 1 (M1–M17) for a single servlet; the public forkbase
+// package and the cluster layer both delegate here.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"forkbase/internal/branch"
+	"forkbase/internal/merge"
+	"forkbase/internal/postree"
+	"forkbase/internal/store"
+	"forkbase/internal/types"
+)
+
+// Errors reported by engine operations.
+var (
+	ErrKeyNotFound  = errors.New("core: key not found")
+	ErrTypeMismatch = errors.New("core: value type does not match")
+)
+
+// Engine is a single-servlet ForkBase instance. It is safe for
+// concurrent use; updates to any one key are serialized (§4.5.1).
+type Engine struct {
+	s     store.Store
+	cfg   postree.Config
+	space *branch.Space
+
+	mu    sync.Mutex
+	locks map[string]*sync.Mutex
+}
+
+// NewEngine returns an engine over the given chunk store.
+func NewEngine(s store.Store, cfg postree.Config) *Engine {
+	return &Engine{
+		s:     s,
+		cfg:   cfg,
+		space: branch.NewSpace(),
+		locks: make(map[string]*sync.Mutex),
+	}
+}
+
+// Store exposes the underlying chunk store (for stats and the chunk
+// partitioning layer).
+func (e *Engine) Store() store.Store { return e.s }
+
+// Config returns the POS-Tree configuration.
+func (e *Engine) Config() postree.Config { return e.cfg }
+
+// keyLock returns the per-key update mutex.
+func (e *Engine) keyLock(key []byte) *sync.Mutex {
+	k := string(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	l, ok := e.locks[k]
+	if !ok {
+		l = &sync.Mutex{}
+		e.locks[k] = l
+	}
+	return l
+}
+
+// Get returns the head version of a tagged branch (M1).
+func (e *Engine) Get(key []byte, branchName string) (*types.FObject, error) {
+	t, ok := e.space.Lookup(key)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	uid, ok := t.Head(branchName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", branch.ErrBranchNotFound, branchName)
+	}
+	return types.LoadFObject(e.s, uid)
+}
+
+// GetUID returns a specific version by uid (M2), verifying its
+// integrity against the requested identifier.
+func (e *Engine) GetUID(uid types.UID) (*types.FObject, error) {
+	return types.LoadFObject(e.s, uid)
+}
+
+// Value decodes an FObject's value against this engine's store.
+func (e *Engine) Value(o *types.FObject) (types.Value, error) {
+	return o.Value(e.s, e.cfg)
+}
+
+// Put writes a new version to a tagged branch (M3), deriving from the
+// current head. The branch is created on first write. Returns the new
+// uid.
+func (e *Engine) Put(key []byte, branchName string, v types.Value, context []byte) (types.UID, error) {
+	return e.putTagged(key, branchName, v, context, nil)
+}
+
+// PutGuarded is Put that succeeds only if the branch head still equals
+// guard, protecting against lost updates (§4.5.1).
+func (e *Engine) PutGuarded(key []byte, branchName string, v types.Value, context []byte, guard types.UID) (types.UID, error) {
+	return e.putTagged(key, branchName, v, context, &guard)
+}
+
+func (e *Engine) putTagged(key []byte, branchName string, v types.Value, context []byte, guard *types.UID) (types.UID, error) {
+	l := e.keyLock(key)
+	l.Lock()
+	defer l.Unlock()
+	t := e.space.Table(key)
+	var bases []*types.FObject
+	if head, ok := t.Head(branchName); ok {
+		if guard != nil && head != *guard {
+			return types.UID{}, branch.ErrGuardFailed
+		}
+		base, err := types.LoadFObject(e.s, head)
+		if err != nil {
+			return types.UID{}, err
+		}
+		bases = append(bases, base)
+	} else if guard != nil {
+		return types.UID{}, branch.ErrGuardFailed
+	}
+	o, err := types.Save(e.s, e.cfg, key, v, bases, context)
+	if err != nil {
+		return types.UID{}, err
+	}
+	if err := t.UpdateTagged(branchName, o.UID(), nil); err != nil {
+		return types.UID{}, err
+	}
+	return o.UID(), nil
+}
+
+// PutBase writes a new version deriving from an explicit base version
+// (M4) — the fork-on-conflict path. Concurrent PutBase calls against
+// the same base create sibling untagged heads (Figure 3b).
+func (e *Engine) PutBase(key []byte, baseUID types.UID, v types.Value, context []byte) (types.UID, error) {
+	l := e.keyLock(key)
+	l.Lock()
+	defer l.Unlock()
+	var bases []*types.FObject
+	if !baseUID.IsNil() {
+		base, err := types.LoadFObject(e.s, baseUID)
+		if err != nil {
+			return types.UID{}, err
+		}
+		bases = append(bases, base)
+	}
+	o, err := types.Save(e.s, e.cfg, key, v, bases, context)
+	if err != nil {
+		return types.UID{}, err
+	}
+	t := e.space.Table(key)
+	var baseList []types.UID
+	if !baseUID.IsNil() {
+		baseList = []types.UID{baseUID}
+	}
+	t.AddUntagged(o.UID(), baseList)
+	return o.UID(), nil
+}
+
+// Fork creates a new tagged branch at an existing branch head (M11).
+func (e *Engine) Fork(key []byte, refBranch, newBranch string) error {
+	t, ok := e.space.Lookup(key)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	uid, ok := t.Head(refBranch)
+	if !ok {
+		return fmt.Errorf("%w: %q", branch.ErrBranchNotFound, refBranch)
+	}
+	return t.Fork(newBranch, uid)
+}
+
+// ForkUID creates a new tagged branch at an arbitrary version (M12) —
+// the way a historical version becomes modifiable again (§3.3).
+func (e *Engine) ForkUID(key []byte, uid types.UID, newBranch string) error {
+	if _, err := types.LoadFObject(e.s, uid); err != nil {
+		return err
+	}
+	return e.space.Table(key).Fork(newBranch, uid)
+}
+
+// Rename renames a tagged branch (M13).
+func (e *Engine) Rename(key []byte, branchName, newName string) error {
+	t, ok := e.space.Lookup(key)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	return t.Rename(branchName, newName)
+}
+
+// RemoveBranch deletes a tagged branch name (M14).
+func (e *Engine) RemoveBranch(key []byte, branchName string) error {
+	t, ok := e.space.Lookup(key)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	return t.Remove(branchName)
+}
+
+// ListKeys returns all keys (M8).
+func (e *Engine) ListKeys() []string { return e.space.Keys() }
+
+// ListTaggedBranches returns all tagged branches of a key (M9).
+func (e *Engine) ListTaggedBranches(key []byte) []branch.TaggedBranch {
+	t, ok := e.space.Lookup(key)
+	if !ok {
+		return nil
+	}
+	return t.Tagged()
+}
+
+// ListUntaggedBranches returns all untagged heads of a key (M10). A
+// single head means no conflict.
+func (e *Engine) ListUntaggedBranches(key []byte) []types.UID {
+	t, ok := e.space.Lookup(key)
+	if !ok {
+		return nil
+	}
+	return t.Untagged()
+}
+
+// Track returns historical versions of a branch head at derivation
+// distances [from, to] (M15): Track(key, b, 0, 0) is the head itself,
+// distances follow first bases.
+func (e *Engine) Track(key []byte, branchName string, from, to int) ([]*types.FObject, error) {
+	o, err := e.Get(key, branchName)
+	if err != nil {
+		return nil, err
+	}
+	return e.TrackUID(o.UID(), from, to)
+}
+
+// TrackUID returns historical versions at derivation distances
+// [from, to] behind the given version (M16).
+func (e *Engine) TrackUID(uid types.UID, from, to int) ([]*types.FObject, error) {
+	if from < 0 || to < from {
+		return nil, fmt.Errorf("core: bad distance range [%d, %d]", from, to)
+	}
+	var out []*types.FObject
+	cur, err := types.LoadFObject(e.s, uid)
+	if err != nil {
+		return nil, err
+	}
+	for d := 0; d <= to; d++ {
+		if d >= from {
+			out = append(out, cur)
+		}
+		if len(cur.Bases) == 0 {
+			break
+		}
+		cur, err = types.LoadFObject(e.s, cur.Bases[0])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// LCA returns the least common ancestor of two versions (M17).
+func (e *Engine) LCA(uid1, uid2 types.UID) (*types.FObject, error) {
+	return merge.LCA(e.s, uid1, uid2)
+}
+
+// MergeBranches merges refBranch into tgtBranch (M5): the target's head
+// is replaced by a version containing data from both branches and
+// deriving from both heads.
+func (e *Engine) MergeBranches(key []byte, tgtBranch, refBranch string, res merge.Resolver, context []byte) (types.UID, []merge.Conflict, error) {
+	t, ok := e.space.Lookup(key)
+	if !ok {
+		return types.UID{}, nil, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	refHead, ok := t.Head(refBranch)
+	if !ok {
+		return types.UID{}, nil, fmt.Errorf("%w: %q", branch.ErrBranchNotFound, refBranch)
+	}
+	return e.MergeUID(key, tgtBranch, refHead, res, context)
+}
+
+// MergeUID merges a specific version into tgtBranch (M6).
+func (e *Engine) MergeUID(key []byte, tgtBranch string, ref types.UID, res merge.Resolver, context []byte) (types.UID, []merge.Conflict, error) {
+	l := e.keyLock(key)
+	l.Lock()
+	defer l.Unlock()
+	t := e.space.Table(key)
+	tgtHead, ok := t.Head(tgtBranch)
+	if !ok {
+		return types.UID{}, nil, fmt.Errorf("%w: %q", branch.ErrBranchNotFound, tgtBranch)
+	}
+	merged, conflicts, err := e.merge(tgtHead, ref, res)
+	if err != nil {
+		return types.UID{}, conflicts, err
+	}
+	a, err := types.LoadFObject(e.s, tgtHead)
+	if err != nil {
+		return types.UID{}, nil, err
+	}
+	b, err := types.LoadFObject(e.s, ref)
+	if err != nil {
+		return types.UID{}, nil, err
+	}
+	o, err := types.Save(e.s, e.cfg, key, merged, []*types.FObject{a, b}, context)
+	if err != nil {
+		return types.UID{}, nil, err
+	}
+	if err := t.UpdateTagged(tgtBranch, o.UID(), nil); err != nil {
+		return types.UID{}, nil, err
+	}
+	return o.UID(), nil, nil
+}
+
+// MergeUntagged merges a collection of untagged heads (M7); the inputs
+// are logically replaced by the merge result in the UB-table.
+func (e *Engine) MergeUntagged(key []byte, res merge.Resolver, context []byte, uids ...types.UID) (types.UID, []merge.Conflict, error) {
+	if len(uids) < 2 {
+		return types.UID{}, nil, fmt.Errorf("core: MergeUntagged needs at least 2 versions")
+	}
+	l := e.keyLock(key)
+	l.Lock()
+	defer l.Unlock()
+	// Fold the heads pairwise; bases of the final object are all inputs.
+	cur := uids[0]
+	var mergedVal types.Value
+	for _, next := range uids[1:] {
+		v, conflicts, err := e.merge(cur, next, res)
+		if err != nil {
+			return types.UID{}, conflicts, err
+		}
+		mergedVal = v
+		// Persist each fold step so the next iteration has a uid to
+		// merge against; only the final result enters the UB-table.
+		a, err := types.LoadFObject(e.s, cur)
+		if err != nil {
+			return types.UID{}, nil, err
+		}
+		b, err := types.LoadFObject(e.s, next)
+		if err != nil {
+			return types.UID{}, nil, err
+		}
+		o, err := types.Save(e.s, e.cfg, key, mergedVal, []*types.FObject{a, b}, context)
+		if err != nil {
+			return types.UID{}, nil, err
+		}
+		cur = o.UID()
+	}
+	t := e.space.Table(key)
+	t.ReplaceUntagged(cur, uids)
+	return cur, nil, nil
+}
+
+// merge three-way merges two versions using their LCA as base.
+func (e *Engine) merge(u1, u2 types.UID, res merge.Resolver) (types.Value, []merge.Conflict, error) {
+	a, err := types.LoadFObject(e.s, u1)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := types.LoadFObject(e.s, u2)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := merge.LCA(e.s, u1, u2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return merge.ThreeWay(e.s, e.cfg, base, a, b, res)
+}
+
+// Diff compares two versions of the same type (the Diff operation of
+// §3.2). The result depends on the value type: element-wise for sorted
+// chunkables, chunk-level summary for unsorted ones, byte equality for
+// primitives.
+func (e *Engine) Diff(u1, u2 types.UID) (*Diff, error) {
+	a, err := types.LoadFObject(e.s, u1)
+	if err != nil {
+		return nil, err
+	}
+	b, err := types.LoadFObject(e.s, u2)
+	if err != nil {
+		return nil, err
+	}
+	if a.VType != b.VType {
+		return nil, fmt.Errorf("%w: %v vs %v", ErrTypeMismatch, a.VType, b.VType)
+	}
+	d := &Diff{Type: a.VType}
+	switch a.VType {
+	case types.TypeMap, types.TypeSet:
+		av, err := a.Value(e.s, e.cfg)
+		if err != nil {
+			return nil, err
+		}
+		bv, err := b.Value(e.s, e.cfg)
+		if err != nil {
+			return nil, err
+		}
+		var ta, tb *postree.Tree
+		if a.VType == types.TypeMap {
+			ta, tb = av.(*types.Map).Tree(), bv.(*types.Map).Tree()
+		} else {
+			ta, tb = av.(*types.Set).Tree(), bv.(*types.Set).Tree()
+		}
+		sd, err := postree.DiffSorted(ta, tb)
+		if err != nil {
+			return nil, err
+		}
+		d.Sorted = sd
+	case types.TypeBlob, types.TypeList:
+		av, err := a.Value(e.s, e.cfg)
+		if err != nil {
+			return nil, err
+		}
+		bv, err := b.Value(e.s, e.cfg)
+		if err != nil {
+			return nil, err
+		}
+		var ta, tb *postree.Tree
+		if a.VType == types.TypeBlob {
+			ta, tb = av.(*types.Blob).Tree(), bv.(*types.Blob).Tree()
+		} else {
+			ta, tb = av.(*types.List).Tree(), bv.(*types.List).Tree()
+		}
+		ud, err := postree.DiffUnsorted(ta, tb)
+		if err != nil {
+			return nil, err
+		}
+		d.Unsorted = ud
+	default:
+		d.PrimitiveEqual = string(a.Data) == string(b.Data)
+	}
+	return d, nil
+}
+
+// Diff is the result of comparing two versions.
+type Diff struct {
+	Type types.Type
+	// Sorted is set for Map/Set comparisons.
+	Sorted *postree.SortedDiff
+	// Unsorted is set for Blob/List comparisons.
+	Unsorted *postree.UnsortedDiff
+	// PrimitiveEqual is set for primitive comparisons.
+	PrimitiveEqual bool
+}

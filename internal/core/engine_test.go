@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"forkbase/internal/branch"
+	"forkbase/internal/merge"
+	"forkbase/internal/postree"
+	"forkbase/internal/store"
+	"forkbase/internal/types"
+)
+
+func newEngine() *Engine {
+	return NewEngine(store.NewMemStore(), postree.Config{LeafQ: 8, IndexR: 3})
+}
+
+func TestGetOnUnknownKeyAndBranch(t *testing.T) {
+	e := newEngine()
+	if _, err := e.Get([]byte("nope"), "master"); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("unknown key: %v", err)
+	}
+	if _, err := e.Put([]byte("k"), "master", types.String("v"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Get([]byte("k"), "nope"); !errors.Is(err, branch.ErrBranchNotFound) {
+		t.Fatalf("unknown branch: %v", err)
+	}
+}
+
+func TestTrackRangeValidation(t *testing.T) {
+	e := newEngine()
+	uid, err := e.Put([]byte("k"), "master", types.String("v"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.TrackUID(uid, -1, 2); err == nil {
+		t.Fatal("negative from accepted")
+	}
+	if _, err := e.TrackUID(uid, 3, 1); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	// Range beyond history is truncated, not an error.
+	hist, err := e.TrackUID(uid, 0, 100)
+	if err != nil || len(hist) != 1 {
+		t.Fatalf("beyond history: %d %v", len(hist), err)
+	}
+	// Range entirely before the first version yields nothing.
+	hist, err = e.TrackUID(uid, 5, 7)
+	if err != nil || len(hist) != 0 {
+		t.Fatalf("past the root: %d %v", len(hist), err)
+	}
+}
+
+func TestPutBaseMissingBase(t *testing.T) {
+	e := newEngine()
+	var missing types.UID
+	missing[0] = 0xff
+	if _, err := e.PutBase([]byte("k"), missing, types.String("v"), nil); err == nil {
+		t.Fatal("put against a missing base accepted")
+	}
+}
+
+func TestForkUIDUnknownVersion(t *testing.T) {
+	e := newEngine()
+	var missing types.UID
+	missing[5] = 1
+	if err := e.ForkUID([]byte("k"), missing, "b"); err == nil {
+		t.Fatal("fork at a missing version accepted")
+	}
+}
+
+func TestMergeUntaggedNeedsTwo(t *testing.T) {
+	e := newEngine()
+	uid, _ := e.PutBase([]byte("k"), types.UID{}, types.String("v"), nil)
+	if _, _, err := e.MergeUntagged([]byte("k"), nil, nil, uid); err == nil {
+		t.Fatal("single-input untagged merge accepted")
+	}
+}
+
+func TestMergeUntaggedThreeWayFold(t *testing.T) {
+	e := newEngine()
+	mk := func(vals map[string]string, base types.UID) types.UID {
+		m := types.NewMap()
+		for k, v := range vals {
+			m.Set([]byte(k), []byte(v))
+		}
+		uid, err := e.PutBase([]byte("k"), base, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return uid
+	}
+	base := mk(map[string]string{"shared": "x"}, types.UID{})
+	u1 := mk(map[string]string{"shared": "x", "a": "1"}, base)
+	u2 := mk(map[string]string{"shared": "x", "b": "2"}, base)
+	u3 := mk(map[string]string{"shared": "x", "c": "3"}, base)
+	merged, _, err := e.MergeUntagged([]byte("k"), nil, nil, u1, u2, u3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := e.GetUID(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Value(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := v.(*types.Map)
+	for _, k := range []string{"shared", "a", "b", "c"} {
+		if _, ok, _ := m.Get([]byte(k)); !ok {
+			t.Fatalf("three-way fold lost %q", k)
+		}
+	}
+	heads := e.ListUntaggedBranches([]byte("k"))
+	if len(heads) != 1 || heads[0] != merged {
+		t.Fatalf("UB-table after fold: %v", heads)
+	}
+}
+
+func TestDiffTypeMismatch(t *testing.T) {
+	e := newEngine()
+	u1, _ := e.Put([]byte("a"), "master", types.String("s"), nil)
+	u2, _ := e.Put([]byte("b"), "master", types.Int(1), nil)
+	if _, err := e.Diff(u1, u2); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("type mismatch diff: %v", err)
+	}
+}
+
+func TestDiffAllValueClasses(t *testing.T) {
+	e := newEngine()
+	// Primitive diff.
+	p1, _ := e.Put([]byte("p"), "master", types.String("a"), nil)
+	p2, _ := e.Put([]byte("p"), "master", types.String("a"), nil)
+	d, err := e.Diff(p1, p2)
+	if err != nil || !d.PrimitiveEqual {
+		t.Fatalf("primitive diff: %+v %v", d, err)
+	}
+	// Unsorted (blob) diff.
+	b1, _ := e.Put([]byte("b"), "master", types.NewBlob(make([]byte, 4096)), nil)
+	b2, _ := e.Put([]byte("b"), "master", types.NewBlob(make([]byte, 8192)), nil)
+	d, err = e.Diff(b1, b2)
+	if err != nil || d.Unsorted == nil {
+		t.Fatalf("blob diff: %+v %v", d, err)
+	}
+	// Sorted (set) diff.
+	s1 := types.NewSet([]byte("x"))
+	s2 := types.NewSet([]byte("x"), []byte("y"))
+	u1, _ := e.Put([]byte("s"), "master", s1, nil)
+	u2, _ := e.Put([]byte("s"), "master", s2, nil)
+	d, err = e.Diff(u1, u2)
+	if err != nil || d.Sorted == nil || len(d.Sorted.Added) != 1 {
+		t.Fatalf("set diff: %+v %v", d, err)
+	}
+}
+
+func TestListKeysOrdering(t *testing.T) {
+	e := newEngine()
+	for _, k := range []string{"zebra", "apple", "mango"} {
+		e.Put([]byte(k), "master", types.String("v"), nil)
+	}
+	keys := e.ListKeys()
+	if len(keys) != 3 || keys[0] != "apple" || keys[2] != "zebra" {
+		t.Fatalf("keys: %v", keys)
+	}
+}
+
+func TestMergeConflictDoesNotMoveHead(t *testing.T) {
+	e := newEngine()
+	e.Put([]byte("k"), "master", types.String("base"), nil)
+	if err := e.Fork([]byte("k"), "master", "other"); err != nil {
+		t.Fatal(err)
+	}
+	e.Put([]byte("k"), "master", types.String("left"), nil)
+	e.Put([]byte("k"), "other", types.String("right"), nil)
+	before, _ := e.Get([]byte("k"), "master")
+	_, _, err := e.MergeBranches([]byte("k"), "master", "other", nil, nil)
+	if !errors.Is(err, merge.ErrConflict) {
+		t.Fatalf("expected conflict, got %v", err)
+	}
+	after, _ := e.Get([]byte("k"), "master")
+	if before.UID() != after.UID() {
+		t.Fatal("failed merge moved the branch head")
+	}
+}
+
+func TestEngineManyKeysIndependentHistories(t *testing.T) {
+	e := newEngine()
+	for i := 0; i < 50; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		for v := 0; v <= i%5; v++ {
+			if _, err := e.Put(key, "master", types.String(fmt.Sprintf("v%d", v)), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		hist, err := e.Track(key, "master", 0, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hist) != i%5+1 {
+			t.Fatalf("key-%d history %d, want %d", i, len(hist), i%5+1)
+		}
+	}
+}

@@ -1,0 +1,510 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound is returned by Get when the key is absent or deleted.
+var ErrNotFound = errors.New("lsm: key not found")
+
+const numLevels = 7
+
+// Options configures a DB.
+type Options struct {
+	// MemtableBytes flushes the memtable to an L0 table beyond this
+	// size. Default 4 MiB.
+	MemtableBytes int
+	// L0Compaction triggers L0->L1 compaction at this many L0 tables.
+	// Default 4.
+	L0Compaction int
+	// LevelBase is the target byte size of L1; each level down is 10x
+	// larger. Default 16 MiB.
+	LevelBase int64
+	// SyncWAL fsyncs the write-ahead log on every write.
+	SyncWAL bool
+}
+
+func (o *Options) fill() {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.L0Compaction <= 0 {
+		o.L0Compaction = 4
+	}
+	if o.LevelBase <= 0 {
+		o.LevelBase = 16 << 20
+	}
+}
+
+// DB is a leveled LSM-tree store.
+type DB struct {
+	mu     sync.RWMutex
+	dir    string
+	opts   Options
+	mem    *memtable
+	log    *wal
+	levels [numLevels][]*tableReader // L0 newest first; L1+ sorted by smallest key
+	seq    uint64
+	stats  Stats
+}
+
+// Stats counts DB activity.
+type Stats struct {
+	Puts, Gets, Deletes int64
+	Flushes             int64
+	Compactions         int64
+	TablesBuilt         int64
+	LevelReads          int64 // tables probed across all Gets
+}
+
+// Open opens (creating if needed) a DB in dir, replaying the WAL and
+// registering existing tables.
+func Open(dir string, opts Options) (*DB, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	db := &DB{dir: dir, opts: opts, mem: newMemtable()}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	type located struct {
+		level int
+		seq   uint64
+		name  string
+	}
+	var found []located
+	for _, e := range entries {
+		var level int
+		var seq uint64
+		if _, err := fmt.Sscanf(e.Name(), "sst-L%d-%d.sst", &level, &seq); err == nil {
+			found = append(found, located{level, seq, e.Name()})
+			if seq >= db.seq {
+				db.seq = seq + 1
+			}
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].seq > found[j].seq }) // newest first
+	for _, l := range found {
+		r, err := openTable(&tableMeta{path: filepath.Join(dir, l.name), level: l.level, seq: l.seq})
+		if err != nil {
+			return nil, err
+		}
+		// Recover key range from the index.
+		all, err := r.all()
+		if err != nil {
+			return nil, err
+		}
+		if len(all) > 0 {
+			r.meta.smallest = append([]byte(nil), all[0].key...)
+			r.meta.largest = append([]byte(nil), all[len(all)-1].key...)
+		}
+		st, _ := os.Stat(r.meta.path)
+		if st != nil {
+			r.meta.size = st.Size()
+		}
+		db.levels[l.level] = append(db.levels[l.level], r)
+	}
+	for lvl := 1; lvl < numLevels; lvl++ {
+		sortLevel(db.levels[lvl])
+	}
+	if err := replayWAL(db.walPath(), func(key, value []byte, tomb bool) {
+		if tomb {
+			db.mem.put(key, nil)
+		} else {
+			v := make([]byte, len(value))
+			copy(v, value)
+			db.mem.put(key, v)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	db.log, err = openWAL(db.walPath(), opts.SyncWAL)
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func sortLevel(tables []*tableReader) {
+	sort.Slice(tables, func(i, j int) bool {
+		return bytes.Compare(tables[i].meta.smallest, tables[j].meta.smallest) < 0
+	})
+}
+
+func (db *DB) walPath() string { return filepath.Join(db.dir, "wal.log") }
+
+// Put stores key = value.
+func (db *DB) Put(key, value []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stats.Puts++
+	if err := db.log.append(key, value, false); err != nil {
+		return err
+	}
+	// Copy via make so an empty value stays non-nil: nil is reserved
+	// for tombstones throughout the engine.
+	v := make([]byte, len(value))
+	copy(v, value)
+	db.mem.put(key, v)
+	return db.maybeFlushLocked()
+}
+
+// Delete removes key.
+func (db *DB) Delete(key []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stats.Deletes++
+	if err := db.log.append(key, nil, true); err != nil {
+		return err
+	}
+	db.mem.put(key, nil)
+	return db.maybeFlushLocked()
+}
+
+// Get returns the newest value for key, or ErrNotFound. It probes the
+// memtable, then L0 tables newest-first, then one table per deeper
+// level — the multi-level traversal the paper's read comparison
+// observes.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.stats.Gets++
+	if v, ok := db.mem.get(key); ok {
+		if v == nil {
+			return nil, ErrNotFound
+		}
+		return v, nil
+	}
+	for _, r := range db.levels[0] {
+		db.stats.LevelReads++
+		v, ok, err := r.get(key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if v == nil {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+	}
+	for lvl := 1; lvl < numLevels; lvl++ {
+		tables := db.levels[lvl]
+		if len(tables) == 0 {
+			continue
+		}
+		i := sort.Search(len(tables), func(i int) bool {
+			return bytes.Compare(tables[i].meta.largest, key) >= 0
+		})
+		if i == len(tables) || bytes.Compare(tables[i].meta.smallest, key) > 0 {
+			continue
+		}
+		db.stats.LevelReads++
+		v, ok, err := tables[i].get(key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if v == nil {
+				return nil, ErrNotFound
+			}
+			return v, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// maybeFlushLocked flushes the memtable to L0 and compacts as needed.
+func (db *DB) maybeFlushLocked() error {
+	if db.mem.approximateSize() < db.opts.MemtableBytes {
+		return nil
+	}
+	return db.flushLocked()
+}
+
+// Flush forces the memtable to disk.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.flushLocked()
+}
+
+func (db *DB) flushLocked() error {
+	entries := db.mem.entries()
+	if len(entries) == 0 {
+		return nil
+	}
+	db.stats.Flushes++
+	meta, err := db.newTable(0, entries)
+	if err != nil {
+		return err
+	}
+	r, err := openTable(meta)
+	if err != nil {
+		return err
+	}
+	db.levels[0] = append([]*tableReader{r}, db.levels[0]...)
+	db.mem = newMemtable()
+	// Reset the WAL: its contents are now durable in the table.
+	if err := db.log.close(); err != nil {
+		return err
+	}
+	if err := os.Remove(db.walPath()); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	db.log, err = openWAL(db.walPath(), db.opts.SyncWAL)
+	if err != nil {
+		return err
+	}
+	return db.maybeCompactLocked()
+}
+
+func (db *DB) newTable(level int, entries []kv) (*tableMeta, error) {
+	seq := db.seq
+	db.seq++
+	db.stats.TablesBuilt++
+	path := filepath.Join(db.dir, fmt.Sprintf("sst-L%d-%d.sst", level, seq))
+	return writeTable(path, level, seq, entries)
+}
+
+// maybeCompactLocked runs compactions until all level invariants hold.
+func (db *DB) maybeCompactLocked() error {
+	for {
+		if len(db.levels[0]) >= db.opts.L0Compaction {
+			if err := db.compactLocked(0); err != nil {
+				return err
+			}
+			continue
+		}
+		compacted := false
+		target := db.opts.LevelBase
+		for lvl := 1; lvl < numLevels-1; lvl++ {
+			if levelBytes(db.levels[lvl]) > target {
+				if err := db.compactLocked(lvl); err != nil {
+					return err
+				}
+				compacted = true
+				break
+			}
+			target *= 10
+		}
+		if !compacted {
+			return nil
+		}
+	}
+}
+
+func levelBytes(tables []*tableReader) int64 {
+	var n int64
+	for _, t := range tables {
+		n += t.meta.size
+	}
+	return n
+}
+
+// compactLocked merges level lvl (all of L0, or the oldest table of a
+// deeper level) with the overlapping tables of lvl+1.
+func (db *DB) compactLocked(lvl int) error {
+	db.stats.Compactions++
+	var up []*tableReader
+	if lvl == 0 {
+		up = db.levels[0]
+		db.levels[0] = nil
+	} else {
+		up = db.levels[lvl][:1]
+		db.levels[lvl] = db.levels[lvl][1:]
+	}
+	lo, hi := keyRange(up)
+	var down, keep []*tableReader
+	for _, t := range db.levels[lvl+1] {
+		if bytes.Compare(t.meta.largest, lo) < 0 || bytes.Compare(t.meta.smallest, hi) > 0 {
+			keep = append(keep, t)
+		} else {
+			down = append(down, t)
+		}
+	}
+	// Merge: upper level wins over lower; among L0 tables, newest
+	// (listed first) wins.
+	merged := make(map[string]kv)
+	var order []string
+	absorb := func(tables []*tableReader) error {
+		for _, t := range tables {
+			entries, err := t.all()
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				k := string(e.key)
+				if _, ok := merged[k]; !ok {
+					merged[k] = e
+					order = append(order, k)
+				}
+			}
+		}
+		return nil
+	}
+	if err := absorb(up); err != nil {
+		return err
+	}
+	if err := absorb(down); err != nil {
+		return err
+	}
+	sort.Strings(order)
+	bottom := db.bottomLevelLocked(lvl + 1)
+	out := make([]kv, 0, len(order))
+	for _, k := range order {
+		e := merged[k]
+		if e.value == nil && bottom {
+			continue // drop tombstones once nothing deeper can hold the key
+		}
+		out = append(out, kv{key: []byte(k), value: e.value})
+	}
+	var created []*tableReader
+	for start := 0; start < len(out); {
+		end, bytesSoFar := start, 0
+		for end < len(out) && int64(bytesSoFar) < db.opts.LevelBase {
+			bytesSoFar += len(out[end].key) + len(out[end].value) + 16
+			end++
+		}
+		meta, err := db.newTable(lvl+1, out[start:end])
+		if err != nil {
+			return err
+		}
+		r, err := openTable(meta)
+		if err != nil {
+			return err
+		}
+		created = append(created, r)
+		start = end
+	}
+	db.levels[lvl+1] = append(keep, created...)
+	sortLevel(db.levels[lvl+1])
+	// Close via a fresh slice: appending down onto up would write into
+	// the backing array still referenced by db.levels[lvl].
+	toClose := make([]*tableReader, 0, len(up)+len(down))
+	toClose = append(toClose, up...)
+	toClose = append(toClose, down...)
+	for _, t := range toClose {
+		t.close()
+		os.Remove(t.meta.path)
+	}
+	return nil
+}
+
+// bottomLevelLocked reports whether no level below lvl holds data.
+func (db *DB) bottomLevelLocked(lvl int) bool {
+	for l := lvl + 1; l < numLevels; l++ {
+		if len(db.levels[l]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func keyRange(tables []*tableReader) (lo, hi []byte) {
+	for _, t := range tables {
+		if lo == nil || bytes.Compare(t.meta.smallest, lo) < 0 {
+			lo = t.meta.smallest
+		}
+		if hi == nil || bytes.Compare(t.meta.largest, hi) > 0 {
+			hi = t.meta.largest
+		}
+	}
+	return lo, hi
+}
+
+// Scan calls fn for every live key in [start, end) in order, merging
+// all levels. A nil end scans to the end of the key space.
+func (db *DB) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	merged := make(map[string][]byte)
+	consider := func(e kv) {
+		if start != nil && bytes.Compare(e.key, start) < 0 {
+			return
+		}
+		if end != nil && bytes.Compare(e.key, end) >= 0 {
+			return
+		}
+		if _, seen := merged[string(e.key)]; !seen {
+			merged[string(e.key)] = e.value
+		}
+	}
+	for _, e := range db.mem.entries() {
+		consider(e)
+	}
+	for _, r := range db.levels[0] {
+		entries, err := r.all()
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			consider(e)
+		}
+	}
+	for lvl := 1; lvl < numLevels; lvl++ {
+		for _, r := range db.levels[lvl] {
+			entries, err := r.all()
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				consider(e)
+			}
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k, v := range merged {
+		if v != nil {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn([]byte(k), merged[k]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Stats returns activity counters.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.stats
+}
+
+// TableCount returns the number of live tables per level.
+func (db *DB) TableCount() [numLevels]int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out [numLevels]int
+	for i, l := range db.levels {
+		out[i] = len(l)
+	}
+	return out
+}
+
+// Close flushes the memtable and releases all files.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	for _, lvl := range db.levels {
+		for _, t := range lvl {
+			t.close()
+		}
+	}
+	return db.log.close()
+}

@@ -1,0 +1,235 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallOpts() Options {
+	// Tiny thresholds force flushes and compactions in tests.
+	return Options{MemtableBytes: 16 << 10, L0Compaction: 3, LevelBase: 64 << 10}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db, err := Open(t.TempDir(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Put([]byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("k"))
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+	db.Put([]byte("k"), []byte("v2"))
+	v, _ = db.Get([]byte("k"))
+	if string(v) != "v2" {
+		t.Fatalf("overwrite: %q", v)
+	}
+	db.Delete([]byte("k"))
+	if _, err := db.Get([]byte("k")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := db.Get([]byte("never")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestAgainstModelThroughCompactions(t *testing.T) {
+	db, err := Open(t.TempDir(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	model := make(map[string]string)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("key-%05d", rng.Intn(3000))
+		switch rng.Intn(10) {
+		case 0:
+			db.Delete([]byte(k))
+			delete(model, k)
+		default:
+			v := fmt.Sprintf("val-%d-%d", i, rng.Int63())
+			db.Put([]byte(k), []byte(v))
+			model[k] = v
+		}
+	}
+	if db.Stats().Compactions == 0 || db.Stats().Flushes == 0 {
+		t.Fatalf("test did not exercise flush/compaction: %+v", db.Stats())
+	}
+	for k, want := range model {
+		v, err := db.Get([]byte(k))
+		if err != nil || string(v) != want {
+			t.Fatalf("Get(%q) = %q %v, want %q", k, v, err, want)
+		}
+	}
+	// Deleted and never-written keys stay absent.
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		if _, ok := model[k]; ok {
+			continue
+		}
+		if _, err := db.Get([]byte(k)); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Get(%q) should be absent: %v", k, err)
+		}
+	}
+}
+
+func TestScan(t *testing.T) {
+	db, err := Open(t.TempDir(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Delete([]byte("k0100"))
+	var got []string
+	err = db.Scan([]byte("k0099"), []byte("k0103"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"k0099", "k0101", "k0102"}
+	if len(got) != len(want) {
+		t.Fatalf("scan: %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan: %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{MemtableBytes: 64 << 20}) // never flush
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Delete([]byte("k050"))
+	// Simulate a crash: close the WAL file but skip Close's flush.
+	db.log.close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	v, err := db2.Get([]byte("k099"))
+	if err != nil || string(v) != "v99" {
+		t.Fatalf("after recovery: %q %v", v, err)
+	}
+	if _, err := db2.Get([]byte("k050")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("tombstone lost in recovery: %v", err)
+	}
+}
+
+func TestTableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%05d", i)), bytes.Repeat([]byte{byte(i)}, 50))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for _, i := range []int{0, 1234, 4999} {
+		v, err := db2.Get([]byte(fmt.Sprintf("k%05d", i)))
+		if err != nil || !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 50)) {
+			t.Fatalf("k%05d after restart: %v", i, err)
+		}
+	}
+}
+
+func TestBloomFilter(t *testing.T) {
+	b := newBloom(1000)
+	for i := 0; i < 1000; i++ {
+		b.add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.mayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatal("bloom false negative")
+		}
+	}
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if b.mayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	if fp > 300 { // ~1% expected at 10 bits/key; allow 3%
+		t.Fatalf("bloom false positive rate too high: %d/10000", fp)
+	}
+}
+
+func TestMemtableOrdering(t *testing.T) {
+	m := newMemtable()
+	rng := rand.New(rand.NewSource(2))
+	keys := rng.Perm(1000)
+	for _, k := range keys {
+		m.put([]byte(fmt.Sprintf("k%04d", k)), []byte("v"))
+	}
+	entries := m.entries()
+	if len(entries) != 1000 {
+		t.Fatalf("entries: %d", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if bytes.Compare(entries[i-1].key, entries[i].key) >= 0 {
+			t.Fatal("memtable not sorted")
+		}
+	}
+}
+
+func TestQuickLSMMatchesMap(t *testing.T) {
+	db, err := Open(t.TempDir(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	model := make(map[string][]byte)
+	f := func(key uint16, value []byte, del bool) bool {
+		k := []byte(fmt.Sprintf("k%05d", key%512))
+		if del {
+			if err := db.Delete(k); err != nil {
+				return false
+			}
+			delete(model, string(k))
+		} else {
+			if err := db.Put(k, value); err != nil {
+				return false
+			}
+			model[string(k)] = append([]byte(nil), value...)
+		}
+		want, ok := model[string(k)]
+		got, err := db.Get(k)
+		if !ok {
+			return errors.Is(err, ErrNotFound)
+		}
+		return err == nil && bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

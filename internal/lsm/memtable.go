@@ -1,0 +1,118 @@
+// Package lsm is a log-structured merge-tree key-value store built from
+// scratch: write-ahead log, skiplist memtable, sorted-string tables with
+// block indexes and bloom filters, and leveled compaction. It stands in
+// for RocksDB/LevelDB as the baseline storage engine under Hyperledger
+// in the paper's blockchain evaluation (§6.2): reads traverse multiple
+// levels, writes are fast appends, and there is no version index — the
+// properties the paper's comparison exercises.
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+const maxSkipLevel = 16
+
+// skipNode is one tower in the skiplist.
+type skipNode struct {
+	key   []byte
+	value []byte // nil means tombstone
+	next  [maxSkipLevel]*skipNode
+	level int
+}
+
+// memtable is a concurrency-safe skiplist holding the newest writes.
+type memtable struct {
+	mu    sync.RWMutex
+	head  *skipNode
+	rng   *rand.Rand
+	size  int // approximate bytes
+	count int
+}
+
+func newMemtable() *memtable {
+	return &memtable{
+		head: &skipNode{level: maxSkipLevel},
+		rng:  rand.New(rand.NewSource(0x6c736d)),
+	}
+}
+
+func (m *memtable) randomLevel() int {
+	lvl := 1
+	for lvl < maxSkipLevel && m.rng.Intn(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// put inserts or overwrites key. value nil records a tombstone.
+func (m *memtable) put(key, value []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var update [maxSkipLevel]*skipNode
+	x := m.head
+	for i := maxSkipLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	if n := x.next[0]; n != nil && bytes.Equal(n.key, key) {
+		m.size += len(value) - len(n.value)
+		n.value = value
+		return
+	}
+	lvl := m.randomLevel()
+	n := &skipNode{
+		key:   append([]byte(nil), key...),
+		value: value,
+		level: lvl,
+	}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	m.size += len(key) + len(value) + 48
+	m.count++
+}
+
+// get returns (value, found). A found tombstone returns (nil, true).
+func (m *memtable) get(key []byte) ([]byte, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	x := m.head
+	for i := maxSkipLevel - 1; i >= 0; i-- {
+		for x.next[i] != nil && bytes.Compare(x.next[i].key, key) < 0 {
+			x = x.next[i]
+		}
+	}
+	if n := x.next[0]; n != nil && bytes.Equal(n.key, key) {
+		return n.value, true
+	}
+	return nil, false
+}
+
+// approximateSize returns the memtable's rough memory footprint.
+func (m *memtable) approximateSize() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.size
+}
+
+// entries returns all entries in key order (tombstones included).
+func (m *memtable) entries() []kv {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]kv, 0, m.count)
+	for n := m.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, kv{key: n.key, value: n.value})
+	}
+	return out
+}
+
+// kv is one key-value pair; value nil is a tombstone.
+type kv struct {
+	key, value []byte
+}

@@ -1,0 +1,313 @@
+package lsm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+// SSTable file layout:
+//
+//	[data block]* [index block] [bloom filter] [footer]
+//
+// Data blocks hold sorted entries (klen | key | flag | vlen | value);
+// flag 1 marks a tombstone. The index block lists (firstKey, offset,
+// length) per data block. The footer records the positions of index and
+// bloom. All integers are little-endian.
+
+const (
+	blockTarget   = 4 << 10
+	bloomBitsPerK = 10
+	bloomHashes   = 7
+	tableMagic    = 0x464b4c534d544231 // "FKLSMTB1"
+)
+
+// tableMeta describes one on-disk table.
+type tableMeta struct {
+	path     string
+	level    int
+	seq      uint64
+	smallest []byte
+	largest  []byte
+	size     int64
+}
+
+// bloomFilter is a simple split bloom filter with double hashing.
+type bloomFilter struct {
+	bits []byte
+	k    int
+}
+
+func newBloom(n int) *bloomFilter {
+	nbits := n * bloomBitsPerK
+	if nbits < 64 {
+		nbits = 64
+	}
+	return &bloomFilter{bits: make([]byte, (nbits+7)/8), k: bloomHashes}
+}
+
+func bloomHash(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31
+	return h1, h2
+}
+
+func (b *bloomFilter) add(key []byte) {
+	h1, h2 := bloomHash(key)
+	n := uint64(len(b.bits) * 8)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % n
+		b.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+func (b *bloomFilter) mayContain(key []byte) bool {
+	h1, h2 := bloomHash(key)
+	n := uint64(len(b.bits) * 8)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % n
+		if b.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// indexEntry locates one data block.
+type indexEntry struct {
+	firstKey []byte
+	off, n   uint32
+}
+
+// writeTable writes sorted entries to path and returns its metadata.
+func writeTable(path string, level int, seq uint64, entries []kv) (*tableMeta, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("lsm: empty table")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	bloom := newBloom(len(entries))
+	var (
+		index    []indexEntry
+		blockBuf bytes.Buffer
+		off      uint32
+		first    []byte
+	)
+	flush := func() {
+		if blockBuf.Len() == 0 {
+			return
+		}
+		index = append(index, indexEntry{firstKey: first, off: off, n: uint32(blockBuf.Len())})
+		w.Write(blockBuf.Bytes())
+		off += uint32(blockBuf.Len())
+		blockBuf.Reset()
+		first = nil
+	}
+	var scratch [4]byte
+	for _, e := range entries {
+		if first == nil {
+			first = e.key
+		}
+		bloom.add(e.key)
+		binary.LittleEndian.PutUint32(scratch[:], uint32(len(e.key)))
+		blockBuf.Write(scratch[:])
+		blockBuf.Write(e.key)
+		if e.value == nil {
+			blockBuf.WriteByte(1)
+			binary.LittleEndian.PutUint32(scratch[:], 0)
+			blockBuf.Write(scratch[:])
+		} else {
+			blockBuf.WriteByte(0)
+			binary.LittleEndian.PutUint32(scratch[:], uint32(len(e.value)))
+			blockBuf.Write(scratch[:])
+			blockBuf.Write(e.value)
+		}
+		if blockBuf.Len() >= blockTarget {
+			flush()
+		}
+	}
+	flush()
+
+	indexOff := off
+	var ibuf bytes.Buffer
+	for _, ie := range index {
+		binary.LittleEndian.PutUint32(scratch[:], uint32(len(ie.firstKey)))
+		ibuf.Write(scratch[:])
+		ibuf.Write(ie.firstKey)
+		binary.LittleEndian.PutUint32(scratch[:], ie.off)
+		ibuf.Write(scratch[:])
+		binary.LittleEndian.PutUint32(scratch[:], ie.n)
+		ibuf.Write(scratch[:])
+	}
+	w.Write(ibuf.Bytes())
+	bloomOff := indexOff + uint32(ibuf.Len())
+	w.Write(bloom.bits)
+
+	var footer [40]byte
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(indexOff))
+	binary.LittleEndian.PutUint64(footer[8:16], uint64(ibuf.Len()))
+	binary.LittleEndian.PutUint64(footer[16:24], uint64(bloomOff))
+	binary.LittleEndian.PutUint64(footer[24:32], uint64(len(bloom.bits)))
+	binary.LittleEndian.PutUint64(footer[32:40], tableMagic)
+	w.Write(footer[:])
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	return &tableMeta{
+		path:     path,
+		level:    level,
+		seq:      seq,
+		smallest: append([]byte(nil), entries[0].key...),
+		largest:  append([]byte(nil), entries[len(entries)-1].key...),
+		size:     st.Size(),
+	}, nil
+}
+
+// tableReader serves point reads and scans from one SSTable. Index and
+// bloom live in memory; data blocks are read on demand.
+type tableReader struct {
+	meta  *tableMeta
+	f     *os.File
+	index []indexEntry
+	bloom *bloomFilter
+}
+
+func openTable(meta *tableMeta) (*tableReader, error) {
+	f, err := os.Open(meta.path)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	var footer [40]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-40); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	if binary.LittleEndian.Uint64(footer[32:40]) != tableMagic {
+		f.Close()
+		return nil, fmt.Errorf("lsm: %s: bad magic", meta.path)
+	}
+	indexOff := binary.LittleEndian.Uint64(footer[0:8])
+	indexLen := binary.LittleEndian.Uint64(footer[8:16])
+	bloomOff := binary.LittleEndian.Uint64(footer[16:24])
+	bloomLen := binary.LittleEndian.Uint64(footer[24:32])
+
+	ibuf := make([]byte, indexLen)
+	if _, err := f.ReadAt(ibuf, int64(indexOff)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	r := &tableReader{meta: meta, f: f}
+	for len(ibuf) > 0 {
+		kl := binary.LittleEndian.Uint32(ibuf)
+		ie := indexEntry{firstKey: ibuf[4 : 4+kl]}
+		ibuf = ibuf[4+kl:]
+		ie.off = binary.LittleEndian.Uint32(ibuf)
+		ie.n = binary.LittleEndian.Uint32(ibuf[4:])
+		ibuf = ibuf[8:]
+		r.index = append(r.index, ie)
+	}
+	bbits := make([]byte, bloomLen)
+	if _, err := f.ReadAt(bbits, int64(bloomOff)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	r.bloom = &bloomFilter{bits: bbits, k: bloomHashes}
+	return r, nil
+}
+
+func (r *tableReader) close() error { return r.f.Close() }
+
+// get returns (value, found). Tombstones return (nil, true).
+func (r *tableReader) get(key []byte) ([]byte, bool, error) {
+	if bytes.Compare(key, r.meta.smallest) < 0 || bytes.Compare(key, r.meta.largest) > 0 {
+		return nil, false, nil
+	}
+	if !r.bloom.mayContain(key) {
+		return nil, false, nil
+	}
+	// Last block whose firstKey <= key.
+	lo, hi := 0, len(r.index)-1
+	blk := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(r.index[mid].firstKey, key) <= 0 {
+			blk = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	entries, err := r.readBlock(blk)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, e := range entries {
+		switch bytes.Compare(e.key, key) {
+		case 0:
+			return e.value, true, nil
+		case 1:
+			return nil, false, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// readBlock decodes data block i.
+func (r *tableReader) readBlock(i int) ([]kv, error) {
+	ie := r.index[i]
+	buf := make([]byte, ie.n)
+	if _, err := r.f.ReadAt(buf, int64(ie.off)); err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	var out []kv
+	for len(buf) > 0 {
+		kl := binary.LittleEndian.Uint32(buf)
+		key := buf[4 : 4+kl]
+		buf = buf[4+kl:]
+		tomb := buf[0] == 1
+		vl := binary.LittleEndian.Uint32(buf[1:5])
+		buf = buf[5:]
+		var val []byte
+		if !tomb {
+			val = buf[:vl]
+			buf = buf[vl:]
+		}
+		out = append(out, kv{key: key, value: val})
+	}
+	return out, nil
+}
+
+// all returns every entry in the table in key order.
+func (r *tableReader) all() ([]kv, error) {
+	var out []kv
+	for i := range r.index {
+		entries, err := r.readBlock(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entries...)
+	}
+	return out, nil
+}

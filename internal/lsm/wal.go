@@ -1,0 +1,108 @@
+package lsm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// wal is the write-ahead log protecting the memtable. Record layout:
+//
+//	crc32(body) | u32 len(body) | body
+//	body = u32 klen | key | u8 flag | u32 vlen | value
+//
+// flag 1 marks a tombstone. A torn tail is tolerated on replay.
+type wal struct {
+	f    *os.File
+	w    *bufio.Writer
+	sync bool
+}
+
+func openWAL(path string, syncWrites bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriterSize(f, 256<<10), sync: syncWrites}, nil
+}
+
+func (l *wal) append(key, value []byte, tombstone bool) error {
+	body := make([]byte, 0, 9+len(key)+len(value))
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(len(key)))
+	body = append(body, b[:]...)
+	body = append(body, key...)
+	if tombstone {
+		body = append(body, 1)
+	} else {
+		body = append(body, 0)
+	}
+	binary.LittleEndian.PutUint32(b[:], uint32(len(value)))
+	body = append(body, b[:]...)
+	body = append(body, value...)
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body)))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	if _, err := l.w.Write(body); err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	if l.sync {
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("lsm: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("lsm: %w", err)
+		}
+	}
+	return nil
+}
+
+func (l *wal) close() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	return l.f.Close()
+}
+
+// replayWAL feeds every intact record into fn, stopping quietly at a
+// torn tail. A missing file is not an error.
+func replayWAL(path string, fn func(key, value []byte, tombstone bool)) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	hdr := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return nil
+		}
+		crc := binary.LittleEndian.Uint32(hdr[0:4])
+		n := binary.LittleEndian.Uint32(hdr[4:8])
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return nil
+		}
+		kl := binary.LittleEndian.Uint32(body)
+		key := body[4 : 4+kl]
+		rest := body[4+kl:]
+		tomb := rest[0] == 1
+		vl := binary.LittleEndian.Uint32(rest[1:5])
+		val := rest[5 : 5+vl]
+		fn(key, val, tomb)
+	}
+}

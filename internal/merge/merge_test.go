@@ -1,0 +1,335 @@
+package merge
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"forkbase/internal/postree"
+	"forkbase/internal/store"
+	"forkbase/internal/types"
+)
+
+type env struct {
+	s   store.Store
+	cfg postree.Config
+}
+
+func newEnv() *env {
+	return &env{s: store.NewMemStore(), cfg: postree.Config{LeafQ: 8, IndexR: 3}}
+}
+
+func (e *env) save(t *testing.T, v types.Value, bases ...*types.FObject) *types.FObject {
+	t.Helper()
+	o, err := types.Save(e.s, e.cfg, []byte("k"), v, bases, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func (e *env) mapOf(t *testing.T, kvs map[string]string, bases ...*types.FObject) *types.FObject {
+	t.Helper()
+	m := types.NewMap()
+	for k, v := range kvs {
+		m.Set([]byte(k), []byte(v))
+	}
+	return e.save(t, m, bases...)
+}
+
+func TestLCALinear(t *testing.T) {
+	e := newEnv()
+	v0 := e.save(t, types.String("0"))
+	v1 := e.save(t, types.String("1"), v0)
+	v2 := e.save(t, types.String("2"), v1)
+	got, err := LCA(e.s, v2.UID(), v1.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UID() != v1.UID() {
+		t.Fatalf("LCA of ancestor chain = %s, want v1", got.UID().Short())
+	}
+}
+
+func TestLCAFork(t *testing.T) {
+	e := newEnv()
+	v0 := e.save(t, types.String("0"))
+	v1 := e.save(t, types.String("1"), v0)
+	a := e.save(t, types.String("a"), v1)
+	a2 := e.save(t, types.String("a2"), a)
+	b := e.save(t, types.String("b"), v1)
+	got, err := LCA(e.s, a2.UID(), b.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UID() != v1.UID() {
+		t.Fatalf("LCA = %s, want fork point v1", got.UID().Short())
+	}
+	// Same version.
+	self, err := LCA(e.s, a.UID(), a.UID())
+	if err != nil || self.UID() != a.UID() {
+		t.Fatalf("LCA(x,x): %v", err)
+	}
+}
+
+func TestLCADisjoint(t *testing.T) {
+	e := newEnv()
+	a := e.save(t, types.String("a"))
+	b := e.save(t, types.String("b"))
+	got, err := LCA(e.s, a.UID(), b.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatal("LCA of disjoint histories should be nil")
+	}
+}
+
+func TestLCAThroughMergeNode(t *testing.T) {
+	e := newEnv()
+	root := e.save(t, types.String("r"))
+	a := e.save(t, types.String("a"), root)
+	b := e.save(t, types.String("b"), root)
+	m := e.save(t, types.String("m"), a, b) // merge node with two bases
+	c := e.save(t, types.String("c"), b)
+	got, err := LCA(e.s, m.UID(), c.UID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UID() != b.UID() {
+		t.Fatalf("LCA through merge node = %s, want b", got.UID().Short())
+	}
+}
+
+func TestMergeMapDisjointChanges(t *testing.T) {
+	e := newEnv()
+	base := e.mapOf(t, map[string]string{"a": "1", "b": "2", "c": "3"})
+	left := e.mapOf(t, map[string]string{"a": "1-left", "b": "2", "c": "3"}, base)
+	right := e.mapOf(t, map[string]string{"a": "1", "b": "2", "c": "3", "d": "4"}, base)
+
+	merged, conflicts, err := ThreeWay(e.s, e.cfg, base, left, right, nil)
+	if err != nil {
+		t.Fatalf("%v (conflicts %v)", err, conflicts)
+	}
+	m := merged.(*types.Map)
+	for k, want := range map[string]string{"a": "1-left", "b": "2", "c": "3", "d": "4"} {
+		got, ok, _ := m.Get([]byte(k))
+		if !ok || string(got) != want {
+			t.Fatalf("merged[%s] = %q ok=%v, want %q", k, got, ok, want)
+		}
+	}
+}
+
+func TestMergeMapDeleteVsUntouched(t *testing.T) {
+	e := newEnv()
+	base := e.mapOf(t, map[string]string{"a": "1", "b": "2"})
+	left := e.mapOf(t, map[string]string{"b": "2"}, base) // deleted a
+	right := e.mapOf(t, map[string]string{"a": "1", "b": "2", "c": "3"}, base)
+	merged, _, err := ThreeWay(e.s, e.cfg, base, left, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := merged.(*types.Map)
+	if _, ok, _ := m.Get([]byte("a")); ok {
+		t.Fatal("deletion lost in merge")
+	}
+	if v, ok, _ := m.Get([]byte("c")); !ok || string(v) != "3" {
+		t.Fatal("addition lost in merge")
+	}
+}
+
+func TestMergeMapConflict(t *testing.T) {
+	e := newEnv()
+	base := e.mapOf(t, map[string]string{"a": "1"})
+	left := e.mapOf(t, map[string]string{"a": "left"}, base)
+	right := e.mapOf(t, map[string]string{"a": "right"}, base)
+	_, conflicts, err := ThreeWay(e.s, e.cfg, base, left, right, nil)
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+	if len(conflicts) != 1 || string(conflicts[0].Key) != "a" {
+		t.Fatalf("conflicts: %+v", conflicts)
+	}
+	if string(conflicts[0].A) != "left" || string(conflicts[0].B) != "right" || string(conflicts[0].Base) != "1" {
+		t.Fatalf("conflict sides wrong: %+v", conflicts[0])
+	}
+	// With a resolver the merge succeeds.
+	merged, _, err := ThreeWay(e.s, e.cfg, base, left, right, ChooseB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := merged.(*types.Map).Get([]byte("a"))
+	if string(v) != "right" {
+		t.Fatalf("resolved = %q", v)
+	}
+}
+
+func TestMergeMapBothSidesSameChange(t *testing.T) {
+	e := newEnv()
+	base := e.mapOf(t, map[string]string{"a": "1"})
+	left := e.mapOf(t, map[string]string{"a": "same"}, base)
+	right := e.mapOf(t, map[string]string{"a": "same"}, base)
+	merged, _, err := ThreeWay(e.s, e.cfg, base, left, right, nil)
+	if err != nil {
+		t.Fatalf("identical changes conflicted: %v", err)
+	}
+	v, _, _ := merged.(*types.Map).Get([]byte("a"))
+	if string(v) != "same" {
+		t.Fatalf("merged = %q", v)
+	}
+}
+
+func TestMergeSet(t *testing.T) {
+	e := newEnv()
+	mk := func(elems []string, bases ...*types.FObject) *types.FObject {
+		s := types.NewSet()
+		for _, el := range elems {
+			s.Add([]byte(el))
+		}
+		return e.save(t, s, bases...)
+	}
+	base := mk([]string{"a", "b", "c"})
+	left := mk([]string{"a", "b", "c", "d"}, base) // +d
+	right := mk([]string{"a", "c"}, base)          // -b
+	merged, _, err := ThreeWay(e.s, e.cfg, base, left, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := merged.(*types.Set)
+	for el, want := range map[string]bool{"a": true, "b": false, "c": true, "d": true} {
+		got, _ := set.Has([]byte(el))
+		if got != want {
+			t.Fatalf("merged set has %q = %v, want %v", el, got, want)
+		}
+	}
+	// One-sided change: no conflict.
+	l2 := mk([]string{"a", "b", "c", "x"}, base)
+	if _, _, err = ThreeWay(e.s, e.cfg, base, l2, mk([]string{"a", "b", "c"}, base), nil); err != nil {
+		t.Fatalf("one-sided set change conflicted: %v", err)
+	}
+}
+
+func TestMergeSetAddRemoveConflict(t *testing.T) {
+	e := newEnv()
+	mk := func(elems []string, bases ...*types.FObject) *types.FObject {
+		s := types.NewSet()
+		for _, el := range elems {
+			s.Add([]byte(el))
+		}
+		return e.save(t, s, bases...)
+	}
+	base := mk([]string{"a", "x"})
+	left := mk([]string{"a"}, base)       // removed x
+	right := mk([]string{"a", "x"}, base) // kept x — no change, no conflict
+	if _, _, err := ThreeWay(e.s, e.cfg, base, left, right, nil); err != nil {
+		t.Fatalf("remove vs untouched conflicted: %v", err)
+	}
+	// The true conflict: one side removes x, the other re-adds it
+	// after removal (both changed x's membership differently from a
+	// shared base where x is absent).
+	base2 := mk([]string{"a"})
+	addX := mk([]string{"a", "x"}, base2)
+	keep := mk([]string{"a"}, base2)
+	if _, _, err := ThreeWay(e.s, e.cfg, base2, addX, keep, nil); err != nil {
+		t.Fatalf("add vs untouched conflicted: %v", err)
+	}
+}
+
+func TestMergeOpaqueStrings(t *testing.T) {
+	e := newEnv()
+	base := e.save(t, types.String("base"))
+	same := e.save(t, types.String("base"), base)
+	changed := e.save(t, types.String("changed"), base)
+
+	merged, _, err := ThreeWay(e.s, e.cfg, base, same, changed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.(types.String) != "changed" {
+		t.Fatalf("merged = %q", merged)
+	}
+	// Both changed differently: conflict; Append resolver concatenates.
+	l := e.save(t, types.String("L"), base)
+	r := e.save(t, types.String("R"), base)
+	_, _, err = ThreeWay(e.s, e.cfg, base, l, r, nil)
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v", err)
+	}
+	merged, _, err = ThreeWay(e.s, e.cfg, base, l, r, Append)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.(types.String) != "LR" {
+		t.Fatalf("append-resolved = %q", merged)
+	}
+}
+
+func TestMergeTypeMismatch(t *testing.T) {
+	e := newEnv()
+	a := e.save(t, types.String("s"))
+	b := e.save(t, types.Int(1))
+	_, conflicts, err := ThreeWay(e.s, e.cfg, nil, a, b, nil)
+	if !errors.Is(err, ErrConflict) || len(conflicts) != 1 {
+		t.Fatalf("type mismatch: %v %v", err, conflicts)
+	}
+}
+
+func TestAggregateResolver(t *testing.T) {
+	e := newEnv()
+	base := e.save(t, types.Int(100))
+	l := e.save(t, types.Int(110), base) // +10
+	r := e.save(t, types.Int(95), base)  // -5
+	merged, _, err := ThreeWay(e.s, e.cfg, base, l, r, Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.(types.Int) != 105 {
+		t.Fatalf("aggregate = %d, want 105", merged)
+	}
+}
+
+func TestMergeMapNoBase(t *testing.T) {
+	e := newEnv()
+	left := e.mapOf(t, map[string]string{"a": "1"})
+	right := e.mapOf(t, map[string]string{"b": "2"})
+	merged, _, err := ThreeWay(e.s, e.cfg, nil, left, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := merged.(*types.Map)
+	if m.Len() != 2 {
+		t.Fatalf("merged len %d", m.Len())
+	}
+}
+
+func TestMergeLargeMapsSharedStructure(t *testing.T) {
+	e := newEnv()
+	kvs := make(map[string]string, 3000)
+	for i := 0; i < 3000; i++ {
+		kvs[fmt.Sprintf("key-%05d", i)] = fmt.Sprintf("val-%d", i)
+	}
+	base := e.mapOf(t, kvs)
+	lm := make(map[string]string, len(kvs))
+	rm := make(map[string]string, len(kvs))
+	for k, v := range kvs {
+		lm[k], rm[k] = v, v
+	}
+	lm["key-00010"] = "left-change"
+	rm["key-02900"] = "right-change"
+	left := e.mapOf(t, lm, base)
+	right := e.mapOf(t, rm, base)
+	merged, _, err := ThreeWay(e.s, e.cfg, base, left, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := merged.(*types.Map)
+	if v, _, _ := m.Get([]byte("key-00010")); string(v) != "left-change" {
+		t.Fatalf("left change lost: %q", v)
+	}
+	if v, _, _ := m.Get([]byte("key-02900")); string(v) != "right-change" {
+		t.Fatalf("right change lost: %q", v)
+	}
+	if m.Len() != 3000 {
+		t.Fatalf("len %d", m.Len())
+	}
+}

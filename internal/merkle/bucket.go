@@ -1,0 +1,179 @@
+// Package merkle implements the state-commitment structures of
+// Hyperledger v0.6 (paper §5.1.1, §6.2.2): the bucket Merkle tree whose
+// leaf count is fixed at start-up, the unbalanced Patricia-style trie,
+// and the state delta that preserves old values across blocks. These are
+// the baselines Figure 11 compares against ForkBase Map objects.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Hash is a state digest.
+type Hash [sha256.Size]byte
+
+// BucketTree is Hyperledger's default state structure: keys hash into a
+// fixed number of buckets; each bucket's digest covers all its entries,
+// and a binary Merkle tree reduces bucket digests to a root. Because the
+// bucket count is fixed, a small count means large buckets and severe
+// write amplification (every update re-hashes the whole bucket), which
+// is exactly the Figure 11 effect.
+type BucketTree struct {
+	nb      int
+	buckets []map[string][]byte
+	dirty   map[int]bool
+	// tree is a heap-shaped binary tree over the padded bucket count;
+	// tree[1] is the root, leaves start at leafBase.
+	tree     []Hash
+	leafBase int
+	// HashedBytes counts bytes fed to the hash function across all
+	// commits, a direct measure of write amplification.
+	HashedBytes int64
+}
+
+// NewBucketTree returns a bucket tree with nb buckets.
+func NewBucketTree(nb int) *BucketTree {
+	if nb < 1 {
+		nb = 1
+	}
+	pow := 1
+	for pow < nb {
+		pow *= 2
+	}
+	t := &BucketTree{
+		nb:       nb,
+		buckets:  make([]map[string][]byte, nb),
+		dirty:    make(map[int]bool),
+		tree:     make([]Hash, 2*pow),
+		leafBase: pow,
+	}
+	for i := range t.buckets {
+		t.buckets[i] = make(map[string][]byte)
+	}
+	return t
+}
+
+func (t *BucketTree) bucketOf(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % t.nb
+}
+
+// Set stages key = value; Commit folds staged changes into the root.
+func (t *BucketTree) Set(key string, value []byte) {
+	b := t.bucketOf(key)
+	t.buckets[b][key] = value
+	t.dirty[b] = true
+}
+
+// Delete stages removal of key.
+func (t *BucketTree) Delete(key string) {
+	b := t.bucketOf(key)
+	delete(t.buckets[b], key)
+	t.dirty[b] = true
+}
+
+// Get returns the current value of key.
+func (t *BucketTree) Get(key string) ([]byte, bool) {
+	v, ok := t.buckets[t.bucketOf(key)][key]
+	return v, ok
+}
+
+// Commit re-hashes every dirty bucket and the paths above them,
+// returning the new root hash.
+func (t *BucketTree) Commit() Hash {
+	var zero Hash
+	for b := range t.dirty {
+		t.tree[t.leafBase+b] = t.hashBucket(b)
+		// Bubble the change to the root. An all-empty subtree keeps
+		// the zero hash so the tree stays canonical: undoing every
+		// change restores the original root.
+		for i := (t.leafBase + b) / 2; i >= 1; i /= 2 {
+			if t.tree[2*i] == zero && t.tree[2*i+1] == zero {
+				t.tree[i] = zero
+				continue
+			}
+			h := sha256.New()
+			h.Write(t.tree[2*i][:])
+			h.Write(t.tree[2*i+1][:])
+			t.HashedBytes += 2 * sha256.Size
+			h.Sum(t.tree[i][:0])
+		}
+	}
+	t.dirty = make(map[int]bool)
+	return t.tree[1]
+}
+
+// hashBucket digests one bucket's full sorted contents — the write
+// amplification at the heart of the bucket-count trade-off.
+func (t *BucketTree) hashBucket(b int) Hash {
+	if len(t.buckets[b]) == 0 {
+		// An empty bucket digests to the zero hash, matching the
+		// tree's initial state so deletions are reversible.
+		return Hash{}
+	}
+	keys := make([]string, 0, len(t.buckets[b]))
+	for k := range t.buckets[b] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	var lenBuf [4]byte
+	for _, k := range keys {
+		v := t.buckets[b][k]
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(k)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(k))
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(v)))
+		h.Write(lenBuf[:])
+		h.Write(v)
+		t.HashedBytes += int64(8 + len(k) + len(v))
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Root returns the current root hash without committing.
+func (t *BucketTree) Root() Hash { return t.tree[1] }
+
+// DirtySerialized returns the serialized contents of every currently
+// dirty bucket, keyed by a storage key. Hyperledger persists changed
+// buckets to its KV store at commit; callers write these through before
+// Commit clears the dirty set.
+func (t *BucketTree) DirtySerialized() map[string][]byte {
+	out := make(map[string][]byte, len(t.dirty))
+	for b := range t.dirty {
+		keys := make([]string, 0, len(t.buckets[b]))
+		for k := range t.buckets[b] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var buf []byte
+		var lenBuf [4]byte
+		for _, k := range keys {
+			v := t.buckets[b][k]
+			binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(k)))
+			buf = append(buf, lenBuf[:]...)
+			buf = append(buf, k...)
+			binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(v)))
+			buf = append(buf, lenBuf[:]...)
+			buf = append(buf, v...)
+		}
+		out[fmt.Sprintf("bucket/%08d", b)] = buf
+	}
+	return out
+}
+
+// Len returns the number of live keys.
+func (t *BucketTree) Len() int {
+	n := 0
+	for _, b := range t.buckets {
+		n += len(b)
+	}
+	return n
+}

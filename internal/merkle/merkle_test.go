@@ -1,0 +1,129 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBucketTreeRootChangesOnUpdate(t *testing.T) {
+	bt := NewBucketTree(16)
+	bt.Set("a", []byte("1"))
+	r1 := bt.Commit()
+	bt.Set("b", []byte("2"))
+	r2 := bt.Commit()
+	if r1 == r2 {
+		t.Fatal("root unchanged after update")
+	}
+	bt.Delete("b")
+	r3 := bt.Commit()
+	if r3 != r1 {
+		t.Fatal("root should return to the prior value after undoing the change")
+	}
+	if v, ok := bt.Get("a"); !ok || string(v) != "1" {
+		t.Fatal("lost value")
+	}
+	if _, ok := bt.Get("b"); ok {
+		t.Fatal("deleted value still present")
+	}
+}
+
+func TestBucketTreeDeterministic(t *testing.T) {
+	build := func(order []int) Hash {
+		bt := NewBucketTree(8)
+		for _, i := range order {
+			bt.Set(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+		}
+		return bt.Commit()
+	}
+	a := build([]int{1, 2, 3, 4, 5})
+	b := build([]int{5, 3, 1, 4, 2})
+	if a != b {
+		t.Fatal("bucket tree root depends on insertion order")
+	}
+}
+
+// The Figure 11 effect: fewer buckets means each commit re-hashes
+// bigger buckets, i.e. more write amplification.
+func TestBucketCountAmplification(t *testing.T) {
+	load := func(nb int) int64 {
+		bt := NewBucketTree(nb)
+		for i := 0; i < 2000; i++ {
+			bt.Set(fmt.Sprintf("key-%06d", i), make([]byte, 50))
+		}
+		bt.Commit()
+		bt.HashedBytes = 0
+		// 20 commits of 10 updates each.
+		for c := 0; c < 20; c++ {
+			for i := 0; i < 10; i++ {
+				bt.Set(fmt.Sprintf("key-%06d", (c*10+i)%2000), []byte{byte(c)})
+			}
+			bt.Commit()
+		}
+		return bt.HashedBytes
+	}
+	small := load(4)
+	large := load(4096)
+	if small <= large*2 {
+		t.Fatalf("expected heavy amplification with few buckets: nb=4 hashed %d, nb=4096 hashed %d", small, large)
+	}
+}
+
+func TestTrieBasics(t *testing.T) {
+	tr := NewTrie()
+	tr.Set("alpha", []byte("1"))
+	tr.Set("alphabet", []byte("2"))
+	tr.Set("beta", []byte("3"))
+	if tr.Len() != 3 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	for k, want := range map[string]string{"alpha": "1", "alphabet": "2", "beta": "3"} {
+		v, ok := tr.Get(k)
+		if !ok || string(v) != want {
+			t.Fatalf("Get(%q) = %q %v", k, v, ok)
+		}
+	}
+	if _, ok := tr.Get("alp"); ok {
+		t.Fatal("prefix of a key should not resolve")
+	}
+	r1 := tr.Commit()
+	tr.Set("alpha", []byte("changed"))
+	r2 := tr.Commit()
+	if r1 == r2 {
+		t.Fatal("root unchanged after update")
+	}
+	tr.Delete("alpha")
+	tr.Set("alpha", []byte("1"))
+	if tr.Commit() != r1 {
+		t.Fatal("trie root not content-deterministic")
+	}
+	tr.Delete("nonexistent") // no-op, must not panic
+}
+
+func TestTrieLowAmplification(t *testing.T) {
+	tr := NewTrie()
+	for i := 0; i < 2000; i++ {
+		tr.Set(fmt.Sprintf("key-%06d", i), make([]byte, 50))
+	}
+	tr.Commit()
+	tr.HashedBytes = 0
+	tr.Set("key-000000", []byte("x"))
+	tr.Commit()
+	// One update re-hashes only the path, a tiny fraction of the 2000
+	// keys' worth of structure.
+	if tr.HashedBytes > 100_000 {
+		t.Fatalf("single update hashed %d bytes", tr.HashedBytes)
+	}
+}
+
+func TestStateDelta(t *testing.T) {
+	d := NewStateDelta()
+	d.Record("k", []byte("old"), true)
+	d.Record("k", []byte("newer-old"), true) // first record wins
+	d.Record("created", nil, false)
+	if string(d.Old["k"]) != "old" {
+		t.Fatalf("delta overwritten: %q", d.Old["k"])
+	}
+	if v, ok := d.Old["created"]; !ok || v != nil {
+		t.Fatal("creation marker lost")
+	}
+}

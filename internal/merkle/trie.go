@@ -1,0 +1,189 @@
+package merkle
+
+import (
+	"crypto/sha256"
+)
+
+// Trie is Hyperledger's alternative state structure: a 16-way trie over
+// the key's nibbles with per-node hash caching. Updates touch only the
+// path to the changed key (low write amplification), but the structure
+// is as deep as the keys are long and not balanced, so traversals are
+// longer than in a balanced tree — the behaviour Figure 11 observes.
+type Trie struct {
+	root *trieNode
+	// HashedBytes counts bytes hashed across commits.
+	HashedBytes int64
+	size        int
+	dirtyKeys   []string
+}
+
+// HashSize is the digest length of trie node hashes.
+const HashSize = len(Hash{})
+
+type trieNode struct {
+	children [16]*trieNode
+	value    []byte
+	hasValue bool
+	hash     Hash
+	hashed   bool // cache validity
+}
+
+// NewTrie returns an empty trie.
+func NewTrie() *Trie {
+	return &Trie{root: &trieNode{}}
+}
+
+// nibbles expands a key into 4-bit digits.
+func nibbles(key string) []byte {
+	out := make([]byte, 0, 2*len(key))
+	for i := 0; i < len(key); i++ {
+		out = append(out, key[i]>>4, key[i]&0x0f)
+	}
+	return out
+}
+
+// Set stores key = value, invalidating hash caches along the path.
+func (t *Trie) Set(key string, value []byte) {
+	n := t.root
+	n.hashed = false
+	for _, d := range nibbles(key) {
+		if n.children[d] == nil {
+			n.children[d] = &trieNode{}
+		}
+		n = n.children[d]
+		n.hashed = false
+	}
+	if !n.hasValue {
+		t.size++
+	}
+	n.value = value
+	n.hasValue = true
+	t.dirtyKeys = append(t.dirtyKeys, key)
+}
+
+// DirtySerialized returns a serialized record for every trie node on
+// the path of each key changed since the last call — the node writes
+// Hyperledger performs against its KV store at commit time.
+func (t *Trie) DirtySerialized() map[string][]byte {
+	out := make(map[string][]byte)
+	for _, key := range t.dirtyKeys {
+		n := t.root
+		path := ""
+		for _, d := range nibbles(key) {
+			if n.children[d] == nil {
+				break
+			}
+			n = n.children[d]
+			path += string('a' + rune(d))
+			rec := make([]byte, 0, 16*HashSize+len(n.value))
+			for _, c := range n.children {
+				if c != nil {
+					rec = append(rec, c.hash[:]...)
+				}
+			}
+			rec = append(rec, n.value...)
+			out["trienode/"+path] = rec
+		}
+	}
+	t.dirtyKeys = t.dirtyKeys[:0]
+	return out
+}
+
+// Delete removes key. Empty subtrees are left in place (as pruning is
+// not needed for the hash to change).
+func (t *Trie) Delete(key string) {
+	n := t.root
+	path := []*trieNode{n}
+	for _, d := range nibbles(key) {
+		if n.children[d] == nil {
+			return
+		}
+		n = n.children[d]
+		path = append(path, n)
+	}
+	if n.hasValue {
+		t.size--
+	}
+	n.value = nil
+	n.hasValue = false
+	for _, p := range path {
+		p.hashed = false
+	}
+}
+
+// Get returns the value of key.
+func (t *Trie) Get(key string) ([]byte, bool) {
+	n := t.root
+	for _, d := range nibbles(key) {
+		if n.children[d] == nil {
+			return nil, false
+		}
+		n = n.children[d]
+	}
+	if !n.hasValue {
+		return nil, false
+	}
+	return n.value, true
+}
+
+// Commit recomputes invalidated hashes bottom-up and returns the root.
+func (t *Trie) Commit() Hash {
+	return t.hashNode(t.root)
+}
+
+func (t *Trie) hashNode(n *trieNode) Hash {
+	if n.hashed {
+		return n.hash
+	}
+	h := sha256.New()
+	for i, c := range n.children {
+		if c == nil {
+			continue
+		}
+		ch := t.hashNode(c)
+		h.Write([]byte{byte(i)})
+		h.Write(ch[:])
+		t.HashedBytes += 1 + sha256.Size
+	}
+	if n.hasValue {
+		h.Write([]byte{0xff})
+		h.Write(n.value)
+		t.HashedBytes += 1 + int64(len(n.value))
+	}
+	h.Sum(n.hash[:0])
+	n.hashed = true
+	return n.hash
+}
+
+// Len returns the number of live keys.
+func (t *Trie) Len() int { return t.size }
+
+// StateDelta records, for one block, the previous value of every state
+// the block changed (nil marks a key created by the block). Hyperledger
+// keeps a delta per block so historical states can be reconstructed by
+// walking deltas backwards — the expensive pre-processing the paper's
+// scan queries pay for (§5.1.2).
+type StateDelta struct {
+	// Old maps key to the value before the block (nil = did not exist).
+	Old map[string][]byte
+}
+
+// NewStateDelta returns an empty delta.
+func NewStateDelta() *StateDelta {
+	return &StateDelta{Old: make(map[string][]byte)}
+}
+
+// Record notes the pre-image of key if not already recorded for this
+// delta. existed=false marks creation.
+func (d *StateDelta) Record(key string, old []byte, existed bool) {
+	if _, done := d.Old[key]; done {
+		return
+	}
+	if !existed {
+		d.Old[key] = nil
+		return
+	}
+	cp := make([]byte, len(old))
+	copy(cp, old)
+	d.Old[key] = cp
+}

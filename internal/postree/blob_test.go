@@ -1,0 +1,290 @@
+package postree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"forkbase/internal/store"
+)
+
+func buildBlob(t *testing.T, s store.Store, data []byte) *Tree {
+	t.Helper()
+	b := NewBuilder(s, testConfig(), KindBlob)
+	b.AppendBytes(data)
+	tr, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func randBytes(n int, seed int64) []byte {
+	data := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(data)
+	return data
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	s := store.NewMemStore()
+	data := randBytes(64<<10, 1)
+	tr := buildBlob(t, s, data)
+	if tr.Count() != uint64(len(data)) {
+		t.Fatalf("count %d, want %d", tr.Count(), len(data))
+	}
+	got, err := tr.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("blob content mismatch")
+	}
+}
+
+func TestBlobReadAt(t *testing.T) {
+	s := store.NewMemStore()
+	data := randBytes(32<<10, 2)
+	tr := buildBlob(t, s, data)
+	for _, tc := range []struct{ off, n int }{
+		{0, 100}, {1000, 5000}, {len(data) - 10, 10}, {len(data) - 5, 100},
+	} {
+		p := make([]byte, tc.n)
+		n, err := tr.ReadAt(p, uint64(tc.off))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tc.n
+		if tc.off+tc.n > len(data) {
+			want = len(data) - tc.off
+		}
+		if n != want || !bytes.Equal(p[:n], data[tc.off:tc.off+n]) {
+			t.Fatalf("ReadAt(%d,%d): n=%d want %d", tc.off, tc.n, n, want)
+		}
+	}
+}
+
+func TestBlobSpliceAgainstModel(t *testing.T) {
+	s := store.NewMemStore()
+	model := randBytes(40<<10, 3)
+	tr := buildBlob(t, s, model)
+	rng := rand.New(rand.NewSource(4))
+
+	for round := 0; round < 25; round++ {
+		off := rng.Intn(len(model) + 1)
+		del := rng.Intn(200)
+		if off+del > len(model) {
+			del = len(model) - off
+		}
+		ins := randBytes(rng.Intn(300), int64(round+100))
+		var err error
+		tr, err = tr.SpliceBytes(uint64(off), uint64(del), ins)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		next := make([]byte, 0, len(model)-del+len(ins))
+		next = append(next, model[:off]...)
+		next = append(next, ins...)
+		next = append(next, model[off+del:]...)
+		model = next
+		if tr.Count() != uint64(len(model)) {
+			t.Fatalf("round %d: count %d, want %d", round, tr.Count(), len(model))
+		}
+	}
+	got, err := tr.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("blob diverged from model after splices")
+	}
+	// History independence for blobs too.
+	fresh := buildBlob(t, s, model)
+	if fresh.Root() != tr.Root() {
+		t.Fatal("spliced blob differs from fresh build of same content")
+	}
+}
+
+func TestBlobSpliceLocalizesWrites(t *testing.T) {
+	s := store.NewMemStore()
+	data := randBytes(256<<10, 5)
+	tr := buildBlob(t, s, data)
+	st, _ := tr.TreeStats()
+	before := s.Stats()
+	// A small in-place edit in the middle.
+	tr2, err := tr.SpliceBytes(128<<10, 16, []byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if newBytes := after.Bytes - before.Bytes; newBytes > st.Bytes/8 {
+		t.Fatalf("middle edit wrote %d of %d tree bytes; boundary resync failed", newBytes, st.Bytes)
+	}
+	if tr2.Count() != tr.Count() {
+		t.Fatalf("count changed: %d vs %d", tr2.Count(), tr.Count())
+	}
+}
+
+func TestBlobAppendGrows(t *testing.T) {
+	s := store.NewMemStore()
+	tr := Empty(s, testConfig(), KindBlob)
+	var model []byte
+	for i := 0; i < 20; i++ {
+		piece := randBytes(1000, int64(i))
+		var err error
+		tr, err = tr.SpliceBytes(tr.Count(), 0, piece)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model = append(model, piece...)
+	}
+	got, err := tr.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("append sequence mismatch")
+	}
+}
+
+// Repeated content: no patterns fire, chunks are forced at max size, but
+// dedup still collapses them (§4.3.3).
+func TestRepeatedContent(t *testing.T) {
+	s := store.NewMemStore()
+	data := make([]byte, 512<<10) // all zeros
+	tr := buildBlob(t, s, data)
+	st, err := tr.TreeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All leaves are identical so the store holds very few of them.
+	if got := s.Stats().Chunks; got > 5 {
+		t.Fatalf("repeated content produced %d distinct chunks", got)
+	}
+	if st.Leaves < 100 {
+		t.Fatalf("logical leaves %d suspiciously few", st.Leaves)
+	}
+	got, err := tr.Bytes()
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("repeated content round trip failed: %v", err)
+	}
+}
+
+func TestListSpliceAgainstModel(t *testing.T) {
+	s := store.NewMemStore()
+	var model [][]byte
+	b := NewBuilder(s, testConfig(), KindList)
+	for i := 0; i < 1000; i++ {
+		e := []byte(fmt.Sprintf("element-%04d-%d", i, i*7))
+		model = append(model, e)
+		b.Append(EncodeListElem(e))
+	}
+	tr, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for round := 0; round < 20; round++ {
+		at := rng.Intn(len(model) + 1)
+		del := rng.Intn(20)
+		if at+del > len(model) {
+			del = len(model) - at
+		}
+		var ins [][]byte
+		for i := 0; i < rng.Intn(20); i++ {
+			ins = append(ins, []byte(fmt.Sprintf("ins-%d-%d", round, i)))
+		}
+		tr, err = tr.ListSplice(uint64(at), uint64(del), ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := make([][]byte, 0, len(model)-del+len(ins))
+		next = append(next, model[:at]...)
+		next = append(next, ins...)
+		next = append(next, model[at+del:]...)
+		model = next
+	}
+	if tr.Count() != uint64(len(model)) {
+		t.Fatalf("count %d, want %d", tr.Count(), len(model))
+	}
+	it := tr.Elems()
+	for i := 0; it.Next(); i++ {
+		if !bytes.Equal(SetElemBody(it.Elem()), model[i]) {
+			t.Fatalf("element %d mismatch", i)
+		}
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	for _, i := range []int{0, len(model) / 2, len(model) - 1} {
+		enc, err := tr.GetAt(uint64(i))
+		if err != nil || !bytes.Equal(SetElemBody(enc), model[i]) {
+			t.Fatalf("GetAt(%d) mismatch: %v", i, err)
+		}
+	}
+}
+
+// Property: for any two byte strings, building a blob and reading it
+// back is the identity, and equal content means equal roots.
+func TestQuickBlobIdentity(t *testing.T) {
+	s := store.NewMemStore()
+	f := func(data []byte) bool {
+		b := NewBuilder(s, testConfig(), KindBlob)
+		b.AppendBytes(data)
+		tr, err := b.Finish()
+		if err != nil {
+			return false
+		}
+		got, err := tr.Bytes()
+		if err != nil || !bytes.Equal(got, data) {
+			return false
+		}
+		b2 := NewBuilder(s, testConfig(), KindBlob)
+		b2.AppendBytes(data)
+		tr2, err := b2.Finish()
+		return err == nil && tr2.Root() == tr.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a random splice equals rebuild-from-scratch of the spliced
+// content (history independence under arbitrary edits).
+func TestQuickSpliceEqualsRebuild(t *testing.T) {
+	s := store.NewMemStore()
+	f := func(seed int64, off16, del16, insLen16 uint16) bool {
+		base := randBytes(8<<10, seed)
+		off := int(off16) % (len(base) + 1)
+		del := int(del16) % 512
+		if off+del > len(base) {
+			del = len(base) - off
+		}
+		ins := randBytes(int(insLen16)%512, seed+1)
+		tr := func() *Tree {
+			b := NewBuilder(s, testConfig(), KindBlob)
+			b.AppendBytes(base)
+			tr, err := b.Finish()
+			if err != nil {
+				return nil
+			}
+			tr2, err := tr.SpliceBytes(uint64(off), uint64(del), ins)
+			if err != nil {
+				return nil
+			}
+			return tr2
+		}()
+		if tr == nil {
+			return false
+		}
+		want := append(append(append([]byte(nil), base[:off]...), ins...), base[off+del:]...)
+		b := NewBuilder(s, testConfig(), KindBlob)
+		b.AppendBytes(want)
+		fresh, err := b.Finish()
+		return err == nil && fresh.Root() == tr.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package postree
+
+import (
+	"fmt"
+	"testing"
+
+	"forkbase/internal/store"
+)
+
+func TestDiffSortedExact(t *testing.T) {
+	s := store.NewMemStore()
+	base := randomKVs(2000, 10)
+	a := buildMap(t, s, base)
+
+	mod := make(map[string]string, len(base))
+	for k, v := range base {
+		mod[k] = v
+	}
+	keys := sortedKeys(base)
+	delete(mod, keys[100])
+	delete(mod, keys[1500])
+	mod[keys[200]] = "changed-value"
+	mod["aaa-brand-new"] = "v1"
+	mod["zzz-brand-new"] = "v2"
+	b := buildMap(t, s, mod)
+
+	d, err := DiffSorted(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Removed) != 2 || len(d.Added) != 2 || len(d.Modified) != 1 {
+		t.Fatalf("diff = +%d -%d ~%d, want +2 -2 ~1", len(d.Added), len(d.Removed), len(d.Modified))
+	}
+	if string(d.Modified[0].Key) != keys[200] || string(d.Modified[0].Value) != "changed-value" {
+		t.Fatalf("modified = %q=%q", d.Modified[0].Key, d.Modified[0].Value)
+	}
+	// The comparison must have skipped most leaves via cid sharing.
+	if d.SharedLeaves == 0 {
+		t.Fatal("no leaves shared between near-identical trees")
+	}
+	if unshared := d.TotalLeaves - 2*d.SharedLeaves + d.SharedLeaves; unshared > d.SharedLeaves {
+		t.Fatalf("too few shared leaves: shared=%d total=%d", d.SharedLeaves, d.TotalLeaves)
+	}
+}
+
+func TestDiffIdenticalTrees(t *testing.T) {
+	s := store.NewMemStore()
+	kvs := randomKVs(500, 11)
+	a := buildMap(t, s, kvs)
+	b := buildMap(t, s, kvs)
+	d, err := DiffSorted(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Added)+len(d.Removed)+len(d.Modified) != 0 {
+		t.Fatal("identical trees reported differences")
+	}
+}
+
+func TestDiffEmptyVsFull(t *testing.T) {
+	s := store.NewMemStore()
+	kvs := randomKVs(300, 12)
+	a := Empty(s, testConfig(), KindMap)
+	b := buildMap(t, s, kvs)
+	d, err := DiffSorted(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Added) != len(kvs) || len(d.Removed) != 0 {
+		t.Fatalf("diff empty vs full: +%d -%d", len(d.Added), len(d.Removed))
+	}
+}
+
+func TestDiffUnsortedBlobs(t *testing.T) {
+	s := store.NewMemStore()
+	data := randBytes(128<<10, 13)
+	a := buildBlob(t, s, data)
+	edited := append([]byte(nil), data...)
+	copy(edited[64<<10:], []byte("XXXX-EDIT-XXXX"))
+	b := buildBlob(t, s, edited)
+	d, err := DiffUnsorted(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SharedLeaves == 0 {
+		t.Fatal("no shared leaves after a 14-byte edit")
+	}
+	if d.OnlyA == 0 || d.OnlyB == 0 {
+		t.Fatal("edit produced no unshared leaves")
+	}
+	if d.OnlyA > d.SharedLeaves || d.OnlyB > d.SharedLeaves {
+		t.Fatalf("localized edit invalidated most leaves: onlyA=%d onlyB=%d shared=%d",
+			d.OnlyA, d.OnlyB, d.SharedLeaves)
+	}
+}
+
+func TestVerifyDetectsMissingChunk(t *testing.T) {
+	s := store.NewMemStore()
+	kvs := randomKVs(500, 14)
+	tr := buildMap(t, s, kvs)
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("Verify on intact tree: %v", err)
+	}
+	// Rebuild the tree against an empty store: every fetch fails.
+	broken, err := Load(s, testConfig(), KindMap, tr.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken.s = store.NewMemStore()
+	if err := broken.Verify(); err == nil {
+		t.Fatal("Verify passed with all chunks missing")
+	}
+}
+
+func TestDedupAcrossObjects(t *testing.T) {
+	// Two different objects sharing 90% of content share most chunks
+	// (cross-object dedup, §2.1).
+	s := store.NewMemStore()
+	common := randomKVs(1000, 15)
+	a := buildMap(t, s, common)
+
+	other := make(map[string]string, len(common))
+	for k, v := range common {
+		other[k] = v
+	}
+	for i := 0; i < 50; i++ {
+		other[fmt.Sprintf("extra-%03d", i)] = "x"
+	}
+	before := s.Stats()
+	b := buildMap(t, s, other)
+	after := s.Stats()
+	if after.Dups-before.Dups == 0 {
+		t.Fatal("no chunks deduplicated across objects")
+	}
+	sa, _ := a.TreeStats()
+	sb, _ := b.TreeStats()
+	if grown := after.Bytes - before.Bytes; grown > (sa.Bytes+sb.Bytes)/3 {
+		t.Fatalf("store grew %d for a mostly-shared object (tree sizes %d, %d)",
+			grown, sa.Bytes, sb.Bytes)
+	}
+}

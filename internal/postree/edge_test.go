@@ -1,0 +1,138 @@
+package postree
+
+import (
+	"testing"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/store"
+)
+
+func TestLoadMissingRoot(t *testing.T) {
+	s := store.NewMemStore()
+	var fake chunk.ID
+	fake[0] = 0xab
+	if _, err := Load(s, testConfig(), KindMap, fake); err == nil {
+		t.Fatal("Load of a missing root succeeded")
+	}
+}
+
+func TestAttachMatchesLoad(t *testing.T) {
+	s := store.NewMemStore()
+	tr := buildMap(t, s, randomKVs(800, 20))
+	att := Attach(s, testConfig(), KindMap, tr.Root(), tr.Count(), tr.Height())
+	if att.Count() != tr.Count() || att.Height() != tr.Height() {
+		t.Fatal("Attach shape mismatch")
+	}
+	v1, ok1, err1 := tr.Get([]byte("key-00000001"))
+	v2, ok2, err2 := att.Get([]byte("key-00000001"))
+	if ok1 != ok2 || string(v1) != string(v2) || (err1 == nil) != (err2 == nil) {
+		t.Fatal("Attach handle behaves differently from Load")
+	}
+}
+
+func TestKindChecksOnWrongOperations(t *testing.T) {
+	s := store.NewMemStore()
+	m := buildMap(t, s, randomKVs(50, 21))
+	if _, err := m.SpliceBytes(0, 0, []byte("x")); err == nil {
+		t.Fatal("SpliceBytes on a Map succeeded")
+	}
+	if _, err := m.ListSplice(0, 0, nil); err == nil {
+		t.Fatal("ListSplice on a Map succeeded")
+	}
+	if _, err := m.ReadAt(make([]byte, 4), 0); err == nil {
+		t.Fatal("ReadAt on a Map succeeded")
+	}
+	if _, err := m.Bytes(); err == nil {
+		t.Fatal("Bytes on a Map succeeded")
+	}
+	if _, err := m.SetAdd([]byte("e")); err == nil {
+		t.Fatal("SetAdd on a Map succeeded")
+	}
+	b := buildBlob(t, s, randBytes(1024, 22))
+	if _, _, err := b.Get([]byte("k")); err == nil {
+		t.Fatal("Get on a Blob succeeded")
+	}
+	if _, err := b.GetAt(0); err == nil {
+		t.Fatal("GetAt on a Blob succeeded")
+	}
+	if _, err := DiffSorted(b, b); err == nil {
+		t.Fatal("DiffSorted on Blobs succeeded")
+	}
+	if _, err := DiffUnsorted(m, m); err == nil {
+		t.Fatal("DiffUnsorted on Maps succeeded")
+	}
+}
+
+func TestSpliceOutOfRange(t *testing.T) {
+	s := store.NewMemStore()
+	b := buildBlob(t, s, randBytes(1000, 23))
+	if _, err := b.SpliceBytes(900, 200, nil); err == nil {
+		t.Fatal("overlong delete succeeded")
+	}
+	if _, err := b.SpliceBytes(1001, 0, []byte("x")); err == nil {
+		t.Fatal("append past end succeeded")
+	}
+	// Exactly at the end is an append and must work.
+	b2, err := b.SpliceBytes(1000, 0, []byte("tail"))
+	if err != nil || b2.Count() != 1004 {
+		t.Fatalf("append at end: %v", err)
+	}
+}
+
+func TestDeleteToEmptyAndRebuild(t *testing.T) {
+	s := store.NewMemStore()
+	kvs := randomKVs(200, 24)
+	tr := buildMap(t, s, kvs)
+	var dels [][]byte
+	for k := range kvs {
+		dels = append(dels, []byte(k))
+	}
+	empty, err := tr.MapApply(nil, dels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Count() != 0 || !empty.Root().IsNil() {
+		t.Fatalf("delete-all left count=%d root=%v", empty.Count(), empty.Root())
+	}
+	// The empty tree accepts new content again.
+	again, err := empty.MapSet([]byte("fresh"), []byte("start"))
+	if err != nil || again.Count() != 1 {
+		t.Fatalf("rebuild from empty: %v", err)
+	}
+}
+
+func TestElemIterEmptyTree(t *testing.T) {
+	s := store.NewMemStore()
+	tr := Empty(s, testConfig(), KindMap)
+	it := tr.Elems()
+	if it.Next() {
+		t.Fatal("empty tree yielded an element")
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	leaves := tr.Leaves()
+	if leaves.Next() {
+		t.Fatal("empty tree yielded a leaf")
+	}
+}
+
+func TestSingleElementTree(t *testing.T) {
+	s := store.NewMemStore()
+	tr := Empty(s, testConfig(), KindMap)
+	tr, err := tr.MapSet([]byte("only"), []byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != 1 || tr.Count() != 1 {
+		t.Fatalf("shape: h=%d n=%d", tr.Height(), tr.Count())
+	}
+	v, ok, err := tr.Get([]byte("only"))
+	if err != nil || !ok || string(v) != "one" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	loaded, err := Load(s, testConfig(), KindMap, tr.Root())
+	if err != nil || loaded.Count() != 1 || loaded.Height() != 1 {
+		t.Fatalf("load single-leaf: %v", err)
+	}
+}

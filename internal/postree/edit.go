@@ -1,0 +1,450 @@
+package postree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/rollsum"
+	"forkbase/internal/store"
+)
+
+// Edits are copy-on-write (§4.3.3): only the leaves covering the edited
+// region are re-chunked. Because the chunker's window is reset at every
+// boundary, the new chunk sequence re-aligns with the old one at the
+// first old leaf boundary sufficiently past the edit; from that point on
+// all chunks are bit-identical and are reused verbatim. Index levels are
+// then rebuilt from the leaf entry list, and unchanged index chunks
+// deduplicate in the store.
+
+// leafWriter accumulates elements (or bytes) into leaf chunks, committing
+// at pattern boundaries.
+type leafWriter struct {
+	s             store.Store
+	kind          Kind
+	chunker       *rollsum.Chunker
+	buf           []byte
+	n             uint64
+	lastKey       []byte
+	entries       []entry
+	justCommitted bool
+}
+
+func newLeafWriter(t *Tree) *leafWriter {
+	return &leafWriter{s: t.s, kind: t.kind, chunker: t.leafChunker()}
+}
+
+func (w *leafWriter) writeElem(enc []byte) error {
+	w.buf = append(w.buf, enc...)
+	w.n++
+	if w.kind.Sorted() {
+		w.lastKey = append(w.lastKey[:0], elemKey(w.kind, enc)...)
+	}
+	w.chunker.Feed(enc)
+	w.justCommitted = false
+	if w.chunker.Boundary() {
+		return w.commit()
+	}
+	return nil
+}
+
+func (w *leafWriter) commit() error {
+	if w.n == 0 {
+		return nil
+	}
+	payload := make([]byte, len(w.buf))
+	copy(payload, w.buf)
+	c := chunk.New(w.kind.leafType(), payload)
+	if _, err := w.s.Put(c); err != nil {
+		return err
+	}
+	e := entry{count: w.n, id: c.ID()}
+	if w.kind.Sorted() {
+		e.key = append([]byte(nil), w.lastKey...)
+	}
+	w.entries = append(w.entries, e)
+	w.buf = w.buf[:0]
+	w.n = 0
+	w.chunker.Next()
+	w.justCommitted = true
+	return nil
+}
+
+// leafElems decodes the encoded elements of one leaf chunk.
+func (t *Tree) leafElems(id chunk.ID) ([][]byte, error) {
+	c, err := t.getChunk(id)
+	if err != nil {
+		return nil, err
+	}
+	payload := c.Data()
+	var out [][]byte
+	for len(payload) > 0 {
+		enc, adv, err := elementAt(t.kind, payload)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, enc)
+		payload = payload[adv:]
+	}
+	return out, nil
+}
+
+// replaceElemRegion rebuilds a non-Blob tree with leaves [lo, hi)
+// replaced by the given element sequence, re-synchronizing with the old
+// leaf boundaries past the region.
+func (t *Tree) replaceElemRegion(leaves []entry, lo, hi int, region [][]byte) (*Tree, error) {
+	w := newLeafWriter(t)
+	w.entries = append(w.entries, leaves[:lo]...)
+	for _, enc := range region {
+		if err := w.writeElem(enc); err != nil {
+			return nil, err
+		}
+	}
+	resynced := false
+resync:
+	for j := hi; j < len(leaves); j++ {
+		elems, err := t.leafElems(leaves[j].id)
+		if err != nil {
+			return nil, err
+		}
+		for k, enc := range elems {
+			if err := w.writeElem(enc); err != nil {
+				return nil, err
+			}
+			if w.justCommitted && k == len(elems)-1 {
+				// The new boundary coincides with the end of old
+				// leaf j; everything after is unchanged.
+				w.entries = append(w.entries, leaves[j+1:]...)
+				resynced = true
+				break resync
+			}
+		}
+	}
+	if !resynced {
+		if err := w.commit(); err != nil {
+			return nil, err
+		}
+	}
+	return finishTree(t.s, t.cfg, t.kind, w.entries)
+}
+
+// KV is a key-value pair for Map batch operations.
+type KV struct {
+	Key, Value []byte
+}
+
+// mapOp is a normalized mutation: delete when Value is nil.
+type mapOp struct {
+	key, value []byte
+	del        bool
+}
+
+// MapSet returns a tree with key set to value.
+func (t *Tree) MapSet(key, value []byte) (*Tree, error) {
+	return t.MapApply([]KV{{Key: key, Value: value}}, nil)
+}
+
+// MapDelete returns a tree with key removed (a no-op if absent).
+func (t *Tree) MapDelete(key []byte) (*Tree, error) {
+	return t.MapApply(nil, [][]byte{key})
+}
+
+// MapApply returns a tree with all sets and deletes applied in one pass.
+// Later entries win when a key appears twice.
+func (t *Tree) MapApply(sets []KV, deletes [][]byte) (*Tree, error) {
+	if t.kind != KindMap {
+		return nil, fmt.Errorf("postree: MapApply on %v tree", t.kind)
+	}
+	ops := make([]mapOp, 0, len(sets)+len(deletes))
+	for _, kv := range sets {
+		ops = append(ops, mapOp{key: kv.Key, value: kv.Value})
+	}
+	for _, k := range deletes {
+		ops = append(ops, mapOp{key: k, del: true})
+	}
+	return t.applySortedOps(ops)
+}
+
+// SetAdd returns a tree with the elements added.
+func (t *Tree) SetAdd(elems ...[]byte) (*Tree, error) {
+	if t.kind != KindSet {
+		return nil, fmt.Errorf("postree: SetAdd on %v tree", t.kind)
+	}
+	ops := make([]mapOp, len(elems))
+	for i, e := range elems {
+		ops[i] = mapOp{key: e}
+	}
+	return t.applySortedOps(ops)
+}
+
+// SetRemove returns a tree with the elements removed.
+func (t *Tree) SetRemove(elems ...[]byte) (*Tree, error) {
+	if t.kind != KindSet {
+		return nil, fmt.Errorf("postree: SetRemove on %v tree", t.kind)
+	}
+	ops := make([]mapOp, len(elems))
+	for i, e := range elems {
+		ops[i] = mapOp{key: e, del: true}
+	}
+	return t.applySortedOps(ops)
+}
+
+// encodeOp encodes a surviving op as a leaf element.
+func (t *Tree) encodeOp(op mapOp) []byte {
+	if t.kind == KindMap {
+		return EncodeMapElem(op.key, op.value)
+	}
+	return EncodeListElem(op.key)
+}
+
+// applySortedOps merges mutations into a sorted tree.
+func (t *Tree) applySortedOps(ops []mapOp) (*Tree, error) {
+	if len(ops) == 0 {
+		return t, nil
+	}
+	// Sort stably and keep only the last op per key.
+	sort.SliceStable(ops, func(i, j int) bool {
+		return bytes.Compare(ops[i].key, ops[j].key) < 0
+	})
+	dedup := ops[:0]
+	for i, op := range ops {
+		if i+1 < len(ops) && bytes.Equal(ops[i+1].key, op.key) {
+			continue
+		}
+		dedup = append(dedup, op)
+	}
+	ops = dedup
+
+	leaves, err := t.leafEntries()
+	if err != nil {
+		return nil, err
+	}
+	if len(leaves) == 0 {
+		// Fresh build from the surviving inserts.
+		b := NewBuilder(t.s, t.cfg, t.kind)
+		for _, op := range ops {
+			if !op.del {
+				b.Append(t.encodeOp(op))
+			}
+		}
+		return b.Finish()
+	}
+
+	// Stream leaf by leaf: a leaf with no ops whose start coincides
+	// with a chunk boundary of the new stream is reused verbatim (its
+	// chunking decisions are reproducible because the chunker resets
+	// at every boundary); all other leaves are decoded, merged with
+	// their ops, and re-chunked. This keeps a scattered batch's cost
+	// proportional to the touched leaves, not to the key span.
+	w := newLeafWriter(t)
+	opIdx := 0
+	for li, leaf := range leaves {
+		last := li == len(leaves)-1
+		lo := opIdx
+		for opIdx < len(ops) && (last || bytes.Compare(ops[opIdx].key, leaf.key) <= 0) {
+			opIdx++
+		}
+		myOps := ops[lo:opIdx]
+		if len(myOps) == 0 && w.n == 0 {
+			w.entries = append(w.entries, leaf)
+			continue
+		}
+		elems, err := t.leafElems(leaf.id)
+		if err != nil {
+			return nil, err
+		}
+		i, j := 0, 0
+		for i < len(elems) && j < len(myOps) {
+			cmp := bytes.Compare(elemKey(t.kind, elems[i]), myOps[j].key)
+			switch {
+			case cmp < 0:
+				err = w.writeElem(elems[i])
+				i++
+			case cmp > 0:
+				if !myOps[j].del {
+					err = w.writeElem(t.encodeOp(myOps[j]))
+				}
+				j++
+			default:
+				if !myOps[j].del {
+					err = w.writeElem(t.encodeOp(myOps[j]))
+				}
+				i++
+				j++
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		for ; i < len(elems); i++ {
+			if err := w.writeElem(elems[i]); err != nil {
+				return nil, err
+			}
+		}
+		for ; j < len(myOps); j++ {
+			if !myOps[j].del {
+				if err := w.writeElem(t.encodeOp(myOps[j])); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := w.commit(); err != nil {
+		return nil, err
+	}
+	return finishTree(t.s, t.cfg, t.kind, w.entries)
+}
+
+// ListSplice returns a List tree with del elements at position at
+// replaced by ins.
+func (t *Tree) ListSplice(at, del uint64, ins [][]byte) (*Tree, error) {
+	if t.kind != KindList {
+		return nil, fmt.Errorf("postree: ListSplice on %v tree", t.kind)
+	}
+	if at+del > t.count {
+		return nil, fmt.Errorf("postree: splice [%d,%d) out of range (count %d)", at, at+del, t.count)
+	}
+	encIns := make([][]byte, len(ins))
+	for i, e := range ins {
+		encIns[i] = EncodeListElem(e)
+	}
+	leaves, err := t.leafEntries()
+	if err != nil {
+		return nil, err
+	}
+	if len(leaves) == 0 {
+		b := NewBuilder(t.s, t.cfg, t.kind)
+		for _, e := range encIns {
+			b.Append(e)
+		}
+		return b.Finish()
+	}
+	lo, loStart := leafForPos(leaves, at)
+	hi, _ := leafForPos(leaves, at+del)
+	hi++
+	var old [][]byte
+	for j := lo; j < hi; j++ {
+		elems, err := t.leafElems(leaves[j].id)
+		if err != nil {
+			return nil, err
+		}
+		old = append(old, elems...)
+	}
+	cut := at - loStart
+	region := make([][]byte, 0, uint64(len(old))+uint64(len(encIns))-del)
+	region = append(region, old[:cut]...)
+	region = append(region, encIns...)
+	region = append(region, old[cut+del:]...)
+	return t.replaceElemRegion(leaves, lo, hi, region)
+}
+
+// ListAppend returns a List tree with the elements appended.
+func (t *Tree) ListAppend(elems ...[]byte) (*Tree, error) {
+	return t.ListSplice(t.count, 0, elems)
+}
+
+// leafForPos returns the index of the leaf containing element position
+// pos (clamped to the last leaf for pos == count) and the global position
+// of that leaf's first element.
+func leafForPos(leaves []entry, pos uint64) (int, uint64) {
+	var start uint64
+	for i, e := range leaves {
+		if pos < start+e.count || i == len(leaves)-1 {
+			return i, start
+		}
+		start += e.count
+	}
+	return 0, 0
+}
+
+// SpliceBytes returns a Blob tree with del bytes at offset off replaced
+// by ins.
+func (t *Tree) SpliceBytes(off, del uint64, ins []byte) (*Tree, error) {
+	if t.kind != KindBlob {
+		return nil, fmt.Errorf("postree: SpliceBytes on %v tree", t.kind)
+	}
+	if off+del > t.count {
+		return nil, fmt.Errorf("postree: splice [%d,%d) out of range (count %d)", off, off+del, t.count)
+	}
+	leaves, err := t.leafEntries()
+	if err != nil {
+		return nil, err
+	}
+	if len(leaves) == 0 {
+		b := NewBuilder(t.s, t.cfg, t.kind)
+		b.AppendBytes(ins)
+		return b.Finish()
+	}
+	lo, loStart := leafForPos(leaves, off)
+	hi, _ := leafForPos(leaves, off+del)
+	hi++
+	var old []byte
+	for j := lo; j < hi; j++ {
+		c, err := t.getChunk(leaves[j].id)
+		if err != nil {
+			return nil, err
+		}
+		old = append(old, c.Data()...)
+	}
+	cut := off - loStart
+	region := make([]byte, 0, uint64(len(old))+uint64(len(ins))-del)
+	region = append(region, old[:cut]...)
+	region = append(region, ins...)
+	region = append(region, old[cut+del:]...)
+
+	w := newLeafWriter(t)
+	w.entries = append(w.entries, leaves[:lo]...)
+	if err := w.writeBytesChunked(region); err != nil {
+		return nil, err
+	}
+	resynced := false
+resync:
+	for j := hi; j < len(leaves); j++ {
+		c, err := t.getChunk(leaves[j].id)
+		if err != nil {
+			return nil, err
+		}
+		rem := c.Data()
+		for len(rem) > 0 {
+			n, boundary := w.chunker.FindBoundary(rem)
+			w.buf = append(w.buf, rem[:n]...)
+			w.n += uint64(n)
+			rem = rem[n:]
+			if boundary {
+				if err := w.commit(); err != nil {
+					return nil, err
+				}
+				if len(rem) == 0 {
+					w.entries = append(w.entries, leaves[j+1:]...)
+					resynced = true
+					break resync
+				}
+			}
+		}
+	}
+	if !resynced {
+		if err := w.commit(); err != nil {
+			return nil, err
+		}
+	}
+	return finishTree(t.s, t.cfg, t.kind, w.entries)
+}
+
+// writeBytesChunked feeds raw bytes through the chunker, committing
+// leaves at boundaries.
+func (w *leafWriter) writeBytesChunked(p []byte) error {
+	for len(p) > 0 {
+		n, boundary := w.chunker.FindBoundary(p)
+		w.buf = append(w.buf, p[:n]...)
+		w.n += uint64(n)
+		p = p[n:]
+		w.justCommitted = false
+		if boundary {
+			if err := w.commit(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package postree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"forkbase/internal/chunk"
+)
+
+// Get looks up the element with the given key in a sorted tree. For Map
+// it returns the value; for Set it returns the element body. ok is false
+// when the key is absent.
+func (t *Tree) Get(key []byte) (val []byte, ok bool, err error) {
+	if !t.kind.Sorted() {
+		return nil, false, fmt.Errorf("postree: Get on unsorted %v tree", t.kind)
+	}
+	if t.root.IsNil() {
+		return nil, false, nil
+	}
+	id := t.root
+	for lvl := t.height; lvl > 1; lvl-- {
+		c, err := t.getChunk(id)
+		if err != nil {
+			return nil, false, err
+		}
+		entries, err := decodeEntries(c.Data())
+		if err != nil {
+			return nil, false, err
+		}
+		// First subtree whose max key is >= target.
+		i := sort.Search(len(entries), func(i int) bool {
+			return bytes.Compare(entries[i].key, key) >= 0
+		})
+		if i == len(entries) {
+			return nil, false, nil
+		}
+		id = entries[i].id
+	}
+	c, err := t.getChunk(id)
+	if err != nil {
+		return nil, false, err
+	}
+	payload := c.Data()
+	for len(payload) > 0 {
+		enc, adv, err := elementAt(t.kind, payload)
+		if err != nil {
+			return nil, false, err
+		}
+		switch bytes.Compare(elemKey(t.kind, enc), key) {
+		case 0:
+			if t.kind == KindMap {
+				return MapElemValue(enc), true, nil
+			}
+			return SetElemBody(enc), true, nil
+		case 1:
+			return nil, false, nil
+		}
+		payload = payload[adv:]
+	}
+	return nil, false, nil
+}
+
+// Has reports whether key is present in a sorted tree.
+func (t *Tree) Has(key []byte) (bool, error) {
+	_, ok, err := t.Get(key)
+	return ok, err
+}
+
+// GetAt returns the encoded element at position i (0-based). For Blob
+// trees use ReadAt.
+func (t *Tree) GetAt(i uint64) ([]byte, error) {
+	if t.kind == KindBlob {
+		return nil, fmt.Errorf("postree: GetAt on Blob tree; use ReadAt")
+	}
+	if i >= t.count {
+		return nil, fmt.Errorf("postree: index %d out of range (count %d)", i, t.count)
+	}
+	id := t.root
+	for lvl := t.height; lvl > 1; lvl-- {
+		c, err := t.getChunk(id)
+		if err != nil {
+			return nil, err
+		}
+		entries, err := decodeEntries(c.Data())
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if i < e.count {
+				id = e.id
+				break
+			}
+			i -= e.count
+		}
+	}
+	c, err := t.getChunk(id)
+	if err != nil {
+		return nil, err
+	}
+	payload := c.Data()
+	for ; ; i-- {
+		enc, adv, err := elementAt(t.kind, payload)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			return enc, nil
+		}
+		payload = payload[adv:]
+	}
+}
+
+// ReadAt reads len(p) bytes of a Blob tree starting at offset off,
+// fetching only the leaves that cover the range. It returns the number
+// of bytes read, which is short only when the range passes the end.
+func (t *Tree) ReadAt(p []byte, off uint64) (int, error) {
+	if t.kind != KindBlob {
+		return 0, fmt.Errorf("postree: ReadAt on %v tree", t.kind)
+	}
+	read := 0
+	for read < len(p) && off+uint64(read) < t.count {
+		pos := off + uint64(read)
+		payload, start, err := t.blobLeafAt(pos)
+		if err != nil {
+			return read, err
+		}
+		read += copy(p[read:], payload[pos-start:])
+	}
+	return read, nil
+}
+
+// blobLeafAt returns the payload of the leaf covering byte position pos
+// and the global offset of the leaf's first byte.
+func (t *Tree) blobLeafAt(pos uint64) ([]byte, uint64, error) {
+	id := t.root
+	var start uint64
+	i := pos
+	for lvl := t.height; lvl > 1; lvl-- {
+		c, err := t.getChunk(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		entries, err := decodeEntries(c.Data())
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, e := range entries {
+			if i < e.count {
+				id = e.id
+				break
+			}
+			i -= e.count
+			start += e.count
+		}
+	}
+	c, err := t.getChunk(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.Data(), start, nil
+}
+
+// Bytes materializes the full content of a Blob tree.
+func (t *Tree) Bytes() ([]byte, error) {
+	if t.kind != KindBlob {
+		return nil, fmt.Errorf("postree: Bytes on %v tree", t.kind)
+	}
+	out := make([]byte, 0, t.count)
+	it := t.Leaves()
+	for it.Next() {
+		out = append(out, it.Payload()...)
+	}
+	return out, it.Err()
+}
+
+// LeafIter walks the leaf chunks of a tree left to right. The walk is
+// type-driven: index chunks are expanded onto a stack, leaf chunks are
+// yielded, so no depth bookkeeping is needed.
+type LeafIter struct {
+	t     *Tree
+	stack [][]entry
+	cur   *chunk.Chunk
+	err   error
+}
+
+// Leaves returns an iterator over the tree's leaf chunks.
+func (t *Tree) Leaves() *LeafIter {
+	it := &LeafIter{t: t}
+	if !t.root.IsNil() {
+		it.stack = [][]entry{{{count: t.count, id: t.root}}}
+	}
+	return it
+}
+
+// Next advances to the next leaf chunk.
+func (it *LeafIter) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	for len(it.stack) > 0 {
+		top := &it.stack[len(it.stack)-1]
+		if len(*top) == 0 {
+			it.stack = it.stack[:len(it.stack)-1]
+			continue
+		}
+		e := (*top)[0]
+		*top = (*top)[1:]
+		c, err := it.t.getChunk(e.id)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		if isIndex(c.Type()) {
+			entries, err := decodeEntries(c.Data())
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.stack = append(it.stack, entries)
+			continue
+		}
+		it.cur = c
+		return true
+	}
+	return false
+}
+
+// Payload returns the current leaf chunk's payload.
+func (it *LeafIter) Payload() []byte { return it.cur.Data() }
+
+// Chunk returns the current leaf chunk.
+func (it *LeafIter) Chunk() *chunk.Chunk { return it.cur }
+
+// Err returns the first error encountered while iterating.
+func (it *LeafIter) Err() error { return it.err }
+
+// ElemIter yields the encoded elements of a non-Blob tree in order.
+type ElemIter struct {
+	t       *Tree
+	leaves  *LeafIter
+	payload []byte
+	cur     []byte
+	err     error
+}
+
+// Elems returns an iterator over encoded elements.
+func (t *Tree) Elems() *ElemIter {
+	return &ElemIter{t: t, leaves: t.Leaves()}
+}
+
+// Next advances to the next element.
+func (it *ElemIter) Next() bool {
+	if it.err != nil {
+		return false
+	}
+	for len(it.payload) == 0 {
+		if !it.leaves.Next() {
+			it.err = it.leaves.Err()
+			return false
+		}
+		it.payload = it.leaves.Payload()
+	}
+	enc, adv, err := elementAt(it.t.kind, it.payload)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.cur = enc
+	it.payload = it.payload[adv:]
+	return true
+}
+
+// Elem returns the current encoded element.
+func (it *ElemIter) Elem() []byte { return it.cur }
+
+// Err returns the first error encountered while iterating.
+func (it *ElemIter) Err() error { return it.err }
+
+// leafEntries collects the index entries of the leaf level (reading only
+// index chunks, not leaves) together with a synthesized entry for a
+// single-leaf tree.
+func (t *Tree) leafEntries() ([]entry, error) {
+	if t.root.IsNil() {
+		return nil, nil
+	}
+	if t.height == 1 {
+		e := entry{count: t.count, id: t.root}
+		if t.kind.Sorted() {
+			c, err := t.getChunk(t.root)
+			if err != nil {
+				return nil, err
+			}
+			k, err := lastElemKey(t.kind, c.Data())
+			if err != nil {
+				return nil, err
+			}
+			e.key = k
+		}
+		return []entry{e}, nil
+	}
+	var out []entry
+	var walk func(id chunk.ID, lvl int) error
+	walk = func(id chunk.ID, lvl int) error {
+		c, err := t.getChunk(id)
+		if err != nil {
+			return err
+		}
+		entries, err := decodeEntries(c.Data())
+		if err != nil {
+			return err
+		}
+		if lvl == 2 {
+			out = append(out, entries...)
+			return nil
+		}
+		for _, e := range entries {
+			if err := walk(e.id, lvl-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, t.height); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// lastElemKey returns the key of the last element in a sorted leaf
+// payload.
+func lastElemKey(k Kind, payload []byte) ([]byte, error) {
+	var last []byte
+	for len(payload) > 0 {
+		enc, adv, err := elementAt(k, payload)
+		if err != nil {
+			return nil, err
+		}
+		last = elemKey(k, enc)
+		payload = payload[adv:]
+	}
+	return append([]byte(nil), last...), nil
+}

@@ -1,0 +1,73 @@
+package rollsum
+
+// Chunker segments a byte stream into content-defined chunks. The caller
+// feeds element-sized slices (a whole key-value pair for Map chunks, a
+// whole element for List chunks, individual byte runs for Blob chunks)
+// and asks after each element whether a boundary should be placed. If the
+// pattern fires in the middle of an element the boundary is extended to
+// the element's end, so no element ever spans two chunks (§4.3.2).
+//
+// A boundary is also forced when the chunk grows to MaxSize, bounding
+// node size for pattern-free (e.g. repeated) content at the cost of
+// boundary-shifting on insertion, as the paper notes in §4.3.3.
+type Chunker struct {
+	roller  *Roller
+	pattern LeafPattern
+	size    int
+	max     int
+	hit     bool
+}
+
+// NewChunker returns a chunker with expected chunk size 2^q bytes and a
+// hard cap of maxSize bytes per chunk.
+func NewChunker(q uint, maxSize int) *Chunker {
+	return &Chunker{
+		roller:  NewRoller(),
+		pattern: NewLeafPattern(q),
+		max:     maxSize,
+	}
+}
+
+// Feed consumes one element's bytes and remembers whether the boundary
+// pattern fired at any primed position inside it.
+func (c *Chunker) Feed(p []byte) {
+	for _, b := range p {
+		v := c.roller.Roll(b)
+		if c.roller.Primed() && c.pattern.Match(v) {
+			c.hit = true
+		}
+	}
+	c.size += len(p)
+}
+
+// Boundary reports whether a chunk boundary should be placed after the
+// elements fed so far.
+func (c *Chunker) Boundary() bool {
+	return c.hit || c.size >= c.max
+}
+
+// Size returns the number of bytes fed into the current chunk.
+func (c *Chunker) Size() int { return c.size }
+
+// Next starts a new chunk: the rolling window is reset so boundary
+// decisions depend only on content after this point.
+func (c *Chunker) Next() {
+	c.roller.Reset()
+	c.size = 0
+	c.hit = false
+}
+
+// FindBoundary is the Blob fast path: it consumes bytes from p until a
+// boundary condition is met and returns the number of bytes consumed and
+// whether a boundary was placed there. When it returns (len(p), false)
+// the caller may feed more bytes or close the final chunk.
+func (c *Chunker) FindBoundary(p []byte) (n int, boundary bool) {
+	for i, b := range p {
+		v := c.roller.Roll(b)
+		c.size++
+		if (c.roller.Primed() && c.pattern.Match(v)) || c.size >= c.max {
+			return i + 1, true
+		}
+	}
+	return len(p), false
+}

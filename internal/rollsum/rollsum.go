@@ -1,0 +1,142 @@
+// Package rollsum implements the cyclic-polynomial rolling hash and the
+// pattern detectors that define POS-Tree node boundaries (paper §4.3.2
+// and §4.3.3).
+//
+// A leaf-node boundary occurs after byte b_k of a window (b_1..b_k) when
+//
+//	P(b_1..b_k) & (2^q - 1) == 0
+//
+// where P is a cyclic-polynomial (buzhash) rolling hash. An index-node
+// boundary occurs after an entry whose child cid satisfies
+//
+//	cid & (2^r - 1) == 0
+//
+// which is cheap because cids are already uniformly distributed
+// cryptographic digests.
+package rollsum
+
+import (
+	"math/bits"
+
+	"forkbase/internal/chunk"
+)
+
+// WindowSize is k, the number of bytes in the rolling window. 48 bytes is
+// small enough to localize boundary decisions and large enough that the
+// window content is effectively random for real data.
+const WindowSize = 48
+
+// byteTable maps each byte value to a pseudo-random 64-bit integer (the
+// function h in the paper). It is fixed so that chunking is deterministic
+// across processes, which the deduplication relies on. Generated once
+// from a splitmix64 sequence with seed 0x666f726b62617365 ("forkbase").
+var byteTable [256]uint64
+
+func init() {
+	x := uint64(0x666f726b62617365)
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range byteTable {
+		byteTable[i] = next()
+	}
+}
+
+// Roller maintains the cyclic-polynomial hash over a sliding window of
+// WindowSize bytes. The zero value is not usable; call NewRoller.
+type Roller struct {
+	window [WindowSize]byte
+	pos    int
+	sum    uint64
+	n      int // bytes consumed since last Reset, saturating at WindowSize
+}
+
+// NewRoller returns a Roller with an empty window.
+func NewRoller() *Roller {
+	return &Roller{}
+}
+
+// Reset clears the window. POS-Tree construction resets the roller at
+// every chunk boundary so that boundary decisions depend only on content
+// after the previous boundary; this is what lets an edited tree re-align
+// with the old chunk sequence.
+func (r *Roller) Reset() {
+	*r = Roller{}
+}
+
+// Roll consumes one byte and returns the updated hash value.
+//
+// The recurrence from the paper is
+//
+//	P(b_1..b_k) = s(P(b_0..b_{k-1})) XOR s^k(h(b_0)) XOR s^0(h(b_k))
+//
+// with s a one-bit cyclic left shift; bits.RotateLeft64 implements s on a
+// 64-bit word, and s^k is rotation by k mod 64.
+func (r *Roller) Roll(b byte) uint64 {
+	old := r.window[r.pos]
+	r.window[r.pos] = b
+	r.pos++
+	if r.pos == WindowSize {
+		r.pos = 0
+	}
+	r.sum = bits.RotateLeft64(r.sum, 1) ^ byteTable[b]
+	if r.n == WindowSize {
+		// The byte leaving the window was rotated WindowSize times
+		// since insertion; cancel its term. Before the window fills
+		// there is nothing to remove.
+		r.sum ^= bits.RotateLeft64(byteTable[old], WindowSize%64)
+	} else {
+		r.n++
+	}
+	return r.sum
+}
+
+// Sum returns the current hash value without consuming input.
+func (r *Roller) Sum() uint64 { return r.sum }
+
+// Primed reports whether a full window has been consumed since Reset.
+// Boundary checks before the window fills would act on mostly-zero
+// state, so the chunker ignores them.
+func (r *Roller) Primed() bool { return r.n == WindowSize }
+
+// LeafPattern decides leaf-chunk boundaries: the pattern occurs when the
+// q least significant bits of the rolling hash are zero, giving an
+// expected chunk size of 2^q bytes.
+type LeafPattern struct {
+	mask uint64
+}
+
+// NewLeafPattern returns a leaf pattern with 2^q expected bytes between
+// boundaries.
+func NewLeafPattern(q uint) LeafPattern {
+	return LeafPattern{mask: (uint64(1) << q) - 1}
+}
+
+// Match reports whether hash value v is a boundary.
+func (p LeafPattern) Match(v uint64) bool { return v&p.mask == 0 }
+
+// IndexPattern decides index-chunk boundaries from child cids: the
+// pattern occurs when the r least significant bits of the cid are zero,
+// giving an expected fan-out of 2^r entries per index node (§4.3.3).
+type IndexPattern struct {
+	mask uint64
+}
+
+// NewIndexPattern returns an index pattern with 2^r expected entries
+// between boundaries.
+func NewIndexPattern(r uint) IndexPattern {
+	return IndexPattern{mask: (uint64(1) << r) - 1}
+}
+
+// Match reports whether child cid id is a boundary. The low 8 bytes of
+// the digest are interpreted little-endian; any fixed slice of a
+// cryptographic digest is uniformly distributed.
+func (p IndexPattern) Match(id chunk.ID) bool {
+	v := uint64(id[0]) | uint64(id[1])<<8 | uint64(id[2])<<16 | uint64(id[3])<<24 |
+		uint64(id[4])<<32 | uint64(id[5])<<40 | uint64(id[6])<<48 | uint64(id[7])<<56
+	return v&p.mask == 0
+}

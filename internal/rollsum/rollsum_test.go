@@ -1,0 +1,213 @@
+package rollsum
+
+import (
+	"math/rand"
+	"testing"
+
+	"forkbase/internal/chunk"
+)
+
+func TestRollerDeterministic(t *testing.T) {
+	data := make([]byte, 1024)
+	rand.New(rand.NewSource(1)).Read(data)
+	a, b := NewRoller(), NewRoller()
+	for _, x := range data {
+		if a.Roll(x) != b.Roll(x) {
+			t.Fatal("two rollers diverged on identical input")
+		}
+	}
+}
+
+// The defining property of a rolling hash: the value depends only on the
+// last WindowSize bytes, not on anything before them.
+func TestRollerWindowProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tail := make([]byte, WindowSize)
+	rng.Read(tail)
+	prefixA := make([]byte, 300)
+	prefixB := make([]byte, 17)
+	rng.Read(prefixA)
+	rng.Read(prefixB)
+
+	a, b := NewRoller(), NewRoller()
+	for _, x := range prefixA {
+		a.Roll(x)
+	}
+	for _, x := range prefixB {
+		b.Roll(x)
+	}
+	var va, vb uint64
+	for _, x := range tail {
+		va = a.Roll(x)
+		vb = b.Roll(x)
+	}
+	if va != vb {
+		t.Fatalf("hash depends on bytes outside the window: %x vs %x", va, vb)
+	}
+}
+
+func TestRollerPrimed(t *testing.T) {
+	r := NewRoller()
+	for i := 0; i < WindowSize-1; i++ {
+		r.Roll(byte(i))
+		if r.Primed() {
+			t.Fatalf("primed after %d bytes", i+1)
+		}
+	}
+	r.Roll(0)
+	if !r.Primed() {
+		t.Fatal("not primed after a full window")
+	}
+	r.Reset()
+	if r.Primed() || r.Sum() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+// Boundary frequency should be close to 1/2^q on random data.
+func TestLeafPatternFrequency(t *testing.T) {
+	const q = 8 // expect 1 boundary per 256 bytes
+	p := NewLeafPattern(q)
+	r := NewRoller()
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 1<<20)
+	rng.Read(data)
+	hits := 0
+	for _, x := range data {
+		if v := r.Roll(x); r.Primed() && p.Match(v) {
+			hits++
+		}
+	}
+	want := len(data) / 256
+	if hits < want/2 || hits > want*2 {
+		t.Fatalf("boundary rate off: got %d hits, want about %d", hits, want)
+	}
+}
+
+func TestChunkerSizes(t *testing.T) {
+	const q = 10 // 1 KiB expected
+	c := NewChunker(q, 8<<q)
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 1<<20)
+	rng.Read(data)
+	var sizes []int
+	rem := data
+	for len(rem) > 0 {
+		n, boundary := c.FindBoundary(rem)
+		rem = rem[n:]
+		if boundary {
+			sizes = append(sizes, c.Size())
+			c.Next()
+		}
+	}
+	if len(sizes) == 0 {
+		t.Fatal("no chunks produced")
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+		if s > 8<<q {
+			t.Fatalf("chunk size %d exceeds max %d", s, 8<<q)
+		}
+	}
+	avg := total / len(sizes)
+	if avg < (1<<q)/2 || avg > (1<<q)*2 {
+		t.Fatalf("average chunk size %d far from expected %d", avg, 1<<q)
+	}
+}
+
+// Chunk boundaries must be content-defined: the same data yields the
+// same boundaries regardless of how it is sliced into Feed calls.
+func TestChunkerSliceInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 1<<16)
+	rng.Read(data)
+
+	boundariesOf := func(step int) []int {
+		c := NewChunker(10, 8<<10)
+		var out []int
+		pos := 0
+		for off := 0; off < len(data); {
+			end := off + step
+			if end > len(data) {
+				end = len(data)
+			}
+			rem := data[off:end]
+			for len(rem) > 0 {
+				n, boundary := c.FindBoundary(rem)
+				pos += n
+				rem = rem[n:]
+				if boundary {
+					out = append(out, pos)
+					c.Next()
+				}
+			}
+			off = end
+		}
+		return out
+	}
+	a := boundariesOf(1 << 16)
+	b := boundariesOf(7)
+	if len(a) != len(b) {
+		t.Fatalf("boundary count differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("boundary %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChunkerMaxSizeForced(t *testing.T) {
+	// Repeated content has no patterns (§4.3.3): every chunk must be
+	// forced at max size.
+	c := NewChunker(10, 4096)
+	zeros := make([]byte, 64<<10)
+	rem := zeros
+	for len(rem) > 0 {
+		n, boundary := c.FindBoundary(rem)
+		rem = rem[n:]
+		if boundary {
+			if c.Size() != 4096 {
+				t.Fatalf("forced chunk size %d, want 4096", c.Size())
+			}
+			c.Next()
+		}
+	}
+}
+
+func TestChunkerElementExtension(t *testing.T) {
+	// Feeding whole elements: boundary is only reported after an
+	// element even if the pattern fired inside it.
+	c := NewChunker(6, 1<<12) // tiny chunks so patterns fire often
+	rng := rand.New(rand.NewSource(6))
+	elem := make([]byte, 500)
+	rng.Read(elem)
+	boundaries := 0
+	for i := 0; i < 100; i++ {
+		c.Feed(elem)
+		if c.Boundary() {
+			boundaries++
+			c.Next()
+		}
+	}
+	if boundaries == 0 {
+		t.Fatal("no boundaries over 50KB with 64-byte expected chunks")
+	}
+}
+
+func TestIndexPattern(t *testing.T) {
+	p := NewIndexPattern(4) // 1 in 16
+	hits := 0
+	const n = 4096
+	for i := 0; i < n; i++ {
+		c := chunk.New(chunk.TypeBlob, []byte{byte(i), byte(i >> 8)})
+		if p.Match(c.ID()) {
+			hits++
+		}
+	}
+	want := n / 16
+	if hits < want/2 || hits > want*2 {
+		t.Fatalf("index pattern rate off: got %d, want about %d", hits, want)
+	}
+}

@@ -1,0 +1,309 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"forkbase/internal/chunk"
+)
+
+// FileStore is a log-structured persistent chunk store (§4.4). Chunks are
+// appended to segment files; because chunks are immutable there is no
+// update-in-place and no garbage to compact. Consecutively generated
+// chunks of a POS-Tree land next to each other in the log, which makes
+// their retrieval sequential.
+//
+// Record layout: crc32(body) | uint32 len(body) | body, where body is the
+// serialized chunk (type byte + payload), all integers little-endian.
+type FileStore struct {
+	mu      sync.RWMutex
+	dir     string
+	index   map[chunk.ID]location
+	active  *os.File
+	w       *bufio.Writer
+	seg     int   // active segment number
+	off     int64 // next write offset in the active segment
+	maxSeg  int64
+	sync    bool
+	stats   Stats
+	readers map[int]*os.File
+}
+
+type location struct {
+	seg int
+	off int64
+	n   int // body length
+}
+
+const recordHeader = 8 // crc32 + len
+
+// FileStoreOptions configures a FileStore.
+type FileStoreOptions struct {
+	// SegmentSize rotates the log when the active segment exceeds this
+	// many bytes. Default 64 MiB.
+	SegmentSize int64
+	// Sync forces an fsync after every Put. Default false (flush on
+	// Close), mirroring the paper's throughput-oriented configuration.
+	Sync bool
+}
+
+// OpenFileStore opens (creating if necessary) a log-structured store in
+// dir, replaying existing segments to rebuild the cid index. A torn tail
+// record in the newest segment is tolerated and truncated away.
+func OpenFileStore(dir string, opts FileStoreOptions) (*FileStore, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = 64 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	fs := &FileStore{
+		dir:     dir,
+		index:   make(map[chunk.ID]location),
+		maxSeg:  opts.SegmentSize,
+		sync:    opts.Sync,
+		readers: make(map[int]*os.File),
+	}
+	if err := fs.recover(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func segName(dir string, seg int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%06d.log", seg))
+}
+
+func (fs *FileStore) recover() error {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "seg-%06d.log", &n); err == nil {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	for i, seg := range segs {
+		valid, err := fs.replaySegment(seg)
+		if err != nil {
+			return err
+		}
+		last := i == len(segs)-1
+		if last {
+			fs.seg = seg
+			fs.off = valid
+			// Drop a torn tail so the append point is clean.
+			if err := os.Truncate(segName(fs.dir, seg), valid); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+		}
+	}
+	f, err := os.OpenFile(segName(fs.dir, fs.seg), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Seek(fs.off, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	fs.active = f
+	fs.w = bufio.NewWriterSize(f, 1<<20)
+	return nil
+}
+
+// replaySegment scans one segment, indexing every intact record, and
+// returns the offset just past the last intact record.
+func (fs *FileStore) replaySegment(seg int) (int64, error) {
+	f, err := os.Open(segName(fs.dir, seg))
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var off int64
+	hdr := make([]byte, recordHeader)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return off, nil // clean EOF or torn header: stop here
+		}
+		crc := binary.LittleEndian.Uint32(hdr[0:4])
+		n := binary.LittleEndian.Uint32(hdr[4:8])
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return off, nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return off, nil // corrupt tail
+		}
+		c, err := chunk.Decode(body)
+		if err != nil {
+			return off, nil
+		}
+		if _, ok := fs.index[c.ID()]; !ok {
+			fs.index[c.ID()] = location{seg: seg, off: off + recordHeader, n: int(n)}
+			fs.stats.Chunks++
+			fs.stats.Bytes += int64(c.Size())
+		}
+		off += recordHeader + int64(n)
+	}
+}
+
+// Put implements Store.
+func (fs *FileStore) Put(c *chunk.Chunk) (bool, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.Puts++
+	if _, ok := fs.index[c.ID()]; ok {
+		fs.stats.Dups++
+		fs.stats.DupBytes += int64(c.Size())
+		return true, nil
+	}
+	body := c.Bytes()
+	var hdr [recordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body)))
+	if _, err := fs.w.Write(hdr[:]); err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	if _, err := fs.w.Write(body); err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	fs.index[c.ID()] = location{seg: fs.seg, off: fs.off + recordHeader, n: len(body)}
+	fs.off += recordHeader + int64(len(body))
+	fs.stats.Chunks++
+	fs.stats.Bytes += int64(c.Size())
+	if fs.sync {
+		if err := fs.flushLocked(); err != nil {
+			return false, err
+		}
+	}
+	if fs.off >= fs.maxSeg {
+		if err := fs.rotateLocked(); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+func (fs *FileStore) flushLocked() error {
+	if err := fs.w.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if fs.sync {
+		if err := fs.active.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
+func (fs *FileStore) rotateLocked() error {
+	if err := fs.w.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := fs.active.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	fs.seg++
+	fs.off = 0
+	f, err := os.OpenFile(segName(fs.dir, fs.seg), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	fs.active = f
+	fs.w = bufio.NewWriterSize(f, 1<<20)
+	return nil
+}
+
+// Get implements Store.
+func (fs *FileStore) Get(id chunk.ID) (*chunk.Chunk, error) {
+	fs.mu.Lock()
+	loc, ok := fs.index[id]
+	fs.stats.Gets++
+	if !ok {
+		fs.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	// Reads from the active segment must see buffered writes.
+	if loc.seg == fs.seg {
+		if err := fs.w.Flush(); err != nil {
+			fs.mu.Unlock()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	r, err := fs.readerLocked(loc.seg)
+	if err != nil {
+		fs.mu.Unlock()
+		return nil, err
+	}
+	body := make([]byte, loc.n)
+	_, err = r.ReadAt(body, loc.off)
+	fs.stats.ReadBytes += int64(loc.n)
+	fs.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	c, err := chunk.Decode(body)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (fs *FileStore) readerLocked(seg int) (*os.File, error) {
+	if f, ok := fs.readers[seg]; ok {
+		return f, nil
+	}
+	f, err := os.Open(segName(fs.dir, seg))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	fs.readers[seg] = f
+	return f, nil
+}
+
+// Has implements Store.
+func (fs *FileStore) Has(id chunk.ID) bool {
+	fs.mu.RLock()
+	_, ok := fs.index[id]
+	fs.mu.RUnlock()
+	return ok
+}
+
+// Stats implements Store.
+func (fs *FileStore) Stats() Stats {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.stats
+}
+
+// Flush forces buffered records to the operating system.
+func (fs *FileStore) Flush() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.w.Flush()
+}
+
+// Close flushes and closes all segment files.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.w.Flush(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, f := range fs.readers {
+		f.Close()
+	}
+	return fs.active.Close()
+}

@@ -1,0 +1,69 @@
+package store
+
+import (
+	"sync"
+
+	"forkbase/internal/chunk"
+)
+
+// MemStore is an in-memory chunk store, the default for embedded use and
+// for tests. The zero value is not usable; call NewMemStore.
+type MemStore struct {
+	mu     sync.RWMutex
+	chunks map[chunk.ID]*chunk.Chunk
+	stats  Stats
+}
+
+// NewMemStore returns an empty in-memory chunk store.
+func NewMemStore() *MemStore {
+	return &MemStore{chunks: make(map[chunk.ID]*chunk.Chunk)}
+}
+
+// Put implements Store.
+func (m *MemStore) Put(c *chunk.Chunk) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Puts++
+	if _, ok := m.chunks[c.ID()]; ok {
+		m.stats.Dups++
+		m.stats.DupBytes += int64(c.Size())
+		return true, nil
+	}
+	m.chunks[c.ID()] = c
+	m.stats.Chunks++
+	m.stats.Bytes += int64(c.Size())
+	return false, nil
+}
+
+// Get implements Store.
+func (m *MemStore) Get(id chunk.ID) (*chunk.Chunk, error) {
+	m.mu.Lock()
+	c, ok := m.chunks[id]
+	m.stats.Gets++
+	if ok {
+		m.stats.ReadBytes += int64(c.Size())
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return c, nil
+}
+
+// Has implements Store.
+func (m *MemStore) Has(id chunk.ID) bool {
+	m.mu.RLock()
+	_, ok := m.chunks[id]
+	m.mu.RUnlock()
+	return ok
+}
+
+// Stats implements Store.
+func (m *MemStore) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats
+}
+
+// Close implements Store.
+func (m *MemStore) Close() error { return nil }

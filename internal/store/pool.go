@@ -1,0 +1,120 @@
+package store
+
+import (
+	"fmt"
+
+	"forkbase/internal/chunk"
+)
+
+// Pool federates several chunk-storage instances into one logical store,
+// the "large pool of storage accessible by any remote servlet" of §4.1.
+// Chunks are placed by cid (the second layer of the two-layer
+// partitioning scheme of §4.6) and optionally replicated onto the next
+// k-1 instances for durability (§4.4).
+type Pool struct {
+	members  []Store
+	replicas int
+}
+
+// NewPool builds a pool over members with the given replication factor
+// (clamped to [1, len(members)]).
+func NewPool(members []Store, replicas int) *Pool {
+	if len(members) == 0 {
+		panic("store: empty pool")
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(members) {
+		replicas = len(members)
+	}
+	return &Pool{members: members, replicas: replicas}
+}
+
+// home returns the index of the member responsible for id. Because cids
+// are cryptographic hashes, placement is uniform even under severely
+// skewed key workloads (§4.6).
+func (p *Pool) home(id chunk.ID) int {
+	v := uint64(id[24]) | uint64(id[25])<<8 | uint64(id[26])<<16 | uint64(id[27])<<24 |
+		uint64(id[28])<<32 | uint64(id[29])<<40 | uint64(id[30])<<48 | uint64(id[31])<<56
+	return int(v % uint64(len(p.members)))
+}
+
+// Home exposes the placement decision for instrumentation (Fig 15).
+func (p *Pool) Home(id chunk.ID) int { return p.home(id) }
+
+// Member returns the i-th underlying store.
+func (p *Pool) Member(i int) Store { return p.members[i] }
+
+// Members returns the number of underlying stores.
+func (p *Pool) Members() int { return len(p.members) }
+
+// Put implements Store, writing the chunk to its home member and its
+// replicas. dup reports deduplication at the home member.
+func (p *Pool) Put(c *chunk.Chunk) (bool, error) {
+	h := p.home(c.ID())
+	dup, err := p.members[h].Put(c)
+	if err != nil {
+		return false, err
+	}
+	for i := 1; i < p.replicas; i++ {
+		if _, err := p.members[(h+i)%len(p.members)].Put(c); err != nil {
+			return dup, fmt.Errorf("store: replica %d: %w", i, err)
+		}
+	}
+	return dup, nil
+}
+
+// Get implements Store, preferring the home member and falling over to
+// replicas.
+func (p *Pool) Get(id chunk.ID) (*chunk.Chunk, error) {
+	h := p.home(id)
+	for i := 0; i < p.replicas; i++ {
+		c, err := p.members[(h+i)%len(p.members)].Get(id)
+		if err == nil {
+			return c, nil
+		}
+		if err != ErrNotFound {
+			return nil, err
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Has implements Store.
+func (p *Pool) Has(id chunk.ID) bool {
+	h := p.home(id)
+	for i := 0; i < p.replicas; i++ {
+		if p.members[(h+i)%len(p.members)].Has(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats implements Store by summing member stats.
+func (p *Pool) Stats() Stats {
+	var out Stats
+	for _, m := range p.members {
+		s := m.Stats()
+		out.Chunks += s.Chunks
+		out.Bytes += s.Bytes
+		out.Puts += s.Puts
+		out.Dups += s.Dups
+		out.Gets += s.Gets
+		out.DupBytes += s.DupBytes
+		out.ReadBytes += s.ReadBytes
+	}
+	return out
+}
+
+// Close implements Store.
+func (p *Pool) Close() error {
+	var first error
+	for _, m := range p.members {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,70 @@
+// Package store provides chunk storage (paper §4.4): a content-addressed
+// key-value store whose key is a cid and whose value is the chunk bytes.
+// Chunks are immutable, so every implementation deduplicates by cid and
+// a log-structured layout suits persistence.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"forkbase/internal/chunk"
+)
+
+// ErrNotFound is returned when no chunk with the requested cid exists.
+var ErrNotFound = errors.New("store: chunk not found")
+
+// Store is the chunk-storage interface. Implementations must be safe for
+// concurrent use.
+type Store interface {
+	// Put persists a chunk. If a chunk with the same cid already
+	// exists the call is a no-op and dup is true — this is the
+	// deduplication short-circuit of §4.4.
+	Put(c *chunk.Chunk) (dup bool, err error)
+	// Get retrieves the chunk with the given cid, or ErrNotFound.
+	Get(id chunk.ID) (*chunk.Chunk, error)
+	// Has reports whether a chunk with the given cid exists.
+	Has(id chunk.ID) bool
+	// Stats returns storage counters.
+	Stats() Stats
+	// Close releases resources. The store must not be used after Close.
+	Close() error
+}
+
+// Stats summarizes a store's contents and traffic.
+type Stats struct {
+	Chunks    int   // number of distinct chunks held
+	Bytes     int64 // serialized bytes of distinct chunks held
+	Puts      int64 // total Put calls
+	Dups      int64 // Put calls absorbed by deduplication
+	Gets      int64 // total Get calls
+	DupBytes  int64 // serialized bytes absorbed by deduplication
+	ReadBytes int64 // serialized bytes served by Get
+}
+
+// DedupRatio returns the fraction of put traffic absorbed by
+// deduplication, in [0, 1].
+func (s Stats) DedupRatio() float64 {
+	if s.Puts == 0 {
+		return 0
+	}
+	return float64(s.Dups) / float64(s.Puts)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("chunks=%d bytes=%d puts=%d dups=%d (%.1f%%)",
+		s.Chunks, s.Bytes, s.Puts, s.Dups, 100*s.DedupRatio())
+}
+
+// GetVerified fetches a chunk and verifies its content against the
+// requested cid, detecting a tampering storage provider (§2.3).
+func GetVerified(s Store, id chunk.ID) (*chunk.Chunk, error) {
+	c, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Verify(id); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

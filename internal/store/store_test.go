@@ -1,0 +1,257 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"forkbase/internal/chunk"
+)
+
+// storeFactories lets every conformance test run against each
+// implementation.
+func storeFactories(t *testing.T) map[string]func() Store {
+	return map[string]func() Store{
+		"mem": func() Store { return NewMemStore() },
+		"file": func() Store {
+			fs, err := OpenFileStore(t.TempDir(), FileStoreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs
+		},
+		"pool": func() Store {
+			return NewPool([]Store{NewMemStore(), NewMemStore(), NewMemStore()}, 2)
+		},
+	}
+}
+
+func TestStoreConformance(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+
+			c := chunk.New(chunk.TypeBlob, []byte("payload"))
+			if s.Has(c.ID()) {
+				t.Fatal("Has before Put")
+			}
+			if _, err := s.Get(c.ID()); err != ErrNotFound {
+				t.Fatalf("Get before Put: %v, want ErrNotFound", err)
+			}
+			dup, err := s.Put(c)
+			if err != nil || dup {
+				t.Fatalf("first Put: dup=%v err=%v", dup, err)
+			}
+			dup, err = s.Put(c)
+			if err != nil || !dup {
+				t.Fatalf("second Put: dup=%v err=%v, want dedup", dup, err)
+			}
+			got, err := s.Get(c.ID())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ID() != c.ID() || got.Type() != chunk.TypeBlob {
+				t.Fatal("Get returned wrong chunk")
+			}
+			if !s.Has(c.ID()) {
+				t.Fatal("Has after Put")
+			}
+			st := s.Stats()
+			if st.Puts < 2 || st.Dups < 1 {
+				t.Fatalf("stats not tracking: %+v", st)
+			}
+		})
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	for name, mk := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			defer s.Close()
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					for i := 0; i < 200; i++ {
+						data := make([]byte, 64)
+						rng.Read(data)
+						c := chunk.New(chunk.TypeBlob, data)
+						if _, err := s.Put(c); err != nil {
+							t.Error(err)
+							return
+						}
+						if _, err := s.Get(c.ID()); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+func TestFileStoreRecovery(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir, FileStoreOptions{SegmentSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []chunk.ID
+	for i := 0; i < 100; i++ {
+		c := chunk.New(chunk.TypeBlob, []byte(fmt.Sprintf("chunk-%04d-%s", i, string(make([]byte, 100)))))
+		if _, err := fs.Put(c); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.ID())
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := OpenFileStore(dir, FileStoreOptions{SegmentSize: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	for i, id := range ids {
+		c, err := fs2.Get(id)
+		if err != nil {
+			t.Fatalf("chunk %d lost after recovery: %v", i, err)
+		}
+		if c.ID() != id {
+			t.Fatalf("chunk %d corrupt after recovery", i)
+		}
+	}
+	if got := fs2.Stats().Chunks; got != 100 {
+		t.Fatalf("recovered %d chunks, want 100", got)
+	}
+	// Dedup survives recovery.
+	dup, err := fs2.Put(chunk.New(chunk.TypeBlob, []byte(fmt.Sprintf("chunk-%04d-%s", 0, string(make([]byte, 100))))))
+	if err != nil || !dup {
+		t.Fatalf("dedup after recovery: dup=%v err=%v", dup, err)
+	}
+}
+
+func TestFileStoreTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir, FileStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := chunk.New(chunk.TypeBlob, []byte("good"))
+	if _, err := fs.Put(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage simulating a torn write.
+	seg := filepath.Join(dir, "seg-000000.log")
+	if err := appendFile(seg, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := OpenFileStore(dir, FileStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	if _, err := fs2.Get(good.ID()); err != nil {
+		t.Fatalf("intact record lost: %v", err)
+	}
+	// The store stays writable after truncating the torn tail.
+	c2 := chunk.New(chunk.TypeBlob, []byte("after-recovery"))
+	if _, err := fs2.Put(c2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs2.Get(c2.ID()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolPlacementAndReplication(t *testing.T) {
+	members := []Store{NewMemStore(), NewMemStore(), NewMemStore(), NewMemStore()}
+	p := NewPool(members, 2)
+	var ids []chunk.ID
+	for i := 0; i < 400; i++ {
+		c := chunk.New(chunk.TypeBlob, []byte(fmt.Sprintf("item-%d", i)))
+		if _, err := p.Put(c); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.ID())
+	}
+	// Every chunk must live on exactly 2 members.
+	for _, id := range ids {
+		n := 0
+		for _, m := range members {
+			if m.Has(id) {
+				n++
+			}
+		}
+		if n != 2 {
+			t.Fatalf("chunk replicated on %d members, want 2", n)
+		}
+	}
+	// cid-based placement should be roughly uniform.
+	for i, m := range members {
+		got := m.Stats().Chunks
+		if got < 100 || got > 300 {
+			t.Fatalf("member %d holds %d chunks, want around 200", i, got)
+		}
+	}
+	// Reads survive the loss of the home member.
+	for _, id := range ids {
+		h := p.Home(id)
+		members[h].(*MemStore).drop(id)
+		if _, err := p.Get(id); err != nil {
+			t.Fatalf("read after home loss: %v", err)
+		}
+	}
+}
+
+// drop removes a chunk, simulating member data loss (test helper).
+func (m *MemStore) drop(id chunk.ID) {
+	m.mu.Lock()
+	delete(m.chunks, id)
+	m.mu.Unlock()
+}
+
+func TestGetVerified(t *testing.T) {
+	s := NewMemStore()
+	c := chunk.New(chunk.TypeBlob, []byte("data"))
+	s.Put(c)
+	if _, err := GetVerified(s, c.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// A store that serves the wrong chunk for a cid must be caught.
+	evil := &misdirectingStore{Store: s, wrong: c}
+	other := chunk.New(chunk.TypeBlob, []byte("other"))
+	if _, err := GetVerified(evil, other.ID()); err == nil {
+		t.Fatal("GetVerified accepted substituted content")
+	}
+}
+
+type misdirectingStore struct {
+	Store
+	wrong *chunk.Chunk
+}
+
+func (m *misdirectingStore) Get(id chunk.ID) (*chunk.Chunk, error) { return m.wrong, nil }
+
+func appendFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}

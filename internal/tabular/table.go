@@ -1,0 +1,443 @@
+// Package tabular implements the collaborative-analytics application of
+// paper §5.3: relational datasets stored on ForkBase in a row-oriented
+// layout (records as Tuples in a Map keyed by primary key) or a
+// column-oriented layout (column values as Lists referenced from a Map
+// keyed by column name), plus an OrpheusDB-style baseline that
+// materializes checkouts from record-version vectors.
+package tabular
+
+import (
+	"encoding/binary"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"forkbase"
+	"forkbase/internal/postree"
+	"forkbase/internal/workload"
+)
+
+// Layout selects the physical layout of a ForkBase-backed table.
+type Layout int
+
+const (
+	// RowLayout stores each record as a Tuple in a Map keyed by
+	// primary key: efficient point updates.
+	RowLayout Layout = iota
+	// ColLayout stores each column as a List referenced from a Map
+	// keyed by column name: efficient analytical scans (Figure 17b).
+	ColLayout
+)
+
+func (l Layout) String() string {
+	if l == ColLayout {
+		return "ForkBase-COL"
+	}
+	return "ForkBase-ROW"
+}
+
+// Schema fixes the columns of the synthetic dataset of §6.4: a 12-byte
+// primary key, two integer fields and two textual fields.
+var Schema = []string{"pk", "int1", "int2", "text1", "text2"}
+
+func encInt(v int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+func decInt(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
+// encodeRecord serializes a record as a Tuple payload.
+func encodeRecord(r workload.Record) []byte {
+	return forkbase.EncodeTuple(forkbase.Tuple{
+		[]byte(r.PK), encInt(r.Int1), encInt(r.Int2), []byte(r.Text1), []byte(r.Text2),
+	})
+}
+
+func decodeRecord(data []byte) (workload.Record, error) {
+	t, err := forkbase.DecodeTuple(data)
+	if err != nil {
+		return workload.Record{}, err
+	}
+	if len(t) != len(Schema) {
+		return workload.Record{}, fmt.Errorf("tabular: record has %d fields", len(t))
+	}
+	return workload.Record{
+		PK:    string(t[0]),
+		Int1:  decInt(t[1]),
+		Int2:  decInt(t[2]),
+		Text1: string(t[3]),
+		Text2: string(t[4]),
+	}, nil
+}
+
+// columnValue extracts field col from a record for the column layout.
+func columnValue(r workload.Record, col string) []byte {
+	switch col {
+	case "pk":
+		return []byte(r.PK)
+	case "int1":
+		return encInt(r.Int1)
+	case "int2":
+		return encInt(r.Int2)
+	case "text1":
+		return []byte(r.Text1)
+	case "text2":
+		return []byte(r.Text2)
+	}
+	panic("tabular: unknown column " + col)
+}
+
+// FBTable is a versioned relational table on ForkBase. Branches scope
+// independent lines of analysis (fork semantics, §5.3).
+type FBTable struct {
+	db     *forkbase.DB
+	name   string
+	layout Layout
+}
+
+// NewFBTable returns a table handle.
+func NewFBTable(db *forkbase.DB, name string, layout Layout) *FBTable {
+	return &FBTable{db: db, name: name, layout: layout}
+}
+
+// Layout returns the physical layout.
+func (t *FBTable) Layout() Layout { return t.layout }
+
+func (t *FBTable) rowKey() string           { return "tbl/" + t.name + "/rows" }
+func (t *FBTable) colKey(col string) string { return "tbl/" + t.name + "/col/" + col }
+
+// Import loads records into the given branch, replacing prior contents.
+// Records must be sorted by primary key for the column layout to align
+// positions across columns.
+func (t *FBTable) Import(branch string, records []workload.Record) error {
+	switch t.layout {
+	case RowLayout:
+		m := forkbase.NewMap()
+		for _, r := range records {
+			if err := m.Set([]byte(r.PK), encodeRecord(r)); err != nil {
+				return err
+			}
+		}
+		_, err := t.db.PutBranch(t.rowKey(), branch, m)
+		return err
+	case ColLayout:
+		dir := forkbase.NewMap()
+		for _, col := range Schema {
+			l := forkbase.NewList()
+			for _, r := range records {
+				if err := l.Append(columnValue(r, col)); err != nil {
+					return err
+				}
+			}
+			uid, err := t.db.PutBranch(t.colKey(col), branch, l)
+			if err != nil {
+				return err
+			}
+			if err := dir.Set([]byte(col), uid[:]); err != nil {
+				return err
+			}
+		}
+		_, err := t.db.PutBranch(t.rowKey(), branch, dir)
+		return err
+	}
+	return fmt.Errorf("tabular: bad layout")
+}
+
+// Fork creates a new branch of the dataset (the checkout of §6.4): in
+// ForkBase this is a constant-time branch-table operation, no data is
+// copied.
+func (t *FBTable) Fork(refBranch, newBranch string) error {
+	if err := t.db.Fork(t.rowKey(), refBranch, newBranch); err != nil {
+		return err
+	}
+	if t.layout == ColLayout {
+		for _, col := range Schema {
+			if err := t.db.Fork(t.colKey(col), refBranch, newBranch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records on branch.
+func (t *FBTable) Count(branch string) (uint64, error) {
+	o, err := t.db.GetBranch(t.rowKey(), branch)
+	if err != nil {
+		return 0, err
+	}
+	m, err := t.db.MapOf(o)
+	if err != nil {
+		return 0, err
+	}
+	if t.layout == RowLayout {
+		return m.Len(), nil
+	}
+	l, err := t.column(branch, "pk")
+	if err != nil {
+		return 0, err
+	}
+	return l.Len(), nil
+}
+
+// Get returns the record with the given primary key (row layout only).
+func (t *FBTable) Get(branch, pk string) (workload.Record, bool, error) {
+	if t.layout != RowLayout {
+		return workload.Record{}, false, errors.New("tabular: Get requires the row layout")
+	}
+	o, err := t.db.GetBranch(t.rowKey(), branch)
+	if err != nil {
+		return workload.Record{}, false, err
+	}
+	m, err := t.db.MapOf(o)
+	if err != nil {
+		return workload.Record{}, false, err
+	}
+	raw, ok, err := m.Get([]byte(pk))
+	if err != nil || !ok {
+		return workload.Record{}, false, err
+	}
+	r, err := decodeRecord(raw)
+	return r, err == nil && true, err
+}
+
+// column fetches one column's List on branch.
+func (t *FBTable) column(branch, col string) (*forkbase.List, error) {
+	o, err := t.db.GetBranch(t.colKey(col), branch)
+	if err != nil {
+		return nil, err
+	}
+	return t.db.ListOf(o)
+}
+
+// Update applies record modifications to branch. For the row layout the
+// Map absorbs a batch of Tuple rewrites; for the column layout each
+// touched column's List is spliced at the record positions.
+//
+// The positions slice gives each record's ordinal for the column layout
+// (its index in the sorted primary-key order used at import).
+func (t *FBTable) Update(branch string, records []workload.Record, positions []uint64) error {
+	switch t.layout {
+	case RowLayout:
+		o, err := t.db.GetBranch(t.rowKey(), branch)
+		if err != nil {
+			return err
+		}
+		m, err := t.db.MapOf(o)
+		if err != nil {
+			return err
+		}
+		sets := make([]postree.KV, len(records))
+		for i, r := range records {
+			sets[i] = postree.KV{Key: []byte(r.PK), Value: encodeRecord(r)}
+		}
+		if err := m.Apply(sets, nil); err != nil {
+			return err
+		}
+		_, err = t.db.PutBranch(t.rowKey(), branch, m)
+		return err
+	case ColLayout:
+		if len(positions) != len(records) {
+			return errors.New("tabular: column update needs positions")
+		}
+		dir := forkbase.NewMap()
+		for _, col := range Schema {
+			l, err := t.column(branch, col)
+			if err != nil {
+				return err
+			}
+			for i, r := range records {
+				if err := l.Splice(positions[i], 1, columnValue(r, col)); err != nil {
+					return err
+				}
+			}
+			uid, err := t.db.PutBranch(t.colKey(col), branch, l)
+			if err != nil {
+				return err
+			}
+			if err := dir.Set([]byte(col), uid[:]); err != nil {
+				return err
+			}
+		}
+		_, err := t.db.PutBranch(t.rowKey(), branch, dir)
+		return err
+	}
+	return fmt.Errorf("tabular: bad layout")
+}
+
+// Scan calls fn for every record on branch in primary-key order.
+func (t *FBTable) Scan(branch string, fn func(workload.Record) bool) error {
+	switch t.layout {
+	case RowLayout:
+		o, err := t.db.GetBranch(t.rowKey(), branch)
+		if err != nil {
+			return err
+		}
+		m, err := t.db.MapOf(o)
+		if err != nil {
+			return err
+		}
+		var decodeErr error
+		err = m.Iter(func(k, v []byte) bool {
+			r, err := decodeRecord(v)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			return fn(r)
+		})
+		if decodeErr != nil {
+			return decodeErr
+		}
+		return err
+	case ColLayout:
+		cols := make(map[string][][]byte, len(Schema))
+		var n uint64
+		for _, col := range Schema {
+			l, err := t.column(branch, col)
+			if err != nil {
+				return err
+			}
+			var vals [][]byte
+			if err := l.Iter(func(_ uint64, e []byte) bool {
+				vals = append(vals, e)
+				return true
+			}); err != nil {
+				return err
+			}
+			cols[col] = vals
+			n = uint64(len(vals))
+		}
+		for i := uint64(0); i < n; i++ {
+			r := workload.Record{
+				PK:    string(cols["pk"][i]),
+				Int1:  decInt(cols["int1"][i]),
+				Int2:  decInt(cols["int2"][i]),
+				Text1: string(cols["text1"][i]),
+				Text2: string(cols["text2"][i]),
+			}
+			if !fn(r) {
+				return nil
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("tabular: bad layout")
+}
+
+// Aggregate sums an integer column ("int1" or "int2") on branch. The
+// column layout reads only that column's chunks; the row layout decodes
+// every record (the Figure 17b gap).
+func (t *FBTable) Aggregate(branch, col string) (int64, error) {
+	if col != "int1" && col != "int2" {
+		return 0, fmt.Errorf("tabular: cannot aggregate column %q", col)
+	}
+	if t.layout == ColLayout {
+		l, err := t.column(branch, col)
+		if err != nil {
+			return 0, err
+		}
+		var sum int64
+		if err := l.Iter(func(_ uint64, e []byte) bool {
+			sum += decInt(e)
+			return true
+		}); err != nil {
+			return 0, err
+		}
+		return sum, nil
+	}
+	var sum int64
+	err := t.Scan(branch, func(r workload.Record) bool {
+		if col == "int1" {
+			sum += r.Int1
+		} else {
+			sum += r.Int2
+		}
+		return true
+	})
+	return sum, err
+}
+
+// DiffCount compares two branches and returns the number of added,
+// removed and modified records, using the POS-Tree diff so that shared
+// subtrees are skipped (Figure 17a). Row layout only.
+func (t *FBTable) DiffCount(branchA, branchB string) (added, removed, modified int, err error) {
+	if t.layout != RowLayout {
+		return 0, 0, 0, errors.New("tabular: DiffCount requires the row layout")
+	}
+	a, err := t.db.GetBranch(t.rowKey(), branchA)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	b, err := t.db.GetBranch(t.rowKey(), branchB)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	d, err := t.db.DiffVersions(a.UID(), b.UID())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return len(d.Sorted.Added), len(d.Sorted.Removed), len(d.Sorted.Modified), nil
+}
+
+// ImportCSV loads a CSV stream with the fixed schema (pk, int1, int2,
+// text1, text2) into branch.
+func (t *FBTable) ImportCSV(branch string, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	var records []workload.Record
+	for {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("tabular: %w", err)
+		}
+		if len(row) != len(Schema) {
+			return 0, fmt.Errorf("tabular: row has %d fields, want %d", len(row), len(Schema))
+		}
+		i1, err := strconv.ParseInt(row[1], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("tabular: %w", err)
+		}
+		i2, err := strconv.ParseInt(row[2], 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("tabular: %w", err)
+		}
+		records = append(records, workload.Record{PK: row[0], Int1: i1, Int2: i2, Text1: row[3], Text2: row[4]})
+	}
+	if err := t.Import(branch, records); err != nil {
+		return 0, err
+	}
+	return len(records), nil
+}
+
+// ExportCSV writes branch's records as CSV in primary-key order.
+func (t *FBTable) ExportCSV(branch string, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	var scanErr error
+	err := t.Scan(branch, func(r workload.Record) bool {
+		scanErr = cw.Write([]string{
+			r.PK,
+			strconv.FormatInt(r.Int1, 10),
+			strconv.FormatInt(r.Int2, 10),
+			r.Text1, r.Text2,
+		})
+		return scanErr == nil
+	})
+	if err != nil {
+		return err
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// StorageBytes reports the backing store's consumption.
+func (t *FBTable) StorageBytes() int64 { return t.db.Stats().Bytes }

@@ -1,0 +1,185 @@
+package wiki
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"forkbase"
+	"forkbase/internal/workload"
+)
+
+func engines(t *testing.T) map[string]Engine {
+	t.Helper()
+	return map[string]Engine{
+		"forkbase": NewForkBase(forkbase.Open(), FetchModel{}),
+		"redis":    NewRedis(FetchModel{}),
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for name, e := range engines(t) {
+		c := NewClient()
+		content := workload.RandText(newRng(1), 15<<10)
+		if err := e.Save(c, "home", content); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := e.Load(c, "home")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatalf("%s: content mismatch", name)
+		}
+		if _, err := e.Load(c, "missing"); !errors.Is(err, ErrPageNotFound) {
+			t.Fatalf("%s: missing page: %v", name, err)
+		}
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestVersionHistory(t *testing.T) {
+	for name, e := range engines(t) {
+		c := NewClient()
+		for i := 0; i < 5; i++ {
+			content := []byte{byte('a' + i)}
+			if err := e.Save(c, "p", bytes.Repeat(content, 100)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for back := 0; back < 5; back++ {
+			got, err := e.LoadVersion(c, "p", back)
+			if err != nil {
+				t.Fatalf("%s back %d: %v", name, back, err)
+			}
+			want := byte('a' + 4 - back)
+			if got[0] != want {
+				t.Fatalf("%s back %d: got %c want %c", name, back, got[0], want)
+			}
+		}
+		if _, err := e.LoadVersion(c, "p", 10); err == nil {
+			t.Fatalf("%s: version beyond history succeeded", name)
+		}
+	}
+}
+
+func TestEditSemanticsMatchAcrossEngines(t *testing.T) {
+	fb := NewForkBase(forkbase.Open(), FetchModel{})
+	rd := NewRedis(FetchModel{})
+	c := NewClient()
+	initial := workload.RandText(newRng(2), 8<<10)
+	fb.Save(c, "p", initial)
+	rd.Save(c, "p", initial)
+
+	trace := workload.NewWikiTrace(3, 1, 200, 0.5, 0)
+	for i := 0; i < 20; i++ {
+		cur, _ := fb.Load(NewClient(), "p")
+		e := trace.Next(len(cur))
+		e.Page = "p"
+		if err := fb.Edit(c, e); err != nil {
+			t.Fatal(err)
+		}
+		if err := rd.Edit(c, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := fb.Load(NewClient(), "p")
+	b, _ := rd.Load(NewClient(), "p")
+	if !bytes.Equal(a, b) {
+		t.Fatalf("engines diverged after identical edits: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestStorageDedup is the Figure 13b effect: after many versions of
+// lightly edited pages, ForkBase consumes less storage than Redis even
+// though Redis compresses each copy.
+func TestStorageDedup(t *testing.T) {
+	fb := NewForkBase(forkbase.Open(), FetchModel{})
+	rd := NewRedis(FetchModel{})
+	c := NewClient()
+	rng := newRng(4)
+	pages := 10
+	for p := 0; p < pages; p++ {
+		content := workload.RandText(rng, 15<<10)
+		page := string(rune('a' + p))
+		fb.Save(c, page, content)
+		rd.Save(c, page, content)
+	}
+	trace := workload.NewWikiTrace(5, pages, 200, 1.0, 0)
+	for i := 0; i < 100; i++ {
+		cur, err := fb.Load(NewClient(), string(rune('a'+i%pages)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := trace.Next(len(cur))
+		e.Page = string(rune('a' + i%pages))
+		fb.Edit(c, e)
+		rd.Edit(c, e)
+	}
+	if fb.StorageBytes() >= rd.StorageBytes() {
+		t.Fatalf("ForkBase (%d) should use less storage than Redis (%d) after 100 versions",
+			fb.StorageBytes(), rd.StorageBytes())
+	}
+}
+
+// TestClientCacheReducesTransfer is the Figure 14 effect: reading
+// consecutive versions of a page transfers fewer new bytes in ForkBase
+// because shared chunks sit in the client cache; Redis re-ships the
+// full page each time.
+func TestClientCacheReducesTransfer(t *testing.T) {
+	fb := NewForkBase(forkbase.Open(), FetchModel{})
+	rd := NewRedis(FetchModel{})
+	seed := NewClient()
+	// Large enough that the page always spans several chunks; a 15 KB
+	// page has a small chance of fitting one content-defined chunk.
+	content := workload.RandText(newRng(6), 48<<10)
+	fb.Save(seed, "p", content)
+	rd.Save(seed, "p", content)
+	trace := workload.NewWikiTrace(7, 1, 100, 1.0, 0)
+	for i := 0; i < 5; i++ {
+		e := trace.Next(len(content))
+		e.Page = "p"
+		fb.Edit(seed, e)
+		rd.Edit(seed, e)
+	}
+	// A fresh client tracks all 6 versions of the page.
+	cf, cr := NewClient(), NewClient()
+	fb0, rd0 := fb.BytesFetched(), rd.BytesFetched()
+	for back := 0; back < 6; back++ {
+		if _, err := fb.LoadVersion(cf, "p", back); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rd.LoadVersion(cr, "p", back); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fbBytes := fb.BytesFetched() - fb0
+	rdBytes := rd.BytesFetched() - rd0
+	if fbBytes >= rdBytes {
+		t.Fatalf("ForkBase fetched %d bytes for 6 versions, Redis %d; chunk caching had no effect",
+			fbBytes, rdBytes)
+	}
+}
+
+func TestDiffConsecutiveVersions(t *testing.T) {
+	fb := NewForkBase(forkbase.Open(), FetchModel{})
+	c := NewClient()
+	content := workload.RandText(newRng(8), 30<<10)
+	fb.Save(c, "p", content)
+	fb.Edit(c, workload.WikiEdit{Page: "p", Offset: 15 << 10, Content: []byte("tiny edit"), InPlace: true})
+	shared, distinct, err := fb.Diff("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared == 0 {
+		t.Fatal("no chunks shared between consecutive versions")
+	}
+	if distinct == 0 {
+		t.Fatal("edit produced no distinct chunks")
+	}
+	if distinct > shared {
+		t.Fatalf("tiny edit invalidated most chunks: shared=%d distinct=%d", shared, distinct)
+	}
+}

@@ -1,0 +1,171 @@
+// Package workload generates the synthetic workloads of the paper's
+// evaluation (§6): YCSB-style key-value operation streams for the
+// blockchain smart contract, Zipf-skewed page accesses for the wiki
+// engine, and record streams for the collaborative-analytics datasets.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandBytes fills a new n-byte slice with pseudo-random data.
+func RandBytes(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	rng.Read(out)
+	return out
+}
+
+// RandText returns n bytes of word-like ASCII text; compressible like
+// natural-language page content.
+func RandText(rng *rand.Rand, n int) []byte {
+	const letters = "abcdefghijklmnopqrstuvwxyz     "
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = letters[rng.Intn(len(letters))]
+	}
+	return out
+}
+
+// Op is one key-value operation.
+type Op struct {
+	Key   string
+	Value []byte
+	Read  bool
+}
+
+// YCSB generates an operation stream over a fixed key population with a
+// given read ratio, mirroring the Blockbench setup of §6.2 (the smart
+// contract implementing a key-value store, r=w=0.5 by default).
+type YCSB struct {
+	rng       *rand.Rand
+	keys      int
+	readRatio float64
+	valueSize int
+	zipf      *rand.Zipf // nil for uniform
+	seq       int
+}
+
+// YCSBConfig configures a generator.
+type YCSBConfig struct {
+	Seed      int64
+	Keys      int
+	ReadRatio float64 // fraction of reads, e.g. 0.5
+	ValueSize int     // bytes per written value
+	ZipfS     float64 // 0 for uniform; >1 enables skew
+}
+
+// NewYCSB returns a generator.
+func NewYCSB(cfg YCSBConfig) *YCSB {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1 << 10
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 100
+	}
+	y := &YCSB{rng: rng, keys: cfg.Keys, readRatio: cfg.ReadRatio, valueSize: cfg.ValueSize}
+	if cfg.ZipfS > 1 {
+		y.zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+	}
+	return y
+}
+
+// Key returns the i-th key name.
+func Key(i int) string { return fmt.Sprintf("user%08d", i) }
+
+// Next returns the next operation.
+func (y *YCSB) Next() Op {
+	var idx int
+	if y.zipf != nil {
+		idx = int(y.zipf.Uint64())
+	} else {
+		idx = y.rng.Intn(y.keys)
+	}
+	op := Op{Key: Key(idx)}
+	if y.rng.Float64() < y.readRatio {
+		op.Read = true
+		return op
+	}
+	y.seq++
+	op.Value = []byte(fmt.Sprintf("v%08d-%s", y.seq, RandText(y.rng, y.valueSize-10)))
+	return op
+}
+
+// WikiEdit describes one page edit: either an in-place update or an
+// insertion, per the xU knob of Figure 13.
+type WikiEdit struct {
+	Page    string
+	Offset  int
+	Content []byte
+	InPlace bool // overwrite (100U) vs insert
+}
+
+// WikiTrace generates edits over a page population.
+type WikiTrace struct {
+	rng          *rand.Rand
+	pages        int
+	editSize     int
+	inPlaceRatio float64
+	zipf         *rand.Zipf
+}
+
+// NewWikiTrace returns a trace over `pages` pages where inPlaceRatio of
+// the edits overwrite text in place and the rest insert new text.
+// zipfS > 1 skews page popularity (Figure 15).
+func NewWikiTrace(seed int64, pages, editSize int, inPlaceRatio, zipfS float64) *WikiTrace {
+	rng := rand.New(rand.NewSource(seed))
+	w := &WikiTrace{rng: rng, pages: pages, editSize: editSize, inPlaceRatio: inPlaceRatio}
+	if zipfS > 1 {
+		w.zipf = rand.NewZipf(rng, zipfS, 1, uint64(pages-1))
+	}
+	return w
+}
+
+// Next returns the next edit against a page of the given current size.
+func (w *WikiTrace) Next(pageSize int) WikiEdit {
+	var idx int
+	if w.zipf != nil {
+		idx = int(w.zipf.Uint64())
+	} else {
+		idx = w.rng.Intn(w.pages)
+	}
+	e := WikiEdit{
+		Page:    fmt.Sprintf("page-%05d", idx),
+		Content: RandText(w.rng, w.editSize),
+		InPlace: w.rng.Float64() < w.inPlaceRatio,
+	}
+	if pageSize > w.editSize {
+		e.Offset = w.rng.Intn(pageSize - w.editSize)
+	}
+	return e
+}
+
+// Record is one synthetic relational record matching §6.4's dataset: a
+// 12-byte primary key, two integer fields, and textual fields of
+// variable length, around 180 bytes in total.
+type Record struct {
+	PK    string
+	Int1  int64
+	Int2  int64
+	Text1 string
+	Text2 string
+}
+
+// Dataset deterministically generates n records.
+func Dataset(seed int64, n int) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Record, n)
+	for i := range out {
+		t1 := 40 + rng.Intn(60)
+		t2 := 40 + rng.Intn(60)
+		out[i] = Record{
+			PK:    fmt.Sprintf("pk-%09d", i),
+			Int1:  rng.Int63n(1 << 30),
+			Int2:  rng.Int63n(1 << 30),
+			Text1: string(RandText(rng, t1)),
+			Text2: string(RandText(rng, t2)),
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestYCSBDeterministic(t *testing.T) {
+	a := NewYCSB(YCSBConfig{Seed: 1, Keys: 100, ReadRatio: 0.5, ValueSize: 50})
+	b := NewYCSB(YCSBConfig{Seed: 1, Keys: 100, ReadRatio: 0.5, ValueSize: 50})
+	for i := 0; i < 500; i++ {
+		x, y := a.Next(), b.Next()
+		if x.Key != y.Key || x.Read != y.Read || string(x.Value) != string(y.Value) {
+			t.Fatalf("op %d diverged", i)
+		}
+	}
+}
+
+func TestYCSBReadRatio(t *testing.T) {
+	y := NewYCSB(YCSBConfig{Seed: 2, Keys: 100, ReadRatio: 0.3, ValueSize: 50})
+	reads := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if y.Next().Read {
+			reads++
+		}
+	}
+	if reads < n*25/100 || reads > n*35/100 {
+		t.Fatalf("read ratio %f, want about 0.3", float64(reads)/n)
+	}
+}
+
+func TestYCSBValueSizeAndKeys(t *testing.T) {
+	y := NewYCSB(YCSBConfig{Seed: 3, Keys: 10, ReadRatio: 0, ValueSize: 80})
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		op := y.Next()
+		if op.Read {
+			t.Fatal("read with ratio 0")
+		}
+		if len(op.Value) != 80 {
+			t.Fatalf("value size %d", len(op.Value))
+		}
+		seen[op.Key] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("keys used: %d, want 10", len(seen))
+	}
+}
+
+func TestYCSBZipfSkew(t *testing.T) {
+	y := NewYCSB(YCSBConfig{Seed: 4, Keys: 1000, ReadRatio: 0, ValueSize: 10, ZipfS: 1.5})
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[y.Next().Key]++
+	}
+	if counts[Key(0)] < n/10 {
+		t.Fatalf("hottest key got %d of %d ops; zipf not skewing", counts[Key(0)], n)
+	}
+}
+
+func TestWikiTraceBounds(t *testing.T) {
+	w := NewWikiTrace(5, 20, 100, 0.5, 0)
+	inPlace := 0
+	for i := 0; i < 2000; i++ {
+		e := w.Next(15 << 10)
+		if len(e.Content) != 100 {
+			t.Fatalf("edit size %d", len(e.Content))
+		}
+		if e.Offset < 0 || e.Offset >= 15<<10 {
+			t.Fatalf("offset %d out of page", e.Offset)
+		}
+		if e.InPlace {
+			inPlace++
+		}
+	}
+	if inPlace < 800 || inPlace > 1200 {
+		t.Fatalf("in-place ratio %f, want about 0.5", float64(inPlace)/2000)
+	}
+}
+
+func TestDatasetShape(t *testing.T) {
+	records := Dataset(42, 500)
+	if len(records) != 500 {
+		t.Fatalf("len %d", len(records))
+	}
+	seen := map[string]bool{}
+	for i, r := range records {
+		if len(r.PK) != 12 {
+			t.Fatalf("pk %q not 12 bytes", r.PK)
+		}
+		if seen[r.PK] {
+			t.Fatalf("duplicate pk %q", r.PK)
+		}
+		seen[r.PK] = true
+		if i > 0 && records[i-1].PK >= r.PK {
+			t.Fatal("pks not sorted")
+		}
+		total := len(r.PK) + 16 + len(r.Text1) + len(r.Text2)
+		if total < 100 || total > 260 {
+			t.Fatalf("record size %d far from the paper's ~180 bytes", total)
+		}
+	}
+	// Deterministic across calls.
+	again := Dataset(42, 500)
+	if again[123] != records[123] {
+		t.Fatal("dataset not deterministic")
+	}
+}
+
+func TestRandTextCompressibleAlphabet(t *testing.T) {
+	rngText := RandText(newRand(1), 10000)
+	for _, b := range rngText {
+		if !(b == ' ' || (b >= 'a' && b <= 'z')) {
+			t.Fatalf("unexpected byte %q in text", b)
+		}
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
