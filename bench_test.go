@@ -7,6 +7,7 @@ package forkbase_test
 // tables measure. See EXPERIMENTS.md for the paper-vs-measured record.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -18,6 +19,8 @@ import (
 	"forkbase/internal/bench"
 	"forkbase/internal/workload"
 )
+
+var bctx = context.Background()
 
 // experimentOut returns the destination for experiment rows: verbose
 // benchmark runs (-v) print them; normal runs keep the log clean.
@@ -50,12 +53,68 @@ func BenchmarkFig15SkewBalance(b *testing.B)   { runExperiment(b, bench.RunFig15
 func BenchmarkFig16DatasetMod(b *testing.B)    { runExperiment(b, bench.RunFig16) }
 func BenchmarkFig17DiffAggregate(b *testing.B) { runExperiment(b, bench.RunFig17) }
 
+func BenchmarkBatchPutExperiment(b *testing.B) { runExperiment(b, bench.RunBatchPut) }
+
 func BenchmarkAblationFixedVsPattern(b *testing.B) { runExperiment(b, bench.RunAblationFixedVsPattern) }
 func BenchmarkAblationChunkSize(b *testing.B)      { runExperiment(b, bench.RunAblationChunkSize) }
 func BenchmarkAblationHash(b *testing.B)           { runExperiment(b, bench.RunAblationHash) }
 func BenchmarkAblationIndexPattern(b *testing.B)   { runExperiment(b, bench.RunAblationIndexPattern) }
 
 // --- focused micro-benchmarks ---------------------------------------
+
+// BenchmarkPut and BenchmarkBatchPut are a matched pair: the same
+// write stream (small String values over 8 keys) issued as individual
+// Puts vs 64-write batches through Store.Apply, against both Store
+// implementations. The batch amortizes per-write key-lock acquisition,
+// head loading and branch-table updates on the embedded engine, and —
+// the architectural win — collapses per-write servlet dispatches (one
+// channel round-trip each) into one dispatch per owning servlet on the
+// cluster. RunBatchPut (internal/bench) additionally measures the
+// effect with a simulated network hop, where the gap is largest.
+
+func batchBackends(b *testing.B) map[string]forkbase.Store {
+	b.Helper()
+	cc, err := forkbase.OpenCluster(forkbase.ClusterConfig{Nodes: 4, TwoLayer: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return map[string]forkbase.Store{"embedded": forkbase.Open(), "cluster": cc}
+}
+
+func BenchmarkPut(b *testing.B) {
+	for name, st := range batchBackends(b) {
+		b.Run(name, func(b *testing.B) {
+			v := forkbase.String("batched-write-payload-0000000000")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Put(bctx, fmt.Sprintf("k%d", i%8), v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		st.Close()
+	}
+}
+
+func BenchmarkBatchPut(b *testing.B) {
+	for name, st := range batchBackends(b) {
+		b.Run(name, func(b *testing.B) {
+			v := forkbase.String("batched-write-payload-0000000000")
+			const batchSize = 64
+			b.ResetTimer()
+			for done := 0; done < b.N; done += batchSize {
+				batch := forkbase.NewBatch()
+				for i := 0; i < batchSize && done+i < b.N; i++ {
+					batch.Put(fmt.Sprintf("k%d", (done+i)%8), v)
+				}
+				if _, err := st.Apply(bctx, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		st.Close()
+	}
+}
 
 func BenchmarkPutString1K(b *testing.B) {
 	db := forkbase.Open()
@@ -66,7 +125,7 @@ func BenchmarkPutString1K(b *testing.B) {
 	// A bounded key space keeps the branch tables small so the bench
 	// measures Put itself, not map growth; versions still accumulate.
 	for i := 0; i < b.N; i++ {
-		if _, err := db.Put(fmt.Sprintf("k%d", i%8192), forkbase.String(data)); err != nil {
+		if _, err := db.Put(bctx, fmt.Sprintf("k%d", i%8192), forkbase.String(data)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -81,7 +140,7 @@ func BenchmarkPutBlob20K(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		p := append([]byte(nil), data...)
 		copy(p, fmt.Sprintf("%016d", i))
-		if _, err := db.Put(fmt.Sprintf("k%d", i%8192), forkbase.NewBlob(p)); err != nil {
+		if _, err := db.Put(bctx, fmt.Sprintf("k%d", i%8192), forkbase.NewBlob(p)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -92,14 +151,14 @@ func BenchmarkGetBlobFull20K(b *testing.B) {
 	defer db.Close()
 	data := workload.RandText(rand.New(rand.NewSource(3)), 20<<10)
 	for i := 0; i < 64; i++ {
-		if _, err := db.Put(fmt.Sprintf("k%d", i), forkbase.NewBlob(data)); err != nil {
+		if _, err := db.Put(bctx, fmt.Sprintf("k%d", i), forkbase.NewBlob(data)); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.SetBytes(20 << 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		o, err := db.Get(fmt.Sprintf("k%d", i%64))
+		o, err := db.Get(bctx, fmt.Sprintf("k%d", i%64))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,12 +176,12 @@ func BenchmarkBlobSpliceMiddle(b *testing.B) {
 	db := forkbase.Open()
 	defer db.Close()
 	data := workload.RandText(rand.New(rand.NewSource(4)), 256<<10)
-	if _, err := db.Put("blob", forkbase.NewBlob(data)); err != nil {
+	if _, err := db.Put(bctx, "blob", forkbase.NewBlob(data)); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		o, err := db.Get("blob")
+		o, err := db.Get(bctx, "blob")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,7 +192,7 @@ func BenchmarkBlobSpliceMiddle(b *testing.B) {
 		if err := blob.Splice(128<<10, 8, []byte(fmt.Sprintf("%08d", i))); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := db.Put("blob", blob); err != nil {
+		if _, err := db.Put(bctx, "blob", blob); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -146,12 +205,12 @@ func BenchmarkMapSetIn100K(b *testing.B) {
 	for i := 0; i < 100_000; i++ {
 		m.Set([]byte(fmt.Sprintf("key-%08d", i)), []byte("value-00000000"))
 	}
-	if _, err := db.Put("map", m); err != nil {
+	if _, err := db.Put(bctx, "map", m); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		o, err := db.Get("map")
+		o, err := db.Get(bctx, "map")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +221,7 @@ func BenchmarkMapSetIn100K(b *testing.B) {
 		if err := mm.Set([]byte(fmt.Sprintf("key-%08d", i%100_000)), []byte(fmt.Sprintf("value-%08d", i))); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := db.Put("map", mm); err != nil {
+		if _, err := db.Put(bctx, "map", mm); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -175,10 +234,10 @@ func BenchmarkMapGetIn100K(b *testing.B) {
 	for i := 0; i < 100_000; i++ {
 		m.Set([]byte(fmt.Sprintf("key-%08d", i)), []byte("value"))
 	}
-	if _, err := db.Put("map", m); err != nil {
+	if _, err := db.Put(bctx, "map", m); err != nil {
 		b.Fatal(err)
 	}
-	o, _ := db.Get("map")
+	o, _ := db.Get(bctx, "map")
 	mm, _ := db.MapOf(o)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -192,13 +251,13 @@ func BenchmarkTrackHistory(b *testing.B) {
 	db := forkbase.Open()
 	defer db.Close()
 	for i := 0; i < 100; i++ {
-		if _, err := db.Put("doc", forkbase.String(fmt.Sprintf("v%d", i))); err != nil {
+		if _, err := db.Put(bctx, "doc", forkbase.String(fmt.Sprintf("v%d", i))); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := db.Track("doc", forkbase.DefaultBranch, 0, 9); err != nil {
+		if _, err := db.Track(bctx, "doc", 0, 9); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,14 +270,14 @@ func BenchmarkDiffLargeMaps(b *testing.B) {
 	for i := 0; i < 50_000; i++ {
 		m.Set([]byte(fmt.Sprintf("key-%08d", i)), []byte("value"))
 	}
-	u1, err := db.Put("map", m)
+	u1, err := db.Put(bctx, "map", m)
 	if err != nil {
 		b.Fatal(err)
 	}
-	o, _ := db.Get("map")
+	o, _ := db.Get(bctx, "map")
 	mm, _ := db.MapOf(o)
 	mm.Set([]byte("key-00025000"), []byte("changed"))
-	u2, err := db.Put("map", mm)
+	u2, err := db.Put(bctx, "map", mm)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,421 @@
+package forkbase
+
+import (
+	"context"
+	"errors"
+
+	"forkbase/internal/core"
+	"forkbase/internal/servlet"
+)
+
+// Store is the unified ForkBase client API. Every deployment mode —
+// the embedded *DB, the simulated-cluster ClusterClient, and any
+// future RPC client — implements this one surface, so applications
+// written against it move between deployment modes without change;
+// the paper's architecture (§4.1) serves all of them through the same
+// dispatcher → access controller → branch table → object manager
+// pipeline.
+//
+// The interface collapses the M1–M17 operations of paper Table 1 into
+// orthogonal calls whose variants are selected by functional options:
+//
+//	Get(ctx, key)                          M1 (default branch)
+//	Get(ctx, key, WithBranch(b))           M1
+//	Get(ctx, key, WithBase(uid))           M2
+//	Put(ctx, key, v, WithBranch(b))        M3
+//	Put(ctx, key, v, WithBase(uid))        M4 (fork-on-conflict)
+//	Put(ctx, key, v, WithGuard(uid))       guarded Put (§4.5.1)
+//	Merge(ctx, key, tgt, WithBranch(b))    M5
+//	Merge(ctx, key, tgt, WithBase(uid))    M6
+//	Merge(ctx, key, "", WithBase(u1), WithBase(u2))  M7
+//	ListKeys(ctx)                          M8
+//	ListBranches(ctx, key)                 M9 + M10
+//	Fork(ctx, key, nb, WithBranch(b))      M11
+//	Fork(ctx, key, nb, WithBase(uid))      M12
+//	RenameBranch(ctx, key, b, nb)          M13
+//	RemoveBranch(ctx, key, b)              M14
+//	Track(ctx, key, from, to)              M15
+//	Track(ctx, key, from, to, WithBase(u)) M16
+//
+// Every call takes a context honoured before (and, where the backend
+// allows, during) execution, and WithUser routes the call through the
+// access controller; stores without a configured ACL run in open mode
+// and admit everything.
+type Store interface {
+	// Get reads a branch head (M1) or, with WithBase, a pinned
+	// version (M2), verifying it against its uid.
+	Get(ctx context.Context, key string, opts ...Option) (*FObject, error)
+	// Put writes a new version and returns its uid: to a branch head
+	// (M3), conditionally with WithGuard, or deriving from an explicit
+	// base with WithBase (M4, fork-on-conflict). WithMeta attaches
+	// application metadata to the version.
+	Put(ctx context.Context, key string, v Value, opts ...Option) (UID, error)
+	// Apply executes a Batch, amortizing per-write locking and
+	// dispatch; see Batch for grouping and atomicity semantics.
+	// Options apply to the whole batch (notably WithUser).
+	Apply(ctx context.Context, b *Batch, opts ...Option) ([]UID, error)
+	// Fork creates newBranch at a reference branch's head (M11) or,
+	// with WithBase, at an arbitrary version (M12).
+	Fork(ctx context.Context, key, newBranch string, opts ...Option) error
+	// Merge merges a reference — WithBranch's head (M5) or WithBase's
+	// version (M6) — into tgtBranch, resolving conflicts with
+	// WithResolver. With an empty tgtBranch and two or more WithBase
+	// versions it merges untagged heads (M7).
+	Merge(ctx context.Context, key, tgtBranch string, opts ...Option) (UID, []Conflict, error)
+	// Track returns versions at derivation distances [from, to] behind
+	// a branch head (M15) or, with WithBase, behind a version (M16).
+	Track(ctx context.Context, key string, from, to int, opts ...Option) ([]*FObject, error)
+	// Diff compares two versions of key of the same type.
+	Diff(ctx context.Context, key string, a, b UID, opts ...Option) (*Diff, error)
+	// ListKeys returns all keys (M8); under a closed ACL it requires
+	// global read permission.
+	ListKeys(ctx context.Context, opts ...Option) ([]string, error)
+	// ListBranches returns a key's tagged branches and untagged heads
+	// (M9 + M10).
+	ListBranches(ctx context.Context, key string, opts ...Option) (BranchList, error)
+	// RenameBranch renames a tagged branch (M13); admin permission.
+	RenameBranch(ctx context.Context, key, branchName, newName string, opts ...Option) error
+	// RemoveBranch drops a branch name (M14); versions stay reachable
+	// by uid. Admin permission.
+	RemoveBranch(ctx context.Context, key, branchName string, opts ...Option) error
+	// Value decodes an FObject fetched from this store. key locates
+	// the chunks (the cluster routes it to the owning servlet).
+	Value(ctx context.Context, key string, o *FObject, opts ...Option) (Value, error)
+	// Close releases the store's resources.
+	Close() error
+}
+
+// BranchList is a key's branch table as seen by clients: the named
+// branches (M9) and the untagged fork-on-conflict heads (M10) — more
+// than one untagged head means unresolved siblings.
+type BranchList struct {
+	Tagged   []TaggedBranch
+	Untagged []UID
+}
+
+// ErrBadOptions reports an option combination a call cannot satisfy
+// (e.g. Put with both WithBranch and WithBase).
+var ErrBadOptions = errors.New("forkbase: conflicting or missing call options")
+
+// Access control, shared by every Store implementation. The embedded
+// DB and the cluster both delegate to the servlet layer's branch-based
+// controller (§4.1); a nil/absent ACL means open mode.
+type (
+	// ACL is a branch-based access controller; see NewACL.
+	ACL = servlet.ACL
+	// Permission is an access level; higher levels include lower ones.
+	Permission = servlet.Permission
+)
+
+// Permission levels.
+const (
+	PermNone  = servlet.PermNone
+	PermRead  = servlet.PermRead
+	PermWrite = servlet.PermWrite
+	PermAdmin = servlet.PermAdmin
+)
+
+// NewACL returns an access controller; open=true admits everything.
+var NewACL = servlet.NewACL
+
+// ErrAccessDenied is returned when the access controller rejects a
+// call before execution.
+var ErrAccessDenied = servlet.ErrAccessDenied
+
+// AsBlob asserts that a decoded Value is a Blob.
+func AsBlob(v Value) (*Blob, error) {
+	b, ok := v.(*Blob)
+	if !ok {
+		return nil, core.ErrTypeMismatch
+	}
+	return b, nil
+}
+
+// AsMap asserts that a decoded Value is a Map.
+func AsMap(v Value) (*Map, error) {
+	m, ok := v.(*Map)
+	if !ok {
+		return nil, core.ErrTypeMismatch
+	}
+	return m, nil
+}
+
+// AsList asserts that a decoded Value is a List.
+func AsList(v Value) (*List, error) {
+	l, ok := v.(*List)
+	if !ok {
+		return nil, core.ErrTypeMismatch
+	}
+	return l, nil
+}
+
+// AsSet asserts that a decoded Value is a Set.
+func AsSet(v Value) (*Set, error) {
+	s, ok := v.(*Set)
+	if !ok {
+		return nil, core.ErrTypeMismatch
+	}
+	return s, nil
+}
+
+// --- embedded implementation ----------------------------------------
+
+// check runs the embedded access controller, if one is configured.
+func (db *DB) check(user, key, branchName string, need Permission) error {
+	if db.acl == nil {
+		return nil
+	}
+	return db.acl.Check(user, key, branchName, need)
+}
+
+// checkBaseRead verifies read permission on the key a version actually
+// belongs to. Calls that accept a WithBase uid must not let the uid act
+// as a capability that sidesteps per-key grants.
+func (db *DB) checkBaseRead(user string, uid UID) error {
+	if db.acl == nil || uid.IsNil() {
+		return nil
+	}
+	obj, err := db.eng.GetUID(uid)
+	if err != nil {
+		return err
+	}
+	return db.check(user, string(obj.Key), "", PermRead)
+}
+
+// Get implements Store.
+func (db *DB) Get(ctx context.Context, key string, opts ...Option) (*FObject, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	o := resolveOpts(opts)
+	if uid, ok := o.base(); ok {
+		if o.branchSet {
+			return nil, ErrBadOptions
+		}
+		obj, err := db.eng.GetUID(uid)
+		if err != nil {
+			return nil, err
+		}
+		// The version names the key it belongs to; the read permission
+		// that matters is on that key, not the caller-supplied one — a
+		// uid must not be a capability to bypass per-key grants.
+		if err := db.check(o.user, string(obj.Key), "", PermRead); err != nil {
+			return nil, err
+		}
+		return obj, nil
+	}
+	br := o.branchOr(DefaultBranch)
+	if err := db.check(o.user, key, br, PermRead); err != nil {
+		return nil, err
+	}
+	return db.eng.Get([]byte(key), br)
+}
+
+// Put implements Store.
+func (db *DB) Put(ctx context.Context, key string, v Value, opts ...Option) (UID, error) {
+	if err := ctx.Err(); err != nil {
+		return UID{}, err
+	}
+	o := resolveOpts(opts)
+	if base, ok := o.base(); ok {
+		if o.branchSet || o.guard != nil {
+			return UID{}, ErrBadOptions
+		}
+		if err := db.check(o.user, key, "", PermWrite); err != nil {
+			return UID{}, err
+		}
+		// Deriving from a version pulls its content into the new one;
+		// that needs read permission on the key the base belongs to.
+		if err := db.checkBaseRead(o.user, base); err != nil {
+			return UID{}, err
+		}
+		return db.eng.PutBase([]byte(key), base, v, o.meta)
+	}
+	br := o.branchOr(DefaultBranch)
+	if err := db.check(o.user, key, br, PermWrite); err != nil {
+		return UID{}, err
+	}
+	if o.guard != nil {
+		return db.eng.PutGuarded([]byte(key), br, v, o.meta, *o.guard)
+	}
+	return db.eng.Put([]byte(key), br, v, o.meta)
+}
+
+// Apply implements Store.
+func (db *DB) Apply(ctx context.Context, b *Batch, opts ...Option) ([]UID, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	o := resolveOpts(opts)
+	for _, p := range b.puts {
+		if err := db.check(o.user, string(p.Key), p.Branch, PermWrite); err != nil {
+			return nil, err
+		}
+	}
+	return db.eng.PutBatch(ctx, b.puts)
+}
+
+// Fork implements Store.
+func (db *DB) Fork(ctx context.Context, key, newBranch string, opts ...Option) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	o := resolveOpts(opts)
+	if err := db.check(o.user, key, newBranch, PermWrite); err != nil {
+		return err
+	}
+	if uid, ok := o.base(); ok {
+		if o.branchSet {
+			return ErrBadOptions
+		}
+		// Tagging a version makes it readable under this key's
+		// branches; require read permission on its own key.
+		if err := db.checkBaseRead(o.user, uid); err != nil {
+			return err
+		}
+		return db.eng.ForkUID([]byte(key), uid, newBranch)
+	}
+	return db.eng.Fork([]byte(key), o.branchOr(DefaultBranch), newBranch)
+}
+
+// Merge implements Store.
+func (db *DB) Merge(ctx context.Context, key, tgtBranch string, opts ...Option) (UID, []Conflict, error) {
+	if err := ctx.Err(); err != nil {
+		return UID{}, nil, err
+	}
+	o := resolveOpts(opts)
+	if tgtBranch == "" {
+		if len(o.bases) < 2 || o.branchSet {
+			return UID{}, nil, ErrBadOptions
+		}
+		if err := db.check(o.user, key, "", PermWrite); err != nil {
+			return UID{}, nil, err
+		}
+		for _, uid := range o.bases {
+			if err := db.checkBaseRead(o.user, uid); err != nil {
+				return UID{}, nil, err
+			}
+		}
+		return db.eng.MergeUntagged([]byte(key), o.resolver, o.meta, o.bases...)
+	}
+	if err := db.check(o.user, key, tgtBranch, PermWrite); err != nil {
+		return UID{}, nil, err
+	}
+	if ref, ok := o.base(); ok {
+		if o.branchSet || len(o.bases) > 1 {
+			return UID{}, nil, ErrBadOptions
+		}
+		// Merging a version folds its content into the target; that
+		// needs read permission on the key it belongs to.
+		if err := db.checkBaseRead(o.user, ref); err != nil {
+			return UID{}, nil, err
+		}
+		return db.eng.MergeUID([]byte(key), tgtBranch, ref, o.resolver, o.meta)
+	}
+	return db.eng.MergeBranches([]byte(key), tgtBranch, o.branchOr(DefaultBranch), o.resolver, o.meta)
+}
+
+// Track implements Store.
+func (db *DB) Track(ctx context.Context, key string, from, to int, opts ...Option) ([]*FObject, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	o := resolveOpts(opts)
+	if uid, ok := o.base(); ok {
+		if o.branchSet {
+			return nil, ErrBadOptions
+		}
+		// Read permission is checked on the key the version actually
+		// belongs to (derivation chains never cross keys).
+		if err := db.checkBaseRead(o.user, uid); err != nil {
+			return nil, err
+		}
+		return db.eng.TrackUID(uid, from, to)
+	}
+	br := o.branchOr(DefaultBranch)
+	if err := db.check(o.user, key, br, PermRead); err != nil {
+		return nil, err
+	}
+	return db.eng.Track([]byte(key), br, from, to)
+}
+
+// Diff implements Store.
+func (db *DB) Diff(ctx context.Context, key string, a, b UID, opts ...Option) (*Diff, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	o := resolveOpts(opts)
+	// Permission is checked on the keys the two versions belong to.
+	for _, uid := range []UID{a, b} {
+		if err := db.checkBaseRead(o.user, uid); err != nil {
+			return nil, err
+		}
+	}
+	return db.eng.Diff(a, b)
+}
+
+// ListKeys implements Store.
+func (db *DB) ListKeys(ctx context.Context, opts ...Option) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	o := resolveOpts(opts)
+	if err := db.check(o.user, "", "", PermRead); err != nil {
+		return nil, err
+	}
+	return db.eng.ListKeys(), nil
+}
+
+// ListBranches implements Store.
+func (db *DB) ListBranches(ctx context.Context, key string, opts ...Option) (BranchList, error) {
+	if err := ctx.Err(); err != nil {
+		return BranchList{}, err
+	}
+	o := resolveOpts(opts)
+	if err := db.check(o.user, key, "", PermRead); err != nil {
+		return BranchList{}, err
+	}
+	return BranchList{
+		Tagged:   db.eng.ListTaggedBranches([]byte(key)),
+		Untagged: db.eng.ListUntaggedBranches([]byte(key)),
+	}, nil
+}
+
+// RenameBranch implements Store.
+func (db *DB) RenameBranch(ctx context.Context, key, branchName, newName string, opts ...Option) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	o := resolveOpts(opts)
+	if err := db.check(o.user, key, branchName, PermAdmin); err != nil {
+		return err
+	}
+	return db.eng.Rename([]byte(key), branchName, newName)
+}
+
+// RemoveBranch implements Store.
+func (db *DB) RemoveBranch(ctx context.Context, key, branchName string, opts ...Option) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	o := resolveOpts(opts)
+	if err := db.check(o.user, key, branchName, PermAdmin); err != nil {
+		return err
+	}
+	return db.eng.RemoveBranch([]byte(key), branchName)
+}
+
+// Value implements Store.
+func (db *DB) Value(ctx context.Context, key string, o *FObject, opts ...Option) (Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	co := resolveOpts(opts)
+	// The object names its own key; check permission on that.
+	if err := db.check(co.user, string(o.Key), "", PermRead); err != nil {
+		return nil, err
+	}
+	return db.eng.Value(o)
+}
+
+var _ Store = (*DB)(nil)

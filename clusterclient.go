@@ -1,0 +1,341 @@
+package forkbase
+
+import (
+	"context"
+	"time"
+
+	"forkbase/internal/cluster"
+	"forkbase/internal/core"
+	"forkbase/internal/servlet"
+)
+
+// ClusterConfig configures OpenCluster.
+type ClusterConfig struct {
+	// Nodes is the number of servlet/chunk-storage pairs; 0 means 4.
+	Nodes int
+	// TwoLayer selects 2LP chunk placement (§4.6): ordinary chunks
+	// partitioned across all storage instances by cid, meta chunks
+	// local. False selects 1LP (all chunks on the owning servlet).
+	TwoLayer bool
+	// Replicas is the chunk replication factor under 2LP.
+	Replicas int
+	// NetLatency, when non-zero, is slept once per dispatched request
+	// to model the client-servlet network hop.
+	NetLatency time.Duration
+	// Rebalance enables forwarding POS-Tree construction away from
+	// overloaded servlets (§4.6.1); requires TwoLayer.
+	Rebalance bool
+	// ChunkSizeLog2 sets the expected POS-Tree chunk size to
+	// 2^ChunkSizeLog2 bytes; 0 means the paper default of 4 KB.
+	ChunkSizeLog2 uint
+	// ACL, when set, is the access controller every dispatched request
+	// passes through; pair it with WithUser. Nil means open mode.
+	ACL *ACL
+}
+
+// ClusterClient is the distributed Store implementation: calls are
+// routed by the cluster master to the servlet owning the key, pass the
+// access controller, and execute on that servlet's execution thread
+// (§4.1). It serves the same Store API as the embedded DB, so
+// applications move between deployment modes without change.
+type ClusterClient struct {
+	c *cluster.Cluster
+}
+
+// OpenCluster starts a simulated ForkBase cluster (in-process servlets
+// connected by channels; see internal/cluster) and returns its client.
+func OpenCluster(cfg ClusterConfig) (*ClusterClient, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 4
+	}
+	placement := cluster.OneLayer
+	if cfg.TwoLayer {
+		placement = cluster.TwoLayer
+	}
+	c, err := cluster.New(cluster.Options{
+		Nodes:      cfg.Nodes,
+		Placement:  placement,
+		Replicas:   cfg.Replicas,
+		NetLatency: cfg.NetLatency,
+		Rebalance:  cfg.Rebalance,
+		Tree:       Options{ChunkSizeLog2: cfg.ChunkSizeLog2}.treeConfig(),
+		ACL:        cfg.ACL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterClient{c: c}, nil
+}
+
+// Cluster exposes the underlying simulated cluster for instrumentation
+// (storage distribution, per-servlet queue depths, chunk reads).
+func (cc *ClusterClient) Cluster() *cluster.Cluster { return cc.c }
+
+// Close stops all servlets.
+func (cc *ClusterClient) Close() error {
+	cc.c.Close()
+	return nil
+}
+
+// checkBaseRead verifies, on the owning servlet, read permission on
+// the key a version actually belongs to: a WithBase uid must not act
+// as a capability that sidesteps per-key grants.
+func (cc *ClusterClient) checkBaseRead(eng *core.Engine, user string, uid UID) error {
+	acl := cc.c.ACL()
+	if acl.IsOpen() || uid.IsNil() {
+		return nil
+	}
+	obj, err := eng.GetUID(uid)
+	if err != nil {
+		return err
+	}
+	return acl.Check(user, string(obj.Key), "", servlet.PermRead)
+}
+
+// Get implements Store.
+func (cc *ClusterClient) Get(ctx context.Context, key string, opts ...Option) (*FObject, error) {
+	o := resolveOpts(opts)
+	var out *FObject
+	var err error
+	if uid, ok := o.base(); ok {
+		if o.branchSet {
+			return nil, ErrBadOptions
+		}
+		err = cc.c.ExecAs(ctx, o.user, key, "", servlet.PermRead, func(eng *core.Engine) error {
+			obj, err := eng.GetUID(uid)
+			if err != nil {
+				return err
+			}
+			// Permission follows the version's own key.
+			if err := cc.c.ACL().Check(o.user, string(obj.Key), "", servlet.PermRead); err != nil {
+				return err
+			}
+			out = obj
+			return nil
+		})
+	} else {
+		br := o.branchOr(DefaultBranch)
+		err = cc.c.ExecAs(ctx, o.user, key, br, servlet.PermRead, func(eng *core.Engine) error {
+			var err error
+			out, err = eng.Get([]byte(key), br)
+			return err
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Put implements Store.
+func (cc *ClusterClient) Put(ctx context.Context, key string, v Value, opts ...Option) (UID, error) {
+	o := resolveOpts(opts)
+	if base, ok := o.base(); ok {
+		if o.branchSet || o.guard != nil {
+			return UID{}, ErrBadOptions
+		}
+		var uid UID
+		err := cc.c.ExecAs(ctx, o.user, key, "", servlet.PermWrite, func(eng *core.Engine) error {
+			if err := cc.checkBaseRead(eng, o.user, base); err != nil {
+				return err
+			}
+			var err error
+			uid, err = eng.PutBase([]byte(key), base, v, o.meta)
+			return err
+		})
+		if err != nil {
+			return UID{}, err
+		}
+		return uid, nil
+	}
+	return cc.c.PutAs(ctx, o.user, key, o.branchOr(DefaultBranch), v, o.meta, o.guard)
+}
+
+// Apply implements Store: batched writes dispatch once per owning
+// servlet, paying the network hop and queue slot once per group.
+func (cc *ClusterClient) Apply(ctx context.Context, b *Batch, opts ...Option) ([]UID, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	o := resolveOpts(opts)
+	return cc.c.PutBatch(ctx, o.user, b.puts)
+}
+
+// Fork implements Store.
+func (cc *ClusterClient) Fork(ctx context.Context, key, newBranch string, opts ...Option) error {
+	o := resolveOpts(opts)
+	if uid, ok := o.base(); ok {
+		if o.branchSet {
+			return ErrBadOptions
+		}
+		return cc.c.ExecAs(ctx, o.user, key, newBranch, servlet.PermWrite, func(eng *core.Engine) error {
+			if err := cc.checkBaseRead(eng, o.user, uid); err != nil {
+				return err
+			}
+			return eng.ForkUID([]byte(key), uid, newBranch)
+		})
+	}
+	ref := o.branchOr(DefaultBranch)
+	return cc.c.ExecAs(ctx, o.user, key, newBranch, servlet.PermWrite, func(eng *core.Engine) error {
+		return eng.Fork([]byte(key), ref, newBranch)
+	})
+}
+
+// Merge implements Store.
+func (cc *ClusterClient) Merge(ctx context.Context, key, tgtBranch string, opts ...Option) (UID, []Conflict, error) {
+	o := resolveOpts(opts)
+	var uid UID
+	var conflicts []Conflict
+	run := func(fn func(eng *core.Engine) error) (UID, []Conflict, error) {
+		if err := cc.c.ExecAs(ctx, o.user, key, tgtBranch, servlet.PermWrite, fn); err != nil {
+			if ctx.Err() != nil {
+				// The execution thread may still be writing conflicts.
+				return UID{}, nil, err
+			}
+			return UID{}, conflicts, err
+		}
+		return uid, nil, nil
+	}
+	if tgtBranch == "" {
+		if len(o.bases) < 2 || o.branchSet {
+			return UID{}, nil, ErrBadOptions
+		}
+		return run(func(eng *core.Engine) error {
+			for _, base := range o.bases {
+				if err := cc.checkBaseRead(eng, o.user, base); err != nil {
+					return err
+				}
+			}
+			var err error
+			uid, conflicts, err = eng.MergeUntagged([]byte(key), o.resolver, o.meta, o.bases...)
+			return err
+		})
+	}
+	if ref, ok := o.base(); ok {
+		if o.branchSet || len(o.bases) > 1 {
+			return UID{}, nil, ErrBadOptions
+		}
+		return run(func(eng *core.Engine) error {
+			// Merging a version folds its content into the target;
+			// that needs read permission on the key it belongs to.
+			if err := cc.checkBaseRead(eng, o.user, ref); err != nil {
+				return err
+			}
+			var err error
+			uid, conflicts, err = eng.MergeUID([]byte(key), tgtBranch, ref, o.resolver, o.meta)
+			return err
+		})
+	}
+	refBranch := o.branchOr(DefaultBranch)
+	return run(func(eng *core.Engine) error {
+		var err error
+		uid, conflicts, err = eng.MergeBranches([]byte(key), tgtBranch, refBranch, o.resolver, o.meta)
+		return err
+	})
+}
+
+// Track implements Store.
+func (cc *ClusterClient) Track(ctx context.Context, key string, from, to int, opts ...Option) ([]*FObject, error) {
+	o := resolveOpts(opts)
+	var out []*FObject
+	var err error
+	if uid, ok := o.base(); ok {
+		if o.branchSet {
+			return nil, ErrBadOptions
+		}
+		err = cc.c.ExecAs(ctx, o.user, key, "", servlet.PermRead, func(eng *core.Engine) error {
+			if err := cc.checkBaseRead(eng, o.user, uid); err != nil {
+				return err
+			}
+			var err error
+			out, err = eng.TrackUID(uid, from, to)
+			return err
+		})
+	} else {
+		br := o.branchOr(DefaultBranch)
+		err = cc.c.ExecAs(ctx, o.user, key, br, servlet.PermRead, func(eng *core.Engine) error {
+			var err error
+			out, err = eng.Track([]byte(key), br, from, to)
+			return err
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Diff implements Store.
+func (cc *ClusterClient) Diff(ctx context.Context, key string, a, b UID, opts ...Option) (*Diff, error) {
+	o := resolveOpts(opts)
+	var d *Diff
+	err := cc.c.ExecAs(ctx, o.user, key, "", servlet.PermRead, func(eng *core.Engine) error {
+		for _, uid := range []UID{a, b} {
+			if err := cc.checkBaseRead(eng, o.user, uid); err != nil {
+				return err
+			}
+		}
+		var err error
+		d, err = eng.Diff(a, b)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ListKeys implements Store; it aggregates keys across all servlets
+// (M8) and requires global read permission under a closed ACL.
+func (cc *ClusterClient) ListKeys(ctx context.Context, opts ...Option) ([]string, error) {
+	o := resolveOpts(opts)
+	return cc.c.ListKeys(ctx, o.user)
+}
+
+// ListBranches implements Store.
+func (cc *ClusterClient) ListBranches(ctx context.Context, key string, opts ...Option) (BranchList, error) {
+	o := resolveOpts(opts)
+	var bl BranchList
+	err := cc.c.ExecAs(ctx, o.user, key, "", servlet.PermRead, func(eng *core.Engine) error {
+		bl.Tagged = eng.ListTaggedBranches([]byte(key))
+		bl.Untagged = eng.ListUntaggedBranches([]byte(key))
+		return nil
+	})
+	if err != nil {
+		return BranchList{}, err
+	}
+	return bl, nil
+}
+
+// RenameBranch implements Store.
+func (cc *ClusterClient) RenameBranch(ctx context.Context, key, branchName, newName string, opts ...Option) error {
+	o := resolveOpts(opts)
+	return cc.c.ExecAs(ctx, o.user, key, branchName, servlet.PermAdmin, func(eng *core.Engine) error {
+		return eng.Rename([]byte(key), branchName, newName)
+	})
+}
+
+// RemoveBranch implements Store.
+func (cc *ClusterClient) RemoveBranch(ctx context.Context, key, branchName string, opts ...Option) error {
+	o := resolveOpts(opts)
+	return cc.c.ExecAs(ctx, o.user, key, branchName, servlet.PermAdmin, func(eng *core.Engine) error {
+		return eng.RemoveBranch([]byte(key), branchName)
+	})
+}
+
+// Value implements Store: the decode reads chunks directly from the
+// storage visible to the owning servlet, the way dispatchers forward
+// Get-Chunk requests straight to chunk storage (§4.6).
+func (cc *ClusterClient) Value(ctx context.Context, key string, o *FObject, opts ...Option) (Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	co := resolveOpts(opts)
+	// The object names its own key; check permission on that.
+	if err := cc.c.ACL().Check(co.user, string(o.Key), "", servlet.PermRead); err != nil {
+		return nil, err
+	}
+	return cc.c.Value(key, o)
+}
+
+var _ Store = (*ClusterClient)(nil)

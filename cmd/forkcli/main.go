@@ -1,34 +1,39 @@
 // Command forkcli is an interactive shell over a ForkBase store,
-// exercising the Table 1 API from the command line.
+// exercising the unified Store API from the command line. The same
+// shell drives either deployment mode: embedded (default, optionally
+// persistent with -path) or a simulated cluster (-cluster N) — the
+// point of the one-surface client API.
 //
 // Usage:
 //
-//	forkcli [-path dir]
+//	forkcli [-path dir | -cluster n] [-user name]
 //
 // Without -path the store is in-memory and vanishes on exit; with it,
 // versions persist in a log-structured chunk store and remain reachable
-// by uid across runs.
+// by uid across runs. With -cluster n, requests dispatch to n
+// in-process servlets by key hash.
 //
 // Commands:
 //
 //	put <key> <value...>            write to master
 //	putb <key> <branch> <value...>  write to a branch
+//	batch <key=value> [...]         batched write (one lock/dispatch group)
 //	get <key> [branch]              read a branch head
-//	getu <uid>                      read a version by uid
+//	getu <key> <uid>                read a version by uid
 //	keys                            list keys
-//	branches <key>                  list tagged branches
-//	heads <key>                     list untagged heads
+//	branches <key>                  list tagged branches and untagged heads
 //	fork <key> <ref> <new>          fork a branch
 //	merge <key> <tgt> <ref>         merge branches (choose-ref on conflict)
 //	track <key> [n]                 show the last n versions (default 5)
-//	diff <uid1> <uid2>              compare two versions
+//	diff <key> <uid1> <uid2>        compare two versions
 //	verify <key>                    verify a key's history hash chain
-//	stats                           storage statistics
+//	stats                           storage statistics (embedded only)
 //	quit
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -41,22 +46,33 @@ import (
 
 func main() {
 	path := flag.String("path", "", "persist the store in this directory")
+	nodes := flag.Int("cluster", 0, "run against a simulated cluster of n servlets")
+	user := flag.String("user", "", "user the requests run as")
 	flag.Parse()
 
-	var db *forkbase.DB
-	var err error
-	if *path != "" {
-		db, err = forkbase.OpenPath(*path)
+	var st forkbase.Store
+	switch {
+	case *nodes > 0:
+		cc, err := forkbase.OpenCluster(forkbase.ClusterConfig{Nodes: *nodes, TwoLayer: true})
 		if err != nil {
 			log.Fatal(err)
 		}
+		st = cc
+		fmt.Printf("simulated forkbase cluster, %d servlets\n", *nodes)
+	case *path != "":
+		db, err := forkbase.OpenPath(*path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st = db
 		fmt.Printf("forkbase store at %s\n", *path)
-	} else {
-		db = forkbase.Open()
+	default:
+		st = forkbase.Open()
 		fmt.Println("in-memory forkbase store")
 	}
-	defer db.Close()
+	defer st.Close()
 
+	sh := &shell{st: st, user: *user}
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
@@ -65,7 +81,7 @@ func main() {
 			if args[0] == "quit" || args[0] == "exit" {
 				return
 			}
-			if err := run(db, args); err != nil {
+			if err := sh.run(args); err != nil {
 				fmt.Println("error:", err)
 			}
 		}
@@ -73,13 +89,28 @@ func main() {
 	}
 }
 
-func run(db *forkbase.DB, args []string) error {
+type shell struct {
+	st   forkbase.Store
+	user string
+}
+
+// as extends opts with the shell's user identity.
+func (sh *shell) as(opts ...forkbase.Option) []forkbase.Option {
+	if sh.user != "" {
+		opts = append(opts, forkbase.WithUser(sh.user))
+	}
+	return opts
+}
+
+func (sh *shell) run(args []string) error {
+	ctx := context.Background()
+	st := sh.st
 	switch args[0] {
 	case "put":
 		if len(args) < 3 {
 			return fmt.Errorf("usage: put <key> <value...>")
 		}
-		uid, err := db.Put(args[1], forkbase.NewBlob([]byte(strings.Join(args[2:], " "))))
+		uid, err := st.Put(ctx, args[1], forkbase.NewBlob([]byte(strings.Join(args[2:], " "))), sh.as()...)
 		if err != nil {
 			return err
 		}
@@ -88,65 +119,90 @@ func run(db *forkbase.DB, args []string) error {
 		if len(args) < 4 {
 			return fmt.Errorf("usage: putb <key> <branch> <value...>")
 		}
-		uid, err := db.PutBranch(args[1], args[2], forkbase.NewBlob([]byte(strings.Join(args[3:], " "))))
+		uid, err := st.Put(ctx, args[1], forkbase.NewBlob([]byte(strings.Join(args[3:], " "))),
+			sh.as(forkbase.WithBranch(args[2]))...)
 		if err != nil {
 			return err
 		}
 		fmt.Println("version", uid.Short())
+	case "batch":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: batch <key=value> [...]")
+		}
+		b := forkbase.NewBatch()
+		for _, kv := range args[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("batch entries are key=value, got %q", kv)
+			}
+			b.Put(k, forkbase.NewBlob([]byte(v)))
+		}
+		uids, err := st.Apply(ctx, b, sh.as()...)
+		if err != nil {
+			return err
+		}
+		for i, uid := range uids {
+			fmt.Printf("%s -> version %s\n", args[1+i], uid.Short())
+		}
 	case "get":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: get <key> [branch]")
 		}
-		branch := forkbase.DefaultBranch
+		opts := sh.as()
 		if len(args) > 2 {
-			branch = args[2]
+			opts = append(opts, forkbase.WithBranch(args[2]))
 		}
-		o, err := db.GetBranch(args[1], branch)
+		o, err := st.Get(ctx, args[1], opts...)
 		if err != nil {
 			return err
 		}
-		return printObject(db, o)
+		return sh.printObject(args[1], o)
 	case "getu":
-		if len(args) != 2 {
-			return fmt.Errorf("usage: getu <uid>")
+		if len(args) != 3 {
+			return fmt.Errorf("usage: getu <key> <uid>")
 		}
-		uid, err := parseUID(args[1])
+		uid, err := forkbase.ParseUID(args[2])
 		if err != nil {
 			return err
 		}
-		o, err := db.GetUID(uid)
+		o, err := st.Get(ctx, args[1], sh.as(forkbase.WithBase(uid))...)
 		if err != nil {
 			return err
 		}
-		return printObject(db, o)
+		return sh.printObject(args[1], o)
 	case "keys":
-		for _, k := range db.ListKeys() {
+		keys, err := st.ListKeys(ctx, sh.as()...)
+		if err != nil {
+			return err
+		}
+		for _, k := range keys {
 			fmt.Println(k)
 		}
 	case "branches":
 		if len(args) != 2 {
 			return fmt.Errorf("usage: branches <key>")
 		}
-		for _, b := range db.ListTaggedBranches(args[1]) {
+		bl, err := st.ListBranches(ctx, args[1], sh.as()...)
+		if err != nil {
+			return err
+		}
+		for _, b := range bl.Tagged {
 			fmt.Printf("%-20s %s\n", b.Name, b.Head)
 		}
-	case "heads":
-		if len(args) != 2 {
-			return fmt.Errorf("usage: heads <key>")
-		}
-		for _, uid := range db.ListUntaggedBranches(args[1]) {
-			fmt.Println(uid)
+		for _, uid := range bl.Untagged {
+			fmt.Printf("%-20s %s\n", "(untagged)", uid)
 		}
 	case "fork":
 		if len(args) != 4 {
 			return fmt.Errorf("usage: fork <key> <ref-branch> <new-branch>")
 		}
-		return db.Fork(args[1], args[2], args[3])
+		return st.Fork(ctx, args[1], args[3], sh.as(forkbase.WithBranch(args[2]))...)
 	case "merge":
 		if len(args) != 4 {
 			return fmt.Errorf("usage: merge <key> <tgt-branch> <ref-branch>")
 		}
-		uid, conflicts, err := db.Merge(args[1], args[2], args[3], forkbase.ChooseB)
+		uid, conflicts, err := st.Merge(ctx, args[1], args[2],
+			sh.as(forkbase.WithBranch(args[3]), forkbase.WithResolver(forkbase.ChooseB))...)
 		if err != nil {
 			return fmt.Errorf("%w (%d conflicts)", err, len(conflicts))
 		}
@@ -162,7 +218,7 @@ func run(db *forkbase.DB, args []string) error {
 				return err
 			}
 		}
-		hist, err := db.Track(args[1], forkbase.DefaultBranch, 0, n-1)
+		hist, err := st.Track(ctx, args[1], 0, n-1, sh.as()...)
 		if err != nil {
 			return err
 		}
@@ -170,18 +226,18 @@ func run(db *forkbase.DB, args []string) error {
 			fmt.Printf("-%d %s depth=%d\n", i, o.UID().Short(), o.Depth)
 		}
 	case "diff":
-		if len(args) != 3 {
-			return fmt.Errorf("usage: diff <uid1> <uid2>")
+		if len(args) != 4 {
+			return fmt.Errorf("usage: diff <key> <uid1> <uid2>")
 		}
-		u1, err := parseUID(args[1])
+		u1, err := forkbase.ParseUID(args[2])
 		if err != nil {
 			return err
 		}
-		u2, err := parseUID(args[2])
+		u2, err := forkbase.ParseUID(args[3])
 		if err != nil {
 			return err
 		}
-		d, err := db.DiffVersions(u1, u2)
+		d, err := st.Diff(ctx, args[1], u1, u2, sh.as()...)
 		if err != nil {
 			return err
 		}
@@ -199,7 +255,11 @@ func run(db *forkbase.DB, args []string) error {
 		if len(args) != 2 {
 			return fmt.Errorf("usage: verify <key>")
 		}
-		o, err := db.Get(args[1])
+		db, ok := sh.st.(*forkbase.DB)
+		if !ok {
+			return fmt.Errorf("verify is embedded-only for now")
+		}
+		o, err := st.Get(ctx, args[1], sh.as()...)
 		if err != nil {
 			return err
 		}
@@ -209,6 +269,10 @@ func run(db *forkbase.DB, args []string) error {
 		}
 		fmt.Printf("ok: %d versions verified\n", n)
 	case "stats":
+		db, ok := sh.st.(*forkbase.DB)
+		if !ok {
+			return fmt.Errorf("stats is embedded-only")
+		}
 		fmt.Println(db.Stats())
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
@@ -216,8 +280,8 @@ func run(db *forkbase.DB, args []string) error {
 	return nil
 }
 
-func printObject(db *forkbase.DB, o *forkbase.FObject) error {
-	v, err := db.ValueOf(o)
+func (sh *shell) printObject(key string, o *forkbase.FObject) error {
+	v, err := sh.st.Value(context.Background(), key, o, sh.as()...)
 	if err != nil {
 		return err
 	}
@@ -232,8 +296,4 @@ func printObject(db *forkbase.DB, o *forkbase.FObject) error {
 		fmt.Printf("%v (uid %s, depth %d)\n", v, o.UID().Short(), o.Depth)
 	}
 	return nil
-}
-
-func parseUID(s string) (forkbase.UID, error) {
-	return forkbase.ParseUID(s)
 }

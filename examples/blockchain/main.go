@@ -5,9 +5,14 @@
 // storage is "analytics-ready": a state scan (history of one account)
 // and a block scan (all balances at a past block) — without any chain
 // pre-processing.
+//
+// The ledger is written against the unified forkbase.Store API, so the
+// same backend runs embedded or distributed; pass -cluster to commit
+// the chain through a simulated 4-servlet cluster instead.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,9 +21,24 @@ import (
 )
 
 func main() {
-	db := forkbase.Open()
-	defer db.Close()
-	backend := blockchain.NewNative(db, "token")
+	clustered := flag.Bool("cluster", false, "run the ledger on a simulated 4-servlet cluster")
+	flag.Parse()
+
+	var st forkbase.Store
+	var db *forkbase.DB
+	if *clustered {
+		cc, err := forkbase.OpenCluster(forkbase.ClusterConfig{Nodes: 4, TwoLayer: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st = cc
+		fmt.Println("ledger on a simulated 4-servlet cluster")
+	} else {
+		db = forkbase.Open()
+		st = db
+	}
+	defer st.Close()
+	backend := blockchain.NewNative(st, "token")
 	ledger := blockchain.NewLedger(backend, 2) // tiny blocks for the demo
 
 	transfer := func(from, to string, amount int) blockchain.Tx {
@@ -72,5 +92,7 @@ func main() {
 			fmt.Printf("  %s = %s\n", k, v)
 		}
 	}
-	fmt.Printf("\nstorage: %s\n", db.Stats())
+	if db != nil {
+		fmt.Printf("\nstorage: %s\n", db.Stats())
+	}
 }

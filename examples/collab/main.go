@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -69,10 +70,13 @@ func main() {
 	}
 	fmt.Printf("column layout agrees: sum(int1) = %d\n", colSum)
 
-	// Version history of the dataset itself.
-	branches := db.ListTaggedBranches("tbl/purchases/rows")
+	// Version history of the dataset itself, via the unified Store API.
+	bl, err := db.ListBranches(context.Background(), "tbl/purchases/rows")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("dataset branches:")
-	for _, b := range branches {
+	for _, b := range bl.Tagged {
 		fmt.Printf("  %-10s head %s\n", b.Name, b.Head.Short())
 	}
 }

@@ -1,10 +1,13 @@
-// Quickstart walks through ForkBase's core API: put/get with implicit
-// versioning, history tracking, fork-on-demand with named branches,
-// three-way merge, fork-on-conflict with untagged heads, and tamper
-// evidence. It mirrors the paper's Figure 4 example and Table 1.
+// Quickstart walks through ForkBase's unified Store API: put/get with
+// implicit versioning, history tracking, fork-on-demand with named
+// branches, three-way merge, fork-on-conflict with untagged heads,
+// batched writes, and tamper evidence. It mirrors the paper's Figure 4
+// example and Table 1. The same code runs unchanged against a cluster:
+// swap forkbase.Open() for forkbase.OpenCluster(...).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,40 +15,45 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db := forkbase.Open()
 	defer db.Close()
 
 	// --- Versioned key-value basics -------------------------------
 	fmt.Println("== versioning ==")
 	for _, v := range []string{"draft", "reviewed", "published"} {
-		uid, err := db.Put("article", forkbase.String(v))
+		uid, err := db.Put(ctx, "article", forkbase.String(v), forkbase.WithMeta("edit: "+v))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("put %-10q -> version %s\n", v, uid.Short())
 	}
-	history, err := db.Track("article", forkbase.DefaultBranch, 0, 2)
+	history, err := db.Track(ctx, "article", 0, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("history, newest first:")
 	for i, o := range history {
-		fmt.Printf("  -%d: %s\n", i, o.Data)
+		fmt.Printf("  -%d: %s (%s)\n", i, o.Data, o.Context)
 	}
 
 	// --- Figure 4: fork and edit a Blob ---------------------------
 	fmt.Println("\n== fork on demand (Figure 4) ==")
-	if _, err := db.Put("my key", forkbase.NewBlob([]byte("my value"))); err != nil {
+	if _, err := db.Put(ctx, "my key", forkbase.NewBlob([]byte("my value"))); err != nil {
 		log.Fatal(err)
 	}
-	if err := db.Fork("my key", "master", "new branch"); err != nil {
+	if err := db.Fork(ctx, "my key", "new branch"); err != nil {
 		log.Fatal(err)
 	}
-	obj, err := db.GetBranch("my key", "new branch")
+	obj, err := db.Get(ctx, "my key", forkbase.WithBranch("new branch"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	blob, err := db.BlobOf(obj)
+	v, err := db.Value(ctx, "my key", obj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := forkbase.AsBlob(v)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,45 +61,61 @@ func main() {
 	// local until the Put commits them to the branch.
 	blob.Remove(0, 3)
 	blob.Append([]byte(" and some more"))
-	if _, err := db.PutBranch("my key", "new branch", blob); err != nil {
+	if _, err := db.Put(ctx, "my key", blob, forkbase.WithBranch("new branch")); err != nil {
 		log.Fatal(err)
 	}
 	for _, branch := range []string{"master", "new branch"} {
-		o, _ := db.GetBranch("my key", branch)
-		b, _ := db.BlobOf(o)
+		o, _ := db.Get(ctx, "my key", forkbase.WithBranch(branch))
+		bv, _ := db.Value(ctx, "my key", o)
+		b, _ := forkbase.AsBlob(bv)
 		content, _ := b.Bytes()
 		fmt.Printf("%-12s: %q\n", branch, content)
 	}
 
 	// --- Merge with a built-in resolver ---------------------------
 	fmt.Println("\n== merge ==")
-	uid, conflicts, err := db.Merge("my key", "master", "new branch", forkbase.ChooseB)
+	uid, conflicts, err := db.Merge(ctx, "my key", "master",
+		forkbase.WithBranch("new branch"), forkbase.WithResolver(forkbase.ChooseB))
 	if err != nil {
 		log.Fatalf("merge: %v (%d conflicts)", err, len(conflicts))
 	}
-	merged, _ := db.GetUID(uid)
-	b, _ := db.BlobOf(merged)
+	merged, _ := db.Get(ctx, "my key", forkbase.WithBase(uid))
+	mv, _ := db.Value(ctx, "my key", merged)
+	b, _ := forkbase.AsBlob(mv)
 	content, _ := b.Bytes()
 	fmt.Printf("master after merge: %q (derives from %d parents)\n", content, len(merged.Bases))
 
 	// --- Fork on conflict (untagged branches) ---------------------
 	fmt.Println("\n== fork on conflict ==")
-	base, _ := db.PutBase("counter", forkbase.UID{}, forkbase.Int(100))
-	u1, _ := db.PutBase("counter", base, forkbase.Int(110)) // +10
-	u2, _ := db.PutBase("counter", base, forkbase.Int(95))  // -5
-	heads := db.ListUntaggedBranches("counter")
-	fmt.Printf("concurrent writers left %d untagged heads\n", len(heads))
-	mergedUID, _, err := db.MergeUntagged("counter", forkbase.Aggregate, u1, u2)
+	base, _ := db.Put(ctx, "counter", forkbase.Int(100), forkbase.WithBase(forkbase.UID{}))
+	u1, _ := db.Put(ctx, "counter", forkbase.Int(110), forkbase.WithBase(base)) // +10
+	u2, _ := db.Put(ctx, "counter", forkbase.Int(95), forkbase.WithBase(base))  // -5
+	bl, _ := db.ListBranches(ctx, "counter")
+	fmt.Printf("concurrent writers left %d untagged heads\n", len(bl.Untagged))
+	mergedUID, _, err := db.Merge(ctx, "counter", "",
+		forkbase.WithBase(u1), forkbase.WithBase(u2), forkbase.WithResolver(forkbase.Aggregate))
 	if err != nil {
 		log.Fatal(err)
 	}
-	o, _ := db.GetUID(mergedUID)
-	v, _ := db.ValueOf(o)
-	fmt.Printf("aggregate-merged counter: %d (100 +10 -5)\n", v.(forkbase.Int))
+	o, _ := db.Get(ctx, "counter", forkbase.WithBase(mergedUID))
+	cv, _ := db.Value(ctx, "counter", o)
+	fmt.Printf("aggregate-merged counter: %d (100 +10 -5)\n", cv.(forkbase.Int))
+
+	// --- Batched writes -------------------------------------------
+	fmt.Println("\n== batched writes ==")
+	batch := forkbase.NewBatch()
+	for i := 0; i < 3; i++ {
+		batch.Put("article", forkbase.String(fmt.Sprintf("rev-%d", i)))
+	}
+	uids, err := db.Apply(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("one batch, %d chained versions (lock taken once)\n", len(uids))
 
 	// --- Tamper evidence -------------------------------------------
 	fmt.Println("\n== tamper evidence ==")
-	head, _ := db.Get("article")
+	head, _ := db.Get(ctx, "article")
 	n, err := db.VerifyHistory(head)
 	if err != nil {
 		log.Fatal(err)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -49,6 +50,17 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ndiff of last two versions: %d chunks shared, %d distinct\n", shared, distinct)
+
+	// The page's revision log, straight off the unified Store API: each
+	// version carries the engine's timestamp in its context field.
+	hist, err := db.Track(context.Background(), "go-programming", 0, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnewest revisions:")
+	for i, o := range hist {
+		fmt.Printf("  -%d: version %s (saved %s)\n", i, o.UID().Short(), o.Context)
+	}
 
 	// A reader explores the page's history; thanks to the client chunk
 	// cache, each additional version ships only its unshared chunks.

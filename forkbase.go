@@ -22,17 +22,24 @@
 //
 // # Quick start
 //
+// All access goes through the unified Store API (client.go), which the
+// embedded DB and the distributed ClusterClient both implement:
+//
+//	ctx := context.Background()
 //	db := forkbase.Open()
-//	db.Put("my key", forkbase.NewBlob([]byte("my value")))
-//	db.Fork("my key", "master", "new branch")
-//	obj, _ := db.GetBranch("my key", "new branch")
-//	blob, _ := db.BlobOf(obj)
+//	db.Put(ctx, "my key", forkbase.NewBlob([]byte("my value")))
+//	db.Fork(ctx, "my key", "new branch")
+//	obj, _ := db.Get(ctx, "my key", forkbase.WithBranch("new branch"))
+//	v, _ := db.Value(ctx, "my key", obj)
+//	blob, _ := forkbase.AsBlob(v)
 //	blob.Remove(0, 10)
 //	blob.Append([]byte("some more"))
-//	db.PutBranch("my key", "new branch", blob)
+//	db.Put(ctx, "my key", blob, forkbase.WithBranch("new branch"))
 package forkbase
 
 import (
+	"context"
+
 	"forkbase/internal/branch"
 	"forkbase/internal/chunk"
 	"forkbase/internal/core"
@@ -139,9 +146,11 @@ var (
 // DefaultBranch is the branch used by the single-argument Get/Put.
 const DefaultBranch = branch.DefaultBranch
 
-// DB is an embedded ForkBase instance.
+// DB is an embedded ForkBase instance. It implements Store; see
+// client.go for the unified API surface.
 type DB struct {
 	eng *core.Engine
+	acl *ACL
 }
 
 // Options configures Open/OpenPath.
@@ -152,6 +161,10 @@ type Options struct {
 	// SyncWrites fsyncs the chunk log after every write (file-backed
 	// stores only).
 	SyncWrites bool
+	// ACL, when set, routes every call through the access controller;
+	// pair it with WithUser. Nil means open mode (the embedded
+	// single-user default).
+	ACL *ACL
 }
 
 func (o Options) treeConfig() postree.Config {
@@ -168,7 +181,7 @@ func Open(opts ...Options) *DB {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	return &DB{eng: core.NewEngine(store.NewMemStore(), o.treeConfig())}
+	return &DB{eng: core.NewEngine(store.NewMemStore(), o.treeConfig()), acl: o.ACL}
 }
 
 // OpenPath returns a ForkBase instance persisted in dir using the
@@ -182,7 +195,7 @@ func OpenPath(dir string, opts ...Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: core.NewEngine(fs, o.treeConfig())}, nil
+	return &DB{eng: core.NewEngine(fs, o.treeConfig()), acl: o.ACL}, nil
 }
 
 // NewDBOn builds a DB over an arbitrary chunk store; used by the
@@ -201,118 +214,133 @@ func (db *DB) Engine() *core.Engine { return db.eng }
 // Stats returns chunk-storage counters, including deduplication rates.
 func (db *DB) Stats() StoreStats { return db.eng.Store().Stats() }
 
-// Get reads the head of the default branch (M1 with the branch absent).
-func (db *DB) Get(key string) (*FObject, error) {
-	return db.eng.Get([]byte(key), DefaultBranch)
-}
+// --- deprecated method zoo ------------------------------------------
+//
+// The original API exposed one method per Table 1 operation. They
+// remain as thin wrappers over the unified Store surface (client.go)
+// so existing callers keep working; new code should use the Store
+// methods with options.
 
 // GetBranch reads the head of a named branch (M1).
+//
+// Deprecated: use Get with WithBranch.
 func (db *DB) GetBranch(key, branchName string) (*FObject, error) {
-	return db.eng.Get([]byte(key), branchName)
+	return db.Get(context.Background(), key, WithBranch(branchName))
 }
 
 // GetUID reads a specific version (M2) and verifies it against uid.
-func (db *DB) GetUID(uid UID) (*FObject, error) { return db.eng.GetUID(uid) }
-
-// Put writes to the default branch (M3 with the branch absent).
-func (db *DB) Put(key string, v Value) (UID, error) {
-	return db.eng.Put([]byte(key), DefaultBranch, v, nil)
+//
+// Deprecated: use Get with WithBase.
+func (db *DB) GetUID(uid UID) (*FObject, error) {
+	return db.Get(context.Background(), "", WithBase(uid))
 }
 
 // PutBranch writes to a named branch, creating it on first write (M3).
+//
+// Deprecated: use Put with WithBranch.
 func (db *DB) PutBranch(key, branchName string, v Value) (UID, error) {
-	return db.eng.Put([]byte(key), branchName, v, nil)
+	return db.Put(context.Background(), key, v, WithBranch(branchName))
 }
 
 // PutWithContext writes to a branch with application metadata stored in
 // the version's context field (e.g. a commit message).
+//
+// Deprecated: use Put with WithBranch and WithMeta.
 func (db *DB) PutWithContext(key, branchName string, v Value, context []byte) (UID, error) {
-	return db.eng.Put([]byte(key), branchName, v, context)
+	return db.Put(bg(), key, v, WithBranch(branchName), WithMeta(string(context)))
 }
 
 // PutGuarded writes only if the branch head still equals guard.
+//
+// Deprecated: use Put with WithGuard.
 func (db *DB) PutGuarded(key, branchName string, v Value, guard UID) (UID, error) {
-	return db.eng.PutGuarded([]byte(key), branchName, v, nil, guard)
+	return db.Put(context.Background(), key, v, WithBranch(branchName), WithGuard(guard))
 }
 
 // PutBase writes a new version deriving from an explicit base (M4), the
-// fork-on-conflict path: concurrent writers against the same base
-// produce sibling untagged heads instead of overwriting each other.
+// fork-on-conflict path.
+//
+// Deprecated: use Put with WithBase.
 func (db *DB) PutBase(key string, base UID, v Value) (UID, error) {
-	return db.eng.PutBase([]byte(key), base, v, nil)
-}
-
-// Fork creates a new branch at an existing branch's head (M11).
-func (db *DB) Fork(key, refBranch, newBranch string) error {
-	return db.eng.Fork([]byte(key), refBranch, newBranch)
+	return db.Put(context.Background(), key, v, WithBase(base))
 }
 
 // ForkUID creates a new branch at an arbitrary version (M12).
+//
+// Deprecated: use Fork with WithBase.
 func (db *DB) ForkUID(key string, uid UID, newBranch string) error {
-	return db.eng.ForkUID([]byte(key), uid, newBranch)
+	return db.Fork(context.Background(), key, newBranch, WithBase(uid))
 }
 
 // Rename renames a branch (M13).
+//
+// Deprecated: use RenameBranch.
 func (db *DB) Rename(key, branchName, newName string) error {
-	return db.eng.Rename([]byte(key), branchName, newName)
+	return db.RenameBranch(context.Background(), key, branchName, newName)
 }
 
-// RemoveBranch drops a branch name; versions remain reachable by uid
-// (M14).
-func (db *DB) RemoveBranch(key, branchName string) error {
-	return db.eng.RemoveBranch([]byte(key), branchName)
-}
-
-// ListKeys returns all keys (M8).
-func (db *DB) ListKeys() []string { return db.eng.ListKeys() }
-
-// ListTaggedBranches returns a key's named branches and heads (M9).
+// ListTaggedBranches returns a key's named branches and heads (M9). It
+// has no error channel, so under a closed ACL it bypasses the access
+// controller; use ListBranches, which checks.
+//
+// Deprecated: use ListBranches.
 func (db *DB) ListTaggedBranches(key string) []TaggedBranch {
 	return db.eng.ListTaggedBranches([]byte(key))
 }
 
 // ListUntaggedBranches returns a key's untagged heads (M10); more than
-// one means unresolved fork-on-conflict siblings.
+// one means unresolved fork-on-conflict siblings. It has no error
+// channel, so under a closed ACL it bypasses the access controller;
+// use ListBranches, which checks.
+//
+// Deprecated: use ListBranches.
 func (db *DB) ListUntaggedBranches(key string) []UID {
 	return db.eng.ListUntaggedBranches([]byte(key))
 }
 
-// Merge merges refBranch into tgtBranch (M5).
-func (db *DB) Merge(key, tgtBranch, refBranch string, res Resolver) (UID, []Conflict, error) {
-	return db.eng.MergeBranches([]byte(key), tgtBranch, refBranch, res, nil)
-}
-
 // MergeUID merges a specific version into tgtBranch (M6).
+//
+// Deprecated: use Merge with WithBase.
 func (db *DB) MergeUID(key, tgtBranch string, ref UID, res Resolver) (UID, []Conflict, error) {
-	return db.eng.MergeUID([]byte(key), tgtBranch, ref, res, nil)
+	return db.Merge(context.Background(), key, tgtBranch, WithBase(ref), WithResolver(res))
 }
 
 // MergeUntagged merges untagged heads into one, replacing them in the
 // untagged table (M7).
+//
+// Deprecated: use Merge with an empty target branch and WithBase.
 func (db *DB) MergeUntagged(key string, res Resolver, uids ...UID) (UID, []Conflict, error) {
-	return db.eng.MergeUntagged([]byte(key), res, nil, uids...)
-}
-
-// Track returns versions at derivation distances [from, to] behind a
-// branch head (M15).
-func (db *DB) Track(key, branchName string, from, to int) ([]*FObject, error) {
-	return db.eng.Track([]byte(key), branchName, from, to)
+	opts := []Option{WithResolver(res)}
+	for _, u := range uids {
+		opts = append(opts, WithBase(u))
+	}
+	return db.Merge(context.Background(), key, "", opts...)
 }
 
 // TrackUID returns versions at derivation distances [from, to] behind a
 // version (M16).
+//
+// Deprecated: use Track with WithBase.
 func (db *DB) TrackUID(uid UID, from, to int) ([]*FObject, error) {
-	return db.eng.TrackUID(uid, from, to)
+	return db.Track(context.Background(), "", from, to, WithBase(uid))
 }
 
 // LCA returns the least common ancestor of two versions (M17).
 func (db *DB) LCA(uid1, uid2 UID) (*FObject, error) { return db.eng.LCA(uid1, uid2) }
 
 // DiffVersions compares two versions of the same type.
-func (db *DB) DiffVersions(uid1, uid2 UID) (*Diff, error) { return db.eng.Diff(uid1, uid2) }
+//
+// Deprecated: use Diff.
+func (db *DB) DiffVersions(uid1, uid2 UID) (*Diff, error) {
+	return db.Diff(context.Background(), "", uid1, uid2)
+}
 
 // ValueOf decodes an FObject's value.
-func (db *DB) ValueOf(o *FObject) (Value, error) { return db.eng.Value(o) }
+//
+// Deprecated: use Value.
+func (db *DB) ValueOf(o *FObject) (Value, error) {
+	return db.Value(context.Background(), string(o.Key), o)
+}
 
 // BlobOf decodes an FObject known to hold a Blob.
 func (db *DB) BlobOf(o *FObject) (*Blob, error) {
@@ -320,11 +348,7 @@ func (db *DB) BlobOf(o *FObject) (*Blob, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, ok := v.(*Blob)
-	if !ok {
-		return nil, core.ErrTypeMismatch
-	}
-	return b, nil
+	return AsBlob(v)
 }
 
 // MapOf decodes an FObject known to hold a Map.
@@ -333,11 +357,7 @@ func (db *DB) MapOf(o *FObject) (*Map, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, ok := v.(*Map)
-	if !ok {
-		return nil, core.ErrTypeMismatch
-	}
-	return m, nil
+	return AsMap(v)
 }
 
 // ListOf decodes an FObject known to hold a List.
@@ -346,11 +366,7 @@ func (db *DB) ListOf(o *FObject) (*List, error) {
 	if err != nil {
 		return nil, err
 	}
-	l, ok := v.(*List)
-	if !ok {
-		return nil, core.ErrTypeMismatch
-	}
-	return l, nil
+	return AsList(v)
 }
 
 // SetOf decodes an FObject known to hold a Set.
@@ -359,11 +375,7 @@ func (db *DB) SetOf(o *FObject) (*Set, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, ok := v.(*Set)
-	if !ok {
-		return nil, core.ErrTypeMismatch
-	}
-	return s, nil
+	return AsSet(v)
 }
 
 // VerifyHistory verifies the hash chain from a version back to its
@@ -371,3 +383,7 @@ func (db *DB) SetOf(o *FObject) (*Set, error) {
 func (db *DB) VerifyHistory(o *FObject) (int, error) {
 	return o.VerifyHistory(db.eng.Store())
 }
+
+// bg sidesteps the shadowing of the context package by PutWithContext's
+// legacy parameter name.
+func bg() context.Context { return context.Background() }

@@ -2,11 +2,15 @@ package forkbase
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
 )
+
+// tctx is the context for test calls on the unified Store API.
+var tctx = context.Background()
 
 // TestPaperExample reproduces Figure 4 of the paper: fork a Blob to a
 // new branch, edit it locally, commit to that branch.
@@ -14,10 +18,10 @@ func TestPaperExample(t *testing.T) {
 	db := Open()
 	defer db.Close()
 
-	if _, err := db.Put("my key", NewBlob([]byte("my value"))); err != nil {
+	if _, err := db.Put(tctx, "my key", NewBlob([]byte("my value"))); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.Fork("my key", "master", "new branch"); err != nil {
+	if err := db.Fork(tctx, "my key", "new branch"); err != nil {
 		t.Fatal(err)
 	}
 	obj, err := db.GetBranch("my key", "new branch")
@@ -65,12 +69,12 @@ func TestKeyValueCompliance(t *testing.T) {
 	defer db.Close()
 	for i := 0; i < 50; i++ {
 		k := fmt.Sprintf("key-%d", i)
-		if _, err := db.Put(k, String(fmt.Sprintf("v-%d", i))); err != nil {
+		if _, err := db.Put(tctx, k, String(fmt.Sprintf("v-%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 50; i++ {
-		o, err := db.Get(fmt.Sprintf("key-%d", i))
+		o, err := db.Get(tctx, fmt.Sprintf("key-%d", i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,10 +86,14 @@ func TestKeyValueCompliance(t *testing.T) {
 			t.Fatalf("key-%d = %q", i, v)
 		}
 	}
-	if len(db.ListKeys()) != 50 {
-		t.Fatalf("keys: %d", len(db.ListKeys()))
+	keys, err := db.ListKeys(tctx)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := db.Get("no-such-key"); !errors.Is(err, ErrKeyNotFound) {
+	if len(keys) != 50 {
+		t.Fatalf("keys: %d", len(keys))
+	}
+	if _, err := db.Get(tctx, "no-such-key"); !errors.Is(err, ErrKeyNotFound) {
 		t.Fatalf("missing key: %v", err)
 	}
 }
@@ -95,14 +103,14 @@ func TestVersionHistoryAndTrack(t *testing.T) {
 	defer db.Close()
 	var uids []UID
 	for i := 0; i < 10; i++ {
-		uid, err := db.Put("doc", String(fmt.Sprintf("version-%d", i)))
+		uid, err := db.Put(tctx, "doc", String(fmt.Sprintf("version-%d", i)))
 		if err != nil {
 			t.Fatal(err)
 		}
 		uids = append(uids, uid)
 	}
 	// Track distances 0..3 from head (M15).
-	hist, err := db.Track("doc", DefaultBranch, 0, 3)
+	hist, err := db.Track(tctx, "doc", 0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +132,7 @@ func TestVersionHistoryAndTrack(t *testing.T) {
 		t.Fatalf("TrackUID: %q", hist[0].Data)
 	}
 	// History is tamper-evident end to end.
-	head, _ := db.Get("doc")
+	head, _ := db.Get(tctx, "doc")
 	n, err := db.VerifyHistory(head)
 	if err != nil || n != 10 {
 		t.Fatalf("VerifyHistory: %d %v", n, err)
@@ -139,19 +147,19 @@ func TestVersionHistoryAndTrack(t *testing.T) {
 func TestForkOnDemandIsolation(t *testing.T) {
 	db := Open()
 	defer db.Close()
-	db.Put("cfg", String("v1"))
-	if err := db.Fork("cfg", "master", "dev"); err != nil {
+	db.Put(tctx, "cfg", String("v1"))
+	if err := db.Fork(tctx, "cfg", "dev"); err != nil {
 		t.Fatal(err)
 	}
 	db.PutBranch("cfg", "dev", String("v2-dev"))
-	db.Put("cfg", String("v2-master"))
+	db.Put(tctx, "cfg", String("v2-master"))
 
 	branches := db.ListTaggedBranches("cfg")
 	if len(branches) != 2 {
 		t.Fatalf("branches: %v", branches)
 	}
 	dev, _ := db.GetBranch("cfg", "dev")
-	master, _ := db.Get("cfg")
+	master, _ := db.Get(tctx, "cfg")
 	if string(dev.Data) != "v2-dev" || string(master.Data) != "v2-master" {
 		t.Fatalf("isolation broken: %q / %q", dev.Data, master.Data)
 	}
@@ -168,8 +176,8 @@ func TestForkOnDemandIsolation(t *testing.T) {
 func TestForkUIDRevivesHistory(t *testing.T) {
 	db := Open()
 	defer db.Close()
-	old, _ := db.Put("k", String("old"))
-	db.Put("k", String("new"))
+	old, _ := db.Put(tctx, "k", String("old"))
+	db.Put(tctx, "k", String("new"))
 	// A historical version becomes modifiable by forking it (§3.3).
 	if err := db.ForkUID("k", old, "revival"); err != nil {
 		t.Fatal(err)
@@ -187,15 +195,15 @@ func TestForkUIDRevivesHistory(t *testing.T) {
 func TestBranchRenameRemove(t *testing.T) {
 	db := Open()
 	defer db.Close()
-	db.Put("k", String("v"))
-	db.Fork("k", "master", "tmp")
+	db.Put(tctx, "k", String("v"))
+	db.Fork(tctx, "k", "tmp")
 	if err := db.Rename("k", "tmp", "kept"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := db.GetBranch("k", "tmp"); !errors.Is(err, ErrBranchNotFound) {
 		t.Fatalf("renamed branch: %v", err)
 	}
-	if err := db.RemoveBranch("k", "kept"); err != nil {
+	if err := db.RemoveBranch(tctx, "k", "kept"); err != nil {
 		t.Fatal(err)
 	}
 	if got := db.ListTaggedBranches("k"); len(got) != 1 {
@@ -206,7 +214,7 @@ func TestBranchRenameRemove(t *testing.T) {
 func TestGuardedPut(t *testing.T) {
 	db := Open()
 	defer db.Close()
-	v1, _ := db.Put("k", String("v1"))
+	v1, _ := db.Put(tctx, "k", String("v1"))
 	if _, err := db.PutGuarded("k", DefaultBranch, String("v2"), v1); err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +222,7 @@ func TestGuardedPut(t *testing.T) {
 	if _, err := db.PutGuarded("k", DefaultBranch, String("v3"), v1); !errors.Is(err, ErrGuardFailed) {
 		t.Fatalf("stale guard: %v", err)
 	}
-	o, _ := db.Get("k")
+	o, _ := db.Get(tctx, "k")
 	if string(o.Data) != "v2" {
 		t.Fatalf("head = %q", o.Data)
 	}
@@ -260,14 +268,14 @@ func TestMergeBranchesMapTypes(t *testing.T) {
 	defer db.Close()
 	m := NewMap()
 	m.Set([]byte("shared"), []byte("base"))
-	db.Put("data", m)
-	db.Fork("data", "master", "feature")
+	db.Put(tctx, "data", m)
+	db.Fork(tctx, "data", "feature")
 
 	// master adds one key, feature adds another.
-	mo, _ := db.Get("data")
+	mo, _ := db.Get(tctx, "data")
 	mm, _ := db.MapOf(mo)
 	mm.Set([]byte("from-master"), []byte("m"))
-	db.Put("data", mm)
+	db.Put(tctx, "data", mm)
 
 	fo, _ := db.GetBranch("data", "feature")
 	fm, _ := db.MapOf(fo)
@@ -275,7 +283,7 @@ func TestMergeBranchesMapTypes(t *testing.T) {
 	db.PutBranch("data", "feature", fm)
 	featureHead, _ := db.GetBranch("data", "feature")
 
-	uid, conflicts, err := db.Merge("data", "master", "feature", nil)
+	uid, conflicts, err := db.Merge(tctx, "data", "master", WithBranch("feature"))
 	if err != nil {
 		t.Fatalf("%v %v", err, conflicts)
 	}
@@ -287,7 +295,7 @@ func TestMergeBranchesMapTypes(t *testing.T) {
 		}
 	}
 	// The head of master moved to the merge result; feature unchanged.
-	head, _ := db.Get("data")
+	head, _ := db.Get(tctx, "data")
 	if head.UID() != uid {
 		t.Fatal("master head not updated by merge")
 	}
@@ -300,16 +308,16 @@ func TestMergeBranchesMapTypes(t *testing.T) {
 func TestMergeConflictSurfaced(t *testing.T) {
 	db := Open()
 	defer db.Close()
-	db.Put("k", String("base"))
-	db.Fork("k", "master", "other")
-	db.Put("k", String("left"))
+	db.Put(tctx, "k", String("base"))
+	db.Fork(tctx, "k", "other")
+	db.Put(tctx, "k", String("left"))
 	db.PutBranch("k", "other", String("right"))
-	_, conflicts, err := db.Merge("k", "master", "other", nil)
+	_, conflicts, err := db.Merge(tctx, "k", "master", WithBranch("other"))
 	if !errors.Is(err, ErrConflict) || len(conflicts) != 1 {
 		t.Fatalf("conflict surfacing: %v %v", err, conflicts)
 	}
 	// Resolve with append.
-	uid, _, err := db.Merge("k", "master", "other", AppendResolve)
+	uid, _, err := db.Merge(tctx, "k", "master", WithBranch("other"), WithResolver(AppendResolve))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,12 +334,12 @@ func TestDiffVersions(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		m.Set([]byte(fmt.Sprintf("k%04d", i)), []byte("v"))
 	}
-	u1, _ := db.Put("d", m)
-	o, _ := db.Get("d")
+	u1, _ := db.Put(tctx, "d", m)
+	o, _ := db.Get(tctx, "d")
 	m2, _ := db.MapOf(o)
 	m2.Set([]byte("k0100"), []byte("changed"))
 	m2.Set([]byte("brand-new"), []byte("x"))
-	u2, _ := db.Put("d", m2)
+	u2, _ := db.Put(tctx, "d", m2)
 
 	d, err := db.DiffVersions(u1, u2)
 	if err != nil {
@@ -351,22 +359,22 @@ func TestDedupAcrossVersions(t *testing.T) {
 		rng = rng*6364136223846793005 + 1442695040888963407
 		base[i] = byte(rng >> 56)
 	}
-	db.Put("blob", NewBlob(base))
+	db.Put(tctx, "blob", NewBlob(base))
 	grew := db.Stats().Bytes
 	// 20 small edits: storage should grow far slower than 20 full
 	// copies (naive versioning would add 21x the object size).
 	for i := 0; i < 20; i++ {
-		o, _ := db.Get("blob")
+		o, _ := db.Get(tctx, "blob")
 		b, _ := db.BlobOf(o)
 		b.Splice(uint64(i*1000), 4, []byte(fmt.Sprintf("%04d", i)))
-		db.Put("blob", b)
+		db.Put(tctx, "blob", b)
 	}
 	total := db.Stats().Bytes
 	if total > grew*4 {
 		t.Fatalf("20 small edits grew storage %dx (naive would be 21x)", total/grew)
 	}
 	// All 21 versions remain readable.
-	hist, err := db.Track("blob", DefaultBranch, 0, 20)
+	hist, err := db.Track(tctx, "blob", 0, 20)
 	if err != nil || len(hist) != 21 {
 		t.Fatalf("history: %d %v", len(hist), err)
 	}
@@ -375,14 +383,14 @@ func TestDedupAcrossVersions(t *testing.T) {
 func TestConcurrentPutsSerialized(t *testing.T) {
 	db := Open()
 	defer db.Close()
-	db.Put("ctr", String("start"))
+	db.Put(tctx, "ctr", String("start"))
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 25; i++ {
-				if _, err := db.Put("ctr", String(fmt.Sprintf("g%d-i%d", g, i))); err != nil {
+				if _, err := db.Put(tctx, "ctr", String(fmt.Sprintf("g%d-i%d", g, i))); err != nil {
 					t.Error(err)
 					return
 				}
@@ -391,7 +399,7 @@ func TestConcurrentPutsSerialized(t *testing.T) {
 	}
 	wg.Wait()
 	// Exactly 201 versions in a single linear history.
-	hist, err := db.Track("ctr", DefaultBranch, 0, 300)
+	hist, err := db.Track(tctx, "ctr", 0, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +414,7 @@ func TestPersistencePath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	uid, err := db.Put("k", NewBlob([]byte("persisted value")))
+	uid, err := db.Put(tctx, "k", NewBlob([]byte("persisted value")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,7 +445,7 @@ func TestPersistencePath(t *testing.T) {
 func TestTamperEvidenceEndToEnd(t *testing.T) {
 	db := Open()
 	defer db.Close()
-	uid, _ := db.Put("k", NewBlob(bytes.Repeat([]byte("secure"), 2000)))
+	uid, _ := db.Put(tctx, "k", NewBlob(bytes.Repeat([]byte("secure"), 2000)))
 	o, err := db.GetUID(uid)
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ package forkbase_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -17,6 +18,8 @@ import (
 	"forkbase/internal/workload"
 )
 
+var tctx = context.Background()
+
 // TestCollaborationScenario walks a full collaborative workflow: a
 // shared document, two analysts on private branches, concurrent edits,
 // a conflicting edit resolved at merge time, and a final history audit.
@@ -26,11 +29,11 @@ func TestCollaborationScenario(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	doc := workload.RandText(rng, 100<<10)
 
-	if _, err := db.Put("report", forkbase.NewBlob(doc)); err != nil {
+	if _, err := db.Put(tctx, "report", forkbase.NewBlob(doc)); err != nil {
 		t.Fatal(err)
 	}
 	for _, branch := range []string{"alice", "bob"} {
-		if err := db.Fork("report", "master", branch); err != nil {
+		if err := db.Fork(tctx, "report", branch); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -71,11 +74,11 @@ func TestCollaborationScenario(t *testing.T) {
 
 	// A whole-object conflict: both changed the blob. Resolve by
 	// choosing Bob's, then verify the winner's content.
-	_, conflicts, err := db.Merge("report", "alice", "bob", nil)
+	_, conflicts, err := db.Merge(tctx, "report", "alice", forkbase.WithBranch("bob"))
 	if !errors.Is(err, forkbase.ErrConflict) || len(conflicts) != 1 {
 		t.Fatalf("expected 1 whole-object conflict, got %v %v", err, conflicts)
 	}
-	uid, _, err := db.Merge("report", "alice", "bob", forkbase.ChooseB)
+	uid, _, err := db.Merge(tctx, "report", "alice", forkbase.WithBranch("bob"), forkbase.WithResolver(forkbase.ChooseB))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +108,11 @@ func TestStructuredCollaboration(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		m.Set([]byte(fmt.Sprintf("row-%06d", i)), []byte(fmt.Sprintf("v%d", i)))
 	}
-	if _, err := db.Put("dataset", m); err != nil {
+	if _, err := db.Put(tctx, "dataset", m); err != nil {
 		t.Fatal(err)
 	}
-	db.Fork("dataset", "master", "cleaning")
-	db.Fork("dataset", "master", "enrichment")
+	db.Fork(tctx, "dataset", "cleaning")
+	db.Fork(tctx, "dataset", "enrichment")
 
 	update := func(branch, key, val string) {
 		o, _ := db.GetBranch("dataset", branch)
@@ -126,13 +129,13 @@ func TestStructuredCollaboration(t *testing.T) {
 	update("enrichment", "row-new-1", "added")
 
 	// Merge both lines of work back into master without conflicts.
-	if _, _, err := db.Merge("dataset", "master", "cleaning", nil); err != nil {
+	if _, _, err := db.Merge(tctx, "dataset", "master", forkbase.WithBranch("cleaning")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := db.Merge("dataset", "master", "enrichment", nil); err != nil {
+	if _, _, err := db.Merge(tctx, "dataset", "master", forkbase.WithBranch("enrichment")); err != nil {
 		t.Fatal(err)
 	}
-	o, _ := db.Get("dataset")
+	o, _ := db.Get(tctx, "dataset")
 	mm, _ := db.MapOf(o)
 	for key, want := range map[string]string{
 		"row-000100": "cleaned",
@@ -165,7 +168,7 @@ func TestDurabilityAcrossReopen(t *testing.T) {
 	data := workload.RandText(rng, 64<<10)
 	for v := 0; v < 10; v++ {
 		copy(data[v*1000:], fmt.Sprintf("revision-%03d", v))
-		uid, err := db.Put("doc", forkbase.NewBlob(data))
+		uid, err := db.Put(tctx, "doc", forkbase.NewBlob(data))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"forkbase"
+)
+
+// RunBatchPut measures the batched write path of the unified Store API
+// against individual Puts, on both Store implementations. The batch
+// amortizes different costs per backend: the embedded engine takes
+// each key's update lock once per group and defers the branch-table
+// update, while the cluster client dispatches once per owning servlet
+// — so with a simulated network hop the win scales with the batch
+// size.
+func RunBatchPut(w io.Writer, scale Scale) error {
+	ctx := context.Background()
+	writes := scale.pick(2000, 20000)
+	batchSize := 64
+	keys := scale.pick(16, 64)
+	payload := []byte("batched-write-payload-0000000000")
+
+	run := func(st forkbase.Store, batched bool) (time.Duration, error) {
+		t0 := time.Now()
+		if batched {
+			for done := 0; done < writes; done += batchSize {
+				b := forkbase.NewBatch()
+				for i := 0; i < batchSize && done+i < writes; i++ {
+					b.Put(fmt.Sprintf("k%d", (done+i)%keys), forkbase.String(payload))
+				}
+				if _, err := st.Apply(ctx, b); err != nil {
+					return 0, err
+				}
+			}
+		} else {
+			for i := 0; i < writes; i++ {
+				if _, err := st.Put(ctx, fmt.Sprintf("k%d", i%keys), forkbase.String(payload)); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(t0), nil
+	}
+
+	fmt.Fprintf(w, "Batched vs individual puts (%d writes, batch=%d, %d keys)\n", writes, batchSize, keys)
+	tbl := newTable(w, 22, 14, 14, 10)
+	tbl.row("backend", "put ops/s", "batch ops/s", "speedup")
+	backends := []struct {
+		name string
+		open func() (forkbase.Store, error)
+	}{
+		{"embedded", func() (forkbase.Store, error) { return forkbase.Open(), nil }},
+		{"cluster/4", func() (forkbase.Store, error) {
+			return forkbase.OpenCluster(forkbase.ClusterConfig{Nodes: 4, TwoLayer: true})
+		}},
+		{"cluster/4+50us-net", func() (forkbase.Store, error) {
+			return forkbase.OpenCluster(forkbase.ClusterConfig{
+				Nodes: 4, TwoLayer: true, NetLatency: 50 * time.Microsecond,
+			})
+		}},
+	}
+	for _, be := range backends {
+		var elapsed [2]time.Duration
+		for mode, batched := range []bool{false, true} {
+			st, err := be.open()
+			if err != nil {
+				return err
+			}
+			elapsed[mode], err = run(st, batched)
+			st.Close()
+			if err != nil {
+				return err
+			}
+		}
+		speedup := float64(elapsed[0]) / float64(elapsed[1])
+		tbl.row(be.name, opsPerSec(writes, elapsed[0]), opsPerSec(writes, elapsed[1]),
+			fmt.Sprintf("%.2fx", speedup))
+	}
+	return nil
+}

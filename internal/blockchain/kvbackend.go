@@ -1,6 +1,7 @@
 package blockchain
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -357,7 +358,7 @@ func (l *lsmKV) close() error { return l.db.Close() }
 type fbKV struct{ db *forkbase.DB }
 
 func (f *fbKV) get(key string) ([]byte, bool, error) {
-	o, err := f.db.Get(key)
+	o, err := f.db.Get(context.Background(), key)
 	if errors.Is(err, forkbase.ErrKeyNotFound) {
 		return nil, false, nil
 	}
@@ -368,16 +369,20 @@ func (f *fbKV) get(key string) ([]byte, bool, error) {
 }
 
 func (f *fbKV) put(key string, value []byte) error {
-	_, err := f.db.Put(key, forkbase.String(value))
+	_, err := f.db.Put(context.Background(), key, forkbase.String(value))
 	return err
 }
 
 func (f *fbKV) scanPrefix(prefix string, fn func(string, []byte) bool) error {
-	for _, k := range f.db.ListKeys() {
+	keys, err := f.db.ListKeys(context.Background())
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
 		if !strings.HasPrefix(k, prefix) {
 			continue
 		}
-		o, err := f.db.Get(k)
+		o, err := f.db.Get(context.Background(), k)
 		if err != nil {
 			return err
 		}

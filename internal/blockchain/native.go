@@ -1,6 +1,7 @@
 package blockchain
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -18,15 +19,17 @@ import (
 // free, and every state's history is reachable by following base
 // versions (no pre-processing, no delta walk).
 type Native struct {
-	db       *forkbase.DB
+	db       forkbase.Store
 	contract string
 	buffer   map[string][]byte
 	// stateRefs[h] is the first-level Map uid committed at block h.
 	stateRefs []forkbase.UID
 }
 
-// NewNative returns a native ForkBase backend for one contract.
-func NewNative(db *forkbase.DB, contract string) *Native {
+// NewNative returns a native ForkBase backend for one contract. It
+// runs against any Store — the embedded DB or a cluster client — since
+// it only touches the unified client API.
+func NewNative(db forkbase.Store, contract string) *Native {
 	return &Native{db: db, contract: contract, buffer: make(map[string][]byte)}
 }
 
@@ -35,17 +38,35 @@ func (n *Native) Name() string { return "ForkBase" }
 
 func (n *Native) stateKey(key string) string { return "s/" + n.contract + "/" + key }
 
+// blobOf decodes the Blob held by o, which was fetched under key.
+func (n *Native) blobOf(key string, o *forkbase.FObject) (*forkbase.Blob, error) {
+	v, err := n.db.Value(context.Background(), key, o)
+	if err != nil {
+		return nil, err
+	}
+	return forkbase.AsBlob(v)
+}
+
+// mapOf decodes the Map held by o, which was fetched under key.
+func (n *Native) mapOf(key string, o *forkbase.FObject) (*forkbase.Map, error) {
+	v, err := n.db.Value(context.Background(), key, o)
+	if err != nil {
+		return nil, err
+	}
+	return forkbase.AsMap(v)
+}
+
 // Read implements Backend: it fetches the committed value from storage
 // (Hyperledger reads do not observe the in-block write buffer, §5.1.1).
 func (n *Native) Read(key string) ([]byte, error) {
-	o, err := n.db.Get(n.stateKey(key))
+	o, err := n.db.Get(context.Background(), n.stateKey(key))
 	if errors.Is(err, forkbase.ErrKeyNotFound) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	b, err := n.db.BlobOf(o)
+	b, err := n.blobOf(n.stateKey(key), o)
 	if err != nil {
 		return nil, err
 	}
@@ -68,21 +89,28 @@ func (n *Native) Commit(height uint64) ([]byte, error) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	sets := make([]postree.KV, 0, len(keys))
+	// All dirty states commit as one batch: the engine takes each
+	// state key's lock once and the cluster pays one dispatch per
+	// servlet, instead of one per state.
+	batch := forkbase.NewBatch()
 	for _, k := range keys {
-		uid, err := n.db.Put(n.stateKey(k), forkbase.NewBlob(n.buffer[k]))
-		if err != nil {
-			return nil, err
-		}
-		sets = append(sets, postree.KV{Key: []byte(k), Value: uid[:]})
+		batch.Put(n.stateKey(k), forkbase.NewBlob(n.buffer[k]))
+	}
+	uids, err := n.db.Apply(context.Background(), batch)
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]postree.KV, 0, len(keys))
+	for i, k := range keys {
+		sets = append(sets, postree.KV{Key: []byte(k), Value: uids[i][:]})
 	}
 	n.buffer = make(map[string][]byte)
 
 	// Second-level Map: data key -> Blob version.
 	contractKey := "contract/" + n.contract
 	var cmap *forkbase.Map
-	if o, err := n.db.Get(contractKey); err == nil {
-		cmap, err = n.db.MapOf(o)
+	if o, err := n.db.Get(context.Background(), contractKey); err == nil {
+		cmap, err = n.mapOf(contractKey, o)
 		if err != nil {
 			return nil, err
 		}
@@ -94,15 +122,15 @@ func (n *Native) Commit(height uint64) ([]byte, error) {
 	if err := cmap.Apply(sets, nil); err != nil {
 		return nil, err
 	}
-	cuid, err := n.db.Put(contractKey, cmap)
+	cuid, err := n.db.Put(context.Background(), contractKey, cmap)
 	if err != nil {
 		return nil, err
 	}
 
 	// First-level Map: contract -> second-level version.
 	var smap *forkbase.Map
-	if o, err := n.db.Get("states"); err == nil {
-		smap, err = n.db.MapOf(o)
+	if o, err := n.db.Get(context.Background(), "states"); err == nil {
+		smap, err = n.mapOf("states", o)
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +142,7 @@ func (n *Native) Commit(height uint64) ([]byte, error) {
 	if err := smap.Set([]byte(n.contract), cuid[:]); err != nil {
 		return nil, err
 	}
-	suid, err := n.db.Put("states", smap)
+	suid, err := n.db.Put(context.Background(), "states", smap)
 	if err != nil {
 		return nil, err
 	}
@@ -129,20 +157,20 @@ func (n *Native) Commit(height uint64) ([]byte, error) {
 // StateScan implements Backend: follow the Blob's base-version chain —
 // no chain scan, no pre-processing (§5.1.3).
 func (n *Native) StateScan(key string, max int) ([][]byte, error) {
-	o, err := n.db.Get(n.stateKey(key))
+	o, err := n.db.Get(context.Background(), n.stateKey(key))
 	if errors.Is(err, forkbase.ErrKeyNotFound) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	hist, err := n.db.TrackUID(o.UID(), 0, max-1)
+	hist, err := n.db.Track(context.Background(), n.stateKey(key), 0, max-1, forkbase.WithBase(o.UID()))
 	if err != nil {
 		return nil, err
 	}
 	out := make([][]byte, 0, len(hist))
 	for _, h := range hist {
-		b, err := n.db.BlobOf(h)
+		b, err := n.blobOf(n.stateKey(key), h)
 		if err != nil {
 			return nil, err
 		}
@@ -177,11 +205,11 @@ func (n *Native) BlockScan(height uint64) (map[string][]byte, error) {
 	if height >= uint64(len(n.stateRefs)) {
 		return nil, fmt.Errorf("blockchain: no block %d", height)
 	}
-	top, err := n.db.GetUID(n.stateRefs[height])
+	top, err := n.db.Get(context.Background(), "states", forkbase.WithBase(n.stateRefs[height]))
 	if err != nil {
 		return nil, err
 	}
-	tm, err := n.db.MapOf(top)
+	tm, err := n.mapOf("states", top)
 	if err != nil {
 		return nil, err
 	}
@@ -191,11 +219,12 @@ func (n *Native) BlockScan(height uint64) (map[string][]byte, error) {
 	}
 	var cuid forkbase.UID
 	copy(cuid[:], cref)
-	co, err := n.db.GetUID(cuid)
+	contractKey := "contract/" + n.contract
+	co, err := n.db.Get(context.Background(), contractKey, forkbase.WithBase(cuid))
 	if err != nil {
 		return nil, err
 	}
-	cm, err := n.db.MapOf(co)
+	cm, err := n.mapOf(contractKey, co)
 	if err != nil {
 		return nil, err
 	}
@@ -204,12 +233,12 @@ func (n *Native) BlockScan(height uint64) (map[string][]byte, error) {
 	cm.Iter(func(k, v []byte) bool {
 		var buid forkbase.UID
 		copy(buid[:], v)
-		bo, err := n.db.GetUID(buid)
+		bo, err := n.db.Get(context.Background(), n.stateKey(string(k)), forkbase.WithBase(buid))
 		if err != nil {
 			iterErr = err
 			return false
 		}
-		b, err := n.db.BlobOf(bo)
+		b, err := n.blobOf(n.stateKey(string(k)), bo)
 		if err != nil {
 			iterErr = err
 			return false

@@ -13,8 +13,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"sort"
+	"sync"
 	"time"
 
 	"forkbase/internal/branch"
@@ -58,6 +61,13 @@ type Options struct {
 	// RebalanceThreshold is the queue depth beyond which construction
 	// is forwarded; 0 means 8.
 	RebalanceThreshold int
+	// ACL is the access controller shared by every servlet's
+	// dispatcher path (§4.1). Nil means open mode: every request is
+	// admitted, matching the embedded single-user default.
+	ACL *servlet.ACL
+	// DefaultUser is the identity attributed to requests made through
+	// the user-less convenience methods (Put/Get/Fork/…).
+	DefaultUser string
 }
 
 // Master maintains cluster runtime information: the member list and the
@@ -128,6 +138,9 @@ func New(opts Options) (*Cluster, error) {
 	if opts.Tree.LeafQ == 0 {
 		opts.Tree = postree.DefaultConfig()
 	}
+	if opts.ACL == nil {
+		opts.ACL = servlet.NewACL(true)
+	}
 	c := &Cluster{opts: opts, master: &Master{}}
 	for i := 0; i < opts.Nodes; i++ {
 		c.locals = append(c.locals, store.NewMemStore())
@@ -145,7 +158,7 @@ func New(opts Options) (*Cluster, error) {
 		if opts.Placement == TwoLayer {
 			s = &metaLocalStore{local: c.locals[i], pool: c.pool}
 		}
-		c.servlets = append(c.servlets, servlet.New(i, s, opts.Tree, nil))
+		c.servlets = append(c.servlets, servlet.New(i, s, opts.Tree, opts.ACL))
 	}
 	return c, nil
 }
@@ -176,12 +189,89 @@ func (c *Cluster) NodeStorageBytes() []int64 {
 	return out
 }
 
-// dispatch routes a request to the owning servlet and executes it there.
-func (c *Cluster) dispatch(key string, fn func(eng *core.Engine) error) error {
+// ACL returns the cluster's shared access controller.
+func (c *Cluster) ACL() *servlet.ACL { return c.opts.ACL }
+
+// ExecAs is the dispatcher's request path (§4.1): it routes key to the
+// owning servlet, runs the access controller for user on key/branch at
+// level need, models the client-servlet network hop, and executes fn
+// on the servlet's execution thread. Denied requests never reach the
+// execution thread.
+func (c *Cluster) ExecAs(ctx context.Context, user, key, branchName string, need servlet.Permission, fn func(eng *core.Engine) error) error {
+	sv := c.servlets[c.master.Route(key)]
+	if err := sv.CheckAccess(user, key, branchName, need); err != nil {
+		return err
+	}
 	if c.opts.NetLatency > 0 {
 		time.Sleep(c.opts.NetLatency)
 	}
-	return c.servlets[c.master.Route(key)].Exec(fn)
+	return sv.ExecCtx(ctx, fn)
+}
+
+// dispatch routes a request to the owning servlet and executes it
+// there as the cluster's default user.
+func (c *Cluster) dispatch(key, branchName string, need servlet.Permission, fn func(eng *core.Engine) error) error {
+	return c.ExecAs(context.Background(), c.opts.DefaultUser, key, branchName, need, fn)
+}
+
+// PutBatch applies a group of writes on behalf of user, dispatching
+// once per owning servlet instead of once per write: entries are
+// grouped by route, every entry passes the access controller up front,
+// and each servlet executes its group as one engine PutBatch (one
+// network hop and one queue slot per servlet). Returns uids in entry
+// order. Atomicity is per key, as in Engine.PutBatch; entries for
+// different servlets may commit even when another servlet's group
+// fails.
+func (c *Cluster) PutBatch(ctx context.Context, user string, puts []core.BatchPut) ([]types.UID, error) {
+	groups := make(map[int][]int)
+	var order []int
+	for i, p := range puts {
+		owner := c.master.Route(string(p.Key))
+		if err := c.servlets[owner].CheckAccess(user, string(p.Key), p.Branch, servlet.PermWrite); err != nil {
+			return nil, err
+		}
+		if _, ok := groups[owner]; !ok {
+			order = append(order, owner)
+		}
+		groups[owner] = append(groups[owner], i)
+	}
+	// The per-servlet groups are independent (atomicity is per key),
+	// so dispatch them concurrently: batch latency is the slowest
+	// group's, not the sum of all hops.
+	uids := make([]types.UID, len(puts))
+	errs := make([]error, len(order))
+	var wg sync.WaitGroup
+	for gi, owner := range order {
+		idxs := groups[owner]
+		group := make([]core.BatchPut, len(idxs))
+		for j, i := range idxs {
+			group[j] = puts[i]
+		}
+		wg.Add(1)
+		go func(gi, owner int, idxs []int, group []core.BatchPut) {
+			defer wg.Done()
+			if c.opts.NetLatency > 0 {
+				time.Sleep(c.opts.NetLatency)
+			}
+			errs[gi] = c.servlets[owner].ExecCtx(ctx, func(eng *core.Engine) error {
+				got, err := eng.PutBatch(ctx, group)
+				if err != nil {
+					return err
+				}
+				for j, i := range idxs {
+					uids[i] = got[j]
+				}
+				return nil
+			})
+		}(gi, owner, idxs, group)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return uids, nil
 }
 
 // Put writes a value to a branch of key via the owning servlet. When
@@ -189,24 +279,47 @@ func (c *Cluster) dispatch(key string, fn func(eng *core.Engine) error) error {
 // construction runs on the least-loaded servlet first and only the
 // branch-table update runs on the owner (§4.6.1).
 func (c *Cluster) Put(key, branchName string, v types.Value) (types.UID, error) {
+	return c.PutAs(context.Background(), c.opts.DefaultUser, key, branchName, v, nil, nil)
+}
+
+// PutAs is Put on behalf of user, with optional version metadata and
+// an optional guard uid (conditional write, §4.5.1). The access
+// controller runs before dispatch; denied writes never reach the
+// execution thread.
+func (c *Cluster) PutAs(ctx context.Context, user, key, branchName string, v types.Value, meta []byte, guard *types.UID) (types.UID, error) {
 	owner := c.master.Route(key)
+	if err := c.servlets[owner].CheckAccess(user, key, branchName, servlet.PermWrite); err != nil {
+		return types.UID{}, err
+	}
 	if c.opts.Rebalance && c.opts.Placement == TwoLayer &&
 		c.servlets[owner].QueueDepth() >= c.opts.RebalanceThreshold {
 		if helper := c.leastLoaded(owner); helper != owner {
-			if err := c.servlets[helper].Exec(func(eng *core.Engine) error {
+			if err := c.servlets[helper].ExecCtx(ctx, func(eng *core.Engine) error {
 				return types.Persist(eng.Store(), c.opts.Tree, v)
 			}); err != nil {
 				return types.UID{}, err
 			}
 		}
 	}
+	if c.opts.NetLatency > 0 {
+		time.Sleep(c.opts.NetLatency)
+	}
 	var uid types.UID
-	err := c.dispatch(key, func(eng *core.Engine) error {
+	err := c.servlets[owner].ExecCtx(ctx, func(eng *core.Engine) error {
 		var err error
-		uid, err = eng.Put([]byte(key), branchName, v, nil)
+		if guard != nil {
+			uid, err = eng.PutGuarded([]byte(key), branchName, v, meta, *guard)
+		} else {
+			uid, err = eng.Put([]byte(key), branchName, v, meta)
+		}
 		return err
 	})
-	return uid, err
+	if err != nil {
+		// Don't read uid: on a cancelled context the execution thread
+		// may still be writing it.
+		return types.UID{}, err
+	}
+	return uid, nil
 }
 
 // leastLoaded returns the servlet with the shortest queue, excluding
@@ -224,12 +337,15 @@ func (c *Cluster) leastLoaded(owner int) int {
 // Get reads the head of a branch of key via the owning servlet.
 func (c *Cluster) Get(key, branchName string) (*types.FObject, error) {
 	var o *types.FObject
-	err := c.dispatch(key, func(eng *core.Engine) error {
+	err := c.dispatch(key, branchName, servlet.PermRead, func(eng *core.Engine) error {
 		var err error
 		o, err = eng.Get([]byte(key), branchName)
 		return err
 	})
-	return o, err
+	if err != nil {
+		return nil, err
+	}
+	return o, nil
 }
 
 // GetChunk serves a chunk read directly from storage, bypassing the
@@ -250,17 +366,44 @@ func (c *Cluster) Value(key string, o *types.FObject) (types.Value, error) {
 
 // Fork forwards a Fork request to the owning servlet.
 func (c *Cluster) Fork(key, refBranch, newBranch string) error {
-	return c.dispatch(key, func(eng *core.Engine) error {
+	return c.dispatch(key, newBranch, servlet.PermWrite, func(eng *core.Engine) error {
 		return eng.Fork([]byte(key), refBranch, newBranch)
 	})
+}
+
+// ListKeys returns the union of keys across all servlets (M8), sorted.
+// Listing the whole key space requires user to hold global read
+// permission (the key/branch wildcard).
+func (c *Cluster) ListKeys(ctx context.Context, user string) ([]string, error) {
+	if err := c.opts.ACL.Check(user, "", "", servlet.PermRead); err != nil {
+		return nil, err
+	}
+	var all []string
+	for _, sv := range c.servlets {
+		if c.opts.NetLatency > 0 {
+			time.Sleep(c.opts.NetLatency)
+		}
+		err := sv.ExecCtx(ctx, func(eng *core.Engine) error {
+			all = append(all, eng.ListKeys()...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(all)
+	return all, nil
 }
 
 // ListTaggedBranches lists the branches of key.
 func (c *Cluster) ListTaggedBranches(key string) ([]branch.TaggedBranch, error) {
 	var out []branch.TaggedBranch
-	err := c.dispatch(key, func(eng *core.Engine) error {
+	err := c.dispatch(key, "", servlet.PermRead, func(eng *core.Engine) error {
 		out = eng.ListTaggedBranches([]byte(key))
 		return nil
 	})
-	return out, err
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -127,6 +128,96 @@ func (e *Engine) putTagged(key []byte, branchName string, v types.Value, context
 		return types.UID{}, err
 	}
 	return o.UID(), nil
+}
+
+// BatchPut is one write of a batched put group (the client Batch API).
+type BatchPut struct {
+	Key    []byte
+	Branch string
+	Value  types.Value
+	Meta   []byte
+	// Guard, when non-nil, makes the write conditional on the branch
+	// head (as the writer would observe it inside the batch).
+	Guard *types.UID
+}
+
+// PutBatch applies a group of tagged-branch writes, amortizing the
+// per-put costs that dominate small writes: puts are grouped by key,
+// each key's update lock is taken once per group, each branch head is
+// loaded once and then chained in memory, and the branch table is
+// updated once per branch at the end of the group.
+//
+// Within a key the group is atomic: head updates become visible only
+// after every write in the group succeeds. Across keys the batch is
+// not atomic — groups for earlier keys may have committed when a later
+// group fails. Returns the new uids in put order. ctx is checked
+// between key groups; a cancelled context aborts the remaining groups.
+func (e *Engine) PutBatch(ctx context.Context, puts []BatchPut) ([]types.UID, error) {
+	uids := make([]types.UID, len(puts))
+	// Group put indexes by key, preserving first-seen key order.
+	var order []string
+	groups := make(map[string][]int)
+	for i, p := range puts {
+		k := string(p.Key)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	for _, k := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := e.putGroup([]byte(k), groups[k], puts, uids); err != nil {
+			return nil, err
+		}
+	}
+	return uids, nil
+}
+
+// putGroup applies one key's batched writes under a single lock hold.
+func (e *Engine) putGroup(key []byte, idxs []int, puts []BatchPut, uids []types.UID) error {
+	l := e.keyLock(key)
+	l.Lock()
+	defer l.Unlock()
+	t := e.space.Table(key)
+	// heads holds each written branch's pending head; loaded tracks
+	// branches whose pre-batch head has been read (nil = new branch).
+	heads := make(map[string]*types.FObject)
+	loaded := make(map[string]bool)
+	for _, i := range idxs {
+		p := puts[i]
+		if !loaded[p.Branch] {
+			if uid, ok := t.Head(p.Branch); ok {
+				o, err := types.LoadFObject(e.s, uid)
+				if err != nil {
+					return err
+				}
+				heads[p.Branch] = o
+			}
+			loaded[p.Branch] = true
+		}
+		base := heads[p.Branch]
+		if p.Guard != nil && (base == nil || base.UID() != *p.Guard) {
+			return branch.ErrGuardFailed
+		}
+		var bases []*types.FObject
+		if base != nil {
+			bases = []*types.FObject{base}
+		}
+		o, err := types.Save(e.s, e.cfg, key, p.Value, bases, p.Meta)
+		if err != nil {
+			return err
+		}
+		uids[i] = o.UID()
+		heads[p.Branch] = o
+	}
+	for br, o := range heads {
+		if err := t.UpdateTagged(br, o.UID(), nil); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PutBase writes a new version deriving from an explicit base version

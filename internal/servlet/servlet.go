@@ -6,6 +6,7 @@
 package servlet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -52,6 +53,9 @@ func NewACL(open bool) *ACL {
 func aclKey(user, key, branch string) string {
 	return user + "\x00" + key + "\x00" + branch
 }
+
+// IsOpen reports whether the controller admits everything.
+func (a *ACL) IsOpen() bool { return a.open }
 
 // Grant gives user permission p on key/branch. Empty key or branch acts
 // as a wildcard.
@@ -131,6 +135,40 @@ func (sv *Servlet) Exec(fn func(eng *core.Engine) error) error {
 	done := make(chan error, 1)
 	sv.reqs <- func() { done <- fn(sv.eng) }
 	return <-done
+}
+
+// ExecCtx runs fn on the servlet's execution thread, honouring ctx: a
+// context cancelled before fn starts aborts the request (fn never
+// runs); once fn is executing it runs to completion, but the caller
+// stops waiting and gets ctx.Err().
+func (sv *Servlet) ExecCtx(ctx context.Context, fn func(eng *core.Engine) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	abandoned := make(chan struct{})
+	req := func() {
+		select {
+		case <-abandoned:
+			return
+		default:
+		}
+		done <- fn(sv.eng)
+	}
+	// The enqueue itself honours ctx: a full queue must not strand a
+	// cancelled caller.
+	select {
+	case sv.reqs <- req:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		close(abandoned)
+		return ctx.Err()
+	}
 }
 
 // ExecAsync runs fn on the servlet's execution thread without waiting.

@@ -7,6 +7,7 @@
 package tabular
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/csv"
 	"errors"
@@ -151,12 +152,12 @@ func (t *FBTable) Import(branch string, records []workload.Record) error {
 // ForkBase this is a constant-time branch-table operation, no data is
 // copied.
 func (t *FBTable) Fork(refBranch, newBranch string) error {
-	if err := t.db.Fork(t.rowKey(), refBranch, newBranch); err != nil {
+	if err := t.db.Fork(context.Background(), t.rowKey(), newBranch, forkbase.WithBranch(refBranch)); err != nil {
 		return err
 	}
 	if t.layout == ColLayout {
 		for _, col := range Schema {
-			if err := t.db.Fork(t.colKey(col), refBranch, newBranch); err != nil {
+			if err := t.db.Fork(context.Background(), t.colKey(col), newBranch, forkbase.WithBranch(refBranch)); err != nil {
 				return err
 			}
 		}

@@ -13,6 +13,7 @@ package wiki
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -90,8 +91,8 @@ func (w *ForkBaseWiki) Name() string { return "ForkBase" }
 
 // Save implements Engine.
 func (w *ForkBaseWiki) Save(c *Client, page string, content []byte) error {
-	ts := []byte(fmt.Sprintf("ts=%d", time.Now().UnixNano()))
-	_, err := w.db.PutWithContext(page, forkbase.DefaultBranch, forkbase.NewBlob(content), ts)
+	ts := fmt.Sprintf("ts=%d", time.Now().UnixNano())
+	_, err := w.db.Put(context.Background(), page, forkbase.NewBlob(content), forkbase.WithMeta(ts))
 	return err
 }
 
@@ -128,7 +129,7 @@ func (w *ForkBaseWiki) load(c *Client, o *forkbase.FObject) ([]byte, error) {
 
 // Load implements Engine.
 func (w *ForkBaseWiki) Load(c *Client, page string) ([]byte, error) {
-	o, err := w.db.Get(page)
+	o, err := w.db.Get(context.Background(), page)
 	if errors.Is(err, forkbase.ErrKeyNotFound) {
 		return nil, ErrPageNotFound
 	}
@@ -140,7 +141,7 @@ func (w *ForkBaseWiki) Load(c *Client, page string) ([]byte, error) {
 
 // LoadVersion implements Engine via the base-version chain (M15).
 func (w *ForkBaseWiki) LoadVersion(c *Client, page string, back int) ([]byte, error) {
-	hist, err := w.db.Track(page, forkbase.DefaultBranch, back, back)
+	hist, err := w.db.Track(context.Background(), page, back, back)
 	if errors.Is(err, forkbase.ErrKeyNotFound) {
 		return nil, ErrPageNotFound
 	}
@@ -156,7 +157,7 @@ func (w *ForkBaseWiki) LoadVersion(c *Client, page string, back int) ([]byte, er
 // Edit implements Engine: the edit splices the attached Blob, so only
 // the chunks covering the edited region are rewritten.
 func (w *ForkBaseWiki) Edit(c *Client, e workload.WikiEdit) error {
-	o, err := w.db.Get(e.Page)
+	o, err := w.db.Get(context.Background(), e.Page)
 	if errors.Is(err, forkbase.ErrKeyNotFound) {
 		return w.Save(c, e.Page, e.Content)
 	}
@@ -181,14 +182,15 @@ func (w *ForkBaseWiki) Edit(c *Client, e workload.WikiEdit) error {
 	if err := b.Splice(off, del, e.Content); err != nil {
 		return err
 	}
-	_, err = w.db.Put(e.Page, b)
+	ts := fmt.Sprintf("ts=%d", time.Now().UnixNano())
+	_, err = w.db.Put(context.Background(), e.Page, b, forkbase.WithMeta(ts))
 	return err
 }
 
 // Diff compares the latest two versions of a page by chunk, using the
 // POS-Tree diff (§5.2).
 func (w *ForkBaseWiki) Diff(page string) (shared, distinct int, err error) {
-	hist, err := w.db.Track(page, forkbase.DefaultBranch, 0, 1)
+	hist, err := w.db.Track(context.Background(), page, 0, 1)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,0 +1,90 @@
+package forkbase
+
+// Option customizes a single Store call. Options compose the M1–M17
+// method zoo of paper Table 1 into a handful of orthogonal calls: the
+// operation names the verb (Get, Put, Fork, Merge, Track, …) and the
+// options select the variant — which branch, which base version, which
+// guard, which resolver, and on whose behalf the call runs.
+type Option func(*callOpts)
+
+// callOpts is the resolved option set for one call.
+type callOpts struct {
+	branch    string
+	branchSet bool
+	bases     []UID
+	guard     *UID
+	meta      []byte
+	resolver  Resolver
+	user      string
+}
+
+// resolveOpts folds opts over the defaults.
+func resolveOpts(opts []Option) callOpts {
+	var o callOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// branchOr returns the selected branch, or def when none was chosen.
+func (o *callOpts) branchOr(def string) string {
+	if o.branchSet {
+		return o.branch
+	}
+	return def
+}
+
+// base returns the single selected base version, if any.
+func (o *callOpts) base() (UID, bool) {
+	if len(o.bases) == 0 {
+		return UID{}, false
+	}
+	return o.bases[0], true
+}
+
+// WithBranch selects the branch a call operates on. For Get/Put/Track
+// it names the branch to read or write (default DefaultBranch); for
+// Fork and Merge it names the reference branch the new branch or merge
+// derives from.
+func WithBranch(name string) Option {
+	return func(o *callOpts) { o.branch, o.branchSet = name, true }
+}
+
+// WithBase pins a call to an explicit version instead of a branch head:
+// Get reads that version (M2), Put derives from it — the
+// fork-on-conflict path (M4) — Fork tags it (M12), Merge merges it
+// (M6), and Track walks history behind it (M16). Repeating WithBase
+// accumulates versions; Merge with two or more bases and an empty
+// target branch merges untagged heads (M7).
+func WithBase(uid UID) Option {
+	return func(o *callOpts) { o.bases = append(o.bases, uid) }
+}
+
+// WithGuard makes a Put conditional: it succeeds only while the branch
+// head still equals uid, failing with ErrGuardFailed otherwise
+// (§4.5.1). Protects read-modify-write cycles against lost updates.
+func WithGuard(uid UID) Option {
+	return func(o *callOpts) { u := uid; o.guard = &u }
+}
+
+// WithMeta attaches application metadata (e.g. a commit message) to the
+// version a write creates; it is stored in the version's context field.
+func WithMeta(msg string) Option {
+	return func(o *callOpts) { o.meta = []byte(msg) }
+}
+
+// WithResolver sets the conflict resolver a Merge uses (§4.5.2). See
+// ChooseA, ChooseB, AppendResolve, Aggregate for built-ins. Without a
+// resolver, differing values surface as ErrConflict.
+func WithResolver(r Resolver) Option {
+	return func(o *callOpts) { o.resolver = r }
+}
+
+// WithUser runs the call on behalf of a user; the access controller
+// checks that user's permissions before execution and denies the call
+// with ErrAccessDenied otherwise. Without it the call is anonymous,
+// which open-mode stores (the embedded default) accept.
+func WithUser(u string) Option {
+	return func(o *callOpts) { o.user = u }
+}
