@@ -54,6 +54,7 @@ func BenchmarkFig16DatasetMod(b *testing.B)    { runExperiment(b, bench.RunFig16
 func BenchmarkFig17DiffAggregate(b *testing.B) { runExperiment(b, bench.RunFig17) }
 
 func BenchmarkBatchPutExperiment(b *testing.B) { runExperiment(b, bench.RunBatchPut) }
+func BenchmarkCacheExperiment(b *testing.B)    { runExperiment(b, bench.RunCache) }
 
 func BenchmarkAblationFixedVsPattern(b *testing.B) { runExperiment(b, bench.RunAblationFixedVsPattern) }
 func BenchmarkAblationChunkSize(b *testing.B)      { runExperiment(b, bench.RunAblationChunkSize) }
@@ -169,6 +170,52 @@ func BenchmarkGetBlobFull20K(b *testing.B) {
 		if _, err := blob.Bytes(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGetFileStore reads Blob objects back from the log-structured
+// file store with the chunk cache off and on. The repeated-read
+// workload is the cache's target case: with the cache, the per-read
+// disk fetch, crc check and chunk decode happen only on first touch.
+func BenchmarkGetFileStore(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		opts forkbase.Options
+	}{
+		{"nocache", forkbase.Options{}},
+		{"cache64MB", forkbase.Options{CacheBytes: 64 << 20}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			db, err := forkbase.OpenPath(b.TempDir(), tc.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			data := workload.RandText(rand.New(rand.NewSource(5)), 64<<10)
+			const objects = 64
+			for i := 0; i < objects; i++ {
+				p := append([]byte(nil), data...)
+				copy(p, fmt.Sprintf("%08d", i))
+				if _, err := db.Put(bctx, fmt.Sprintf("k%d", i), forkbase.NewBlob(p)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(64 << 10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o, err := db.Get(bctx, fmt.Sprintf("k%d", i%objects))
+				if err != nil {
+					b.Fatal(err)
+				}
+				blob, err := db.BlobOf(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := blob.Bytes(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -28,6 +28,16 @@ type ClusterConfig struct {
 	// ChunkSizeLog2 sets the expected POS-Tree chunk size to
 	// 2^ChunkSizeLog2 bytes; 0 means the paper default of 4 KB.
 	ChunkSizeLog2 uint
+	// CacheBytes bounds a per-servlet chunk cache in front of the 2LP
+	// shared pool — the read path that pays the (simulated) network
+	// hop; 0 disables caching. Requires TwoLayer to have any effect.
+	CacheBytes int64
+	// VerifyReads re-verifies every chunk read (from a servlet's own
+	// node storage under either placement, and from the shared pool
+	// under TwoLayer) against its cid, so a tampering or corrupting
+	// storage node surfaces as ErrCorrupt — or, where a replica holds
+	// a good copy, is transparently failed over.
+	VerifyReads bool
 	// ACL, when set, is the access controller every dispatched request
 	// passes through; pair it with WithUser. Nil means open mode.
 	ACL *ACL
@@ -53,13 +63,15 @@ func OpenCluster(cfg ClusterConfig) (*ClusterClient, error) {
 		placement = cluster.TwoLayer
 	}
 	c, err := cluster.New(cluster.Options{
-		Nodes:      cfg.Nodes,
-		Placement:  placement,
-		Replicas:   cfg.Replicas,
-		NetLatency: cfg.NetLatency,
-		Rebalance:  cfg.Rebalance,
-		Tree:       Options{ChunkSizeLog2: cfg.ChunkSizeLog2}.treeConfig(),
-		ACL:        cfg.ACL,
+		Nodes:       cfg.Nodes,
+		Placement:   placement,
+		Replicas:    cfg.Replicas,
+		NetLatency:  cfg.NetLatency,
+		Rebalance:   cfg.Rebalance,
+		Tree:        Options{ChunkSizeLog2: cfg.ChunkSizeLog2}.treeConfig(),
+		CacheBytes:  cfg.CacheBytes,
+		VerifyReads: cfg.VerifyReads,
+		ACL:         cfg.ACL,
 	})
 	if err != nil {
 		return nil, err

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	forkcli [-path dir | -cluster n] [-user name]
+//	forkcli [-path dir | -cluster n] [-user name] [-cache bytes] [-verify]
 //
 // Without -path the store is in-memory and vanishes on exit; with it,
 // versions persist in a log-structured chunk store and remain reachable
@@ -48,26 +48,35 @@ func main() {
 	path := flag.String("path", "", "persist the store in this directory")
 	nodes := flag.Int("cluster", 0, "run against a simulated cluster of n servlets")
 	user := flag.String("user", "", "user the requests run as")
+	cacheBytes := flag.Int64("cache", 0, "chunk-cache byte budget on the read path (0 = off)")
+	verify := flag.Bool("verify", false, "re-verify every chunk read against its cid")
 	flag.Parse()
 
 	var st forkbase.Store
 	switch {
 	case *nodes > 0:
-		cc, err := forkbase.OpenCluster(forkbase.ClusterConfig{Nodes: *nodes, TwoLayer: true})
+		cc, err := forkbase.OpenCluster(forkbase.ClusterConfig{
+			Nodes:       *nodes,
+			TwoLayer:    true,
+			CacheBytes:  *cacheBytes,
+			VerifyReads: *verify,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		st = cc
 		fmt.Printf("simulated forkbase cluster, %d servlets\n", *nodes)
 	case *path != "":
-		db, err := forkbase.OpenPath(*path)
+		db, err := forkbase.OpenPath(*path,
+			forkbase.WithCacheBytes(*cacheBytes), forkbase.WithVerifyReads(*verify))
 		if err != nil {
 			log.Fatal(err)
 		}
 		st = db
 		fmt.Printf("forkbase store at %s\n", *path)
 	default:
-		st = forkbase.Open()
+		st = forkbase.Open(
+			forkbase.WithCacheBytes(*cacheBytes), forkbase.WithVerifyReads(*verify))
 		fmt.Println("in-memory forkbase store")
 	}
 	defer st.Close()

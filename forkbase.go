@@ -141,6 +141,9 @@ var (
 	ErrGuardFailed = branch.ErrGuardFailed
 	// ErrConflict reports unresolved merge conflicts.
 	ErrConflict = merge.ErrConflict
+	// ErrCorrupt reports a chunk that failed an integrity check on
+	// read (crc mismatch on disk, or content not hashing to its cid).
+	ErrCorrupt = store.ErrCorrupt
 )
 
 // DefaultBranch is the branch used by the single-argument Get/Put.
@@ -153,7 +156,10 @@ type DB struct {
 	acl *ACL
 }
 
-// Options configures Open/OpenPath.
+// Options configures Open/OpenPath. A literal Options value can be
+// passed directly (it implements OpenOption, replacing the whole
+// option set), or individual knobs can be applied with WithCacheBytes,
+// WithVerifyReads and friends.
 type Options struct {
 	// ChunkSizeLog2 sets the expected POS-Tree chunk size to
 	// 2^ChunkSizeLog2 bytes; 0 means the paper default of 4 KB.
@@ -161,10 +167,53 @@ type Options struct {
 	// SyncWrites fsyncs the chunk log after every write (file-backed
 	// stores only).
 	SyncWrites bool
+	// SegmentSize rotates the chunk log when the active segment
+	// exceeds this many bytes (file-backed stores only); 0 means the
+	// store default of 64 MiB.
+	SegmentSize int64
+	// CacheBytes bounds an in-memory chunk cache on the read path; 0
+	// disables caching. See store.Cache for what it saves per backend.
+	CacheBytes int64
+	// VerifyReads re-verifies every chunk read against its cid,
+	// turning substituted or rotted content into store.ErrCorrupt.
+	// File-backed stores additionally always verify the record crc32.
+	VerifyReads bool
 	// ACL, when set, routes every call through the access controller;
 	// pair it with WithUser. Nil means open mode (the embedded
 	// single-user default).
 	ACL *ACL
+}
+
+// OpenOption configures Open/OpenPath: either a full Options literal
+// or one of the With* open options.
+type OpenOption interface {
+	applyOpen(*Options)
+}
+
+func (o Options) applyOpen(dst *Options) { *dst = o }
+
+type openOptionFunc func(*Options)
+
+func (f openOptionFunc) applyOpen(o *Options) { f(o) }
+
+// WithCacheBytes enables a chunk cache of up to n bytes in front of
+// the store's read path.
+func WithCacheBytes(n int64) OpenOption {
+	return openOptionFunc(func(o *Options) { o.CacheBytes = n })
+}
+
+// WithVerifyReads toggles integrity verification of every chunk read
+// against its content identifier.
+func WithVerifyReads(on bool) OpenOption {
+	return openOptionFunc(func(o *Options) { o.VerifyReads = on })
+}
+
+func resolveOpenOpts(opts []OpenOption) Options {
+	var o Options
+	for _, op := range opts {
+		op.applyOpen(&o)
+	}
+	return o
 }
 
 func (o Options) treeConfig() postree.Config {
@@ -175,27 +224,37 @@ func (o Options) treeConfig() postree.Config {
 	return cfg
 }
 
-// Open returns an in-memory ForkBase instance.
-func Open(opts ...Options) *DB {
-	var o Options
-	if len(opts) > 0 {
-		o = opts[0]
+// wrapStore stacks the read-path layers onto a base store: integrity
+// enforcement below, cache on top, so a chunk is verified once — when
+// it enters the cache — and hits skip both the check and the backend.
+func (o Options) wrapStore(s store.Store) store.Store {
+	if o.VerifyReads {
+		s = store.Verified(s)
 	}
-	return &DB{eng: core.NewEngine(store.NewMemStore(), o.treeConfig()), acl: o.ACL}
+	if o.CacheBytes > 0 {
+		s = store.NewCache(s, o.CacheBytes)
+	}
+	return s
+}
+
+// Open returns an in-memory ForkBase instance.
+func Open(opts ...OpenOption) *DB {
+	o := resolveOpenOpts(opts)
+	return &DB{eng: core.NewEngine(o.wrapStore(store.NewMemStore()), o.treeConfig()), acl: o.ACL}
 }
 
 // OpenPath returns a ForkBase instance persisted in dir using the
 // log-structured chunk store.
-func OpenPath(dir string, opts ...Options) (*DB, error) {
-	var o Options
-	if len(opts) > 0 {
-		o = opts[0]
-	}
-	fs, err := store.OpenFileStore(dir, store.FileStoreOptions{Sync: o.SyncWrites})
+func OpenPath(dir string, opts ...OpenOption) (*DB, error) {
+	o := resolveOpenOpts(opts)
+	fs, err := store.OpenFileStore(dir, store.FileStoreOptions{
+		Sync:        o.SyncWrites,
+		SegmentSize: o.SegmentSize,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: core.NewEngine(fs, o.treeConfig()), acl: o.ACL}, nil
+	return &DB{eng: core.NewEngine(o.wrapStore(fs), o.treeConfig()), acl: o.ACL}, nil
 }
 
 // NewDBOn builds a DB over an arbitrary chunk store; used by the

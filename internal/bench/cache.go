@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"forkbase"
+	"forkbase/internal/wiki"
+	"forkbase/internal/workload"
+)
+
+var bgCtx = context.Background()
+
+// RunCache measures the chunk-cache read subsystem: hit ratio vs read
+// throughput on a file-backed store, for a micro workload (skewed
+// repeated full reads of Blob objects) and the wiki workload (page
+// loads after trace-driven edit history). The same data is read at
+// several cache budgets, from disabled to larger than the working set;
+// the paper's content-addressed chunks make the cache trivially
+// coherent, so the whole gain is the avoided decode + crc + disk (or
+// remote-hop) cost.
+func RunCache(w io.Writer, scale Scale) error {
+	if err := runCacheMicro(w, scale); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return runCacheWiki(w, scale)
+}
+
+// cacheBudgets are the byte budgets each phase sweeps: off, a cache
+// that holds a fraction of the working set, and one that holds it all.
+func cacheBudgets(datasetBytes int64) []int64 {
+	return []int64{0, datasetBytes / 8, 2 * datasetBytes}
+}
+
+func budgetName(b int64) string {
+	if b == 0 {
+		return "off"
+	}
+	return mib(b)
+}
+
+// withCachedDB runs one budget's measurement against a file-backed DB
+// opened with that cache budget, owning the temp dir and DB lifecycle
+// so measurement code can return early on error without leaking.
+func withCachedDB(budget int64, fn func(db *forkbase.DB) error) error {
+	dir, err := tempDir("fbcache")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	db, err := forkbase.OpenPath(dir, forkbase.Options{CacheBytes: budget})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	return fn(db)
+}
+
+func runCacheMicro(w io.Writer, scale Scale) error {
+	blobs := scale.pick(128, 1024)
+	blobSize := 64 << 10
+	reads := scale.pick(2_000, 40_000)
+	dataset := int64(blobs) * int64(blobSize)
+
+	fmt.Fprintln(w, "Cache (micro): skewed repeated Blob reads, file-backed store")
+	t := newTable(w, 10, 12, 12, 12, 12)
+	t.row("Cache", "Reads/s", "MB/s", "HitRatio", "Evictions")
+
+	for _, budget := range cacheBudgets(dataset) {
+		err := withCachedDB(budget, func(db *forkbase.DB) error {
+			rng := rand.New(rand.NewSource(21))
+			for i := 0; i < blobs; i++ {
+				if _, err := db.Put(bgCtx, fmt.Sprintf("blob-%05d", i),
+					forkbase.NewBlob(workload.RandText(rng, blobSize))); err != nil {
+					return err
+				}
+			}
+			// Zipf-skewed read mix: a hot set small caches can hold.
+			zipf := rand.NewZipf(rng, 1.2, 1, uint64(blobs-1))
+			before := db.Stats()
+			t0 := time.Now()
+			for i := 0; i < reads; i++ {
+				o, err := db.Get(bgCtx, fmt.Sprintf("blob-%05d", zipf.Uint64()))
+				if err != nil {
+					return err
+				}
+				b, err := db.BlobOf(o)
+				if err != nil {
+					return err
+				}
+				if _, err := b.Bytes(); err != nil {
+					return err
+				}
+			}
+			elapsed := time.Since(t0)
+			after := db.Stats()
+			t.row(budgetName(budget),
+				opsPerSec(reads, elapsed),
+				fmt.Sprintf("%.1f", float64(int64(reads)*int64(blobSize))/(1<<20)/elapsed.Seconds()),
+				hitRatioDelta(before, after),
+				after.CacheEvictions-before.CacheEvictions)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runCacheWiki(w io.Writer, scale Scale) error {
+	pages := scale.pick(160, 1600)
+	versions := 4
+	loads := scale.pick(2_000, 40_000)
+	pageSize := 15 << 10
+	dataset := int64(pages) * int64(pageSize)
+
+	fmt.Fprintln(w, "Cache (wiki): page loads after edit history, file-backed store")
+	t := newTable(w, 10, 12, 12, 12)
+	t.row("Cache", "Loads/s", "HitRatio", "Evictions")
+
+	for _, budget := range cacheBudgets(dataset) {
+		err := withCachedDB(budget, func(db *forkbase.DB) error {
+			e := wiki.NewForkBase(db, wiki.FetchModel{})
+			seed := wiki.NewClient()
+			rng := rand.New(rand.NewSource(23))
+			trace := workload.NewWikiTrace(24, pages, 200, 0.9, 0)
+			for p := 0; p < pages; p++ {
+				if err := e.Save(seed, fmt.Sprintf("page-%05d", p), workload.RandText(rng, pageSize)); err != nil {
+					return err
+				}
+			}
+			for v := 1; v < versions; v++ {
+				for p := 0; p < pages/4; p++ {
+					if err := e.Edit(seed, trace.Next(pageSize)); err != nil {
+						return err
+					}
+				}
+			}
+			// Fresh clients per load: the only caching under test is the
+			// store's, not the wiki client's chunk set.
+			zipf := rand.NewZipf(rng, 1.2, 1, uint64(pages-1))
+			before := db.Stats()
+			t0 := time.Now()
+			for i := 0; i < loads; i++ {
+				if _, err := e.Load(wiki.NewClient(), fmt.Sprintf("page-%05d", zipf.Uint64())); err != nil {
+					return err
+				}
+			}
+			elapsed := time.Since(t0)
+			after := db.Stats()
+			t.row(budgetName(budget),
+				opsPerSec(loads, elapsed),
+				hitRatioDelta(before, after),
+				after.CacheEvictions-before.CacheEvictions)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// hitRatioDelta formats the cache hit ratio over the window between
+// two stats snapshots.
+func hitRatioDelta(before, after forkbase.StoreStats) string {
+	hits := after.CacheHits - before.CacheHits
+	misses := after.CacheMisses - before.CacheMisses
+	if hits+misses == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+}

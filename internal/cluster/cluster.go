@@ -61,6 +61,16 @@ type Options struct {
 	// RebalanceThreshold is the queue depth beyond which construction
 	// is forwarded; 0 means 8.
 	RebalanceThreshold int
+	// CacheBytes bounds a per-servlet chunk cache in front of the 2LP
+	// shared pool, where a miss costs a (simulated) remote hop; 0
+	// disables caching. Meta chunks are already local and bypass it.
+	CacheBytes int64
+	// VerifyReads re-verifies every chunk read — from a servlet's own
+	// node storage (either placement) and from the shared 2LP pool —
+	// against its cid before it is used or cached. Pool members are
+	// verified individually, so a corrupt chunk on one member falls
+	// through the pool's replica failover instead of failing the read.
+	VerifyReads bool
 	// ACL is the access controller shared by every servlet's
 	// dispatcher path (§4.1). Nil means open mode: every request is
 	// admitted, matching the embedded single-user default.
@@ -97,10 +107,12 @@ type Cluster struct {
 
 // metaLocalStore routes Meta chunks to the servlet's local storage and
 // everything else through the shared pool — "meta chunks are always
-// stored locally" (§4.6).
+// stored locally" (§4.6). pool is the servlet's view of the shared
+// pool, optionally stacked with verification and a chunk cache so the
+// simulated remote hop is paid once per chunk, not once per read.
 type metaLocalStore struct {
 	local store.Store
-	pool  *store.Pool
+	pool  store.Store
 }
 
 func (m *metaLocalStore) Put(c *chunk.Chunk) (bool, error) {
@@ -121,8 +133,17 @@ func (m *metaLocalStore) Has(id chunk.ID) bool {
 	return m.local.Has(id) || m.pool.Has(id)
 }
 
-func (m *metaLocalStore) Stats() store.Stats { return m.local.Stats() }
-func (m *metaLocalStore) Close() error       { return nil }
+// Stats reports the node's local storage plus its own pool-cache
+// counters; the shared pool's traffic is deliberately excluded, since
+// summing it once per node would multi-count it.
+func (m *metaLocalStore) Stats() store.Stats {
+	s := m.local.Stats()
+	if c, ok := m.pool.(*store.Cache); ok {
+		s.Add(c.CacheCounters())
+	}
+	return s
+}
+func (m *metaLocalStore) Close() error { return nil }
 
 // New starts a cluster.
 func New(opts Options) (*Cluster, error) {
@@ -150,13 +171,35 @@ func New(opts Options) (*Cluster, error) {
 		members := make([]store.Store, opts.Nodes)
 		for i, l := range c.locals {
 			members[i] = l
+			if opts.VerifyReads {
+				// Verify below the pool, per member, so a chunk that
+				// fails its cid check falls through the pool's replica
+				// failover instead of aborting the read.
+				members[i] = store.Verified(l)
+			}
 		}
 		c.pool = store.NewPool(members, opts.Replicas)
 	}
 	for i := 0; i < opts.Nodes; i++ {
-		var s store.Store = c.locals[i]
+		// The servlet's view of its own node's storage is verified too:
+		// under 2LP the locals double as pool members, and without this
+		// a chunk homed on the reading servlet's node would be served
+		// straight from m.local, skipping the member wrappers; under
+		// 1LP it is the only integrity point there is.
+		local := store.Store(c.locals[i])
+		if opts.VerifyReads {
+			local = store.Verified(local)
+		}
+		s := local
 		if opts.Placement == TwoLayer {
-			s = &metaLocalStore{local: c.locals[i], pool: c.pool}
+			// Each servlet gets its own cache over the shared pool (the
+			// simulated network hop is the dominant read cost); chunks
+			// arrive already verified by the member wrappers above.
+			var pool store.Store = c.pool
+			if opts.CacheBytes > 0 {
+				pool = store.NewCache(pool, opts.CacheBytes)
+			}
+			s = &metaLocalStore{local: local, pool: pool}
 		}
 		c.servlets = append(c.servlets, servlet.New(i, s, opts.Tree, opts.ACL))
 	}

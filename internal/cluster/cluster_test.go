@@ -153,6 +153,47 @@ func TestClusterConcurrentClients(t *testing.T) {
 	wg.Wait()
 }
 
+// TestClusterPoolCache checks the per-servlet cache in front of the
+// 2LP shared pool: repeated reads of the same chunkable value are
+// served from the cache (hits accrue) and stay correct, with
+// verification stacked below.
+func TestClusterPoolCache(t *testing.T) {
+	c, err := New(Options{Nodes: 4, Placement: TwoLayer, CacheBytes: 8 << 20, VerifyReads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := make([]byte, 64<<10)
+	rand.New(rand.NewSource(3)).Read(data)
+	if _, err := c.Put("blob", "master", types.NewBlob(data)); err != nil {
+		t.Fatal(err)
+	}
+	read := func() {
+		o, err := c.Get("blob", "master")
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := c.Value("blob", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := v.(*types.Blob).Bytes()
+		if err != nil || len(got) != len(data) {
+			t.Fatalf("cached read broken: %v len=%d", err, len(got))
+		}
+	}
+	read()
+	owner := c.Master().Route("blob")
+	first := c.Servlet(owner).Engine().Store().Stats()
+	for i := 0; i < 4; i++ {
+		read()
+	}
+	after := c.Servlet(owner).Engine().Store().Stats()
+	if after.CacheHits <= first.CacheHits {
+		t.Fatalf("repeated reads accrued no cache hits: first=%+v after=%+v", first, after)
+	}
+}
+
 func TestRebalancedPut(t *testing.T) {
 	c, err := New(Options{Nodes: 4, Placement: TwoLayer, Rebalance: true, RebalanceThreshold: 1})
 	if err != nil {

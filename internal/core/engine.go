@@ -24,6 +24,10 @@ var (
 	ErrTypeMismatch = errors.New("core: value type does not match")
 )
 
+// keyLockStripes is the size of the fixed update-lock table. A power
+// of two so the stripe index is a mask over the key hash.
+const keyLockStripes = 1024
+
 // Engine is a single-servlet ForkBase instance. It is safe for
 // concurrent use; updates to any one key are serialized (§4.5.1).
 type Engine struct {
@@ -31,8 +35,12 @@ type Engine struct {
 	cfg   postree.Config
 	space *branch.Space
 
-	mu    sync.Mutex
-	locks map[string]*sync.Mutex
+	// locks stripes the per-key update mutexes: a key maps to a stripe
+	// by hash, so memory stays fixed no matter how many distinct keys
+	// the engine ever sees (a per-key map grew without bound). Two keys
+	// sharing a stripe merely serialize their updates, which is
+	// harmless for correctness and rare at 1024 stripes.
+	locks [keyLockStripes]sync.Mutex
 }
 
 // NewEngine returns an engine over the given chunk store.
@@ -41,7 +49,6 @@ func NewEngine(s store.Store, cfg postree.Config) *Engine {
 		s:     s,
 		cfg:   cfg,
 		space: branch.NewSpace(),
-		locks: make(map[string]*sync.Mutex),
 	}
 }
 
@@ -52,17 +59,15 @@ func (e *Engine) Store() store.Store { return e.s }
 // Config returns the POS-Tree configuration.
 func (e *Engine) Config() postree.Config { return e.cfg }
 
-// keyLock returns the per-key update mutex.
+// keyLock returns the update mutex striping this key.
 func (e *Engine) keyLock(key []byte) *sync.Mutex {
-	k := string(key)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	l, ok := e.locks[k]
-	if !ok {
-		l = &sync.Mutex{}
-		e.locks[k] = l
+	// Inline FNV-1a; hash/fnv would force a []byte->Hash allocation.
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
 	}
-	return l
+	return &e.locks[h&(keyLockStripes-1)]
 }
 
 // Get returns the head version of a tagged branch (M1).

@@ -341,6 +341,13 @@ func MapElemKey(encoded []byte) []byte { return elemKey(KindMap, encoded) }
 // SetElemBody extracts the body of an encoded Set/List element.
 func SetElemBody(encoded []byte) []byte { return encoded[4:] }
 
+// getChunk fetches one tree node through the store stack the tree was
+// attached to — a store.Cache turns the repeated root/index reads of
+// Get/GetAt/ReadAt and the shared-subtree reads of iterators into
+// memory lookups — and verifies it against the cid that referenced it,
+// which is the Merkle property making every traversal tamper-evident.
+// (The check compares the digest computed when the chunk was decoded;
+// it does not re-hash on every read.)
 func (t *Tree) getChunk(id chunk.ID) (*chunk.Chunk, error) {
 	return store.GetVerified(t.s, id)
 }

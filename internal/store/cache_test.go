@@ -1,0 +1,192 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"forkbase/internal/chunk"
+)
+
+func TestCacheHitMissCounters(t *testing.T) {
+	inner := NewMemStore()
+	c := chunk.New(chunk.TypeBlob, []byte("cached payload"))
+	if _, err := inner.Put(c); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(inner, 1<<20)
+	defer cache.Close()
+
+	for i := 0; i < 3; i++ {
+		got, err := cache.Get(c.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID() != c.ID() {
+			t.Fatal("cache returned wrong chunk")
+		}
+	}
+	s := cache.Stats()
+	if s.CacheMisses != 1 || s.CacheHits != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", s.CacheHits, s.CacheMisses)
+	}
+	if r := s.HitRatio(); r < 0.66 || r > 0.67 {
+		t.Fatalf("HitRatio = %v, want 2/3", r)
+	}
+	// The backing store saw exactly one Get; the total at the cache
+	// layer still counts every call.
+	if inner.Stats().Gets != 1 {
+		t.Fatalf("inner Gets = %d, want 1", inner.Stats().Gets)
+	}
+	if s.Gets != 3 {
+		t.Fatalf("cache-layer Gets = %d, want 3", s.Gets)
+	}
+}
+
+func TestCacheWriteThrough(t *testing.T) {
+	inner := NewMemStore()
+	cache := NewCache(inner, 1<<20)
+	defer cache.Close()
+	c := chunk.New(chunk.TypeBlob, []byte("write through"))
+	if dup, err := cache.Put(c); err != nil || dup {
+		t.Fatalf("Put: dup=%v err=%v", dup, err)
+	}
+	if !inner.Has(c.ID()) {
+		t.Fatal("Put did not reach the backing store")
+	}
+	// The write warmed the cache: the first read is already a hit.
+	if _, err := cache.Get(c.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.CacheHits != 1 || s.CacheMisses != 0 {
+		t.Fatalf("hits=%d misses=%d after write-then-read, want 1/0", s.CacheHits, s.CacheMisses)
+	}
+}
+
+func TestCacheEvictionRespectsBudget(t *testing.T) {
+	inner := NewMemStore()
+	const budget = cacheShards * 256
+	cache := NewCache(inner, budget)
+	defer cache.Close()
+	var ids []chunk.ID
+	for i := 0; i < 200; i++ {
+		c := chunk.New(chunk.TypeBlob, []byte(fmt.Sprintf("entry-%04d-%s", i, string(make([]byte, 100)))))
+		if _, err := cache.Put(c); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.ID())
+	}
+	s := cache.Stats()
+	if s.CacheBytes > budget {
+		t.Fatalf("cache holds %d bytes, budget %d", s.CacheBytes, budget)
+	}
+	if s.CacheEvictions == 0 {
+		t.Fatal("expected evictions under a tight budget")
+	}
+	// Evicted entries are still served — from the backing store.
+	for _, id := range ids {
+		if _, err := cache.Get(id); err != nil {
+			t.Fatalf("chunk lost after eviction: %v", err)
+		}
+	}
+}
+
+func TestCacheOversizedChunkNotCached(t *testing.T) {
+	inner := NewMemStore()
+	cache := NewCache(inner, cacheShards*64) // 64-byte shard budget
+	defer cache.Close()
+	big := chunk.New(chunk.TypeBlob, make([]byte, 1024))
+	if _, err := cache.Put(big); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.CacheBytes != 0 {
+		t.Fatalf("oversized chunk was cached (%d bytes)", s.CacheBytes)
+	}
+	if _, err := cache.Get(big.ID()); err != nil {
+		t.Fatalf("oversized chunk unreadable: %v", err)
+	}
+}
+
+func TestCacheZeroBudget(t *testing.T) {
+	cache := NewCache(NewMemStore(), 0)
+	defer cache.Close()
+	c := chunk.New(chunk.TypeBlob, []byte("uncacheable"))
+	if _, err := cache.Put(c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cache.Get(c.ID())
+	if err != nil || got.ID() != c.ID() {
+		t.Fatalf("zero-budget cache must still serve reads: %v", err)
+	}
+	if s := cache.Stats(); s.CacheBytes != 0 || s.CacheHits != 0 {
+		t.Fatalf("zero-budget cache held data: %+v", s)
+	}
+}
+
+// TestCacheConcurrent hammers one cache with mixed Put/Get from many
+// goroutines over a shared key set; run under -race this checks the
+// sharded LRU's locking.
+func TestCacheConcurrent(t *testing.T) {
+	for _, inner := range map[string]Store{"mem": NewMemStore()} {
+		cache := NewCache(inner, cacheShards*2048) // small: force eviction churn
+		shared := make([]*chunk.Chunk, 64)
+		for i := range shared {
+			shared[i] = chunk.New(chunk.TypeBlob, []byte(fmt.Sprintf("shared-%04d", i)))
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(g)))
+				for i := 0; i < 500; i++ {
+					c := shared[rng.Intn(len(shared))]
+					if rng.Intn(4) == 0 {
+						if _, err := cache.Put(c); err != nil {
+							t.Error(err)
+							return
+						}
+						continue
+					}
+					got, err := cache.Get(c.ID())
+					if err == ErrNotFound {
+						continue // not yet written by anyone
+					}
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if got.ID() != c.ID() {
+						t.Errorf("goroutine %d read wrong chunk", g)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if err := cache.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCacheOverVerifiedCatchesTampering checks the recommended stack:
+// verification below the cache turns substituted content into
+// ErrCorrupt before it can be cached.
+func TestCacheOverVerifiedCatchesTampering(t *testing.T) {
+	honest := NewMemStore()
+	right := chunk.New(chunk.TypeBlob, []byte("right"))
+	wrong := chunk.New(chunk.TypeBlob, []byte("wrong"))
+	honest.Put(right)
+	evil := &misdirectingStore{Store: honest, wrong: wrong}
+	cache := NewCache(Verified(evil), 1<<20)
+	defer cache.Close()
+	if _, err := cache.Get(right.ID()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("substituted chunk passed the cache fill: %v", err)
+	}
+	if s := cache.Stats(); s.CacheBytes != 0 {
+		t.Fatal("tampered chunk entered the cache")
+	}
+}

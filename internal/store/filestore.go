@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"forkbase/internal/chunk"
 )
@@ -22,6 +23,14 @@ import (
 //
 // Record layout: crc32(body) | uint32 len(body) | body, where body is the
 // serialized chunk (type byte + payload), all integers little-endian.
+//
+// Reads run concurrently: the index lookup takes only a read lock,
+// record bytes are fetched with ReadAt on a per-segment read handle
+// (records are immutable once written, so no lock covers the I/O), and
+// the stored crc32 is re-verified on every Get so a corrupting disk or
+// filesystem surfaces as ErrCorrupt instead of silently decoded bytes.
+// Only a read that lands in the not-yet-flushed tail of the active
+// segment takes the write lock, to flush the buffered writer first.
 type FileStore struct {
 	mu      sync.RWMutex
 	dir     string
@@ -30,10 +39,16 @@ type FileStore struct {
 	w       *bufio.Writer
 	seg     int   // active segment number
 	off     int64 // next write offset in the active segment
+	flushed int64 // bytes of the active segment visible to ReadAt
 	maxSeg  int64
 	sync    bool
 	stats   Stats
+
+	rmu     sync.RWMutex // guards readers; never held with mu
 	readers map[int]*os.File
+
+	gets      atomic.Int64 // stats.Gets, updated outside mu
+	readBytes atomic.Int64 // stats.ReadBytes, updated outside mu
 }
 
 type location struct {
@@ -119,6 +134,7 @@ func (fs *FileStore) recover() error {
 	}
 	fs.active = f
 	fs.w = bufio.NewWriterSize(f, 1<<20)
+	fs.flushed = fs.off // everything replayed is on disk
 	return nil
 }
 
@@ -200,6 +216,7 @@ func (fs *FileStore) flushLocked() error {
 	if err := fs.w.Flush(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	fs.flushed = fs.off
 	if fs.sync {
 		if err := fs.active.Sync(); err != nil {
 			return fmt.Errorf("store: %w", err)
@@ -217,6 +234,7 @@ func (fs *FileStore) rotateLocked() error {
 	}
 	fs.seg++
 	fs.off = 0
+	fs.flushed = 0
 	f, err := os.OpenFile(segName(fs.dir, fs.seg), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -226,42 +244,65 @@ func (fs *FileStore) rotateLocked() error {
 	return nil
 }
 
-// Get implements Store.
+// Get implements Store. The stored crc32 is re-verified against the
+// body, so a flipped bit on disk is reported as ErrCorrupt (with the
+// segment and offset of the damaged record) instead of being decoded.
 func (fs *FileStore) Get(id chunk.ID) (*chunk.Chunk, error) {
-	fs.mu.Lock()
+	fs.gets.Add(1)
+	fs.mu.RLock()
 	loc, ok := fs.index[id]
-	fs.stats.Gets++
+	seg, flushed := fs.seg, fs.flushed
+	fs.mu.RUnlock()
 	if !ok {
-		fs.mu.Unlock()
 		return nil, ErrNotFound
 	}
-	// Reads from the active segment must see buffered writes.
-	if loc.seg == fs.seg {
-		if err := fs.w.Flush(); err != nil {
-			fs.mu.Unlock()
-			return nil, fmt.Errorf("store: %w", err)
+	// A read in the unflushed tail of the active segment must push the
+	// buffered writes to the file first; everything else reads without
+	// the write lock, since committed records are immutable.
+	if loc.seg == seg && loc.off+int64(loc.n) > flushed {
+		fs.mu.Lock()
+		if loc.seg == fs.seg && loc.off+int64(loc.n) > fs.flushed {
+			if err := fs.w.Flush(); err != nil {
+				fs.mu.Unlock()
+				return nil, fmt.Errorf("store: %w", err)
+			}
+			fs.flushed = fs.off
 		}
-	}
-	r, err := fs.readerLocked(loc.seg)
-	if err != nil {
 		fs.mu.Unlock()
+	}
+	r, err := fs.reader(loc.seg)
+	if err != nil {
 		return nil, err
 	}
-	body := make([]byte, loc.n)
-	_, err = r.ReadAt(body, loc.off)
-	fs.stats.ReadBytes += int64(loc.n)
-	fs.mu.Unlock()
-	if err != nil {
+	rec := make([]byte, recordHeader+loc.n)
+	if _, err := r.ReadAt(rec, loc.off-recordHeader); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
+	}
+	fs.readBytes.Add(int64(loc.n))
+	body := rec[recordHeader:]
+	if crc := binary.LittleEndian.Uint32(rec[0:4]); crc32.ChecksumIEEE(body) != crc {
+		return nil, fmt.Errorf("%w: crc mismatch for %s at seg %d offset %d",
+			ErrCorrupt, id.Short(), loc.seg, loc.off)
 	}
 	c, err := chunk.Decode(body)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %s at seg %d offset %d: %v",
+			ErrCorrupt, id.Short(), loc.seg, loc.off, err)
 	}
 	return c, nil
 }
 
-func (fs *FileStore) readerLocked(seg int) (*os.File, error) {
+// reader returns (opening on first use) the shared read handle for a
+// segment. Handles are only ever ReadAt, so one per segment is enough.
+func (fs *FileStore) reader(seg int) (*os.File, error) {
+	fs.rmu.RLock()
+	f, ok := fs.readers[seg]
+	fs.rmu.RUnlock()
+	if ok {
+		return f, nil
+	}
+	fs.rmu.Lock()
+	defer fs.rmu.Unlock()
 	if f, ok := fs.readers[seg]; ok {
 		return f, nil
 	}
@@ -284,26 +325,40 @@ func (fs *FileStore) Has(id chunk.ID) bool {
 // Stats implements Store.
 func (fs *FileStore) Stats() Stats {
 	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return fs.stats
+	s := fs.stats
+	fs.mu.RUnlock()
+	s.Gets = fs.gets.Load()
+	s.ReadBytes = fs.readBytes.Load()
+	return s
 }
 
 // Flush forces buffered records to the operating system.
 func (fs *FileStore) Flush() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.w.Flush()
+	if err := fs.w.Flush(); err != nil {
+		return err
+	}
+	fs.flushed = fs.off
+	return nil
 }
 
 // Close flushes and closes all segment files.
 func (fs *FileStore) Close() error {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if err := fs.w.Flush(); err != nil {
-		return fmt.Errorf("store: %w", err)
+	err := fs.w.Flush()
+	if err != nil {
+		err = fmt.Errorf("store: %w", err)
 	}
+	if cerr := fs.active.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("store: %w", cerr)
+	}
+	fs.mu.Unlock()
+	fs.rmu.Lock()
 	for _, f := range fs.readers {
 		f.Close()
 	}
-	return fs.active.Close()
+	fs.readers = make(map[int]*os.File)
+	fs.rmu.Unlock()
+	return err
 }

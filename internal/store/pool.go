@@ -66,17 +66,25 @@ func (p *Pool) Put(c *chunk.Chunk) (bool, error) {
 }
 
 // Get implements Store, preferring the home member and falling over to
-// replicas.
+// replicas. Any failure at the home member — not just a missing chunk —
+// falls through to the replicas; that tolerance for a corrupt or
+// erroring member is what the replication factor buys. Only when every
+// replica fails is an error surfaced, preferring the first real fault
+// over ErrNotFound.
 func (p *Pool) Get(id chunk.ID) (*chunk.Chunk, error) {
 	h := p.home(id)
+	var firstErr error
 	for i := 0; i < p.replicas; i++ {
 		c, err := p.members[(h+i)%len(p.members)].Get(id)
 		if err == nil {
 			return c, nil
 		}
-		if err != ErrNotFound {
-			return nil, err
+		if err != ErrNotFound && firstErr == nil {
+			firstErr = fmt.Errorf("store: pool member %d: %w", (h+i)%len(p.members), err)
 		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return nil, ErrNotFound
 }
@@ -96,14 +104,7 @@ func (p *Pool) Has(id chunk.ID) bool {
 func (p *Pool) Stats() Stats {
 	var out Stats
 	for _, m := range p.members {
-		s := m.Stats()
-		out.Chunks += s.Chunks
-		out.Bytes += s.Bytes
-		out.Puts += s.Puts
-		out.Dups += s.Dups
-		out.Gets += s.Gets
-		out.DupBytes += s.DupBytes
-		out.ReadBytes += s.ReadBytes
+		out.Add(m.Stats())
 	}
 	return out
 }

@@ -14,6 +14,12 @@ import (
 // ErrNotFound is returned when no chunk with the requested cid exists.
 var ErrNotFound = errors.New("store: chunk not found")
 
+// ErrCorrupt is returned when a chunk fails an integrity check on read:
+// a crc32 mismatch against the record header, an undecodable body, or
+// content that does not hash to the requested cid. Match with
+// errors.Is; the wrapped message carries the location of the damage.
+var ErrCorrupt = errors.New("store: chunk corrupt")
+
 // Store is the chunk-storage interface. Implementations must be safe for
 // concurrent use.
 type Store interface {
@@ -40,6 +46,37 @@ type Stats struct {
 	Gets      int64 // total Get calls
 	DupBytes  int64 // serialized bytes absorbed by deduplication
 	ReadBytes int64 // serialized bytes served by Get
+
+	// Chunk-cache counters; zero unless a Cache wraps the store.
+	CacheHits      int64 // Gets served from the cache
+	CacheMisses    int64 // Gets that fell through to the backing store
+	CacheEvictions int64 // entries evicted to respect the byte budget
+	CacheBytes     int64 // serialized bytes currently cached
+}
+
+// Add accumulates o into s (used by federating stores and wrappers).
+func (s *Stats) Add(o Stats) {
+	s.Chunks += o.Chunks
+	s.Bytes += o.Bytes
+	s.Puts += o.Puts
+	s.Dups += o.Dups
+	s.Gets += o.Gets
+	s.DupBytes += o.DupBytes
+	s.ReadBytes += o.ReadBytes
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheEvictions += o.CacheEvictions
+	s.CacheBytes += o.CacheBytes
+}
+
+// HitRatio returns the fraction of cached-store Gets served from the
+// cache, in [0, 1].
+func (s Stats) HitRatio() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // DedupRatio returns the fraction of put traffic absorbed by
@@ -57,14 +94,30 @@ func (s Stats) String() string {
 }
 
 // GetVerified fetches a chunk and verifies its content against the
-// requested cid, detecting a tampering storage provider (§2.3).
+// requested cid, detecting a tampering storage provider (§2.3). A
+// mismatch is reported as ErrCorrupt.
 func GetVerified(s Store, id chunk.ID) (*chunk.Chunk, error) {
 	c, err := s.Get(id)
 	if err != nil {
 		return nil, err
 	}
 	if err := c.Verify(id); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return c, nil
 }
+
+// verifiedStore enforces GetVerified on every read; see Verified.
+type verifiedStore struct {
+	Store
+}
+
+func (v verifiedStore) Get(id chunk.ID) (*chunk.Chunk, error) {
+	return GetVerified(v.Store, id)
+}
+
+// Verified wraps a store so that every Get re-verifies the returned
+// chunk's content against the requested cid, turning any substitution
+// or bit-rot the backing layer missed into ErrCorrupt. Stack it below a
+// Cache so each chunk is verified once, when it enters the cache.
+func Verified(s Store) Store { return verifiedStore{s} }

@@ -1,10 +1,13 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -25,6 +28,16 @@ func storeFactories(t *testing.T) map[string]func() Store {
 		},
 		"pool": func() Store {
 			return NewPool([]Store{NewMemStore(), NewMemStore(), NewMemStore()}, 2)
+		},
+		"cache": func() Store {
+			return NewCache(NewMemStore(), 1<<20)
+		},
+		"cache-file": func() Store {
+			fs, err := OpenFileStore(t.TempDir(), FileStoreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return NewCache(Verified(fs), 1<<20)
 		},
 	}
 }
@@ -174,6 +187,141 @@ func TestFileStoreTornTailTolerated(t *testing.T) {
 	}
 	if _, err := fs2.Get(c2.ID()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFileStoreCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir, FileStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	victim := chunk.New(chunk.TypeBlob, []byte("soon to be damaged on disk"))
+	intact := chunk.New(chunk.TypeBlob, []byte("left alone"))
+	for _, c := range []*chunk.Chunk{victim, intact} {
+		if _, err := fs.Put(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside the first record's body (offset 8 is the
+	// type byte, +4 lands mid-payload), simulating disk corruption.
+	seg := filepath.Join(dir, "seg-000000.log")
+	f, err := os.OpenFile(seg, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{'X'}, recordHeader+4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, err = fs.Get(victim.ID())
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get of damaged chunk: %v, want ErrCorrupt", err)
+	}
+	if got := fmt.Sprint(err); !strings.Contains(got, "seg 0") {
+		t.Fatalf("corruption error lacks location: %q", got)
+	}
+	// Undamaged records on the same segment still read fine.
+	if _, err := fs.Get(intact.ID()); err != nil {
+		t.Fatalf("intact chunk unreadable: %v", err)
+	}
+}
+
+func TestFileStoreTornTailAfterRotate(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir, FileStoreOptions{SegmentSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []chunk.ID
+	for i := 0; i < 20; i++ {
+		c := chunk.New(chunk.TypeBlob, []byte(fmt.Sprintf("record-%04d-%s", i, string(make([]byte, 200)))))
+		if _, err := fs.Put(c); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.ID())
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("expected rotation to have produced several segments, got %v (%v)", segs, err)
+	}
+	// Tear the newest segment's tail.
+	sort.Strings(segs)
+	if err := appendFile(segs[len(segs)-1], []byte{9, 9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := OpenFileStore(dir, FileStoreOptions{SegmentSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	for i, id := range ids {
+		if _, err := fs2.Get(id); err != nil {
+			t.Fatalf("chunk %d lost after torn-tail recovery: %v", i, err)
+		}
+	}
+	// The append point is clean: new writes land and read back.
+	c := chunk.New(chunk.TypeBlob, []byte("written after recovery"))
+	if _, err := fs2.Put(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs2.Get(c.ID()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flakyStore serves Get with an injected error once enabled; Put and
+// the rest pass through.
+type flakyStore struct {
+	Store
+	fail  bool
+	errIn error
+}
+
+func (f *flakyStore) Get(id chunk.ID) (*chunk.Chunk, error) {
+	if f.fail {
+		return nil, f.errIn
+	}
+	return f.Store.Get(id)
+}
+
+func TestPoolGetFailsOverOnMemberError(t *testing.T) {
+	boom := errors.New("member i/o error")
+	members := make([]Store, 3)
+	flaky := make([]*flakyStore, 3)
+	for i := range members {
+		flaky[i] = &flakyStore{Store: NewMemStore(), errIn: boom}
+		members[i] = flaky[i]
+	}
+	p := NewPool(members, 2)
+	c := chunk.New(chunk.TypeBlob, []byte("replicated"))
+	if _, err := p.Put(c); err != nil {
+		t.Fatal(err)
+	}
+	// The home member erroring (not just missing the chunk) must not
+	// abort the read — the replica has it.
+	h := p.Home(c.ID())
+	flaky[h].fail = true
+	got, err := p.Get(c.ID())
+	if err != nil {
+		t.Fatalf("Get with failing home member: %v, want replica failover", err)
+	}
+	if got.ID() != c.ID() {
+		t.Fatal("failover returned wrong chunk")
+	}
+	// When every replica fails, the real fault surfaces, not ErrNotFound.
+	flaky[(h+1)%3].fail = true
+	if _, err := p.Get(c.ID()); !errors.Is(err, boom) {
+		t.Fatalf("Get with all replicas failing: %v, want wrapped member error", err)
 	}
 }
 
