@@ -33,6 +33,11 @@ func experimentOut() io.Writer {
 
 func runExperiment(b *testing.B, fn func(io.Writer, bench.Scale) error) {
 	b.Helper()
+	// Scratch dirs come from the testing framework: tracked, unique
+	// per call, and removed even when an experiment aborts mid-way.
+	prev := bench.TempDirFunc
+	bench.TempDirFunc = func(string) (string, error) { return b.TempDir(), nil }
+	defer func() { bench.TempDirFunc = prev }()
 	for i := 0; i < b.N; i++ {
 		if err := fn(experimentOut(), bench.Quick); err != nil {
 			b.Fatal(err)
@@ -55,6 +60,7 @@ func BenchmarkFig17DiffAggregate(b *testing.B) { runExperiment(b, bench.RunFig17
 
 func BenchmarkBatchPutExperiment(b *testing.B) { runExperiment(b, bench.RunBatchPut) }
 func BenchmarkCacheExperiment(b *testing.B)    { runExperiment(b, bench.RunCache) }
+func BenchmarkGCExperiment(b *testing.B)       { runExperiment(b, bench.RunGC) }
 
 func BenchmarkAblationFixedVsPattern(b *testing.B) { runExperiment(b, bench.RunAblationFixedVsPattern) }
 func BenchmarkAblationChunkSize(b *testing.B)      { runExperiment(b, bench.RunAblationChunkSize) }

@@ -3,9 +3,11 @@ package forkbase
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"forkbase/internal/core"
 	"forkbase/internal/servlet"
+	"forkbase/internal/store"
 )
 
 // Store is the unified ForkBase client API. Every deployment mode —
@@ -76,8 +78,27 @@ type Store interface {
 	// RenameBranch renames a tagged branch (M13); admin permission.
 	RenameBranch(ctx context.Context, key, branchName, newName string, opts ...Option) error
 	// RemoveBranch drops a branch name (M14); versions stay reachable
-	// by uid. Admin permission.
+	// by uid until a GC collects them. Admin permission.
 	RemoveBranch(ctx context.Context, key, branchName string, opts ...Option) error
+	// Pin protects a version of key — and everything it reaches: its
+	// value chunks and full derivation history — from garbage
+	// collection, independent of the branch tables. A client holding
+	// a version only by uid (e.g. after RemoveBranch dropped the last
+	// branch over it) pins it to keep deriving from it safe across
+	// collections, the way git requires a ref before gc. Write
+	// permission on key.
+	Pin(ctx context.Context, key string, uid UID, opts ...Option) error
+	// Unpin removes a Pin; the version stays alive only while a
+	// branch or another pin still reaches it. Write permission on key.
+	Unpin(ctx context.Context, key string, uid UID, opts ...Option) error
+	// GC reclaims every chunk unreachable from the live roots — any
+	// tagged branch head, untagged fork-on-conflict head or pinned
+	// version, on any key — and compacts the physical storage behind
+	// them. Reads and writes proceed concurrently; versions written
+	// during the collection are never reclaimed. Admin permission
+	// under a closed ACL. Stores that cannot reclaim space return
+	// ErrNotCollectable.
+	GC(ctx context.Context, opts ...Option) (GCStats, error)
 	// Value decodes an FObject fetched from this store. key locates
 	// the chunks (the cluster routes it to the owning servlet).
 	Value(ctx context.Context, key string, o *FObject, opts ...Option) (Value, error)
@@ -393,7 +414,8 @@ func (db *DB) RenameBranch(ctx context.Context, key, branchName, newName string,
 	return db.eng.Rename([]byte(key), branchName, newName)
 }
 
-// RemoveBranch implements Store.
+// RemoveBranch implements Store. With WithAutoGC configured, every
+// n-th successful removal triggers a full collection before returning.
 func (db *DB) RemoveBranch(ctx context.Context, key, branchName string, opts ...Option) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -402,7 +424,63 @@ func (db *DB) RemoveBranch(ctx context.Context, key, branchName string, opts ...
 	if err := db.check(o.user, key, branchName, PermAdmin); err != nil {
 		return err
 	}
-	return db.eng.RemoveBranch([]byte(key), branchName)
+	if err := db.eng.RemoveBranch([]byte(key), branchName); err != nil {
+		return err
+	}
+	if db.autoGCEvery > 0 && db.removals.Add(1)%int64(db.autoGCEvery) == 0 {
+		// A collection already sweeping (another removal's auto-GC, or
+		// an explicit GC) will take this removal's garbage with it or
+		// leave it for the next round — not an error. The removal
+		// itself succeeded either way; a real GC failure is reported
+		// wrapped so the caller can tell the two apart.
+		if _, err := db.eng.GC(ctx, db.gcThreshold); err != nil && !errors.Is(err, store.ErrSweepInProgress) {
+			return fmt.Errorf("forkbase: auto-gc after branch removal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Pin implements Store; like every other mutating call it runs
+// through the access controller (write permission on key).
+func (db *DB) Pin(ctx context.Context, key string, uid UID, opts ...Option) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	o := resolveOpts(opts)
+	if err := db.check(o.user, key, "", PermWrite); err != nil {
+		return err
+	}
+	db.eng.PinUID(uid)
+	return nil
+}
+
+// Unpin implements Store.
+func (db *DB) Unpin(ctx context.Context, key string, uid UID, opts ...Option) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	o := resolveOpts(opts)
+	if err := db.check(o.user, key, "", PermWrite); err != nil {
+		return err
+	}
+	db.eng.UnpinUID(uid)
+	return nil
+}
+
+// GC implements Store: one mark-and-sweep collection over the embedded
+// engine. The compaction threshold is the open-time WithGCThreshold
+// (store default when unset).
+func (db *DB) GC(ctx context.Context, opts ...Option) (GCStats, error) {
+	if err := ctx.Err(); err != nil {
+		return GCStats{}, err
+	}
+	o := resolveOpts(opts)
+	// Collection deletes data store-wide; gate it like the other
+	// destructive admin operations, on the global wildcard.
+	if err := db.check(o.user, "", "", PermAdmin); err != nil {
+		return GCStats{}, err
+	}
+	return db.eng.GC(ctx, db.gcThreshold)
 }
 
 // Value implements Store.

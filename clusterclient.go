@@ -2,11 +2,15 @@ package forkbase
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
 	"time"
 
 	"forkbase/internal/cluster"
 	"forkbase/internal/core"
 	"forkbase/internal/servlet"
+	"forkbase/internal/store"
 )
 
 // ClusterConfig configures OpenCluster.
@@ -41,6 +45,15 @@ type ClusterConfig struct {
 	// ACL, when set, is the access controller every dispatched request
 	// passes through; pair it with WithUser. Nil means open mode.
 	ACL *ACL
+	// GCThreshold is the live ratio below which GC compacts storage;
+	// 0 means the store default of 0.5. The simulated cluster's nodes
+	// are memory-backed, so the knob matters once nodes gain
+	// file-backed storage, but it is honoured uniformly.
+	GCThreshold float64
+	// AutoGCEvery, when positive, runs a cluster-wide collection after
+	// every AutoGCEvery successful RemoveBranch calls through this
+	// client. 0 leaves collection to explicit GC calls.
+	AutoGCEvery int
 }
 
 // ClusterClient is the distributed Store implementation: calls are
@@ -50,6 +63,10 @@ type ClusterConfig struct {
 // applications move between deployment modes without change.
 type ClusterClient struct {
 	c *cluster.Cluster
+
+	gcThreshold float64
+	autoGCEvery int
+	removals    atomic.Int64
 }
 
 // OpenCluster starts a simulated ForkBase cluster (in-process servlets
@@ -76,7 +93,7 @@ func OpenCluster(cfg ClusterConfig) (*ClusterClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ClusterClient{c: c}, nil
+	return &ClusterClient{c: c, gcThreshold: cfg.GCThreshold, autoGCEvery: cfg.AutoGCEvery}, nil
 }
 
 // Cluster exposes the underlying simulated cluster for instrumentation
@@ -327,12 +344,61 @@ func (cc *ClusterClient) RenameBranch(ctx context.Context, key, branchName, newN
 	})
 }
 
-// RemoveBranch implements Store.
+// RemoveBranch implements Store. With AutoGCEvery configured, every
+// n-th successful removal triggers a cluster-wide collection before
+// returning.
 func (cc *ClusterClient) RemoveBranch(ctx context.Context, key, branchName string, opts ...Option) error {
 	o := resolveOpts(opts)
-	return cc.c.ExecAs(ctx, o.user, key, branchName, servlet.PermAdmin, func(eng *core.Engine) error {
+	err := cc.c.ExecAs(ctx, o.user, key, branchName, servlet.PermAdmin, func(eng *core.Engine) error {
 		return eng.RemoveBranch([]byte(key), branchName)
 	})
+	if err != nil {
+		return err
+	}
+	if cc.autoGCEvery > 0 && cc.removals.Add(1)%int64(cc.autoGCEvery) == 0 {
+		// An already-running collection (another removal's auto-GC or
+		// an explicit GC) covers this garbage; only real failures are
+		// reported. The removal itself succeeded either way.
+		if _, err := cc.c.GC(ctx, cc.gcThreshold); err != nil && !errors.Is(err, store.ErrSweepInProgress) {
+			return fmt.Errorf("forkbase: auto-gc after branch removal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Pin implements Store. key routes the pin to the servlet owning it:
+// pins are enumerated as GC roots by the owning servlet's engine, and
+// the version's meta chunk lives in that servlet's local storage.
+func (cc *ClusterClient) Pin(ctx context.Context, key string, uid UID, opts ...Option) error {
+	o := resolveOpts(opts)
+	return cc.c.ExecAs(ctx, o.user, key, "", servlet.PermWrite, func(eng *core.Engine) error {
+		eng.PinUID(uid)
+		return nil
+	})
+}
+
+// Unpin implements Store.
+func (cc *ClusterClient) Unpin(ctx context.Context, key string, uid UID, opts ...Option) error {
+	o := resolveOpts(opts)
+	return cc.c.ExecAs(ctx, o.user, key, "", servlet.PermWrite, func(eng *core.Engine) error {
+		eng.UnpinUID(uid)
+		return nil
+	})
+}
+
+// GC implements Store: one mark-and-sweep collection across every
+// servlet and storage node of the cluster (global mark, per-node
+// sweep; see cluster.Cluster.GC). Under a closed ACL it requires
+// global admin permission — collection deletes data cluster-wide.
+func (cc *ClusterClient) GC(ctx context.Context, opts ...Option) (GCStats, error) {
+	if err := ctx.Err(); err != nil {
+		return GCStats{}, err
+	}
+	o := resolveOpts(opts)
+	if err := cc.c.ACL().Check(o.user, "", "", servlet.PermAdmin); err != nil {
+		return GCStats{}, err
+	}
+	return cc.c.GC(ctx, cc.gcThreshold)
 }
 
 // Value implements Store: the decode reads chunks directly from the

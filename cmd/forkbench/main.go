@@ -9,7 +9,7 @@
 //
 // With no arguments every experiment runs in order. Experiments:
 // table3 table4 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
-// fig17 batchput cache ablations
+// fig17 batchput cache gc ablations
 package main
 
 import (
@@ -40,6 +40,7 @@ var experiments = []struct {
 	{"fig17", bench.RunFig17},
 	{"batchput", bench.RunBatchPut},
 	{"cache", bench.RunCache},
+	{"gc", bench.RunGC},
 	{"ablations", runAblations},
 }
 

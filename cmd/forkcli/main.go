@@ -27,6 +27,10 @@
 //	track <key> [n]                 show the last n versions (default 5)
 //	diff <key> <uid1> <uid2>        compare two versions
 //	verify <key>                    verify a key's history hash chain
+//	rmbranch <key> <branch>         drop a branch name (its exclusive
+//	                                chunks become garbage)
+//	gc                              collect unreachable chunks and
+//	                                compact storage
 //	stats                           storage statistics (embedded only)
 //	quit
 package main
@@ -277,6 +281,20 @@ func (sh *shell) run(args []string) error {
 			return err
 		}
 		fmt.Printf("ok: %d versions verified\n", n)
+	case "rmbranch":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: rmbranch <key> <branch>")
+		}
+		if err := st.RemoveBranch(ctx, args[1], args[2], sh.as()...); err != nil {
+			return err
+		}
+		fmt.Printf("removed %s/%s (run gc to reclaim its chunks)\n", args[1], args[2])
+	case "gc":
+		stats, err := st.GC(ctx, sh.as()...)
+		if err != nil {
+			return err
+		}
+		fmt.Println(stats)
 	case "stats":
 		db, ok := sh.st.(*forkbase.DB)
 		if !ok {

@@ -39,6 +39,7 @@ package forkbase
 
 import (
 	"context"
+	"sync/atomic"
 
 	"forkbase/internal/branch"
 	"forkbase/internal/chunk"
@@ -92,6 +93,8 @@ type (
 	Diff = core.Diff
 	// StoreStats reports chunk-storage counters.
 	StoreStats = store.Stats
+	// GCStats reports one garbage collection's effect.
+	GCStats = store.GCStats
 	// KV is a key-value pair for Map batch updates.
 	KV = postree.KV
 )
@@ -144,6 +147,9 @@ var (
 	// ErrCorrupt reports a chunk that failed an integrity check on
 	// read (crc mismatch on disk, or content not hashing to its cid).
 	ErrCorrupt = store.ErrCorrupt
+	// ErrNotCollectable reports a GC call against a store whose
+	// bottom layer cannot reclaim chunks.
+	ErrNotCollectable = store.ErrNotCollectable
 )
 
 // DefaultBranch is the branch used by the single-argument Get/Put.
@@ -154,6 +160,10 @@ const DefaultBranch = branch.DefaultBranch
 type DB struct {
 	eng *core.Engine
 	acl *ACL
+
+	gcThreshold float64      // segment compaction threshold (0 = default)
+	autoGCEvery int          // run GC after this many branch removals
+	removals    atomic.Int64 // RemoveBranch calls since open
 }
 
 // Options configures Open/OpenPath. A literal Options value can be
@@ -182,6 +192,15 @@ type Options struct {
 	// pair it with WithUser. Nil means open mode (the embedded
 	// single-user default).
 	ACL *ACL
+	// GCThreshold is the live ratio below which GC compacts a sealed
+	// log segment (file-backed stores); 0 means the store default of
+	// 0.5 — segments more than half garbage are rewritten.
+	GCThreshold float64
+	// AutoGCEvery, when positive, runs a full collection automatically
+	// after every AutoGCEvery successful RemoveBranch calls — the
+	// operation that turns reachable versions into garbage. 0 leaves
+	// collection entirely to explicit GC calls.
+	AutoGCEvery int
 }
 
 // OpenOption configures Open/OpenPath: either a full Options literal
@@ -206,6 +225,26 @@ func WithCacheBytes(n int64) OpenOption {
 // against its content identifier.
 func WithVerifyReads(on bool) OpenOption {
 	return openOptionFunc(func(o *Options) { o.VerifyReads = on })
+}
+
+// WithGCThreshold sets the live ratio below which GC compacts a sealed
+// log segment. 0.5 (the default) rewrites segments more than half
+// garbage; higher values compact more aggressively, trading write
+// amplification for disk space.
+func WithGCThreshold(ratio float64) OpenOption {
+	return openOptionFunc(func(o *Options) { o.GCThreshold = ratio })
+}
+
+// WithAutoGC runs a full collection automatically after every n
+// successful branch removals; see Options.AutoGCEvery.
+//
+// Caution on reopened persistent stores: branch tables are in-memory,
+// so immediately after OpenPath on an existing directory there are no
+// GC roots — an auto collection triggered before branches or pins are
+// re-established reclaims every previously persisted chunk. Enable
+// auto-GC only in processes that own the full set of live branches.
+func WithAutoGC(n int) OpenOption {
+	return openOptionFunc(func(o *Options) { o.AutoGCEvery = n })
 }
 
 func resolveOpenOpts(opts []OpenOption) Options {
@@ -240,7 +279,12 @@ func (o Options) wrapStore(s store.Store) store.Store {
 // Open returns an in-memory ForkBase instance.
 func Open(opts ...OpenOption) *DB {
 	o := resolveOpenOpts(opts)
-	return &DB{eng: core.NewEngine(o.wrapStore(store.NewMemStore()), o.treeConfig()), acl: o.ACL}
+	return &DB{
+		eng:         core.NewEngine(o.wrapStore(store.NewMemStore()), o.treeConfig()),
+		acl:         o.ACL,
+		gcThreshold: o.GCThreshold,
+		autoGCEvery: o.AutoGCEvery,
+	}
 }
 
 // OpenPath returns a ForkBase instance persisted in dir using the
@@ -254,7 +298,12 @@ func OpenPath(dir string, opts ...OpenOption) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{eng: core.NewEngine(o.wrapStore(fs), o.treeConfig()), acl: o.ACL}, nil
+	return &DB{
+		eng:         core.NewEngine(o.wrapStore(fs), o.treeConfig()),
+		acl:         o.ACL,
+		gcThreshold: o.GCThreshold,
+		autoGCEvery: o.AutoGCEvery,
+	}, nil
 }
 
 // NewDBOn builds a DB over an arbitrary chunk store; used by the

@@ -20,16 +20,25 @@ import (
 	"time"
 )
 
-// tempDir creates a scratch directory for on-disk stores. It prefers
-// TMPDIR, then the working directory: on some hosts /tmp sits on a
-// throttled mount that would dominate every persistence measurement.
-func tempDir(pattern string) (string, error) {
+// TempDirFunc creates the scratch directories on-disk experiments use.
+// The default prefers TMPDIR, then the working directory: on some
+// hosts /tmp sits on a throttled mount that would dominate every
+// persistence measurement. Test harnesses point it at
+// testing.TB.TempDir so scratch space is tracked and removed by the
+// testing framework even when an experiment aborts mid-way (call sites
+// still RemoveAll eagerly, which is harmless under either backing).
+var TempDirFunc = defaultTempDir
+
+func defaultTempDir(pattern string) (string, error) {
 	base := os.Getenv("TMPDIR")
 	if base == "" {
 		base = "."
 	}
 	return os.MkdirTemp(base, pattern)
 }
+
+// tempDir creates a scratch directory through TempDirFunc.
+func tempDir(pattern string) (string, error) { return TempDirFunc(pattern) }
 
 // Scale selects experiment sizes.
 type Scale int

@@ -103,6 +103,7 @@ type Cluster struct {
 	servlets []*servlet.Servlet
 	locals   []*store.MemStore // per-node local storage
 	pool     *store.Pool       // 2LP shared pool (nil under 1LP)
+	caches   []*store.Cache    // per-servlet pool caches (GC invalidation)
 }
 
 // metaLocalStore routes Meta chunks to the servlet's local storage and
@@ -197,7 +198,9 @@ func New(opts Options) (*Cluster, error) {
 			// arrive already verified by the member wrappers above.
 			var pool store.Store = c.pool
 			if opts.CacheBytes > 0 {
-				pool = store.NewCache(pool, opts.CacheBytes)
+				ca := store.NewCache(pool, opts.CacheBytes)
+				c.caches = append(c.caches, ca)
+				pool = ca
 			}
 			s = &metaLocalStore{local: local, pool: pool}
 		}
@@ -436,6 +439,58 @@ func (c *Cluster) ListKeys(ctx context.Context, user string) ([]string, error) {
 	}
 	sort.Strings(all)
 	return all, nil
+}
+
+// GC runs one dedup-aware collection across the whole cluster. The
+// mark must be global before any node sweeps: under two-layer
+// placement a chunk on node i may be reachable only through a key
+// owned by servlet j, so per-node collection with a local mark would
+// destroy live data. The protocol:
+//
+//  1. open the write-protection window on every node's storage, so
+//     chunks written by requests racing the collection are shielded;
+//  2. enumerate each servlet's roots on its execution thread (branch
+//     heads, untagged heads, pins) and mark through that servlet's own
+//     store view — meta chunks resolve locally, tree chunks through
+//     the shared pool;
+//  3. sweep every node with the one global live set (replicas of a
+//     chunk are thereby retained or reclaimed consistently), then drop
+//     dead entries from the per-servlet pool caches.
+func (c *Cluster) GC(ctx context.Context, threshold float64) (store.GCStats, error) {
+	for _, l := range c.locals {
+		l.BeginGC()
+	}
+	defer func() {
+		for _, l := range c.locals {
+			l.EndGC()
+		}
+	}()
+	live := store.NewLiveSet()
+	for _, sv := range c.servlets {
+		var roots []types.UID
+		if err := sv.ExecCtx(ctx, func(eng *core.Engine) error {
+			roots = eng.Roots()
+			return nil
+		}); err != nil {
+			return store.GCStats{}, err
+		}
+		if err := store.Mark(ctx, sv.Engine().Store(), live, roots, types.ChunkRefs); err != nil {
+			return store.GCStats{}, err
+		}
+	}
+	var total store.GCStats
+	for i, l := range c.locals {
+		s, err := l.Sweep(live.Contains, threshold)
+		total.Add(s)
+		if err != nil {
+			return total, fmt.Errorf("cluster: node %d sweep: %w", i, err)
+		}
+	}
+	total.Marked = live.Len()
+	for _, ca := range c.caches {
+		ca.DropDead(live.Contains)
+	}
+	return total, nil
 }
 
 // ListTaggedBranches lists the branches of key.

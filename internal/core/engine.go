@@ -41,6 +41,13 @@ type Engine struct {
 	// sharing a stripe merely serialize their updates, which is
 	// harmless for correctness and rare at 1024 stripes.
 	locks [keyLockStripes]sync.Mutex
+
+	// pins are uids explicitly protected from garbage collection: GC
+	// roots beyond the branch tables. A client holding a version only
+	// by uid (e.g. after RemoveBranch) pins it to keep it collectable-
+	// proof, the way git requires a ref before gc.
+	pinMu sync.RWMutex
+	pins  map[types.UID]struct{}
 }
 
 // NewEngine returns an engine over the given chunk store.
@@ -49,6 +56,7 @@ func NewEngine(s store.Store, cfg postree.Config) *Engine {
 		s:     s,
 		cfg:   cfg,
 		space: branch.NewSpace(),
+		pins:  make(map[types.UID]struct{}),
 	}
 }
 
@@ -441,6 +449,84 @@ func (e *Engine) MergeUntagged(key []byte, res merge.Resolver, context []byte, u
 	t := e.space.Table(key)
 	t.ReplaceUntagged(cur, uids)
 	return cur, nil, nil
+}
+
+// PinUID protects a version (and everything it reaches — its value
+// chunks and full derivation history) from garbage collection, beyond
+// what the branch tables already keep live. Pinning does not verify
+// the uid exists; pinning ahead of a future write is allowed, and a
+// still-unwritten pin is simply ignored by collections until the
+// version lands.
+func (e *Engine) PinUID(uid types.UID) {
+	e.pinMu.Lock()
+	e.pins[uid] = struct{}{}
+	e.pinMu.Unlock()
+}
+
+// UnpinUID removes a pin. The version stays reachable only if a branch
+// (or another pin) still reaches it.
+func (e *Engine) UnpinUID(uid types.UID) {
+	e.pinMu.Lock()
+	delete(e.pins, uid)
+	e.pinMu.Unlock()
+}
+
+// Roots enumerates every GC root this engine knows: all tagged branch
+// heads and untagged fork-on-conflict heads of every key, plus the
+// pinned uids. A chunk is live iff it is reachable from one of these
+// through the Merkle DAG (meta → bases, meta → tree root, index →
+// children).
+//
+// Enumeration must not race an in-flight Put: every write path
+// persists its chunks and then publishes the new head under its key's
+// stripe lock, so a GC that opened its protection window mid-put could
+// see neither the chunks (written before the window) nor the head
+// (published after enumeration). Cycling every stripe first closes the
+// gap: a put that persisted anything before the caller's window has
+// published by the time its stripe is released, and a put acquiring
+// its stripe after the cycle does all its persisting inside the window
+// and is protected chunk by chunk.
+func (e *Engine) Roots() []types.UID {
+	for i := range e.locks {
+		e.locks[i].Lock()
+		e.locks[i].Unlock() // barrier only: wait out in-flight publishes
+	}
+	var roots []types.UID
+	for _, k := range e.space.Keys() {
+		t, ok := e.space.Lookup([]byte(k))
+		if !ok {
+			continue
+		}
+		for _, tb := range t.Tagged() {
+			roots = append(roots, tb.Head)
+		}
+		roots = append(roots, t.Untagged()...)
+	}
+	e.pinMu.RLock()
+	for uid := range e.pins {
+		// A pin may point at a version not written yet (pin-ahead is
+		// allowed); it becomes a root once the chunk exists. Skipping
+		// it here is safe: if the write lands during the collection,
+		// the put itself protects the chunks.
+		if e.s.Has(uid) {
+			roots = append(roots, uid)
+		}
+	}
+	e.pinMu.RUnlock()
+	return roots
+}
+
+// GC runs one dedup-aware collection against the engine's store: it
+// opens the write-protection window, marks everything reachable from
+// Roots, and sweeps the store, compacting segments whose live ratio
+// falls below threshold (<=0 uses store.DefaultGCThreshold). Reads and
+// writes proceed concurrently; versions written during the collection
+// are protected by the window. Returns store.ErrNotCollectable when
+// the underlying store cannot reclaim space.
+func (e *Engine) GC(ctx context.Context, threshold float64) (store.GCStats, error) {
+	return store.Collect(ctx, e.s, func() ([]types.UID, error) {
+		return e.Roots(), nil
+	}, types.ChunkRefs, threshold)
 }
 
 // merge three-way merges two versions using their LCA as base.

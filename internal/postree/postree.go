@@ -249,6 +249,21 @@ func decodeEntries(payload []byte) ([]entry, error) {
 	return out, nil
 }
 
+// IndexChildIDs returns the child cids referenced by an index-node
+// payload (TypeUIndex or TypeSIndex). The garbage collector's marker
+// uses it to follow POS-Tree edges without decoding full entries.
+func IndexChildIDs(payload []byte) ([]chunk.ID, error) {
+	entries, err := decodeEntries(payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]chunk.ID, len(entries))
+	for i, e := range entries {
+		out[i] = e.id
+	}
+	return out, nil
+}
+
 // leafCount returns the number of elements in a leaf payload.
 func leafCount(k Kind, payload []byte) (uint64, error) {
 	if k == KindBlob {

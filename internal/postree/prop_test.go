@@ -1,0 +1,258 @@
+package postree
+
+// Property-based tests for the POS-Tree: random edit scripts run
+// against a plain map oracle, and after every script three invariants
+// must hold —
+//
+//	(a) the tree's contents equal the oracle's;
+//	(b) trees holding identical content have identical root cids, no
+//	    matter which edit sequence produced them (the paper's
+//	    pattern-aware split determinism, and the property the store's
+//	    deduplication rests on);
+//	(c) every chunk reachable from the root exists in the store — the
+//	    exact reachability walk the GC marker performs, so an edit
+//	    path that forgot to persist a node is caught here before a
+//	    collection would turn it into data loss.
+//
+// FuzzPosTreeEdits drives the same invariants from fuzzer-generated
+// scripts.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/store"
+)
+
+// propConfig uses tiny chunks so even small scripts build multi-level
+// trees (deep index paths are where edit bugs live).
+var propConfig = Config{LeafQ: 5, IndexR: 2}
+
+// reachableChunks walks the tree DAG from root — the GC marker's walk —
+// failing the test if any reachable chunk is missing from the store.
+func reachableChunks(tb testing.TB, s store.Store, root chunk.ID) map[chunk.ID]bool {
+	tb.Helper()
+	seen := map[chunk.ID]bool{}
+	if root.IsNil() {
+		return seen
+	}
+	stack := []chunk.ID{root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		c, err := s.Get(id)
+		if err != nil {
+			tb.Fatalf("reachable chunk %s missing from store: %v", id.Short(), err)
+		}
+		if isIndex(c.Type()) {
+			ids, err := IndexChildIDs(c.Data())
+			if err != nil {
+				tb.Fatal(err)
+			}
+			stack = append(stack, ids...)
+		}
+	}
+	return seen
+}
+
+// buildMap constructs a Map tree from scratch out of sorted oracle
+// contents.
+func propBuildMap(tb testing.TB, s store.Store, oracle map[string][]byte) *Tree {
+	tb.Helper()
+	keys := make([]string, 0, len(oracle))
+	for k := range oracle {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b := NewBuilder(s, propConfig, KindMap)
+	for _, k := range keys {
+		b.Append(EncodeMapElem([]byte(k), oracle[k]))
+	}
+	tr, err := b.Finish()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+// checkMapInvariants asserts (a), (b) and (c) for one tree + oracle.
+func checkMapInvariants(tb testing.TB, s store.Store, tr *Tree, oracle map[string][]byte) {
+	tb.Helper()
+	// (a) contents match the oracle, in key order.
+	keys := make([]string, 0, len(oracle))
+	for k := range oracle {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if tr.Count() != uint64(len(oracle)) {
+		tb.Fatalf("tree count %d, oracle %d", tr.Count(), len(oracle))
+	}
+	it := tr.Elems()
+	i := 0
+	for it.Next() {
+		if i >= len(keys) {
+			tb.Fatalf("tree has more elements than oracle")
+		}
+		k, v := MapElemKey(it.Elem()), MapElemValue(it.Elem())
+		if string(k) != keys[i] || !bytes.Equal(v, oracle[keys[i]]) {
+			tb.Fatalf("element %d: tree %q=%q, oracle %q=%q", i, k, v, keys[i], oracle[keys[i]])
+		}
+		i++
+	}
+	if err := it.Err(); err != nil {
+		tb.Fatal(err)
+	}
+	if i != len(keys) {
+		tb.Fatalf("tree iterated %d elements, oracle has %d", i, len(keys))
+	}
+	// (b) content determines the root: a from-scratch build of the
+	// same contents lands on a bit-identical root cid.
+	if rebuilt := propBuildMap(tb, s, oracle); rebuilt.Root() != tr.Root() {
+		tb.Fatalf("edit-order dependence: edited root %s, rebuilt root %s",
+			tr.Root().Short(), rebuilt.Root().Short())
+	}
+	// (c) every reachable chunk exists.
+	reachableChunks(tb, s, tr.Root())
+}
+
+// propKey returns the i-th key of the bounded key universe (collisions
+// between script steps are the interesting cases).
+func propKey(i int) []byte { return []byte(fmt.Sprintf("key-%03d", i)) }
+
+// applyScript runs one oracle-mirrored edit batch against the tree.
+func applyScript(tb testing.TB, tr *Tree, oracle map[string][]byte, sets []KV, deletes [][]byte) *Tree {
+	tb.Helper()
+	next, err := tr.MapApply(sets, deletes)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, kv := range sets {
+		oracle[string(kv.Key)] = append([]byte(nil), kv.Value...)
+	}
+	for _, k := range deletes {
+		delete(oracle, string(k))
+	}
+	return next
+}
+
+func TestPosTreePropertyMapEdits(t *testing.T) {
+	for iter := 0; iter < 25; iter++ {
+		t.Run(fmt.Sprintf("seed%d", iter), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(iter)))
+			s := store.NewMemStore()
+			tr := Empty(s, propConfig, KindMap)
+			oracle := map[string][]byte{}
+			steps := 8 + rng.Intn(10)
+			for step := 0; step < steps; step++ {
+				var sets []KV
+				var deletes [][]byte
+				for n := rng.Intn(24); n >= 0; n-- {
+					k := propKey(rng.Intn(120))
+					if rng.Intn(4) == 0 {
+						deletes = append(deletes, k)
+					} else {
+						sets = append(sets, KV{Key: k, Value: []byte(fmt.Sprintf("v%d-%d", step, rng.Intn(1000)))})
+					}
+				}
+				tr = applyScript(t, tr, oracle, sets, deletes)
+			}
+			checkMapInvariants(t, s, tr, oracle)
+		})
+	}
+}
+
+// TestPosTreeEditOrderIndependence drives two different edit orders to
+// the same final content and demands bit-identical roots: version A
+// applies assignments in one shuffle, version B in another — with
+// extra inserts that are deleted again before the end.
+func TestPosTreeEditOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	final := map[string][]byte{}
+	for i := 0; i < 150; i++ {
+		final[string(propKey(i))] = []byte(fmt.Sprintf("final-%d", i))
+	}
+	build := func(shuffleSeed int64, detour bool) *Tree {
+		s := store.NewMemStore()
+		tr := Empty(s, propConfig, KindMap)
+		keys := make([]string, 0, len(final))
+		for k := range final {
+			keys = append(keys, k)
+		}
+		sr := rand.New(rand.NewSource(shuffleSeed))
+		sr.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+		var err error
+		for _, k := range keys {
+			if detour && sr.Intn(3) == 0 {
+				// Insert garbage that is removed again: the final tree
+				// must not remember the detour.
+				g := []byte("detour-" + k)
+				if tr, err = tr.MapSet(g, []byte("x")); err != nil {
+					t.Fatal(err)
+				}
+				if tr, err = tr.MapSet(g, []byte("y")); err != nil {
+					t.Fatal(err)
+				}
+				if tr, err = tr.MapDelete(g); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if tr, err = tr.MapSet([]byte(k), final[k]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkMapInvariants(t, s, tr, final)
+		return tr
+	}
+	a := build(rng.Int63(), false)
+	b := build(rng.Int63(), true)
+	if a.Root() != b.Root() {
+		t.Fatalf("same content, different roots: %s vs %s", a.Root().Short(), b.Root().Short())
+	}
+}
+
+// FuzzPosTreeEdits interprets fuzzer bytes as a map edit script and
+// checks the three invariants after every batch. Script format: each
+// op consumes 3 bytes (op selector, key, value); every 16th op closes
+// a batch.
+func FuzzPosTreeEdits(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(bytes.Repeat([]byte{7, 42, 99, 3, 0, 250}, 40))
+	seed := make([]byte, 0, 300)
+	for i := 0; i < 100; i++ {
+		seed = append(seed, byte(i), byte(i*7), byte(i*13))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, script []byte) {
+		s := store.NewMemStore()
+		tr := Empty(s, propConfig, KindMap)
+		oracle := map[string][]byte{}
+		var sets []KV
+		var deletes [][]byte
+		ops := 0
+		for i := 0; i+2 < len(script); i += 3 {
+			op, kb, vb := script[i], script[i+1], script[i+2]
+			k := propKey(int(kb))
+			if op%4 == 0 {
+				deletes = append(deletes, k)
+			} else {
+				sets = append(sets, KV{Key: k, Value: []byte{vb, op, kb}})
+			}
+			ops++
+			if ops%16 == 0 {
+				tr = applyScript(t, tr, oracle, sets, deletes)
+				sets, deletes = nil, nil
+			}
+		}
+		tr = applyScript(t, tr, oracle, sets, deletes)
+		checkMapInvariants(t, s, tr, oracle)
+	})
+}

@@ -68,6 +68,34 @@ func NewCache(inner Store, maxBytes int64) *Cache {
 // Inner returns the backing store.
 func (c *Cache) Inner() Store { return c.inner }
 
+// Unwrap returns the backing store, letting the collector find the
+// Collectable at the bottom of a wrapped stack.
+func (c *Cache) Unwrap() Store { return c.inner }
+
+// DropDead evicts every cached entry that is not reported live. After
+// a sweep, entries for collected chunks would otherwise keep serving
+// bytes the backing store no longer holds; live entries stay warm
+// (content-addressing guarantees they are still bit-identical).
+func (c *Cache) DropDead(live func(id chunk.ID) bool) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var next *list.Element
+		for el := s.ll.Front(); el != nil; el = next {
+			next = el.Next()
+			e := el.Value.(*cacheEntry)
+			if live(e.id) {
+				continue
+			}
+			s.ll.Remove(el)
+			delete(s.index, e.id)
+			s.bytes -= int64(e.c.Size())
+			c.bytes.Add(-int64(e.c.Size()))
+		}
+		s.mu.Unlock()
+	}
+}
+
 func (c *Cache) shard(id chunk.ID) *cacheShard {
 	// The cid is a cryptographic hash; any byte selects uniformly. The
 	// pool's placement uses the tail bytes, so take the head here to

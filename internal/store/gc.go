@@ -1,0 +1,233 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"forkbase/internal/chunk"
+)
+
+// Garbage collection (the dedup-aware collector the paper's chunk store
+// needs once branches can be removed). Chunks are content-addressed and
+// shared across versions, objects and keys, so "delete version X" can
+// never delete chunks directly: a chunk is garbage only when NO root on
+// ANY key reaches it through the Merkle DAG. Collection is therefore
+// mark-and-sweep over the whole store:
+//
+//	mark:  walk the DAG from every root (branch heads, untagged heads,
+//	       pins), accumulating live cids in a LiveSet;
+//	sweep: every Collectable store drops chunks absent from the set,
+//	       compacting its physical layout where worthwhile.
+//
+// Concurrent writes are safe without stopping the world: BeginGC opens
+// a protection window during which every Put — including a Put absorbed
+// by deduplication — shields its cid from the sweep. A version written
+// mid-collection consists of chunks that are either freshly Put (and so
+// protected), or shared with its base version, whose chunks the marker
+// reached through the root that base descends from. The one exception
+// is deriving from a version that was already unreachable when the mark
+// began (a dangling uid held only by the client); pin it first, exactly
+// as git requires an object to be referenced before gc.
+var (
+	// ErrNotCollectable is returned when the bottom of a store stack
+	// does not implement Collectable.
+	ErrNotCollectable = errors.New("store: store does not support garbage collection")
+	// ErrSweepInProgress is returned by Sweep when another collection
+	// is already sweeping the same store. Callers for whom any
+	// collection is as good as their own (auto-GC) treat it as benign.
+	ErrSweepInProgress = errors.New("store: sweep already in progress")
+)
+
+// DefaultGCThreshold is the live ratio below which a sealed segment is
+// compacted: segments more than half garbage are rewritten.
+const DefaultGCThreshold = 0.5
+
+// Collectable is implemented by stores that can reclaim dead chunks.
+type Collectable interface {
+	Store
+	// BeginGC opens a protection window: every chunk written (or
+	// deduplicated) until the matching EndGC is shielded from Sweep,
+	// closing the mark/write race for chunks the marker cannot know
+	// about. Windows nest; protection clears when the last one ends.
+	BeginGC()
+	// Sweep deletes every chunk that is neither reported live nor
+	// protected by the open window, and compacts physical storage
+	// whose live ratio falls below threshold (see DefaultGCThreshold;
+	// <=0 applies the default). Callers must hold a BeginGC window
+	// spanning the mark phase and the Sweep.
+	Sweep(live func(chunk.ID) bool, threshold float64) (GCStats, error)
+	// EndGC closes the protection window opened by BeginGC.
+	EndGC()
+}
+
+// GCStats reports one collection's effect.
+type GCStats struct {
+	Marked            int   // live chunks in the mark set
+	Reclaimed         int   // chunks deleted
+	ReclaimedBytes    int64 // on-disk bytes those chunks occupied
+	Relocated         int   // live chunks rewritten during compaction
+	RelocatedBytes    int64 // on-disk bytes rewritten
+	SegmentsCompacted int   // segment files rewritten and removed
+	SegmentsKept      int   // segment files retained above the threshold
+}
+
+// Add accumulates o into s (per-member sweeps of a pool or cluster).
+func (s *GCStats) Add(o GCStats) {
+	s.Marked += o.Marked
+	s.Reclaimed += o.Reclaimed
+	s.ReclaimedBytes += o.ReclaimedBytes
+	s.Relocated += o.Relocated
+	s.RelocatedBytes += o.RelocatedBytes
+	s.SegmentsCompacted += o.SegmentsCompacted
+	s.SegmentsKept += o.SegmentsKept
+}
+
+func (s GCStats) String() string {
+	return fmt.Sprintf("gc: marked=%d reclaimed=%d (%d bytes) relocated=%d segments compacted=%d kept=%d",
+		s.Marked, s.Reclaimed, s.ReclaimedBytes, s.Relocated, s.SegmentsCompacted, s.SegmentsKept)
+}
+
+// RefsFunc returns the outbound Merkle-DAG edges of a chunk: the cids
+// of every chunk it references. The engine layer supplies the concrete
+// decoder (types.ChunkRefs); keeping it a parameter keeps this package
+// free of chunk-format knowledge.
+type RefsFunc func(c *chunk.Chunk) ([]chunk.ID, error)
+
+// LiveSet is the concurrent mark set: the cids proven reachable.
+type LiveSet struct {
+	mu  sync.RWMutex
+	ids map[chunk.ID]struct{}
+}
+
+// NewLiveSet returns an empty mark set.
+func NewLiveSet() *LiveSet {
+	return &LiveSet{ids: make(map[chunk.ID]struct{})}
+}
+
+// Add inserts id, reporting whether it was newly added.
+func (l *LiveSet) Add(id chunk.ID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.ids[id]; ok {
+		return false
+	}
+	l.ids[id] = struct{}{}
+	return true
+}
+
+// Contains reports whether id has been marked live.
+func (l *LiveSet) Contains(id chunk.ID) bool {
+	l.mu.RLock()
+	_, ok := l.ids[id]
+	l.mu.RUnlock()
+	return ok
+}
+
+// Len returns the number of marked cids.
+func (l *LiveSet) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.ids)
+}
+
+// Mark walks the Merkle DAG from roots through s, adding every
+// reachable cid to live. Already-marked subtrees are not re-walked, so
+// marking from many roots that share history costs the shared part
+// once. A missing or corrupt chunk aborts the mark — sweeping with an
+// incomplete mark set would destroy live data.
+func Mark(ctx context.Context, s Store, live *LiveSet, roots []chunk.ID, refs RefsFunc) error {
+	stack := make([]chunk.ID, 0, len(roots))
+	for _, r := range roots {
+		if !r.IsNil() {
+			stack = append(stack, r)
+		}
+	}
+	for n := 0; len(stack) > 0; n++ {
+		if n%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !live.Add(id) {
+			continue
+		}
+		c, err := GetVerified(s, id)
+		if err != nil {
+			return fmt.Errorf("store: mark %s: %w", id.Short(), err)
+		}
+		out, err := refs(c)
+		if err != nil {
+			return fmt.Errorf("store: mark %s: %w", id.Short(), err)
+		}
+		for _, o := range out {
+			if !o.IsNil() && !live.Contains(o) {
+				stack = append(stack, o)
+			}
+		}
+	}
+	return nil
+}
+
+// unwrapper is implemented by store wrappers (Cache, Verified) so the
+// collector can find the Collectable at the bottom of a stack.
+type unwrapper interface {
+	Unwrap() Store
+}
+
+// AsCollectable walks a store stack through its wrappers and returns
+// the first Collectable layer, plus every Cache passed on the way
+// (their dead entries must be dropped after a sweep).
+func AsCollectable(s Store) (Collectable, []*Cache, bool) {
+	var caches []*Cache
+	for {
+		if ca, ok := s.(*Cache); ok {
+			caches = append(caches, ca)
+			s = ca.Inner()
+			continue
+		}
+		if col, ok := s.(Collectable); ok {
+			return col, caches, true
+		}
+		u, ok := s.(unwrapper)
+		if !ok {
+			return nil, caches, false
+		}
+		s = u.Unwrap()
+	}
+}
+
+// Collect runs one full collection against a (possibly wrapped) store:
+// it opens the protection window, enumerates roots, marks, sweeps, and
+// drops dead entries from any cache layer. roots is called after the
+// window opens so heads moved by concurrent writers are covered either
+// by the enumeration or by the window. The engine layer wraps this with
+// its own root enumeration; see core.Engine.GC.
+func Collect(ctx context.Context, s Store, roots func() ([]chunk.ID, error), refs RefsFunc, threshold float64) (GCStats, error) {
+	col, caches, ok := AsCollectable(s)
+	if !ok {
+		return GCStats{}, ErrNotCollectable
+	}
+	col.BeginGC()
+	defer col.EndGC()
+	rs, err := roots()
+	if err != nil {
+		return GCStats{}, err
+	}
+	live := NewLiveSet()
+	if err := Mark(ctx, s, live, rs, refs); err != nil {
+		return GCStats{}, err
+	}
+	stats, err := col.Sweep(live.Contains, threshold)
+	if err != nil {
+		return stats, err
+	}
+	stats.Marked = live.Len()
+	for _, ca := range caches {
+		ca.DropDead(live.Contains)
+	}
+	return stats, nil
+}

@@ -1,0 +1,482 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"forkbase/internal/chunk"
+)
+
+// testChunk builds a deterministic chunk of n bytes seeded by tag.
+func testChunk(tag string, n int) *chunk.Chunk {
+	rng := rand.New(rand.NewSource(int64(len(tag)) + int64(n)))
+	data := make([]byte, n)
+	rng.Read(data)
+	copy(data, tag)
+	return chunk.New(chunk.TypeBlob, data)
+}
+
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func dirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// TestFileStoreGCSweep: dead chunks leave the index, mostly-dead
+// segments are compacted off disk, live chunks survive with intact
+// content, and the reclaimed bytes actually leave the directory.
+func TestFileStoreGCSweep(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir, FileStoreOptions{SegmentSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	var liveIDs, deadIDs []chunk.ID
+	content := map[chunk.ID][]byte{}
+	for i := 0; i < 200; i++ {
+		c := testChunk(fmt.Sprintf("c%03d", i), 200+i)
+		if _, err := fs.Put(c); err != nil {
+			t.Fatal(err)
+		}
+		content[c.ID()] = append([]byte(nil), c.Data()...)
+		if i%4 == 0 {
+			liveIDs = append(liveIDs, c.ID())
+		} else {
+			deadIDs = append(deadIDs, c.ID())
+		}
+	}
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := dirBytes(t, dir)
+	live := make(map[chunk.ID]bool, len(liveIDs))
+	for _, id := range liveIDs {
+		live[id] = true
+	}
+
+	fs.BeginGC()
+	stats, err := fs.Sweep(func(id chunk.ID) bool { return live[id] }, 0.5)
+	fs.EndGC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reclaimed != len(deadIDs) {
+		t.Fatalf("reclaimed %d chunks, want %d", stats.Reclaimed, len(deadIDs))
+	}
+	if stats.SegmentsCompacted == 0 {
+		t.Fatalf("expected segment compaction, got %+v", stats)
+	}
+	after := dirBytes(t, dir)
+	if after >= before/2 {
+		t.Fatalf("disk barely shrank: %d -> %d", before, after)
+	}
+	for _, id := range liveIDs {
+		c, err := fs.Get(id)
+		if err != nil {
+			t.Fatalf("live chunk %s unreadable after sweep: %v", id.Short(), err)
+		}
+		if string(c.Data()) != string(content[id]) {
+			t.Fatalf("live chunk %s corrupted after sweep", id.Short())
+		}
+	}
+	for _, id := range deadIDs {
+		if fs.Has(id) {
+			t.Fatalf("dead chunk %s still present", id.Short())
+		}
+		if _, err := fs.Get(id); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("dead chunk %s: got %v, want ErrNotFound", id.Short(), err)
+		}
+	}
+	// The store must stay fully usable: re-put a collected chunk and a
+	// fresh one.
+	re := chunk.New(chunk.TypeBlob, content[deadIDs[0]])
+	if dup, err := fs.Put(re); err != nil || dup {
+		t.Fatalf("re-put collected chunk: dup=%v err=%v", dup, err)
+	}
+	if _, err := fs.Get(re.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from disk: the index rebuilt from the compacted segments
+	// must serve every live chunk.
+	fs.Close()
+	fs2, err := OpenFileStore(dir, FileStoreOptions{SegmentSize: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	for _, id := range liveIDs {
+		if _, err := fs2.Get(id); err != nil {
+			t.Fatalf("live chunk %s unreadable after reopen: %v", id.Short(), err)
+		}
+	}
+}
+
+// TestFileStoreGCThreshold: a segment above the live-ratio threshold
+// keeps its file (dead entries still leave the index), and a later
+// sweep with a higher threshold compacts it.
+func TestFileStoreGCThreshold(t *testing.T) {
+	dir := t.TempDir()
+	// One big segment so everything sits together.
+	fs, err := OpenFileStore(dir, FileStoreOptions{SegmentSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	var ids []chunk.ID
+	for i := 0; i < 40; i++ {
+		c := testChunk(fmt.Sprintf("t%02d", i), 512)
+		if _, err := fs.Put(c); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.ID())
+	}
+	// 90% live: under the 0.5 threshold the segment must be kept.
+	live := make(map[chunk.ID]bool)
+	for i, id := range ids {
+		live[id] = i%10 != 0
+	}
+	fs.BeginGC()
+	stats, err := fs.Sweep(func(id chunk.ID) bool { return live[id] }, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SegmentsCompacted != 0 || stats.SegmentsKept != 1 {
+		t.Fatalf("want kept segment, got %+v", stats)
+	}
+	if stats.Reclaimed != 4 {
+		t.Fatalf("want 4 dead entries dropped, got %+v", stats)
+	}
+	// Threshold 1.0 compacts anything with garbage: now the dup bytes
+	// of the kept file must be rewritten away.
+	stats, err = fs.Sweep(func(id chunk.ID) bool { return live[id] }, 1.0)
+	fs.EndGC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SegmentsCompacted == 0 {
+		t.Fatalf("want compaction at threshold 1.0, got %+v", stats)
+	}
+	for i, id := range ids {
+		_, err := fs.Get(id)
+		if live[id] && err != nil {
+			t.Fatalf("live %d unreadable: %v", i, err)
+		}
+		if !live[id] && !errors.Is(err, ErrNotFound) {
+			t.Fatalf("dead %d: %v", i, err)
+		}
+	}
+}
+
+// TestGCPutProtectsDuringWindow: chunks written — or deduplicated —
+// while the GC window is open must survive a sweep that does not know
+// them, closing the mark/write race.
+func TestGCPutProtectsDuringWindow(t *testing.T) {
+	for _, backend := range []string{"file", "mem"} {
+		t.Run(backend, func(t *testing.T) {
+			var col Collectable
+			if backend == "file" {
+				fs, err := OpenFileStore(t.TempDir(), FileStoreOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer fs.Close()
+				col = fs
+			} else {
+				col = NewMemStore()
+			}
+			old := testChunk("old", 300)
+			if _, err := col.Put(old); err != nil {
+				t.Fatal(err)
+			}
+			col.BeginGC()
+			fresh := testChunk("fresh", 300)
+			if _, err := col.Put(fresh); err != nil {
+				t.Fatal(err)
+			}
+			// Deduplicated re-put of a chunk the marker considers dead.
+			if dup, err := col.Put(testChunk("old", 300)); err != nil || !dup {
+				t.Fatalf("dup=%v err=%v", dup, err)
+			}
+			stats, err := col.Sweep(func(chunk.ID) bool { return false }, 0)
+			col.EndGC()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Reclaimed != 0 {
+				t.Fatalf("protected chunks were reclaimed: %+v", stats)
+			}
+			for _, c := range []*chunk.Chunk{old, fresh} {
+				if _, err := col.Get(c.ID()); err != nil {
+					t.Fatalf("protected chunk %s: %v", c.ID().Short(), err)
+				}
+			}
+			// Window closed: the same sweep now reclaims both.
+			col.BeginGC()
+			stats, err = col.Sweep(func(chunk.ID) bool { return false }, 0)
+			col.EndGC()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Reclaimed != 2 {
+				t.Fatalf("want 2 reclaimed after window closed, got %+v", stats)
+			}
+		})
+	}
+}
+
+// TestGCSweepRequiresWindow: sweeping without BeginGC is refused — it
+// would race every concurrent writer.
+func TestGCSweepRequiresWindow(t *testing.T) {
+	m := NewMemStore()
+	if _, err := m.Sweep(func(chunk.ID) bool { return true }, 0); err == nil {
+		t.Fatal("Sweep outside BeginGC window succeeded")
+	}
+	fs, err := OpenFileStore(t.TempDir(), FileStoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := fs.Sweep(func(chunk.ID) bool { return true }, 0); err == nil {
+		t.Fatal("Sweep outside BeginGC window succeeded")
+	}
+}
+
+// TestGCConcurrentReadsDuringSweep: readers racing a compaction never
+// observe a missing or corrupt live chunk, even as their segments are
+// rewritten and unlinked under them.
+func TestGCConcurrentReadsDuringSweep(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir, FileStoreOptions{SegmentSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	var liveIDs []chunk.ID
+	live := map[chunk.ID]bool{}
+	for i := 0; i < 400; i++ {
+		c := testChunk(fmt.Sprintf("r%03d", i), 150+i%700)
+		if _, err := fs.Put(c); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			liveIDs = append(liveIDs, c.ID())
+			live[c.ID()] = true
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := liveIDs[rng.Intn(len(liveIDs))]
+				if _, err := fs.Get(id); err != nil {
+					select {
+					case errCh <- fmt.Errorf("read of live %s during sweep: %w", id.Short(), err):
+					default:
+					}
+					return
+				}
+			}
+		}(int64(g))
+	}
+	// Writers keep appending during the sweep too.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c := testChunk(fmt.Sprintf("w%d-%04d", seed, i), 300)
+				i++
+				if _, err := fs.Put(c); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(int64(g))
+	}
+	fs.BeginGC()
+	_, err = fs.Sweep(func(id chunk.ID) bool { return live[id] }, 0.9)
+	fs.EndGC()
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	for _, id := range liveIDs {
+		if _, err := fs.Get(id); err != nil {
+			t.Fatalf("live chunk lost: %v", err)
+		}
+	}
+}
+
+// TestGCCacheDropDead: after a sweep, the cache serves live entries
+// and drops dead ones instead of resurrecting collected chunks.
+func TestGCCacheDropDead(t *testing.T) {
+	mem := NewMemStore()
+	ca := NewCache(mem, 1<<20)
+	liveC := testChunk("live", 400)
+	deadC := testChunk("dead", 400)
+	for _, c := range []*chunk.Chunk{liveC, deadC} {
+		if _, err := ca.Put(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col, caches, ok := AsCollectable(ca)
+	if !ok || len(caches) != 1 {
+		t.Fatalf("AsCollectable through cache: ok=%v caches=%d", ok, len(caches))
+	}
+	isLive := func(id chunk.ID) bool { return id == liveC.ID() }
+	col.BeginGC()
+	if _, err := col.Sweep(isLive, 0); err != nil {
+		t.Fatal(err)
+	}
+	col.EndGC()
+	caches[0].DropDead(isLive)
+	if _, err := ca.Get(deadC.ID()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("dead chunk served after DropDead: %v", err)
+	}
+	if _, err := ca.Get(liveC.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if st := ca.Stats(); st.CacheHits == 0 {
+		t.Fatal("live entry should have stayed cached")
+	}
+}
+
+// TestGCPoolSweepReplicas: a pool sweep applies one live set to every
+// member, so replicas agree on what survives.
+func TestGCPoolSweepReplicas(t *testing.T) {
+	members := []Store{NewMemStore(), NewMemStore(), NewMemStore()}
+	p := NewPool(members, 2)
+	liveC := testChunk("pool-live", 300)
+	deadC := testChunk("pool-dead", 300)
+	for _, c := range []*chunk.Chunk{liveC, deadC} {
+		if _, err := p.Put(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.BeginGC()
+	stats, err := p.Sweep(func(id chunk.ID) bool { return id == liveC.ID() }, 0)
+	p.EndGC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reclaimed != 2 { // dead chunk had 2 replicas
+		t.Fatalf("want 2 replica copies reclaimed, got %+v", stats)
+	}
+	for i, m := range members {
+		if m.Has(deadC.ID()) {
+			t.Fatalf("member %d still holds dead chunk", i)
+		}
+	}
+	if !p.Has(liveC.ID()) {
+		t.Fatal("live chunk lost from pool")
+	}
+}
+
+// TestGCReclaimsOrphanSegments: a crash that leaves a fully-duplicated
+// segment behind (all its records re-homed to a later segment during
+// recovery) is cleaned up by the next sweep.
+func TestGCReclaimsOrphanSegments(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir, FileStoreOptions{SegmentSize: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []chunk.ID
+	for i := 0; i < 30; i++ {
+		c := testChunk(fmt.Sprintf("o%02d", i), 300)
+		if _, err := fs.Put(c); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.ID())
+	}
+	fs.Close()
+	// Simulate the duplicate-leaving crash: copy segment 0's bytes to
+	// a fresh trailing segment, as an interrupted compaction would.
+	seg0, err := os.ReadFile(filepath.Join(dir, segmentFiles(t, dir)[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segName(dir, 999999), seg0, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err = OpenFileStore(dir, FileStoreOptions{SegmentSize: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	all := map[chunk.ID]bool{}
+	for _, id := range ids {
+		all[id] = true
+	}
+	fs.BeginGC()
+	_, err = fs.Sweep(func(id chunk.ID) bool { return all[id] }, 0.5)
+	fs.EndGC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if _, err := fs.Get(id); err != nil {
+			t.Fatalf("chunk lost cleaning orphan segment: %v", err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"sync"
 
 	"forkbase/internal/chunk"
@@ -12,6 +13,10 @@ type MemStore struct {
 	mu     sync.RWMutex
 	chunks map[chunk.ID]*chunk.Chunk
 	stats  Stats
+
+	// GC window state; see Collectable.
+	gcDepth   int
+	protected map[chunk.ID]struct{}
 }
 
 // NewMemStore returns an empty in-memory chunk store.
@@ -24,6 +29,11 @@ func (m *MemStore) Put(c *chunk.Chunk) (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Puts++
+	if m.gcDepth > 0 {
+		// Shield the cid — fresh or deduplicated — from a concurrent
+		// sweep: the marker cannot know about writes racing with it.
+		m.protected[c.ID()] = struct{}{}
+	}
 	if _, ok := m.chunks[c.ID()]; ok {
 		m.stats.Dups++
 		m.stats.DupBytes += int64(c.Size())
@@ -67,3 +77,49 @@ func (m *MemStore) Stats() Stats {
 
 // Close implements Store.
 func (m *MemStore) Close() error { return nil }
+
+// BeginGC implements Collectable.
+func (m *MemStore) BeginGC() {
+	m.mu.Lock()
+	if m.gcDepth == 0 {
+		m.protected = make(map[chunk.ID]struct{})
+	}
+	m.gcDepth++
+	m.mu.Unlock()
+}
+
+// EndGC implements Collectable.
+func (m *MemStore) EndGC() {
+	m.mu.Lock()
+	if m.gcDepth--; m.gcDepth <= 0 {
+		m.gcDepth = 0
+		m.protected = nil
+	}
+	m.mu.Unlock()
+}
+
+// Sweep implements Collectable: chunks neither live nor written during
+// the GC window are dropped. There is no physical layout to compact,
+// so threshold is ignored and freed bytes return to the heap directly.
+func (m *MemStore) Sweep(live func(chunk.ID) bool, threshold float64) (GCStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.gcDepth == 0 {
+		return GCStats{}, fmt.Errorf("store: Sweep outside a BeginGC window")
+	}
+	var stats GCStats
+	for id, c := range m.chunks {
+		if live(id) {
+			continue
+		}
+		if _, ok := m.protected[id]; ok {
+			continue
+		}
+		delete(m.chunks, id)
+		m.stats.Chunks--
+		m.stats.Bytes -= int64(c.Size())
+		stats.Reclaimed++
+		stats.ReclaimedBytes += int64(c.Size())
+	}
+	return stats, nil
+}

@@ -109,6 +109,50 @@ func (p *Pool) Stats() Stats {
 	return out
 }
 
+// BeginGC implements Collectable by opening the protection window on
+// every collectable member; a non-collectable member is skipped here
+// and makes Sweep fail, so the window never half-opens silently.
+func (p *Pool) BeginGC() {
+	for _, m := range p.members {
+		if col, _, ok := AsCollectable(m); ok {
+			col.BeginGC()
+		}
+	}
+}
+
+// EndGC implements Collectable.
+func (p *Pool) EndGC() {
+	for _, m := range p.members {
+		if col, _, ok := AsCollectable(m); ok {
+			col.EndGC()
+		}
+	}
+}
+
+// Sweep implements Collectable by sweeping every member with the same
+// live set. Replicas hold copies of the same cids, so sweeping each
+// member against one shared mark keeps the replica set consistent: a
+// chunk is either retained on all members that hold it or reclaimed
+// from all of them.
+func (p *Pool) Sweep(live func(chunk.ID) bool, threshold float64) (GCStats, error) {
+	var total GCStats
+	for i, m := range p.members {
+		col, caches, ok := AsCollectable(m)
+		if !ok {
+			return total, fmt.Errorf("store: pool member %d: %w", i, ErrNotCollectable)
+		}
+		s, err := col.Sweep(live, threshold)
+		total.Add(s)
+		if err != nil {
+			return total, fmt.Errorf("store: pool member %d: %w", i, err)
+		}
+		for _, ca := range caches {
+			ca.DropDead(live)
+		}
+	}
+	return total, nil
+}
+
 // Close implements Store.
 func (p *Pool) Close() error {
 	var first error

@@ -116,6 +116,10 @@ func (v verifiedStore) Get(id chunk.ID) (*chunk.Chunk, error) {
 	return GetVerified(v.Store, id)
 }
 
+// Unwrap returns the backing store, letting the collector find the
+// Collectable at the bottom of a wrapped stack.
+func (v verifiedStore) Unwrap() Store { return v.Store }
+
 // Verified wraps a store so that every Get re-verifies the returned
 // chunk's content against the requested cid, turning any substitution
 // or bit-rot the backing layer missed into ErrCorrupt. Stack it below a

@@ -29,12 +29,23 @@ func encodeChunkRef(t *postree.Tree) []byte {
 	return out
 }
 
-func decodeChunkRef(s store.Store, cfg postree.Config, kind postree.Kind, data []byte) (*postree.Tree, error) {
+// chunkRefRoot extracts the POS-Tree root cid of an encoded chunkable
+// reference. Shared by the value decode path (decodeChunkRef) and the
+// GC marker (ChunkRefs), so the two cannot diverge on the layout.
+func chunkRefRoot(data []byte) (chunk.ID, error) {
 	if len(data) != chunk.IDSize+8+1 {
-		return nil, fmt.Errorf("types: bad chunkable reference (%d bytes)", len(data))
+		return chunk.ID{}, fmt.Errorf("types: bad chunkable reference (%d bytes)", len(data))
 	}
 	var root chunk.ID
 	copy(root[:], data)
+	return root, nil
+}
+
+func decodeChunkRef(s store.Store, cfg postree.Config, kind postree.Kind, data []byte) (*postree.Tree, error) {
+	root, err := chunkRefRoot(data)
+	if err != nil {
+		return nil, err
+	}
 	count := binary.LittleEndian.Uint64(data[chunk.IDSize:])
 	height := int(data[chunk.IDSize+8])
 	return postree.Attach(s, cfg, kind, root, count, height), nil

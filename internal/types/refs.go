@@ -1,0 +1,43 @@
+package types
+
+import (
+	"fmt"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/postree"
+)
+
+// ChunkRefs returns the outbound Merkle-DAG edges of a chunk: every
+// cid the chunk references. It is the store.RefsFunc the garbage
+// collector's marker walks with, and it must cover every reference
+// kind the engine can persist, or the sweep destroys live data:
+//
+//   - Meta chunks reference their base versions (the derivation
+//     history — keeping them live is what makes Track survive GC) and,
+//     for chunkable value types, the POS-Tree root in the data field.
+//   - Index chunks (sorted and unsorted) reference their children.
+//   - Leaf chunks (Blob/List/Set/Map payloads) reference nothing.
+func ChunkRefs(c *chunk.Chunk) ([]chunk.ID, error) {
+	switch c.Type() {
+	case chunk.TypeMeta:
+		o, err := decodeFObject(c.Data())
+		if err != nil {
+			return nil, fmt.Errorf("types: refs of meta chunk: %w", err)
+		}
+		out := append([]chunk.ID(nil), o.Bases...)
+		if !o.VType.Primitive() {
+			root, err := chunkRefRoot(o.Data)
+			if err != nil {
+				return nil, fmt.Errorf("types: refs of meta chunk: %w", err)
+			}
+			if !root.IsNil() {
+				out = append(out, root)
+			}
+		}
+		return out, nil
+	case chunk.TypeUIndex, chunk.TypeSIndex:
+		return postree.IndexChildIDs(c.Data())
+	default:
+		return nil, nil
+	}
+}
