@@ -450,8 +450,7 @@ func (db *DB) Pin(ctx context.Context, key string, uid UID, opts ...Option) erro
 	if err := db.check(o.user, key, "", PermWrite); err != nil {
 		return err
 	}
-	db.eng.PinUID(uid)
-	return nil
+	return db.eng.PinUID(uid)
 }
 
 // Unpin implements Store.
@@ -463,8 +462,7 @@ func (db *DB) Unpin(ctx context.Context, key string, uid UID, opts ...Option) er
 	if err := db.check(o.user, key, "", PermWrite); err != nil {
 		return err
 	}
-	db.eng.UnpinUID(uid)
-	return nil
+	return db.eng.UnpinUID(uid)
 }
 
 // GC implements Store: one mark-and-sweep collection over the embedded

@@ -54,6 +54,21 @@ type ClusterConfig struct {
 	// every AutoGCEvery successful RemoveBranch calls through this
 	// client. 0 leaves collection to explicit GC calls.
 	AutoGCEvery int
+	// Root, when non-empty, makes the simulated cluster durable: each
+	// node persists its chunk storage and its servlet's metadata
+	// journal under Root/node-<i>, and OpenCluster on the same root
+	// (same node count) recovers every servlet's branches, untagged
+	// heads and pins. Empty keeps the cluster in memory.
+	Root string
+	// SyncWrites fsyncs each node's chunk log after every write
+	// (Root only).
+	SyncWrites bool
+	// MetaSync fsyncs each servlet's metadata journal after every
+	// branch/pin mutation (Root only).
+	MetaSync bool
+	// SnapshotEvery is the metadata-journal compaction cadence per
+	// servlet (Root only); 0 means the default, negative disables.
+	SnapshotEvery int
 }
 
 // ClusterClient is the distributed Store implementation: calls are
@@ -80,15 +95,19 @@ func OpenCluster(cfg ClusterConfig) (*ClusterClient, error) {
 		placement = cluster.TwoLayer
 	}
 	c, err := cluster.New(cluster.Options{
-		Nodes:       cfg.Nodes,
-		Placement:   placement,
-		Replicas:    cfg.Replicas,
-		NetLatency:  cfg.NetLatency,
-		Rebalance:   cfg.Rebalance,
-		Tree:        Options{ChunkSizeLog2: cfg.ChunkSizeLog2}.treeConfig(),
-		CacheBytes:  cfg.CacheBytes,
-		VerifyReads: cfg.VerifyReads,
-		ACL:         cfg.ACL,
+		Nodes:         cfg.Nodes,
+		Placement:     placement,
+		Replicas:      cfg.Replicas,
+		NetLatency:    cfg.NetLatency,
+		Rebalance:     cfg.Rebalance,
+		Tree:          Options{ChunkSizeLog2: cfg.ChunkSizeLog2}.treeConfig(),
+		CacheBytes:    cfg.CacheBytes,
+		VerifyReads:   cfg.VerifyReads,
+		ACL:           cfg.ACL,
+		Root:          cfg.Root,
+		SyncWrites:    cfg.SyncWrites,
+		MetaSync:      cfg.MetaSync,
+		SnapshotEvery: cfg.SnapshotEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -372,8 +391,7 @@ func (cc *ClusterClient) RemoveBranch(ctx context.Context, key, branchName strin
 func (cc *ClusterClient) Pin(ctx context.Context, key string, uid UID, opts ...Option) error {
 	o := resolveOpts(opts)
 	return cc.c.ExecAs(ctx, o.user, key, "", servlet.PermWrite, func(eng *core.Engine) error {
-		eng.PinUID(uid)
-		return nil
+		return eng.PinUID(uid)
 	})
 }
 
@@ -381,8 +399,7 @@ func (cc *ClusterClient) Pin(ctx context.Context, key string, uid UID, opts ...O
 func (cc *ClusterClient) Unpin(ctx context.Context, key string, uid UID, opts ...Option) error {
 	o := resolveOpts(opts)
 	return cc.c.ExecAs(ctx, o.user, key, "", servlet.PermWrite, func(eng *core.Engine) error {
-		eng.UnpinUID(uid)
-		return nil
+		return eng.UnpinUID(uid)
 	})
 }
 

@@ -9,7 +9,7 @@
 //
 // With no arguments every experiment runs in order. Experiments:
 // table3 table4 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
-// fig17 batchput cache gc ablations
+// fig17 batchput cache gc recover ablations
 package main
 
 import (
@@ -41,6 +41,7 @@ var experiments = []struct {
 	{"batchput", bench.RunBatchPut},
 	{"cache", bench.RunCache},
 	{"gc", bench.RunGC},
+	{"recover", bench.RunRecover},
 	{"ablations", runAblations},
 }
 

@@ -32,6 +32,10 @@
 //	gc                              collect unreachable chunks and
 //	                                compact storage
 //	stats                           storage statistics (embedded only)
+//	info                            store stats plus recovered metadata:
+//	                                keys, branches, untagged heads, pins,
+//	                                journal/snapshot sizes — the state a
+//	                                reopen recovers
 //	quit
 package main
 
@@ -301,9 +305,56 @@ func (sh *shell) run(args []string) error {
 			return fmt.Errorf("stats is embedded-only")
 		}
 		fmt.Println(db.Stats())
+	case "info":
+		return sh.info(ctx)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}
+	return nil
+}
+
+// info prints store statistics plus the metadata a reopen would
+// recover: every key's branches and untagged heads, the pin set, and
+// the journal/snapshot footprint — the quickest way to eyeball that a
+// reopened store came back with the state the previous process held.
+func (sh *shell) info(ctx context.Context) error {
+	keys, err := sh.st.ListKeys(ctx, sh.as()...)
+	if err != nil {
+		return err
+	}
+	tagged, untagged := 0, 0
+	for _, k := range keys {
+		bl, err := sh.st.ListBranches(ctx, k, sh.as()...)
+		if err != nil {
+			return err
+		}
+		tagged += len(bl.Tagged)
+		untagged += len(bl.Untagged)
+		fmt.Printf("%s: %d branches, %d untagged heads\n", k, len(bl.Tagged), len(bl.Untagged))
+		for _, b := range bl.Tagged {
+			fmt.Printf("  %-20s %s\n", b.Name, b.Head.Short())
+		}
+		for _, uid := range bl.Untagged {
+			fmt.Printf("  %-20s %s\n", "(untagged)", uid.Short())
+		}
+	}
+	fmt.Printf("total: %d keys, %d branches, %d untagged heads\n", len(keys), tagged, untagged)
+	db, ok := sh.st.(*forkbase.DB)
+	if !ok {
+		fmt.Println("(per-servlet pins and journals: cluster nodes hold their own)")
+		return nil
+	}
+	pins := db.Engine().Pins()
+	fmt.Printf("pins: %d\n", len(pins))
+	for _, uid := range pins {
+		fmt.Printf("  %s\n", uid.Short())
+	}
+	if ms, ok := db.MetaStats(); ok {
+		fmt.Println(ms)
+	} else {
+		fmt.Println("journal: none (in-memory store)")
+	}
+	fmt.Println(db.Stats())
 	return nil
 }
 

@@ -298,6 +298,42 @@ func TestStoreConformance(t *testing.T) {
 				t.Fatal("failed batch leaked a head update")
 			}
 		}},
+		{"GuardOnMissingBranch", func(t *testing.T, st forkbase.Store) {
+			// A guard against a branch that does not exist is a
+			// different failure than losing a guard race: the caller
+			// holding a uid it once read needs to distinguish "branch
+			// gone" (give up, or re-create) from "head moved" (re-read
+			// and retry). Every backend must report ErrBranchNotFound
+			// for the former, on a missing key and a missing branch
+			// alike, and for single and batched writes alike.
+			head, err := st.Put(ctx, "guarded", forkbase.String("v"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = st.Put(ctx, "neverwritten", forkbase.String("x"), forkbase.WithGuard(head))
+			if !errors.Is(err, forkbase.ErrBranchNotFound) {
+				t.Fatalf("guard on missing key: %v, want ErrBranchNotFound", err)
+			}
+			_, err = st.Put(ctx, "guarded", forkbase.String("x"),
+				forkbase.WithBranch("nobranch"), forkbase.WithGuard(head))
+			if !errors.Is(err, forkbase.ErrBranchNotFound) {
+				t.Fatalf("guard on missing branch: %v, want ErrBranchNotFound", err)
+			}
+			// The race case still reports ErrGuardFailed.
+			if _, err := st.Put(ctx, "guarded", forkbase.String("v2")); err != nil {
+				t.Fatal(err)
+			}
+			_, err = st.Put(ctx, "guarded", forkbase.String("x"), forkbase.WithGuard(forkbase.UID{1}))
+			if !errors.Is(err, forkbase.ErrGuardFailed) {
+				t.Fatalf("stale guard: %v, want ErrGuardFailed", err)
+			}
+			// Batched writes draw the same distinction.
+			b := forkbase.NewBatch().
+				Put("guarded", forkbase.String("x"), forkbase.WithBranch("nobranch"), forkbase.WithGuard(head))
+			if _, err := st.Apply(ctx, b); !errors.Is(err, forkbase.ErrBranchNotFound) {
+				t.Fatalf("batched guard on missing branch: %v, want ErrBranchNotFound", err)
+			}
+		}},
 		{"RenameRemoveBranch", func(t *testing.T, st forkbase.Store) {
 			st.Put(ctx, "k", forkbase.String("v"))
 			if err := st.Fork(ctx, "k", "tmp"); err != nil {

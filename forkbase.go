@@ -95,6 +95,8 @@ type (
 	StoreStats = store.Stats
 	// GCStats reports one garbage collection's effect.
 	GCStats = store.GCStats
+	// MetaStats reports the metadata journal's footprint.
+	MetaStats = branch.JournalStats
 	// KV is a key-value pair for Map batch updates.
 	KV = postree.KV
 )
@@ -158,8 +160,9 @@ const DefaultBranch = branch.DefaultBranch
 // DB is an embedded ForkBase instance. It implements Store; see
 // client.go for the unified API surface.
 type DB struct {
-	eng *core.Engine
-	acl *ACL
+	eng  *core.Engine
+	acl  *ACL
+	jrnl *branch.Journal // metadata journal; nil for in-memory stores
 
 	gcThreshold float64      // segment compaction threshold (0 = default)
 	autoGCEvery int          // run GC after this many branch removals
@@ -201,6 +204,19 @@ type Options struct {
 	// operation that turns reachable versions into garbage. 0 leaves
 	// collection entirely to explicit GC calls.
 	AutoGCEvery int
+	// MetaSync fsyncs the metadata journal after every branch or pin
+	// mutation, making each head movement power-loss durable
+	// (file-backed stores only). Default false: journal records are
+	// still written unbuffered, so an unclean process stop loses no
+	// metadata — only an OS crash can lose the very last records. Pair
+	// with SyncWrites for full power-loss durability of data AND
+	// metadata.
+	MetaSync bool
+	// SnapshotEvery is the number of journaled metadata mutations
+	// between snapshot+truncate compactions of the journal (file-backed
+	// stores only). 0 means the default of 4096; negative disables
+	// compaction, letting the journal grow until the store is reopened.
+	SnapshotEvery int
 }
 
 // OpenOption configures Open/OpenPath: either a full Options literal
@@ -236,15 +252,25 @@ func WithGCThreshold(ratio float64) OpenOption {
 }
 
 // WithAutoGC runs a full collection automatically after every n
-// successful branch removals; see Options.AutoGCEvery.
-//
-// Caution on reopened persistent stores: branch tables are in-memory,
-// so immediately after OpenPath on an existing directory there are no
-// GC roots — an auto collection triggered before branches or pins are
-// re-established reclaims every previously persisted chunk. Enable
-// auto-GC only in processes that own the full set of live branches.
+// successful branch removals; see Options.AutoGCEvery. Safe on
+// reopened persistent stores: OpenPath recovers every branch, untagged
+// head and pin from the metadata journal, so the roots a collection
+// sees after reopen are exactly the roots the previous process held.
 func WithAutoGC(n int) OpenOption {
 	return openOptionFunc(func(o *Options) { o.AutoGCEvery = n })
+}
+
+// WithMetaSync fsyncs the metadata journal after every branch or pin
+// mutation; see Options.MetaSync.
+func WithMetaSync(on bool) OpenOption {
+	return openOptionFunc(func(o *Options) { o.MetaSync = on })
+}
+
+// WithSnapshotEvery compacts the metadata journal (full snapshot, then
+// WAL truncate) after every n journaled mutations; see
+// Options.SnapshotEvery.
+func WithSnapshotEvery(n int) OpenOption {
+	return openOptionFunc(func(o *Options) { o.SnapshotEvery = n })
 }
 
 func resolveOpenOpts(opts []OpenOption) Options {
@@ -288,7 +314,14 @@ func Open(opts ...OpenOption) *DB {
 }
 
 // OpenPath returns a ForkBase instance persisted in dir using the
-// log-structured chunk store.
+// log-structured chunk store. Beside the chunk log, dir holds the
+// metadata journal (meta.wal + meta.snap): every branch and pin
+// mutation is recorded durably, so reopening the directory recovers
+// all tagged branches, untagged heads and pins — and a GC run on the
+// reopened store sees the same roots the previous process did. The
+// journal obeys write-ahead ordering against the chunk log (the log is
+// flushed before a head naming its chunks is recorded), so a recovered
+// head always resolves.
 func OpenPath(dir string, opts ...OpenOption) (*DB, error) {
 	o := resolveOpenOpts(opts)
 	fs, err := store.OpenFileStore(dir, store.FileStoreOptions{
@@ -298,9 +331,21 @@ func OpenPath(dir string, opts ...OpenOption) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	j, err := branch.OpenJournal(dir, branch.JournalOptions{
+		Sync:          o.MetaSync,
+		SnapshotEvery: o.SnapshotEvery,
+		Barrier:       fs.Flush,
+	})
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	eng := core.NewEngine(o.wrapStore(fs), o.treeConfig())
+	eng.Recover(j)
 	return &DB{
-		eng:         core.NewEngine(o.wrapStore(fs), o.treeConfig()),
+		eng:         eng,
 		acl:         o.ACL,
+		jrnl:        j,
 		gcThreshold: o.GCThreshold,
 		autoGCEvery: o.AutoGCEvery,
 	}, nil
@@ -312,8 +357,36 @@ func NewDBOn(s store.Store, cfg postree.Config) *DB {
 	return &DB{eng: core.NewEngine(s, cfg)}
 }
 
-// Close releases the underlying store.
-func (db *DB) Close() error { return db.eng.Store().Close() }
+// Close releases the underlying store and metadata journal.
+func (db *DB) Close() error {
+	err := db.eng.Store().Close()
+	if db.jrnl != nil {
+		if jerr := db.jrnl.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
+
+// MetaStats reports the metadata journal's footprint (WAL and snapshot
+// sizes, pending replay length) and recovered contents. ok is false
+// for in-memory stores, which keep no journal.
+func (db *DB) MetaStats() (MetaStats, bool) {
+	if db.jrnl == nil {
+		return MetaStats{}, false
+	}
+	return db.jrnl.Stats(), true
+}
+
+// CompactMeta forces a snapshot+truncate compaction of the metadata
+// journal, independent of the WithSnapshotEvery cadence. A no-op
+// (nil) on in-memory stores.
+func (db *DB) CompactMeta() error {
+	if db.jrnl == nil {
+		return nil
+	}
+	return db.jrnl.Compact()
+}
 
 // Engine exposes the underlying engine for advanced integrations
 // (cluster layer, benchmarks).

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"forkbase"
+)
+
+// RunRecover measures metadata recovery: how long OpenPath takes to
+// bring a store back as a function of the metadata journal's length,
+// with snapshot compaction off (reopen replays every WAL record) and
+// on (reopen loads one snapshot plus a short WAL tail). The workload
+// is branch-mutation heavy — every put moves a head, every fourth op
+// forks or removes a branch — so the journal, not the chunk log,
+// dominates what recovery replays. Reported per journal length:
+// WAL bytes and reopen latency without snapshots, then snapshot bytes,
+// residual WAL bytes and reopen latency with them.
+func RunRecover(w io.Writer, scale Scale) error {
+	lengths := []int{512, 2048, 8192}
+	if scale == Quick {
+		lengths = []int{256, 1024, 4096}
+	}
+	snapshotEvery := 1024
+
+	fmt.Fprintln(w, "metadata recovery: reopen latency vs journal length")
+	fmt.Fprintf(w, "%8s | %12s %12s | %12s %12s %12s\n",
+		"ops", "wal B (off)", "reopen (off)", "snap B (on)", "wal B (on)", "reopen (on)")
+	for _, n := range lengths {
+		var row [2]struct {
+			walBytes  int64
+			snapBytes int64
+			reopen    time.Duration
+		}
+		for mode, every := range []int{-1, snapshotEvery} {
+			dir, err := tempDir("fbrecover")
+			if err != nil {
+				return err
+			}
+			db, err := forkbase.OpenPath(dir, forkbase.WithSnapshotEvery(every))
+			if err != nil {
+				os.RemoveAll(dir)
+				return err
+			}
+			if err := mutate(db, n); err != nil {
+				db.Close()
+				os.RemoveAll(dir)
+				return err
+			}
+			ms, _ := db.MetaStats()
+			if err := db.Close(); err != nil {
+				os.RemoveAll(dir)
+				return err
+			}
+			t0 := time.Now()
+			db, err = forkbase.OpenPath(dir, forkbase.WithSnapshotEvery(every))
+			if err != nil {
+				os.RemoveAll(dir)
+				return err
+			}
+			row[mode].reopen = time.Since(t0)
+			row[mode].walBytes = ms.WALBytes
+			row[mode].snapBytes = ms.SnapshotBytes
+			db.Close()
+			os.RemoveAll(dir)
+		}
+		fmt.Fprintf(w, "%8d | %12d %12s | %12d %12d %12s\n",
+			n, row[0].walBytes, row[0].reopen.Round(10*time.Microsecond),
+			row[1].snapBytes, row[1].walBytes, row[1].reopen.Round(10*time.Microsecond))
+	}
+	return nil
+}
+
+// mutate performs n branch-table mutations across a small key set.
+func mutate(db *forkbase.DB, n int) error {
+	for i := 0; i < n; i++ {
+		if i%4 == 3 {
+			// Fork a key written three iterations ago, so the ref
+			// branch always exists.
+			key := fmt.Sprintf("key-%03d", (i-3)%64)
+			if err := db.Fork(bgCtx, key, fmt.Sprintf("b%d", i)); err != nil {
+				return err
+			}
+			continue
+		}
+		key := fmt.Sprintf("key-%03d", i%64)
+		if _, err := db.Put(bgCtx, key, forkbase.String(fmt.Sprintf("v%d", i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -32,8 +32,16 @@ var (
 // Table is the branch table for a single key. It is safe for concurrent
 // use; tagged-branch updates are serialized, mirroring the servlet's
 // serialization of concurrent Puts (§4.5.1).
+//
+// When the table belongs to a Space with an attached journal Sink,
+// every successful mutation is recorded (still under the table's
+// mutex, so the journal order equals the apply order). The in-memory
+// mutation stands even when recording fails; the returned error then
+// reports lost durability, not a lost update.
 type Table struct {
 	mu       sync.RWMutex
+	key      string // owning key, for journal records
+	sink     Sink   // nil = no journaling
 	tagged   map[string]types.UID
 	untagged map[types.UID]bool
 }
@@ -46,6 +54,15 @@ func NewTable() *Table {
 	}
 }
 
+// record journals one applied mutation; callers hold t.mu.
+func (t *Table) record(op Op) error {
+	if t.sink == nil {
+		return nil
+	}
+	op.Key = []byte(t.key)
+	return t.sink.Record(op)
+}
+
 // Head returns the head uid of a tagged branch.
 func (t *Table) Head(branch string) (types.UID, bool) {
 	t.mu.RLock()
@@ -56,18 +73,24 @@ func (t *Table) Head(branch string) (types.UID, bool) {
 
 // UpdateTagged moves a tagged branch's head to uid, creating the branch
 // if absent. If guard is non-nil the update succeeds only while the
-// current head equals *guard (guarded Put, §4.5.1).
+// current head equals *guard (guarded Put, §4.5.1): a guard against a
+// branch that does not exist fails with ErrBranchNotFound — the branch
+// is gone, not merely moved — while a head mismatch on an existing
+// branch is the lost race, ErrGuardFailed.
 func (t *Table) UpdateTagged(branch string, uid types.UID, guard *types.UID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if guard != nil {
 		cur, ok := t.tagged[branch]
-		if !ok || cur != *guard {
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrBranchNotFound, branch)
+		}
+		if cur != *guard {
 			return ErrGuardFailed
 		}
 	}
 	t.tagged[branch] = uid
-	return nil
+	return t.record(Op{Kind: OpUpdateTagged, Branch: branch, UID: uid})
 }
 
 // Fork creates newBranch pointing at uid. It fails if newBranch exists.
@@ -78,7 +101,7 @@ func (t *Table) Fork(newBranch string, uid types.UID) error {
 		return fmt.Errorf("%w: %q", ErrBranchExists, newBranch)
 	}
 	t.tagged[newBranch] = uid
-	return nil
+	return t.record(Op{Kind: OpFork, Branch: newBranch, UID: uid})
 }
 
 // Rename renames a tagged branch.
@@ -94,7 +117,7 @@ func (t *Table) Rename(branch, newName string) error {
 	}
 	delete(t.tagged, branch)
 	t.tagged[newName] = uid
-	return nil
+	return t.record(Op{Kind: OpRename, Branch: branch, Name: newName, UID: uid})
 }
 
 // Remove deletes a tagged branch. The underlying versions remain in the
@@ -106,7 +129,7 @@ func (t *Table) Remove(branch string) error {
 		return fmt.Errorf("%w: %q", ErrBranchNotFound, branch)
 	}
 	delete(t.tagged, branch)
-	return nil
+	return t.record(Op{Kind: OpRemove, Branch: branch})
 }
 
 // Tagged returns all tagged branch names and their heads, sorted by
@@ -134,27 +157,29 @@ type TaggedBranch struct {
 // that concurrent derivation is precisely what creates a conflict
 // (Figure 3b). Re-adding an existing uid (an equivalent operation
 // happened before) is ignored.
-func (t *Table) AddUntagged(uid types.UID, bases []types.UID) {
+func (t *Table) AddUntagged(uid types.UID, bases []types.UID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.untagged[uid] {
-		return
+		return nil
 	}
 	t.untagged[uid] = true
 	for _, b := range bases {
 		delete(t.untagged, b)
 	}
+	return t.record(Op{Kind: OpAddUntagged, UID: uid, Bases: bases})
 }
 
 // ReplaceUntagged atomically removes the merged heads and inserts the
 // merge result (M7).
-func (t *Table) ReplaceUntagged(result types.UID, merged []types.UID) {
+func (t *Table) ReplaceUntagged(result types.UID, merged []types.UID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, u := range merged {
 		delete(t.untagged, u)
 	}
 	t.untagged[result] = true
+	return t.record(Op{Kind: OpReplaceUntagged, UID: result, Bases: merged})
 }
 
 // Untagged returns all untagged heads in unspecified order (M10). A
@@ -173,8 +198,11 @@ func (t *Table) Untagged() []types.UID {
 }
 
 // Space tracks the branch tables of all keys managed by one servlet.
+// A Space restored from a Journal carries that journal as its sink;
+// every table it hands out records its mutations there.
 type Space struct {
 	mu     sync.RWMutex
+	sink   Sink // attached to every table this space creates
 	tables map[string]*Table
 }
 
@@ -198,6 +226,7 @@ func (s *Space) Table(key []byte) *Table {
 		return t
 	}
 	t = NewTable()
+	t.key, t.sink = k, s.sink
 	s.tables[k] = t
 	return t
 }

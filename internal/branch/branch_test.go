@@ -65,6 +65,17 @@ func TestGuardedUpdate(t *testing.T) {
 	if h, _ := tb.Head("master"); h != uid(2) {
 		t.Fatal("failed guard modified the head")
 	}
+	// A guard against a branch that does not exist is not a lost race:
+	// the caller must be able to tell "branch gone" from "head moved".
+	if err := tb.UpdateTagged("ghost", uid(4), &g); !errors.Is(err, ErrBranchNotFound) {
+		t.Fatalf("guard on missing branch: got %v, want ErrBranchNotFound", err)
+	}
+	if errors.Is(tb.UpdateTagged("ghost", uid(4), &g), ErrGuardFailed) {
+		t.Fatal("missing branch misreported as guard failure")
+	}
+	if _, ok := tb.Head("ghost"); ok {
+		t.Fatal("failed guard created the branch")
+	}
 }
 
 func TestUntaggedConflictSemantics(t *testing.T) {

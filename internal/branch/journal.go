@@ -1,0 +1,774 @@
+// Metadata journal: the durability layer under the branch tables.
+//
+// The branch tables are the authoritative map from names to version
+// heads (§4.5), yet they are pure in-memory structures — without a
+// journal a reopened persistent store forgets every branch, untagged
+// head and pin, and the first GC after reopen would see zero roots and
+// reclaim all live data. The journal closes that hole: every mutation
+// of a Table (and every pin/unpin the engine performs) is recorded as
+// one crc32-framed record in an append-only WAL, and the state is
+// periodically folded into a full snapshot so the WAL never grows
+// unbounded.
+//
+// On-disk layout (inside the store directory, beside the chunk log):
+//
+//	meta.wal   frames of: u32 crc32(body) | u32 len(body) | body
+//	meta.snap  "FBM1" | u32 len(body) | u32 crc32(body) | body
+//
+// Recovery loads the snapshot (if any) and replays the WAL over it,
+// stopping quietly at a torn tail — exactly the chunk log's recovery
+// contract. Compaction writes the full state to meta.snap.tmp, fsyncs,
+// atomically renames it over meta.snap, and only then truncates the
+// WAL; a crash between the rename and the truncate leaves a WAL whose
+// records are already folded into the snapshot, which is harmless
+// because every record is replay-idempotent: ops carry resulting uids,
+// never conditions, so re-applying an ordered prefix over a state that
+// already contains it converges to the same state.
+package branch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"forkbase/internal/types"
+)
+
+// OpKind identifies a journaled branch-table or pin mutation.
+type OpKind uint8
+
+// The journaled operations. Each records the *result* of a mutation
+// (the uid a branch ended up at), never its precondition, so replay
+// needs no guard evaluation and is idempotent.
+const (
+	// OpUpdateTagged sets tagged[Branch] = UID (M3, M5, M6).
+	OpUpdateTagged OpKind = iota + 1
+	// OpFork creates tagged[Branch] = UID (M11, M12).
+	OpFork
+	// OpRename moves tagged[Branch] (head UID) to tagged[Name] (M13).
+	OpRename
+	// OpRemove deletes tagged[Branch] (M14).
+	OpRemove
+	// OpAddUntagged adds UID to the UB-table, consuming Bases (M4).
+	OpAddUntagged
+	// OpReplaceUntagged replaces Bases with UID in the UB-table (M7).
+	OpReplaceUntagged
+	// OpPin adds UID to the engine's pin set.
+	OpPin
+	// OpUnpin removes UID from the engine's pin set.
+	OpUnpin
+)
+
+// Op is one journaled metadata mutation.
+type Op struct {
+	Kind   OpKind
+	Key    []byte      // owning key; empty for pin ops
+	Branch string      // branch operated on (rename source)
+	Name   string      // rename target
+	UID    types.UID   // resulting head / pinned uid
+	Bases  []types.UID // consumed untagged heads
+}
+
+// Sink receives every branch-table and pin mutation, in the order the
+// tables applied them. A nil Sink on a Table/Space disables journaling
+// (the in-memory deployment). Implementations must be safe for
+// concurrent use; the Journal is the production Sink.
+type Sink interface {
+	Record(op Op) error
+}
+
+// journal file names, living beside the chunk log's segments.
+const (
+	walName     = "meta.wal"
+	snapName    = "meta.snap"
+	snapTmpName = "meta.snap.tmp"
+)
+
+var snapMagic = [4]byte{'F', 'B', 'M', '1'}
+
+// DefaultSnapshotEvery is the number of journaled ops between
+// snapshot+truncate compactions when JournalOptions.SnapshotEvery is 0.
+const DefaultSnapshotEvery = 4096
+
+// ErrJournalCorrupt reports a snapshot that fails its integrity check.
+// (A torn WAL tail is NOT corruption — it is the expected residue of a
+// crash and is silently truncated at recovery.)
+var ErrJournalCorrupt = errors.New("branch: metadata snapshot corrupt")
+
+// JournalOptions configures OpenJournal.
+type JournalOptions struct {
+	// Sync fsyncs the WAL after every record, making each metadata
+	// mutation power-loss durable. Default false: records are written
+	// straight to the file (never buffered in-process), so an unclean
+	// process stop loses nothing, only an OS crash can.
+	Sync bool
+	// SnapshotEvery is the number of records between snapshot+truncate
+	// compactions. 0 means DefaultSnapshotEvery; negative disables
+	// compaction (the WAL grows until Compact is called explicitly).
+	SnapshotEvery int
+	// Barrier, when set, runs before each record is appended. The
+	// store layer points it at the chunk log's Flush so the journal
+	// obeys write-ahead ordering relative to the data it names: a head
+	// recorded in the WAL always resolves to chunks at least as
+	// durable as the record itself.
+	Barrier func() error
+}
+
+// Journal is the file-backed Sink: an append-only WAL of branch/pin
+// mutations with periodic snapshot compaction. It keeps a shadow copy
+// of the full metadata state so compaction never has to lock the live
+// branch tables (Record is called while a Table's mutex is held).
+type Journal struct {
+	mu    sync.Mutex
+	dir   string
+	f     *os.File
+	opts  JournalOptions
+	every int
+
+	state     journalState
+	walBytes  int64
+	snapBytes int64
+	sinceSnap int
+	// broken is set when a failed append could not be rolled back: the
+	// WAL then ends in a partial frame that would silently cut replay
+	// short, so no further record may pretend to be durable.
+	broken error
+
+	// crashHook, when set (crash-consistency tests only), fires at
+	// named points of a compaction — "snap-written" (tmp fsynced),
+	// "snap-renamed" (swap done), "truncated" (WAL reset) — so the
+	// harness can snapshot the directory exactly as a kill at that
+	// moment would leave it. Called with j.mu held.
+	crashHook func(event string)
+}
+
+// journalState is the journal's shadow of the metadata: what a replay
+// of snapshot+WAL reconstructs.
+type journalState struct {
+	keys map[string]*tableState
+	pins map[types.UID]struct{}
+}
+
+type tableState struct {
+	tagged   map[string]types.UID
+	untagged map[types.UID]bool
+}
+
+func newJournalState() journalState {
+	return journalState{
+		keys: make(map[string]*tableState),
+		pins: make(map[types.UID]struct{}),
+	}
+}
+
+func (st *journalState) table(key string) *tableState {
+	ts, ok := st.keys[key]
+	if !ok {
+		ts = &tableState{
+			tagged:   make(map[string]types.UID),
+			untagged: make(map[types.UID]bool),
+		}
+		st.keys[key] = ts
+	}
+	return ts
+}
+
+// apply folds one op into the state. Replay-idempotent: applying an
+// ordered op sequence over a state that already includes a prefix of
+// it converges to the same final state.
+func (st *journalState) apply(op Op) {
+	switch op.Kind {
+	case OpPin:
+		st.pins[op.UID] = struct{}{}
+		return
+	case OpUnpin:
+		delete(st.pins, op.UID)
+		return
+	}
+	ts := st.table(string(op.Key))
+	switch op.Kind {
+	case OpUpdateTagged, OpFork:
+		ts.tagged[op.Branch] = op.UID
+	case OpRename:
+		delete(ts.tagged, op.Branch)
+		ts.tagged[op.Name] = op.UID
+	case OpRemove:
+		delete(ts.tagged, op.Branch)
+	case OpAddUntagged:
+		// Unconditional, unlike Table.AddUntagged's duplicate skip: the
+		// table never journals a skipped duplicate, so during replay a
+		// pre-existing op.UID means the op itself is already folded in
+		// (snapshot written, WAL not yet truncated) — its bases must
+		// still be deleted, or a crash in that window would resurrect
+		// consumed heads.
+		ts.untagged[op.UID] = true
+		for _, b := range op.Bases {
+			delete(ts.untagged, b)
+		}
+	case OpReplaceUntagged:
+		for _, b := range op.Bases {
+			delete(ts.untagged, b)
+		}
+		ts.untagged[op.UID] = true
+	}
+}
+
+// OpenJournal opens (creating if necessary) the metadata journal in
+// dir, recovering its state: snapshot first, then every intact WAL
+// record over it. A torn WAL tail is truncated away; a stale
+// compaction temp file is removed.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("branch: %w", err)
+	}
+	j := &Journal{
+		dir:   dir,
+		opts:  opts,
+		every: opts.SnapshotEvery,
+		state: newJournalState(),
+	}
+	if j.every == 0 {
+		j.every = DefaultSnapshotEvery
+	}
+	// A crash mid-compaction can leave a half-written temp snapshot;
+	// the rename never happened, so it holds nothing the WAL doesn't.
+	os.Remove(filepath.Join(dir, snapTmpName))
+	if err := j.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	valid, n, err := j.replayWAL()
+	if err != nil {
+		return nil, err
+	}
+	j.sinceSnap = n
+	// Drop a torn tail so the append point is clean, mirroring the
+	// chunk log's recovery.
+	walPath := filepath.Join(dir, walName)
+	if fi, err := os.Stat(walPath); err == nil && fi.Size() > valid {
+		if err := os.Truncate(walPath, valid); err != nil {
+			return nil, fmt.Errorf("branch: %w", err)
+		}
+	}
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("branch: %w", err)
+	}
+	j.f = f
+	j.walBytes = valid
+	return j, nil
+}
+
+// Restore materializes the recovered state as a live Space (with this
+// journal attached as its sink, so every further mutation is recorded)
+// plus the recovered pin set, sorted.
+func (j *Journal) Restore() (*Space, []types.UID) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	sp := NewSpace()
+	sp.sink = j
+	for k, ts := range j.state.keys {
+		t := NewTable()
+		t.key, t.sink = k, j
+		for name, uid := range ts.tagged {
+			t.tagged[name] = uid
+		}
+		for uid := range ts.untagged {
+			t.untagged[uid] = true
+		}
+		sp.tables[k] = t
+	}
+	pins := make([]types.UID, 0, len(j.state.pins))
+	for uid := range j.state.pins {
+		pins = append(pins, uid)
+	}
+	sort.Slice(pins, func(a, b int) bool {
+		return pins[a].String() < pins[b].String()
+	})
+	return sp, pins
+}
+
+// Record implements Sink: the op is folded into the shadow state and
+// appended to the WAL (after the Barrier, preserving write-ahead
+// ordering against the chunk log). Every SnapshotEvery records the
+// journal compacts itself. The caller's in-memory mutation stands even
+// when the append fails — the failure mode equals a crash just before
+// the op, which recovery already tolerates — so the error is purely a
+// durability report.
+func (j *Journal) Record(op Op) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state.apply(op)
+	if j.opts.Barrier != nil {
+		if err := j.opts.Barrier(); err != nil {
+			return fmt.Errorf("branch: journal barrier: %w", err)
+		}
+	}
+	if j.broken != nil {
+		// Self-heal: the shadow state has kept tracking every mutation
+		// (including this one, applied above), so a successful snapshot
+		// + truncate both captures the backlog and removes the partial
+		// frame that poisoned the WAL. compactLocked clears broken.
+		if cerr := j.compactLocked(); cerr != nil {
+			return fmt.Errorf("branch: journal unusable after append failure: %w", j.broken)
+		}
+		return nil // this op is durable via the fresh snapshot
+	}
+	body := encodeOp(op)
+	frame := make([]byte, 8, 8+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(body)))
+	frame = append(frame, body...)
+	if _, err := j.f.Write(frame); err != nil {
+		// Roll the file back to the last intact frame: a partial frame
+		// left in place would make replay stop there, silently cutting
+		// off every record appended after the disk recovered. If even
+		// the rollback fails, poison the journal — pretending later
+		// appends are durable would be a lie.
+		if terr := j.f.Truncate(j.walBytes); terr != nil {
+			j.broken = fmt.Errorf("append: %v, rollback: %w", err, terr)
+		}
+		return fmt.Errorf("branch: journal append: %w", err)
+	}
+	// The frame is in the file whatever Sync says below; account for it
+	// now, or a later rollback would truncate at a stale offset and
+	// tear an already-written record.
+	j.walBytes += int64(len(frame))
+	j.sinceSnap++
+	if j.opts.Sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("branch: journal sync: %w", err)
+		}
+	}
+	if j.every > 0 && j.sinceSnap >= j.every {
+		return j.compactLocked()
+	}
+	return nil
+}
+
+// Compact forces a snapshot+truncate compaction now, regardless of the
+// SnapshotEvery cadence.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactLocked()
+}
+
+// compactLocked writes the full state as a snapshot, atomically swaps
+// it in, and truncates the WAL. Durability order: tmp written and
+// fsynced BEFORE the rename, rename BEFORE the truncate — a crash at
+// any point leaves either the old snapshot plus the full WAL, or the
+// new snapshot plus a WAL whose records are replay-idempotent over it.
+func (j *Journal) compactLocked() error {
+	body := encodeSnapshot(&j.state)
+	tmp := filepath.Join(j.dir, snapTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("branch: %w", err)
+	}
+	hdr := make([]byte, 12)
+	copy(hdr[0:4], snapMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[8:12], crc32.ChecksumIEEE(body))
+	if _, err := f.Write(hdr); err == nil {
+		_, err = f.Write(body)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("branch: snapshot: %w", err)
+	}
+	j.hook("snap-written")
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapName)); err != nil {
+		return fmt.Errorf("branch: snapshot swap: %w", err)
+	}
+	syncDir(j.dir)
+	j.hook("snap-renamed")
+	// The WAL's records are now folded into the snapshot; reset it.
+	// The file is opened O_APPEND, so the next write lands at the new
+	// end regardless of the handle's offset.
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("branch: wal truncate: %w", err)
+	}
+	j.walBytes = 0
+	j.sinceSnap = 0
+	j.snapBytes = int64(12 + len(body))
+	// The snapshot holds the full shadow state and the WAL is empty:
+	// whatever partial frame poisoned the log is gone.
+	j.broken = nil
+	j.hook("truncated")
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable; best
+// effort, since not every platform supports it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+func (j *Journal) hook(event string) {
+	if j.crashHook != nil {
+		j.crashHook(event)
+	}
+}
+
+// Close closes the WAL handle. The journal has no in-process buffering,
+// so nothing is lost by closing without Compact.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("branch: %w", err)
+	}
+	return nil
+}
+
+// JournalStats reports the journal's footprint and recovered contents.
+type JournalStats struct {
+	WALBytes         int64 // bytes of WAL not yet folded into the snapshot
+	SnapshotBytes    int64 // bytes of the current snapshot file
+	OpsSinceSnapshot int   // records a reopen would replay
+	Keys             int   // keys with a recovered branch table
+	Tagged           int   // tagged branches across all keys
+	Untagged         int   // untagged heads across all keys
+	Pins             int   // pinned uids
+}
+
+func (s JournalStats) String() string {
+	return fmt.Sprintf("journal: wal=%dB snapshot=%dB replay=%d ops, %d keys, %d tagged, %d untagged, %d pins",
+		s.WALBytes, s.SnapshotBytes, s.OpsSinceSnapshot, s.Keys, s.Tagged, s.Untagged, s.Pins)
+}
+
+// Stats returns the journal's current footprint.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JournalStats{
+		WALBytes:         j.walBytes,
+		SnapshotBytes:    j.snapBytes,
+		OpsSinceSnapshot: j.sinceSnap,
+		Keys:             len(j.state.keys),
+		Pins:             len(j.state.pins),
+	}
+	for _, ts := range j.state.keys {
+		s.Tagged += len(ts.tagged)
+		s.Untagged += len(ts.untagged)
+	}
+	return s
+}
+
+// --- codecs ----------------------------------------------------------
+
+// encodeOp serializes one op:
+//
+//	u8 kind | u32 klen | key | u32 blen | branch | u32 nlen | name |
+//	uid (32B) | u32 nbases | nbases × 32B
+func encodeOp(op Op) []byte {
+	n := 1 + 4 + len(op.Key) + 4 + len(op.Branch) + 4 + len(op.Name) +
+		len(op.UID) + 4 + len(op.Bases)*len(op.UID)
+	b := make([]byte, 0, n)
+	b = append(b, byte(op.Kind))
+	b = appendBytes(b, op.Key)
+	b = appendBytes(b, []byte(op.Branch))
+	b = appendBytes(b, []byte(op.Name))
+	b = append(b, op.UID[:]...)
+	b = appendU32(b, uint32(len(op.Bases)))
+	for _, u := range op.Bases {
+		b = append(b, u[:]...)
+	}
+	return b
+}
+
+// decodeOp parses an op body; an undecodable body reports false, which
+// replay treats like a torn record.
+func decodeOp(b []byte) (Op, bool) {
+	var op Op
+	if len(b) < 1 {
+		return op, false
+	}
+	op.Kind = OpKind(b[0])
+	if op.Kind < OpUpdateTagged || op.Kind > OpUnpin {
+		return op, false
+	}
+	b = b[1:]
+	key, b, ok := takeBytes(b)
+	if !ok {
+		return op, false
+	}
+	branchName, b, ok := takeBytes(b)
+	if !ok {
+		return op, false
+	}
+	name, b, ok := takeBytes(b)
+	if !ok {
+		return op, false
+	}
+	if len(b) < len(op.UID)+4 {
+		return op, false
+	}
+	copy(op.UID[:], b)
+	b = b[len(op.UID):]
+	nbases := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if len(b) != int(nbases)*len(op.UID) {
+		return op, false
+	}
+	op.Bases = make([]types.UID, nbases)
+	for i := range op.Bases {
+		copy(op.Bases[i][:], b[i*len(op.UID):])
+	}
+	if len(op.Bases) == 0 {
+		op.Bases = nil
+	}
+	if len(key) > 0 {
+		op.Key = key
+	}
+	op.Branch, op.Name = string(branchName), string(name)
+	return op, true
+}
+
+// encodeSnapshot serializes the full state, keys and names sorted so
+// identical states produce identical bytes:
+//
+//	u32 nkeys | per key: u32 klen | key
+//	                     u32 ntagged   | per branch: u32 nlen | name | uid
+//	                     u32 nuntagged | per head: uid
+//	u32 npins | per pin: uid
+func encodeSnapshot(st *journalState) []byte {
+	var b []byte
+	keys := make([]string, 0, len(st.keys))
+	for k := range st.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b = appendU32(b, uint32(len(keys)))
+	for _, k := range keys {
+		ts := st.keys[k]
+		b = appendBytes(b, []byte(k))
+		names := make([]string, 0, len(ts.tagged))
+		for n := range ts.tagged {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b = appendU32(b, uint32(len(names)))
+		for _, n := range names {
+			uid := ts.tagged[n]
+			b = appendBytes(b, []byte(n))
+			b = append(b, uid[:]...)
+		}
+		heads := make([]types.UID, 0, len(ts.untagged))
+		for u := range ts.untagged {
+			heads = append(heads, u)
+		}
+		sort.Slice(heads, func(i, j int) bool {
+			return heads[i].String() < heads[j].String()
+		})
+		b = appendU32(b, uint32(len(heads)))
+		for _, u := range heads {
+			b = append(b, u[:]...)
+		}
+	}
+	pins := make([]types.UID, 0, len(st.pins))
+	for u := range st.pins {
+		pins = append(pins, u)
+	}
+	sort.Slice(pins, func(i, j int) bool {
+		return pins[i].String() < pins[j].String()
+	})
+	b = appendU32(b, uint32(len(pins)))
+	for _, u := range pins {
+		b = append(b, u[:]...)
+	}
+	return b
+}
+
+func decodeSnapshot(b []byte, st *journalState) error {
+	bad := func() error { return fmt.Errorf("%w: truncated body", ErrJournalCorrupt) }
+	nkeys, b, ok := takeU32(b)
+	if !ok {
+		return bad()
+	}
+	var uid types.UID
+	for i := 0; i < int(nkeys); i++ {
+		key, rest, ok := takeBytes(b)
+		if !ok {
+			return bad()
+		}
+		b = rest
+		ts := st.table(string(key))
+		ntagged, rest, ok := takeU32(b)
+		if !ok {
+			return bad()
+		}
+		b = rest
+		for t := 0; t < int(ntagged); t++ {
+			name, rest, ok := takeBytes(b)
+			if !ok || len(rest) < len(uid) {
+				return bad()
+			}
+			copy(uid[:], rest)
+			ts.tagged[string(name)] = uid
+			b = rest[len(uid):]
+		}
+		nuntagged, rest, ok := takeU32(b)
+		if !ok {
+			return bad()
+		}
+		b = rest
+		for u := 0; u < int(nuntagged); u++ {
+			if len(b) < len(uid) {
+				return bad()
+			}
+			copy(uid[:], b)
+			ts.untagged[uid] = true
+			b = b[len(uid):]
+		}
+	}
+	npins, b, ok := takeU32(b)
+	if !ok {
+		return bad()
+	}
+	for i := 0; i < int(npins); i++ {
+		if len(b) < len(uid) {
+			return bad()
+		}
+		copy(uid[:], b)
+		st.pins[uid] = struct{}{}
+		b = b[len(uid):]
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrJournalCorrupt, len(b))
+	}
+	return nil
+}
+
+// loadSnapshot reads meta.snap into the state, if present. A snapshot
+// that fails its crc is reported as ErrJournalCorrupt — unlike a torn
+// WAL tail it can only mean disk rot, since the swap is atomic.
+func (j *Journal) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(j.dir, snapName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("branch: %w", err)
+	}
+	if len(data) < 12 || [4]byte(data[0:4]) != snapMagic {
+		return fmt.Errorf("%w: bad header", ErrJournalCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(data[4:8])
+	crc := binary.LittleEndian.Uint32(data[8:12])
+	body := data[12:]
+	if uint32(len(body)) != n || crc32.ChecksumIEEE(body) != crc {
+		return fmt.Errorf("%w: checksum mismatch", ErrJournalCorrupt)
+	}
+	if err := decodeSnapshot(body, &j.state); err != nil {
+		return err
+	}
+	j.snapBytes = int64(len(data))
+	return nil
+}
+
+// replayWAL folds every intact WAL record into the state, returning
+// the offset just past the last intact record and the record count.
+func (j *Journal) replayWAL() (valid int64, n int, err error) {
+	f, err := os.Open(filepath.Join(j.dir, walName))
+	if os.IsNotExist(err) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("branch: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("branch: %w", err)
+	}
+	size := fi.Size()
+	r := &countingReader{r: f}
+	hdr := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return valid, n, nil
+		}
+		crc := binary.LittleEndian.Uint32(hdr[0:4])
+		bl := binary.LittleEndian.Uint32(hdr[4:8])
+		if int64(bl) > size-r.n {
+			// The length field is not covered by the crc; a corrupted
+			// one must not drive the body allocation past what the
+			// file can even hold. Treat it like a torn tail.
+			return valid, n, nil
+		}
+		body := make([]byte, bl)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return valid, n, nil
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return valid, n, nil
+		}
+		op, ok := decodeOp(body)
+		if !ok {
+			return valid, n, nil
+		}
+		j.state.apply(op)
+		valid = r.n
+		n++
+	}
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// --- byte helpers ----------------------------------------------------
+
+func appendU32(b []byte, v uint32) []byte {
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], v)
+	return append(b, u[:]...)
+}
+
+func takeU32(b []byte) (uint32, []byte, bool) {
+	if len(b) < 4 {
+		return 0, nil, false
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], true
+}
+
+func appendBytes(b, s []byte) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func takeBytes(b []byte) ([]byte, []byte, bool) {
+	n, rest, ok := takeU32(b)
+	if !ok || len(rest) < int(n) {
+		return nil, nil, false
+	}
+	return rest[:n], rest[n:], true
+}

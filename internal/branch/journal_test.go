@@ -1,0 +1,450 @@
+package branch
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"forkbase/internal/types"
+)
+
+// juid builds a distinct test uid from an integer (the branch_test
+// helper uid() only covers a byte's worth).
+func juid(n int) types.UID {
+	var u types.UID
+	u[0] = byte(n)
+	u[1] = byte(n >> 8)
+	u[2] = byte(n >> 16)
+	return u
+}
+
+// openTestJournal opens a journal over dir and restores its state.
+func openTestJournal(t *testing.T, dir string, opts JournalOptions) (*Journal, *Space, []types.UID) {
+	t.Helper()
+	j, err := OpenJournal(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, pins := j.Restore()
+	return j, sp, pins
+}
+
+// stateOf flattens a Space into comparable maps.
+func stateOf(sp *Space) map[string]map[string]types.UID {
+	out := make(map[string]map[string]types.UID)
+	for _, k := range sp.Keys() {
+		tb, _ := sp.Lookup([]byte(k))
+		m := make(map[string]types.UID)
+		for _, b := range tb.Tagged() {
+			m[b.Name] = b.Head
+		}
+		for i, u := range tb.Untagged() {
+			m[fmt.Sprintf("~untagged%d", i)] = u
+		}
+		out[k] = m
+	}
+	return out
+}
+
+func requireSameState(t *testing.T, want, got *Space, wantPins, gotPins []types.UID) {
+	t.Helper()
+	if w, g := stateOf(want), stateOf(got); !reflect.DeepEqual(w, g) {
+		t.Fatalf("recovered space diverged:\nwant %v\ngot  %v", w, g)
+	}
+	if len(wantPins) != 0 || len(gotPins) != 0 {
+		if !reflect.DeepEqual(wantPins, gotPins) {
+			t.Fatalf("recovered pins diverged: want %v got %v", wantPins, gotPins)
+		}
+	}
+}
+
+// TestJournalRoundTrip covers every op kind: mutations applied to a
+// journaled Space must be identical after close + reopen + Restore.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, sp, _ := openTestJournal(t, dir, JournalOptions{})
+
+	tb := sp.Table([]byte("doc"))
+	if err := tb.UpdateTagged("master", juid(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Fork("feature", juid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.UpdateTagged("feature", juid(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Rename("feature", "release"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Fork("scratch", juid(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Remove("scratch"); err != nil {
+		t.Fatal(err)
+	}
+	ub := sp.Table([]byte("conflicted"))
+	if err := ub.AddUntagged(juid(10), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ub.AddUntagged(juid(11), []types.UID{juid(10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ub.AddUntagged(juid(12), []types.UID{juid(10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ub.ReplaceUntagged(juid(13), []types.UID{juid(11), juid(12)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(Op{Kind: OpPin, UID: juid(40)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(Op{Kind: OpPin, UID: juid(41)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(Op{Kind: OpUnpin, UID: juid(40)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, got, gotPins := openTestJournal(t, dir, JournalOptions{})
+	requireSameState(t, sp, got, []types.UID{juid(41)}, gotPins)
+	tb2, _ := got.Lookup([]byte("doc"))
+	if h, _ := tb2.Head("release"); h != juid(2) {
+		t.Fatalf("renamed branch head = %v, want %v", h, juid(2))
+	}
+	if _, ok := tb2.Head("feature"); ok {
+		t.Fatal("rename left the old name behind")
+	}
+	if _, ok := tb2.Head("scratch"); ok {
+		t.Fatal("removed branch recovered")
+	}
+	ub2, _ := got.Lookup([]byte("conflicted"))
+	if heads := ub2.Untagged(); len(heads) != 1 || heads[0] != juid(13) {
+		t.Fatalf("untagged heads after replace = %v, want [%v]", heads, juid(13))
+	}
+}
+
+// TestJournalRenameRemoveReplaceRoundTrip reopens after EACH of the
+// three table-shrinking ops, proving none of them depends on state the
+// snapshot or WAL failed to carry.
+func TestJournalRenameRemoveReplaceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, sp, _ := openTestJournal(t, dir, JournalOptions{})
+	tb := sp.Table([]byte("k"))
+	for _, step := range []func() error{
+		func() error { return tb.UpdateTagged("a", juid(1), nil) },
+		func() error { return tb.Fork("b", juid(1)) },
+		func() error { return tb.Rename("a", "c") },
+		func() error { return tb.Remove("b") },
+		func() error { return tb.AddUntagged(juid(5), nil) },
+		func() error { return tb.AddUntagged(juid(6), []types.UID{juid(5)}) },
+		func() error { return tb.AddUntagged(juid(7), []types.UID{juid(5)}) },
+		func() error { return tb.ReplaceUntagged(juid(8), []types.UID{juid(6), juid(7)}) },
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		var got *Space
+		var gotPins []types.UID
+		j, got, gotPins = openTestJournal(t, dir, JournalOptions{})
+		requireSameState(t, sp, got, nil, gotPins)
+		// Continue mutating through the reopened journal's space so
+		// each step also proves the WAL append point survived reopen.
+		sp = got
+		tb, _ = got.Lookup([]byte("k"))
+	}
+	j.Close()
+}
+
+// TestJournalSnapshotCompaction proves the WAL does not grow without
+// bound: with a small cadence the journal folds itself into meta.snap
+// and truncates, and recovery from snapshot+tail equals full replay.
+func TestJournalSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, sp, _ := openTestJournal(t, dir, JournalOptions{SnapshotEvery: 16})
+	tb := sp.Table([]byte("k"))
+	for i := 0; i < 200; i++ {
+		if err := tb.UpdateTagged("master", juid(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.Stats()
+	if st.SnapshotBytes == 0 {
+		t.Fatal("no snapshot written despite cadence")
+	}
+	if st.OpsSinceSnapshot >= 16 {
+		t.Fatalf("WAL not truncated: %d ops pending", st.OpsSinceSnapshot)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, walName)); err != nil || fi.Size() != st.WALBytes {
+		t.Fatalf("wal size %v vs stats %d (%v)", fi, st.WALBytes, err)
+	}
+	j.Close()
+	_, got, gotPins := openTestJournal(t, dir, JournalOptions{SnapshotEvery: 16})
+	requireSameState(t, sp, got, nil, gotPins)
+	if h, _ := mustLookup(t, got, "k").Head("master"); h != juid(199) {
+		t.Fatalf("head after compacted recovery = %v", h)
+	}
+}
+
+func mustLookup(t *testing.T, sp *Space, key string) *Table {
+	t.Helper()
+	tb, ok := sp.Lookup([]byte(key))
+	if !ok {
+		t.Fatalf("key %q lost", key)
+	}
+	return tb
+}
+
+// TestJournalTornTail truncates the WAL at every byte offset: recovery
+// must never fail, and must land on exactly the state some prefix of
+// the op sequence produced.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, sp, _ := openTestJournal(t, dir, JournalOptions{SnapshotEvery: -1})
+	tb := sp.Table([]byte("k"))
+	heads := map[types.UID]int{} // uid -> op index whose state it is
+	const ops = 40
+	for i := 0; i < ops; i++ {
+		if err := tb.UpdateTagged("master", juid(i), nil); err != nil {
+			t.Fatal(err)
+		}
+		heads[juid(i)] = i
+	}
+	j.Close()
+	walPath := filepath.Join(dir, walName)
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := int64(0); cut <= int64(len(full)); cut += 7 {
+		torn := t.TempDir()
+		if err := os.WriteFile(filepath.Join(torn, walName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, got, _ := openTestJournal(t, torn, JournalOptions{SnapshotEvery: -1})
+		if tb2, ok := got.Lookup([]byte("k")); ok {
+			h, ok := tb2.Head("master")
+			if !ok {
+				t.Fatalf("cut@%d: branch vanished but key survived", cut)
+			}
+			if _, known := heads[h]; !known {
+				t.Fatalf("cut@%d: head %v is no prefix state", cut, h)
+			}
+		} else if cut >= 16 { // at least one full frame present
+			// A missing key is only legal while the first record is torn.
+			frame := int64(8) + frameLen(t, full)
+			if cut >= frame {
+				t.Fatalf("cut@%d: key lost after first intact record", cut)
+			}
+		}
+		// The truncated journal must keep accepting appends.
+		tb2 := got.Table([]byte("k"))
+		if err := tb2.UpdateTagged("post", juid(999), nil); err != nil {
+			t.Fatal(err)
+		}
+		j2.Close()
+		_, again, _ := openTestJournal(t, torn, JournalOptions{SnapshotEvery: -1})
+		if h, _ := mustLookup(t, again, "k").Head("post"); h != juid(999) {
+			t.Fatalf("cut@%d: append after torn recovery lost", cut)
+		}
+	}
+}
+
+// frameLen returns the body length of the first WAL frame.
+func frameLen(t *testing.T, wal []byte) int64 {
+	t.Helper()
+	if len(wal) < 8 {
+		t.Fatal("wal shorter than a frame header")
+	}
+	return int64(uint32(wal[4]) | uint32(wal[5])<<8 | uint32(wal[6])<<16 | uint32(wal[7])<<24)
+}
+
+// TestJournalCompactionCrash kills the journal at every compaction
+// hook — tmp snapshot fsynced, snapshot renamed, WAL truncated — and
+// reopens the directory as left at that instant: the recovered state
+// must equal the full pre-compaction state every time, whichever mix
+// of old/new snapshot and full/empty WAL the crash left behind.
+func TestJournalCompactionCrash(t *testing.T) {
+	dir := t.TempDir()
+	j, sp, _ := openTestJournal(t, dir, JournalOptions{SnapshotEvery: -1})
+	tb := sp.Table([]byte("k"))
+	for i := 0; i < 30; i++ {
+		if err := tb.UpdateTagged("master", juid(i), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.UpdateTagged(fmt.Sprintf("b%d", i%5), juid(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Record(Op{Kind: OpPin, UID: juid(7)}); err != nil {
+		t.Fatal(err)
+	}
+
+	var snaps []string
+	var when []string
+	j.crashHook = func(event string) {
+		snaps = append(snaps, snapshotDir(t, dir))
+		when = append(when, event)
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// Compact again with further ops in between: the second pass
+	// crashes over an EXISTING snapshot, the rename-over case.
+	if err := tb.UpdateTagged("master", juid(100), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	j.crashHook = nil
+	if len(snaps) != 6 {
+		t.Fatalf("expected 6 crash points, got %d (%v)", len(snaps), when)
+	}
+	for i, d := range snaps {
+		_, got, gotPins := openTestJournal(t, d, JournalOptions{})
+		wantHead := juid(29)
+		if i >= 3 { // second compaction's crash points include the last op
+			wantHead = juid(100)
+		}
+		if h, _ := mustLookup(t, got, "k").Head("master"); h != wantHead {
+			t.Fatalf("%s[%d]: master = %v, want %v", when[i], i, h, wantHead)
+		}
+		if len(gotPins) != 1 || gotPins[0] != juid(7) {
+			t.Fatalf("%s[%d]: pins = %v", when[i], i, gotPins)
+		}
+		for b := 0; b < 5; b++ {
+			if _, ok := mustLookup(t, got, "k").Head(fmt.Sprintf("b%d", b)); !ok {
+				t.Fatalf("%s[%d]: branch b%d lost", when[i], i, b)
+			}
+		}
+	}
+}
+
+// TestJournalCompactionCrashUntagged covers the crash window between
+// the snapshot rename and the WAL truncate for UB-table ops: replaying
+// AddUntagged records already folded into the snapshot must not
+// resurrect the bases they consumed.
+func TestJournalCompactionCrashUntagged(t *testing.T) {
+	dir := t.TempDir()
+	j, sp, _ := openTestJournal(t, dir, JournalOptions{SnapshotEvery: -1})
+	tb := sp.Table([]byte("k"))
+	if err := tb.AddUntagged(juid(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddUntagged(juid(2), []types.UID{juid(1)}); err != nil {
+		t.Fatal(err)
+	}
+	var renamed string
+	j.crashHook = func(event string) {
+		if event == "snap-renamed" {
+			// New snapshot in place, WAL still holding both records.
+			renamed = snapshotDir(t, dir)
+		}
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if renamed == "" {
+		t.Fatal("snap-renamed hook never fired")
+	}
+	_, got, _ := openTestJournal(t, renamed, JournalOptions{})
+	heads := mustLookup(t, got, "k").Untagged()
+	if len(heads) != 1 || heads[0] != juid(2) {
+		t.Fatalf("replay over snapshot resurrected a consumed base: %v, want [%v]", heads, juid(2))
+	}
+}
+
+// TestJournalBrokenSelfHeals: a journal poisoned by an unrollbackable
+// append failure (partial frame stuck in the WAL) must recover on the
+// next Record via snapshot+truncate — the shadow state kept tracking
+// every mutation, so nothing is lost once the disk cooperates.
+func TestJournalBrokenSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	j, sp, _ := openTestJournal(t, dir, JournalOptions{SnapshotEvery: -1})
+	tb := sp.Table([]byte("k"))
+	if err := tb.UpdateTagged("master", juid(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the poisoned state: a partial frame in the file past the
+	// last intact record, with the rollback having failed.
+	j.mu.Lock()
+	if _, err := j.f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		j.mu.Unlock()
+		t.Fatal(err)
+	}
+	j.broken = errors.New("simulated append failure")
+	j.mu.Unlock()
+	// The next mutation self-heals: its op (and the backlog) land in a
+	// fresh snapshot, the damaged WAL is truncated.
+	if err := tb.UpdateTagged("master", juid(2), nil); err != nil {
+		t.Fatalf("record after self-heal: %v", err)
+	}
+	st := j.Stats()
+	if st.SnapshotBytes == 0 || st.WALBytes != 0 {
+		t.Fatalf("self-heal did not compact: %+v", st)
+	}
+	if err := tb.UpdateTagged("master", juid(3), nil); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, got, _ := openTestJournal(t, dir, JournalOptions{})
+	if h, _ := mustLookup(t, got, "k").Head("master"); h != juid(3) {
+		t.Fatalf("head after self-heal recovery = %v, want %v", h, juid(3))
+	}
+}
+
+// TestJournalCorruptSnapshot proves a rotted snapshot surfaces as
+// ErrJournalCorrupt instead of silently recovering a wrong state.
+func TestJournalCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	j, sp, _ := openTestJournal(t, dir, JournalOptions{})
+	if err := sp.Table([]byte("k")).UpdateTagged("master", juid(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	path := filepath.Join(dir, snapName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJournal(dir, JournalOptions{}); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("corrupt snapshot opened: %v", err)
+	}
+}
+
+// snapshotDir copies every file of dir into a fresh temp dir,
+// mirroring what a kill at this instant leaves on disk.
+func snapshotDir(t *testing.T, dir string) string {
+	t.Helper()
+	to := t.TempDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(to, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return to
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -78,6 +79,23 @@ type Options struct {
 	// DefaultUser is the identity attributed to requests made through
 	// the user-less convenience methods (Put/Get/Fork/…).
 	DefaultUser string
+	// Root, when non-empty, makes the simulated cluster durable: node
+	// i keeps its chunk storage (a log-structured file store) and its
+	// servlet's metadata journal under Root/node-<i>, and a cluster
+	// reopened on the same root with the same node count recovers
+	// every servlet's branch tables, untagged heads and pins. Empty
+	// (the default) keeps storage in memory, vanishing on Close.
+	Root string
+	// SyncWrites fsyncs each node's chunk log after every write
+	// (Root only).
+	SyncWrites bool
+	// MetaSync fsyncs each servlet's metadata journal after every
+	// branch/pin mutation (Root only).
+	MetaSync bool
+	// SnapshotEvery is the per-servlet metadata-journal compaction
+	// cadence (Root only); 0 means the branch-package default,
+	// negative disables compaction.
+	SnapshotEvery int
 }
 
 // Master maintains cluster runtime information: the member list and the
@@ -101,9 +119,10 @@ type Cluster struct {
 	opts     Options
 	master   *Master
 	servlets []*servlet.Servlet
-	locals   []*store.MemStore // per-node local storage
-	pool     *store.Pool       // 2LP shared pool (nil under 1LP)
-	caches   []*store.Cache    // per-servlet pool caches (GC invalidation)
+	locals   []store.Collectable // per-node local storage (mem or file)
+	journals []*branch.Journal   // per-servlet metadata journals (Root only)
+	pool     *store.Pool         // 2LP shared pool (nil under 1LP)
+	caches   []*store.Cache      // per-servlet pool caches (GC invalidation)
 }
 
 // metaLocalStore routes Meta chunks to the servlet's local storage and
@@ -164,9 +183,41 @@ func New(opts Options) (*Cluster, error) {
 		opts.ACL = servlet.NewACL(true)
 	}
 	c := &Cluster{opts: opts, master: &Master{}}
+	var files []*store.FileStore
 	for i := 0; i < opts.Nodes; i++ {
-		c.locals = append(c.locals, store.NewMemStore())
+		if opts.Root != "" {
+			fs, err := store.OpenFileStore(nodeDir(opts.Root, i), store.FileStoreOptions{
+				Sync: opts.SyncWrites,
+			})
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("cluster: node %d storage: %w", i, err)
+			}
+			c.locals = append(c.locals, fs)
+			files = append(files, fs)
+		} else {
+			c.locals = append(c.locals, store.NewMemStore())
+		}
 		c.master.members = append(c.master.members, i)
+	}
+	// barrierFor orders servlet i's metadata journal behind the chunk
+	// logs holding its data: a recorded head must never be more durable
+	// than the chunks it names. Under one-layer placement a servlet's
+	// chunks live only in its own node's log; under two-layer they may
+	// land on any node, so every log is flushed.
+	barrierFor := func(i int) func() error {
+		if opts.Placement == OneLayer && len(files) > 0 {
+			fs := files[i]
+			return fs.Flush
+		}
+		return func() error {
+			for _, fs := range files {
+				if err := fs.Flush(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
 	}
 	if opts.Placement == TwoLayer {
 		members := make([]store.Store, opts.Nodes)
@@ -204,15 +255,48 @@ func New(opts Options) (*Cluster, error) {
 			}
 			s = &metaLocalStore{local: local, pool: pool}
 		}
-		c.servlets = append(c.servlets, servlet.New(i, s, opts.Tree, opts.ACL))
+		sv := servlet.New(i, s, opts.Tree, opts.ACL)
+		if opts.Root != "" {
+			// Each servlet keeps its own metadata journal beside its
+			// node's chunk log: branch tables are per-servlet state, so
+			// cluster restart recovers each servlet's space (tagged
+			// heads, UB-tables, pins) independently. The servlet is not
+			// serving yet — New returns before any request dispatches —
+			// so swapping its engine's space here is race-free.
+			j, err := branch.OpenJournal(nodeDir(opts.Root, i), branch.JournalOptions{
+				Sync:          opts.MetaSync,
+				SnapshotEvery: opts.SnapshotEvery,
+				Barrier:       barrierFor(i),
+			})
+			if err != nil {
+				sv.Close()
+				c.Close()
+				return nil, fmt.Errorf("cluster: servlet %d journal: %w", i, err)
+			}
+			sv.Engine().Recover(j)
+			c.journals = append(c.journals, j)
+		}
+		c.servlets = append(c.servlets, sv)
 	}
 	return c, nil
 }
 
-// Close stops all servlets.
+// nodeDir is node i's directory under a durable cluster root.
+func nodeDir(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("node-%02d", i))
+}
+
+// Close stops all servlets, then releases the per-node storage and
+// metadata journals (durable clusters flush their chunk logs here).
 func (c *Cluster) Close() {
 	for _, sv := range c.servlets {
 		sv.Close()
+	}
+	for _, j := range c.journals {
+		j.Close()
+	}
+	for _, l := range c.locals {
+		l.Close()
 	}
 }
 

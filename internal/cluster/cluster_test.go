@@ -1,12 +1,14 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 	"testing"
 
+	"forkbase/internal/core"
 	"forkbase/internal/types"
 )
 
@@ -249,5 +251,115 @@ func TestForkAcrossCluster(t *testing.T) {
 	o, _ := c.Get("doc", "master")
 	if string(o.Data) != "v1" {
 		t.Fatal("fork isolation broken across cluster")
+	}
+}
+
+// TestClusterReopenRecoversSpaces proves a durable cluster (Root set)
+// restarts whole: every servlet's branch tables, untagged heads and
+// pins come back from its per-node metadata journal, chunk data comes
+// back from its per-node log, and a GC run right after the restart
+// reclaims nothing live — under both placements.
+func TestClusterReopenRecoversSpaces(t *testing.T) {
+	for _, placement := range []Placement{OneLayer, TwoLayer} {
+		root := t.TempDir()
+		opts := Options{Nodes: 3, Placement: placement, Root: root}
+		c, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heads := map[string]types.UID{}
+		for i := 0; i < 40; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			uid, err := c.Put(k, "master", types.String(fmt.Sprintf("v-%d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			heads[k] = uid
+		}
+		if err := c.Fork("key-3", "master", "dev"); err != nil {
+			t.Fatal(err)
+		}
+		// Pin on the servlet owning key-5, and an untagged head on key-7.
+		var pinned types.UID = heads["key-5"]
+		sv := c.servlets[c.master.Route("key-5")]
+		if err := sv.Exec(func(eng *core.Engine) error {
+			return eng.PinUID(pinned)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var untagged types.UID
+		if err := c.servlets[c.master.Route("key-7")].Exec(func(eng *core.Engine) error {
+			var err error
+			untagged, err = eng.PutBase([]byte("key-7"), heads["key-7"], types.String("fork-on-conflict"), nil)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Garbage: drop key-9's only branch before the restart.
+		if err := c.servlets[c.master.Route("key-9")].Exec(func(eng *core.Engine) error {
+			return eng.RemoveBranch([]byte("key-9"), "master")
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+
+		re, err := New(opts)
+		if err != nil {
+			t.Fatalf("placement %v: reopen: %v", placement, err)
+		}
+		for i := 0; i < 40; i++ {
+			if i == 9 {
+				continue
+			}
+			k := fmt.Sprintf("key-%d", i)
+			o, err := re.Get(k, "master")
+			if err != nil {
+				t.Fatalf("placement %v: %s lost after restart: %v", placement, k, err)
+			}
+			if o.UID() != heads[k] || string(o.Data) != fmt.Sprintf("v-%d", i) {
+				t.Fatalf("placement %v: %s head diverged after restart", placement, k)
+			}
+		}
+		if _, err := re.Get("key-9", "master"); err == nil {
+			t.Fatalf("placement %v: removed branch resurrected", placement)
+		}
+		branches, err := re.ListTaggedBranches("key-3")
+		if err != nil || len(branches) != 2 {
+			t.Fatalf("placement %v: forked branches after restart: %v %v", placement, branches, err)
+		}
+		// GC on the freshly restarted cluster: the recovered roots must
+		// protect everything live; key-9's exclusive chunks may go.
+		if _, err := re.GC(context.Background(), 0); err != nil {
+			t.Fatalf("placement %v: GC after restart: %v", placement, err)
+		}
+		for i := 0; i < 40; i++ {
+			if i == 9 {
+				continue
+			}
+			k := fmt.Sprintf("key-%d", i)
+			if o, err := re.Get(k, "master"); err != nil || string(o.Data) != fmt.Sprintf("v-%d", i) {
+				t.Fatalf("placement %v: %s lost by GC after restart: %v", placement, k, err)
+			}
+		}
+		var gotPins, gotUB []types.UID
+		if err := re.servlets[re.master.Route("key-5")].Exec(func(eng *core.Engine) error {
+			gotPins = eng.Pins()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(gotPins) != 1 || gotPins[0] != pinned {
+			t.Fatalf("placement %v: pins after restart: %v", placement, gotPins)
+		}
+		if err := re.servlets[re.master.Route("key-7")].Exec(func(eng *core.Engine) error {
+			gotUB = eng.ListUntaggedBranches([]byte("key-7"))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(gotUB) != 1 || gotUB[0] != untagged {
+			t.Fatalf("placement %v: untagged heads after restart: %v", placement, gotUB)
+		}
+		re.Close()
 	}
 }

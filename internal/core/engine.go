@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"forkbase/internal/branch"
@@ -48,6 +49,11 @@ type Engine struct {
 	// proof, the way git requires a ref before gc.
 	pinMu sync.RWMutex
 	pins  map[types.UID]struct{}
+
+	// meta, when set (Recover), journals every pin mutation; branch
+	// mutations are journaled by the tables themselves, which carry
+	// the journal as their sink.
+	meta branch.Sink
 }
 
 // NewEngine returns an engine over the given chunk store.
@@ -63,6 +69,23 @@ func NewEngine(s store.Store, cfg postree.Config) *Engine {
 // Store exposes the underlying chunk store (for stats and the chunk
 // partitioning layer).
 func (e *Engine) Store() store.Store { return e.s }
+
+// Recover attaches a metadata journal: the engine's branch tables and
+// pin set are replaced by the state the journal recovered from disk,
+// and every subsequent head or pin mutation is recorded for the next
+// open to replay. Call it immediately after NewEngine, before the
+// engine serves requests — it swaps the branch space wholesale.
+func (e *Engine) Recover(j *branch.Journal) {
+	space, pins := j.Restore()
+	e.space = space
+	e.pinMu.Lock()
+	e.pins = make(map[types.UID]struct{}, len(pins))
+	for _, uid := range pins {
+		e.pins[uid] = struct{}{}
+	}
+	e.pinMu.Unlock()
+	e.meta = j
+}
 
 // Config returns the POS-Tree configuration.
 func (e *Engine) Config() postree.Config { return e.cfg }
@@ -131,14 +154,20 @@ func (e *Engine) putTagged(key []byte, branchName string, v types.Value, context
 		}
 		bases = append(bases, base)
 	} else if guard != nil {
-		return types.UID{}, branch.ErrGuardFailed
+		// No head to compare against: the branch is missing, which is
+		// a different failure than losing a guard race.
+		return types.UID{}, fmt.Errorf("%w: %q", branch.ErrBranchNotFound, branchName)
 	}
 	o, err := types.Save(e.s, e.cfg, key, v, bases, context)
 	if err != nil {
 		return types.UID{}, err
 	}
 	if err := t.UpdateTagged(branchName, o.UID(), nil); err != nil {
-		return types.UID{}, err
+		// A guard of nil cannot fail; the error reports lost journal
+		// durability for a head that DID move. Hand the caller the uid
+		// it now owns along with the error, so a retry can observe the
+		// applied update instead of fighting its own write.
+		return o.UID(), err
 	}
 	return o.UID(), nil
 }
@@ -211,8 +240,13 @@ func (e *Engine) putGroup(key []byte, idxs []int, puts []BatchPut, uids []types.
 			loaded[p.Branch] = true
 		}
 		base := heads[p.Branch]
-		if p.Guard != nil && (base == nil || base.UID() != *p.Guard) {
-			return branch.ErrGuardFailed
+		if p.Guard != nil {
+			if base == nil {
+				return fmt.Errorf("%w: %q", branch.ErrBranchNotFound, p.Branch)
+			}
+			if base.UID() != *p.Guard {
+				return branch.ErrGuardFailed
+			}
 		}
 		var bases []*types.FObject
 		if base != nil {
@@ -257,7 +291,10 @@ func (e *Engine) PutBase(key []byte, baseUID types.UID, v types.Value, context [
 	if !baseUID.IsNil() {
 		baseList = []types.UID{baseUID}
 	}
-	t.AddUntagged(o.UID(), baseList)
+	if err := t.AddUntagged(o.UID(), baseList); err != nil {
+		// The head is in the UB-table; the error is a durability report.
+		return o.UID(), err
+	}
 	return o.UID(), nil
 }
 
@@ -407,7 +444,8 @@ func (e *Engine) MergeUID(key []byte, tgtBranch string, ref types.UID, res merge
 		return types.UID{}, nil, err
 	}
 	if err := t.UpdateTagged(tgtBranch, o.UID(), nil); err != nil {
-		return types.UID{}, nil, err
+		// Merge applied, journal append failed: durability report only.
+		return o.UID(), nil, err
 	}
 	return o.UID(), nil, nil
 }
@@ -447,7 +485,10 @@ func (e *Engine) MergeUntagged(key []byte, res merge.Resolver, context []byte, u
 		cur = o.UID()
 	}
 	t := e.space.Table(key)
-	t.ReplaceUntagged(cur, uids)
+	if err := t.ReplaceUntagged(cur, uids); err != nil {
+		// Replacement applied in memory; the error reports durability.
+		return cur, nil, err
+	}
 	return cur, nil, nil
 }
 
@@ -456,19 +497,40 @@ func (e *Engine) MergeUntagged(key []byte, res merge.Resolver, context []byte, u
 // what the branch tables already keep live. Pinning does not verify
 // the uid exists; pinning ahead of a future write is allowed, and a
 // still-unwritten pin is simply ignored by collections until the
-// version lands.
-func (e *Engine) PinUID(uid types.UID) {
+// version lands. With a metadata journal attached, the pin is recorded
+// durably; a returned error reports lost durability, not a lost pin.
+func (e *Engine) PinUID(uid types.UID) error {
 	e.pinMu.Lock()
+	defer e.pinMu.Unlock()
 	e.pins[uid] = struct{}{}
-	e.pinMu.Unlock()
+	if e.meta == nil {
+		return nil
+	}
+	return e.meta.Record(branch.Op{Kind: branch.OpPin, UID: uid})
 }
 
 // UnpinUID removes a pin. The version stays reachable only if a branch
 // (or another pin) still reaches it.
-func (e *Engine) UnpinUID(uid types.UID) {
+func (e *Engine) UnpinUID(uid types.UID) error {
 	e.pinMu.Lock()
+	defer e.pinMu.Unlock()
 	delete(e.pins, uid)
-	e.pinMu.Unlock()
+	if e.meta == nil {
+		return nil
+	}
+	return e.meta.Record(branch.Op{Kind: branch.OpUnpin, UID: uid})
+}
+
+// Pins returns the pinned uids, sorted (stats and tooling).
+func (e *Engine) Pins() []types.UID {
+	e.pinMu.RLock()
+	out := make([]types.UID, 0, len(e.pins))
+	for uid := range e.pins {
+		out = append(out, uid)
+	}
+	e.pinMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
 }
 
 // Roots enumerates every GC root this engine knows: all tagged branch

@@ -390,8 +390,19 @@ func (fs *FileStore) Stats() Stats {
 	return s
 }
 
-// Flush forces buffered records to the operating system.
+// Flush forces buffered records to the operating system. A store with
+// nothing buffered returns without the write lock — the metadata
+// journal calls Flush as a write-ahead barrier before every record, so
+// the common already-flushed case must not contend with writers.
+// (Writes racing past the read-locked check need no flushing: a
+// barrier only covers records written before it was requested.)
 func (fs *FileStore) Flush() error {
+	fs.mu.RLock()
+	clean := fs.flushed == fs.off
+	fs.mu.RUnlock()
+	if clean {
+		return nil
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if err := fs.w.Flush(); err != nil {

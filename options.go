@@ -62,8 +62,11 @@ func WithBase(uid UID) Option {
 }
 
 // WithGuard makes a Put conditional: it succeeds only while the branch
-// head still equals uid, failing with ErrGuardFailed otherwise
-// (§4.5.1). Protects read-modify-write cycles against lost updates.
+// head still equals uid (§4.5.1), failing with ErrGuardFailed when the
+// head has moved and with ErrBranchNotFound when the branch does not
+// exist at all — so a caller can tell "re-read and retry" from "the
+// branch is gone". Protects read-modify-write cycles against lost
+// updates.
 func WithGuard(uid UID) Option {
 	return func(o *callOpts) { u := uid; o.guard = &u }
 }

@@ -1,0 +1,423 @@
+package forkbase
+
+// Kill-and-reopen recovery of the metadata journal, driven through the
+// public API. "Kill" is simulated the way internal/store/crash_test.go
+// does: the store directory is copied file-by-file WITHOUT closing the
+// DB, so anything still buffered in-process is absent from the copy —
+// exactly what an unclean stop loses. The journal writes records
+// unbuffered and flushes the chunk log before each record (write-ahead
+// ordering), so every copy must reopen into a consistent state where
+// all recorded heads resolve.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// killCopy snapshots the on-disk state of a store directory as an
+// unclean stop would leave it.
+func killCopy(t *testing.T, from string) string {
+	t.Helper()
+	to := t.TempDir()
+	entries, err := os.ReadDir(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(from, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(to, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return to
+}
+
+// TestReopenRecoversMetadata is the headline kill-and-reopen scenario:
+// tagged branches (created, forked, renamed, removed), untagged
+// fork-on-conflict heads, and pins must all survive an unclean stop.
+func TestReopenRecoversMetadata(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docHeads []UID
+	for i := 0; i < 5; i++ {
+		uid, err := db.Put(ctx, "doc", String(fmt.Sprintf("v%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docHeads = append(docHeads, uid)
+	}
+	if err := db.Fork(ctx, "doc", "feature"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Put(ctx, "doc", String("feature work"), WithBranch("feature")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RenameBranch(ctx, "doc", "feature", "release"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Fork(ctx, "doc", "scratch"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RemoveBranch(ctx, "doc", "scratch"); err != nil {
+		t.Fatal(err)
+	}
+	// Untagged heads: two concurrent derivations of the same base.
+	base, err := db.Put(ctx, "conflicted", String("base"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub1, err := db.Put(ctx, "conflicted", String("sibling-1"), WithBase(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub2, err := db.Put(ctx, "conflicted", String("sibling-2"), WithBase(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin a version no branch reaches anymore.
+	if err := db.Pin(ctx, "doc", docHeads[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unclean stop: copy the directory with the DB still open, then
+	// reopen the copy like a restarted process.
+	re, err := OpenPath(killCopy(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	defer db.Close()
+
+	keys, err := re.ListKeys(ctx)
+	if err != nil || len(keys) != 2 {
+		t.Fatalf("keys after reopen: %v (%v)", keys, err)
+	}
+	bl, err := re.ListBranches(ctx, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"master": true, "release": true}
+	if len(bl.Tagged) != 2 || !want[bl.Tagged[0].Name] || !want[bl.Tagged[1].Name] {
+		t.Fatalf("tagged branches after reopen: %v", bl.Tagged)
+	}
+	for _, name := range []string{"master", "release"} {
+		o, err := re.Get(ctx, "doc", WithBranch(name))
+		if err != nil {
+			t.Fatalf("recovered head %s unreadable: %v", name, err)
+		}
+		if _, err := re.Value(ctx, "doc", o); err != nil {
+			t.Fatalf("recovered head %s undecodable: %v", name, err)
+		}
+	}
+	o, err := re.Get(ctx, "doc", WithBranch("master"))
+	if err != nil || o.UID() != docHeads[4] {
+		t.Fatalf("master head = %v, want %v (%v)", o.UID(), docHeads[4], err)
+	}
+	cb, err := re.ListBranches(ctx, "conflicted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cb.Untagged) != 2 {
+		t.Fatalf("untagged heads after reopen: %v", cb.Untagged)
+	}
+	gotUB := map[UID]bool{cb.Untagged[0]: true, cb.Untagged[1]: true}
+	if !gotUB[ub1] || !gotUB[ub2] {
+		t.Fatalf("untagged heads %v, want {%v %v}", cb.Untagged, ub1, ub2)
+	}
+	pins := re.Engine().Pins()
+	if len(pins) != 1 || pins[0] != docHeads[1] {
+		t.Fatalf("pins after reopen: %v, want [%v]", pins, docHeads[1])
+	}
+	// Tagged = doc{master, release} + conflicted{master}.
+	ms, ok := re.MetaStats()
+	if !ok || ms.Keys != 2 || ms.Tagged != 3 || ms.Untagged != 2 || ms.Pins != 1 {
+		t.Fatalf("meta stats after reopen: %+v ok=%v", ms, ok)
+	}
+}
+
+// TestReopenEveryKillPoint kills the store after every single metadata
+// mutation and reopens the copy: the recovered master head must be
+// exactly the head at that point, and it must read back intact — the
+// per-op equivalent of snapshotting at every journal hook.
+func TestReopenEveryKillPoint(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 12; i++ {
+		uid, err := db.Put(ctx, "k", String(fmt.Sprintf("v%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenPath(killCopy(t, dir))
+		if err != nil {
+			t.Fatalf("op %d: reopen: %v", i, err)
+		}
+		o, err := re.Get(ctx, "k")
+		if err != nil {
+			re.Close()
+			t.Fatalf("op %d: recovered head unreadable: %v", i, err)
+		}
+		if o.UID() != uid {
+			re.Close()
+			t.Fatalf("op %d: head = %v, want %v", i, o.UID(), uid)
+		}
+		v, err := re.Value(ctx, "k", o)
+		if err != nil || string(v.(String)) != fmt.Sprintf("v%d", i) {
+			re.Close()
+			t.Fatalf("op %d: value = %v (%v)", i, v, err)
+		}
+		re.Close()
+	}
+}
+
+// TestReopenTornWALPrefix tears the journal's WAL at arbitrary byte
+// offsets on top of a kill copy: the store must reopen, the recovered
+// head must be one the key actually had (prefix semantics), and that
+// head must resolve to its full value — the write-ahead barrier
+// guarantees chunks are never less durable than the record naming
+// them.
+func TestReopenTornWALPrefix(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	db, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	values := map[UID]string{}
+	for i := 0; i < 20; i++ {
+		v := fmt.Sprintf("version-%d", i)
+		uid, err := db.Put(ctx, "k", String(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		values[uid] = v
+	}
+	snap := killCopy(t, dir)
+	walPath := filepath.Join(snap, "meta.wal")
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := int64(0); cut <= int64(len(full)); cut += 13 {
+		torn := killCopy(t, snap)
+		if err := os.Truncate(filepath.Join(torn, "meta.wal"), cut); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenPath(torn)
+		if err != nil {
+			t.Fatalf("cut@%d: reopen: %v", cut, err)
+		}
+		o, err := re.Get(ctx, "k")
+		if errors.Is(err, ErrKeyNotFound) {
+			re.Close() // everything torn away: a clean empty store
+			continue
+		}
+		if err != nil {
+			re.Close()
+			t.Fatalf("cut@%d: %v", cut, err)
+		}
+		wantV, known := values[o.UID()]
+		if !known {
+			re.Close()
+			t.Fatalf("cut@%d: head %v is no prefix state", cut, o.UID())
+		}
+		v, err := re.Value(ctx, "k", o)
+		if err != nil || string(v.(String)) != wantV {
+			re.Close()
+			t.Fatalf("cut@%d: value %v (%v), want %q", cut, v, err, wantV)
+		}
+		re.Close()
+	}
+}
+
+// TestReopenThenGCPreservesLiveSet is the hazard PR 3 documented, now
+// closed: GC immediately after reopening an uncleanly-stopped store
+// must reclaim exactly the garbage (a removed branch's exclusive
+// chunks) and nothing live — every branch head, its history, every
+// untagged head and every pinned version must survive the collection
+// byte-for-byte.
+func TestReopenThenGCPreservesLiveSet(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	// Small segments so the sweep genuinely compacts files.
+	db, err := OpenPath(dir, Options{SegmentSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := func(seed string, n int) *Blob {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(int(seed[i%len(seed)]) + i/len(seed))
+		}
+		return NewBlob(data)
+	}
+	readBlob := func(db *DB, o *FObject) string {
+		t.Helper()
+		v, err := db.Value(ctx, string(o.Key), o)
+		if err != nil {
+			t.Fatalf("decode %s: %v", o.UID().Short(), err)
+		}
+		b, err := AsBlob(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := b.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	// Live data: three keys with history, a side branch, an untagged
+	// head and a pin.
+	liveHeads := map[string]UID{}
+	for k := 0; k < 3; k++ {
+		key := fmt.Sprintf("live-%d", k)
+		var last UID
+		for v := 0; v < 4; v++ {
+			last, err = db.Put(ctx, key, blob(fmt.Sprintf("%s/%d", key, v), 6<<10))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		liveHeads[key] = last
+	}
+	if err := db.Fork(ctx, "live-0", "side"); err != nil {
+		t.Fatal(err)
+	}
+	ubase := liveHeads["live-1"]
+	untagged, err := db.Put(ctx, "live-1", blob("untagged", 6<<10), WithBase(ubase))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := db.Put(ctx, "live-2", blob("pinned", 6<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Put(ctx, "live-2", blob("after-pin", 6<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Pin(ctx, "live-2", pinned); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage: a whole key whose only branch is removed pre-crash.
+	deadUID, err := db.Put(ctx, "dead", blob("doomed content", 48<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RemoveBranch(ctx, "dead", DefaultBranch); err != nil {
+		t.Fatal(err)
+	}
+
+	// Record every live version's content pre-crash.
+	wantContent := map[UID]string{}
+	for key := range liveHeads {
+		o, err := db.Get(ctx, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantContent[o.UID()] = readBlob(db, o)
+	}
+	for _, uid := range []UID{untagged, pinned} {
+		o, err := db.Get(ctx, "x", WithBase(uid))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantContent[uid] = readBlob(db, o)
+	}
+
+	re, err := OpenPath(killCopy(t, dir), Options{SegmentSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	defer db.Close()
+
+	stats, err := re.GC(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reclaimed == 0 {
+		t.Fatalf("GC after reopen reclaimed nothing, dead key should be garbage: %+v", stats)
+	}
+	// The dead version is gone...
+	if _, err := re.Get(ctx, "dead", WithBase(deadUID)); err == nil {
+		t.Fatal("removed branch's version survived reopen+GC")
+	}
+	// ...and every live version survived intact, history included.
+	for uid, want := range wantContent {
+		o, err := re.Get(ctx, "x", WithBase(uid))
+		if err != nil {
+			t.Fatalf("live version %s lost by reopen+GC: %v", uid.Short(), err)
+		}
+		if got := readBlob(re, o); got != want {
+			t.Fatalf("live version %s corrupted by reopen+GC", uid.Short())
+		}
+	}
+	for key := range liveHeads {
+		if _, err := re.Track(ctx, key, 0, 3); err != nil {
+			t.Fatalf("history of %s broken after reopen+GC: %v", key, err)
+		}
+	}
+	o, err := re.Get(ctx, "live-0", WithBranch("side"))
+	if err != nil {
+		t.Fatalf("forked branch lost: %v", err)
+	}
+	if _, err := re.Value(ctx, "live-0", o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReopenRecoversAcrossJournalCompaction drives enough mutations
+// through a tiny snapshot cadence that recovery crosses several
+// snapshot+truncate cycles, then kills and reopens.
+func TestReopenRecoversAcrossJournalCompaction(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	db, err := OpenPath(dir, WithSnapshotEvery(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var last UID
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i%7)
+		last, err = db.Put(ctx, key, String(fmt.Sprintf("v%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms, _ := db.MetaStats()
+	if ms.SnapshotBytes == 0 {
+		t.Fatal("snapshot cadence never fired")
+	}
+	re, err := OpenPath(killCopy(t, dir), WithSnapshotEvery(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	o, err := re.Get(ctx, "k1") // 99 % 7 == 1: the very last write
+	if err != nil || o.UID() != last {
+		t.Fatalf("head after compacted recovery: %v (%v)", o, err)
+	}
+	keys, err := re.ListKeys(ctx)
+	if err != nil || len(keys) != 7 {
+		t.Fatalf("keys after compacted recovery: %v", keys)
+	}
+}
