@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"os"
 	"testing"
 
@@ -345,3 +346,63 @@ func BenchmarkDiffLargeMaps(b *testing.B) {
 		}
 	}
 }
+
+// benchRemote serves an in-memory store on a loopback listener and
+// returns a connected client; cleanup drains the server.
+func benchRemote(b *testing.B) *forkbase.RemoteStore {
+	b.Helper()
+	backend := forkbase.Open()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := forkbase.NewServer(backend, forkbase.ServerOptions{})
+	go srv.Serve(ln)
+	rc, err := forkbase.Dial(ln.Addr().String(), forkbase.RemoteConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		rc.Close()
+		srv.Close()
+		backend.Close()
+	})
+	return rc
+}
+
+// BenchmarkRemotePut measures one small write across the wire —
+// frame encode, TCP loopback, dispatch, engine put, response — the
+// per-request floor of the serving subsystem. RunParallel overlaps
+// requests the way a pipelined client does.
+func BenchmarkRemotePut(b *testing.B) {
+	rc := benchRemote(b)
+	v := forkbase.String("remote-write-payload-00000000000")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := rc.Put(bctx, fmt.Sprintf("k%d", i%8), v); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkRemoteGet measures one small read across the wire.
+func BenchmarkRemoteGet(b *testing.B) {
+	rc := benchRemote(b)
+	if _, err := rc.Put(bctx, "k", forkbase.String("remote-read-payload")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := rc.Get(bctx, "k"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkNetExperiment(b *testing.B) { runExperiment(b, bench.RunNet) }

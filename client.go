@@ -116,7 +116,7 @@ type BranchList struct {
 
 // ErrBadOptions reports an option combination a call cannot satisfy
 // (e.g. Put with both WithBranch and WithBase).
-var ErrBadOptions = errors.New("forkbase: conflicting or missing call options")
+var ErrBadOptions = core.ErrBadOptions
 
 // Access control, shared by every Store implementation. The embedded
 // DB and the cluster both delegate to the servlet layer's branch-based
@@ -317,7 +317,7 @@ func (db *DB) Merge(ctx context.Context, key, tgtBranch string, opts ...Option) 
 				return UID{}, nil, err
 			}
 		}
-		return db.eng.MergeUntagged([]byte(key), o.resolver, o.meta, o.bases...)
+		return db.eng.MergeUntagged(ctx, []byte(key), o.resolver, o.meta, o.bases...)
 	}
 	if err := db.check(o.user, key, tgtBranch, PermWrite); err != nil {
 		return UID{}, nil, err
@@ -331,9 +331,9 @@ func (db *DB) Merge(ctx context.Context, key, tgtBranch string, opts ...Option) 
 		if err := db.checkBaseRead(o.user, ref); err != nil {
 			return UID{}, nil, err
 		}
-		return db.eng.MergeUID([]byte(key), tgtBranch, ref, o.resolver, o.meta)
+		return db.eng.MergeUID(ctx, []byte(key), tgtBranch, ref, o.resolver, o.meta)
 	}
-	return db.eng.MergeBranches([]byte(key), tgtBranch, o.branchOr(DefaultBranch), o.resolver, o.meta)
+	return db.eng.MergeBranches(ctx, []byte(key), tgtBranch, o.branchOr(DefaultBranch), o.resolver, o.meta)
 }
 
 // Track implements Store.
@@ -351,13 +351,13 @@ func (db *DB) Track(ctx context.Context, key string, from, to int, opts ...Optio
 		if err := db.checkBaseRead(o.user, uid); err != nil {
 			return nil, err
 		}
-		return db.eng.TrackUID(uid, from, to)
+		return db.eng.TrackUID(ctx, uid, from, to)
 	}
 	br := o.branchOr(DefaultBranch)
 	if err := db.check(o.user, key, br, PermRead); err != nil {
 		return nil, err
 	}
-	return db.eng.Track([]byte(key), br, from, to)
+	return db.eng.Track(ctx, []byte(key), br, from, to)
 }
 
 // Diff implements Store.
@@ -372,7 +372,7 @@ func (db *DB) Diff(ctx context.Context, key string, a, b UID, opts ...Option) (*
 			return nil, err
 		}
 	}
-	return db.eng.Diff(a, b)
+	return db.eng.Diff(ctx, a, b)
 }
 
 // ListKeys implements Store.

@@ -255,7 +255,7 @@ func (cc *ClusterClient) Merge(ctx context.Context, key, tgtBranch string, opts 
 				}
 			}
 			var err error
-			uid, conflicts, err = eng.MergeUntagged([]byte(key), o.resolver, o.meta, o.bases...)
+			uid, conflicts, err = eng.MergeUntagged(ctx, []byte(key), o.resolver, o.meta, o.bases...)
 			return err
 		})
 	}
@@ -270,14 +270,14 @@ func (cc *ClusterClient) Merge(ctx context.Context, key, tgtBranch string, opts 
 				return err
 			}
 			var err error
-			uid, conflicts, err = eng.MergeUID([]byte(key), tgtBranch, ref, o.resolver, o.meta)
+			uid, conflicts, err = eng.MergeUID(ctx, []byte(key), tgtBranch, ref, o.resolver, o.meta)
 			return err
 		})
 	}
 	refBranch := o.branchOr(DefaultBranch)
 	return run(func(eng *core.Engine) error {
 		var err error
-		uid, conflicts, err = eng.MergeBranches([]byte(key), tgtBranch, refBranch, o.resolver, o.meta)
+		uid, conflicts, err = eng.MergeBranches(ctx, []byte(key), tgtBranch, refBranch, o.resolver, o.meta)
 		return err
 	})
 }
@@ -296,14 +296,14 @@ func (cc *ClusterClient) Track(ctx context.Context, key string, from, to int, op
 				return err
 			}
 			var err error
-			out, err = eng.TrackUID(uid, from, to)
+			out, err = eng.TrackUID(ctx, uid, from, to)
 			return err
 		})
 	} else {
 		br := o.branchOr(DefaultBranch)
 		err = cc.c.ExecAs(ctx, o.user, key, br, servlet.PermRead, func(eng *core.Engine) error {
 			var err error
-			out, err = eng.Track([]byte(key), br, from, to)
+			out, err = eng.Track(ctx, []byte(key), br, from, to)
 			return err
 		})
 	}
@@ -324,7 +324,7 @@ func (cc *ClusterClient) Diff(ctx context.Context, key string, a, b UID, opts ..
 			}
 		}
 		var err error
-		d, err = eng.Diff(a, b)
+		d, err = eng.Diff(ctx, a, b)
 		return err
 	})
 	if err != nil {

@@ -9,7 +9,7 @@
 //
 // With no arguments every experiment runs in order. Experiments:
 // table3 table4 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
-// fig17 batchput cache gc recover ablations
+// fig17 batchput cache gc recover net ablations
 package main
 
 import (
@@ -42,6 +42,7 @@ var experiments = []struct {
 	{"cache", bench.RunCache},
 	{"gc", bench.RunGC},
 	{"recover", bench.RunRecover},
+	{"net", bench.RunNet},
 	{"ablations", runAblations},
 }
 

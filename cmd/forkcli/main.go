@@ -1,17 +1,21 @@
 // Command forkcli is an interactive shell over a ForkBase store,
 // exercising the unified Store API from the command line. The same
-// shell drives either deployment mode: embedded (default, optionally
-// persistent with -path) or a simulated cluster (-cluster N) — the
-// point of the one-surface client API.
+// shell drives every deployment mode: embedded (default, optionally
+// persistent with -path), a simulated cluster (-cluster N), or a
+// running forkserved daemon over TCP (-connect host:port) — the point
+// of the one-surface client API.
 //
 // Usage:
 //
-//	forkcli [-path dir | -cluster n] [-user name] [-cache bytes] [-verify]
+//	forkcli [-path dir | -cluster n | -connect host:port] [-user name]
+//	        [-token t] [-cache bytes] [-verify]
 //
 // Without -path the store is in-memory and vanishes on exit; with it,
 // versions persist in a log-structured chunk store and remain reachable
 // by uid across runs. With -cluster n, requests dispatch to n
-// in-process servlets by key hash.
+// in-process servlets by key hash. With -connect, every subcommand
+// below runs against the remote daemon (-token supplies its -auth
+// token); -user still selects the identity its ACL checks.
 //
 // Commands:
 //
@@ -55,6 +59,8 @@ import (
 func main() {
 	path := flag.String("path", "", "persist the store in this directory")
 	nodes := flag.Int("cluster", 0, "run against a simulated cluster of n servlets")
+	connect := flag.String("connect", "", "drive a running forkserved at this host:port")
+	token := flag.String("token", "", "auth token for -connect (the daemon's -auth)")
 	user := flag.String("user", "", "user the requests run as")
 	cacheBytes := flag.Int64("cache", 0, "chunk-cache byte budget on the read path (0 = off)")
 	verify := flag.Bool("verify", false, "re-verify every chunk read against its cid")
@@ -62,6 +68,13 @@ func main() {
 
 	var st forkbase.Store
 	switch {
+	case *connect != "":
+		rs, err := forkbase.Dial(*connect, forkbase.RemoteConfig{AuthToken: *token})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st = rs
+		fmt.Printf("forkbase server at %s\n", *connect)
 	case *nodes > 0:
 		cc, err := forkbase.OpenCluster(forkbase.ClusterConfig{
 			Nodes:       *nodes,
@@ -300,11 +313,18 @@ func (sh *shell) run(args []string) error {
 		}
 		fmt.Println(stats)
 	case "stats":
-		db, ok := sh.st.(*forkbase.DB)
-		if !ok {
-			return fmt.Errorf("stats is embedded-only")
+		switch x := sh.st.(type) {
+		case *forkbase.DB:
+			fmt.Println(x.Stats())
+		case *forkbase.RemoteStore:
+			s, err := x.Stats(ctx)
+			if err != nil {
+				return err
+			}
+			fmt.Println(s)
+		default:
+			return fmt.Errorf("stats needs an embedded or remote store")
 		}
-		fmt.Println(db.Stats())
 	case "info":
 		return sh.info(ctx)
 	default:
@@ -339,6 +359,13 @@ func (sh *shell) info(ctx context.Context) error {
 		}
 	}
 	fmt.Printf("total: %d keys, %d branches, %d untagged heads\n", len(keys), tagged, untagged)
+	if rs, ok := sh.st.(*forkbase.RemoteStore); ok {
+		if s, err := rs.Stats(ctx); err == nil {
+			fmt.Println(s)
+		}
+		fmt.Println("(pins and journals live on the server)")
+		return nil
+	}
 	db, ok := sh.st.(*forkbase.DB)
 	if !ok {
 		fmt.Println("(per-servlet pins and journals: cluster nodes hold their own)")

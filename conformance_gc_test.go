@@ -30,6 +30,12 @@ func storedBytes(t *testing.T, st forkbase.Store) int64 {
 			total += b
 		}
 		return total
+	case *forkbase.RemoteStore:
+		s, err := x.Stats(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Bytes
 	}
 	t.Fatalf("unknown backend %T", st)
 	return 0

@@ -11,15 +11,20 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
 	forkbase "forkbase"
 )
 
 // stores enumerates the Store implementations under test. acl, when
 // non-nil, is installed into the store so ACL scenarios can exercise
-// closed-mode behaviour.
+// closed-mode behaviour. The "remote" entry is a RemoteStore talking
+// over a real TCP loopback connection to an in-process server wrapping
+// an embedded DB — every scenario below exercises the wire protocol,
+// the typed-error round-trip and the request multiplexing for free.
 func stores(t *testing.T, acl *forkbase.ACL) map[string]forkbase.Store {
 	t.Helper()
 	cc, err := forkbase.OpenCluster(forkbase.ClusterConfig{Nodes: 3, TwoLayer: true, ACL: acl})
@@ -29,7 +34,34 @@ func stores(t *testing.T, acl *forkbase.ACL) map[string]forkbase.Store {
 	return map[string]forkbase.Store{
 		"embedded": forkbase.Open(forkbase.Options{ACL: acl}),
 		"cluster":  cc,
+		"remote":   remoteStore(t, forkbase.Open(forkbase.Options{ACL: acl})),
 	}
+}
+
+// remoteStore serves backend on a loopback listener and dials it.
+// Cleanup shuts the server down gracefully and closes the backend.
+func remoteStore(t *testing.T, backend forkbase.Store) *forkbase.RemoteStore {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := forkbase.NewServer(backend, forkbase.ServerOptions{})
+	go srv.Serve(ln)
+	rs, err := forkbase.Dial(ln.Addr().String(), forkbase.RemoteConfig{Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		rs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("server shutdown: %v", err)
+		}
+		backend.Close()
+	})
+	return rs
 }
 
 func TestStoreConformance(t *testing.T) {
@@ -554,6 +586,53 @@ func TestStoreContextCancellation(t *testing.T) {
 			}
 			if _, err := st.Apply(ctx, forkbase.NewBatch().Put("k", forkbase.String("v3"))); !errors.Is(err, context.Canceled) {
 				t.Fatalf("cancelled batch: %v", err)
+			}
+		})
+	}
+}
+
+// TestStoreContextCancellationDeepHistory verifies that the
+// history-walking calls — Track over a deep chain, Merge (whose LCA
+// search walks both histories), Diff — refuse a pre-cancelled context
+// on every backend. The engine additionally observes ctx at every
+// step of these walks, which is what the remote client's
+// cancel-on-disconnect relies on to stop a server-side walk mid-way.
+func TestStoreContextCancellationDeepHistory(t *testing.T) {
+	for name, st := range stores(t, nil) {
+		t.Run(name, func(t *testing.T) {
+			defer st.Close()
+			ctx := context.Background()
+			// A deep linear history plus a branch forked at its root:
+			// the worst case for both Track and the LCA search.
+			b := forkbase.NewBatch()
+			for i := 0; i < 200; i++ {
+				b.Put("deep", forkbase.String(fmt.Sprintf("v%d", i)))
+			}
+			uids, err := st.Apply(ctx, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Fork(ctx, "deep", "old", forkbase.WithBase(uids[0])); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Put(ctx, "deep", forkbase.String("side"), forkbase.WithBranch("old")); err != nil {
+				t.Fatal(err)
+			}
+			cancelled, cancel := context.WithCancel(ctx)
+			cancel()
+			if _, err := st.Track(cancelled, "deep", 0, 500); !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled deep track: %v", err)
+			}
+			if _, _, err := st.Merge(cancelled, "deep", "master",
+				forkbase.WithBranch("old"), forkbase.WithResolver(forkbase.ChooseB)); !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled deep merge: %v", err)
+			}
+			if _, err := st.Diff(cancelled, "deep", uids[0], uids[len(uids)-1]); !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled diff: %v", err)
+			}
+			// The store still serves once the pressure is off.
+			if _, err := st.Get(ctx, "deep"); err != nil {
+				t.Fatal(err)
 			}
 		})
 	}

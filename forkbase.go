@@ -507,7 +507,9 @@ func (db *DB) TrackUID(uid UID, from, to int) ([]*FObject, error) {
 }
 
 // LCA returns the least common ancestor of two versions (M17).
-func (db *DB) LCA(uid1, uid2 UID) (*FObject, error) { return db.eng.LCA(uid1, uid2) }
+func (db *DB) LCA(uid1, uid2 UID) (*FObject, error) {
+	return db.eng.LCA(context.Background(), uid1, uid2)
+}
 
 // DiffVersions compares two versions of the same type.
 //

@@ -23,6 +23,10 @@ import (
 var (
 	ErrKeyNotFound  = errors.New("core: key not found")
 	ErrTypeMismatch = errors.New("core: value type does not match")
+	// ErrBadOptions reports an option combination a client call cannot
+	// satisfy. It lives here (rather than the public package) so the
+	// wire protocol can round-trip it without an import cycle.
+	ErrBadOptions = errors.New("forkbase: conflicting or missing call options")
 )
 
 // keyLockStripes is the size of the fixed update-lock table. A power
@@ -362,18 +366,21 @@ func (e *Engine) ListUntaggedBranches(key []byte) []types.UID {
 
 // Track returns historical versions of a branch head at derivation
 // distances [from, to] (M15): Track(key, b, 0, 0) is the head itself,
-// distances follow first bases.
-func (e *Engine) Track(key []byte, branchName string, from, to int) ([]*types.FObject, error) {
+// distances follow first bases. ctx is honoured per walked version:
+// a cancelled caller (locally, or a remote client that hung up) stops
+// paying for the rest of a deep history promptly.
+func (e *Engine) Track(ctx context.Context, key []byte, branchName string, from, to int) ([]*types.FObject, error) {
 	o, err := e.Get(key, branchName)
 	if err != nil {
 		return nil, err
 	}
-	return e.TrackUID(o.UID(), from, to)
+	return e.TrackUID(ctx, o.UID(), from, to)
 }
 
 // TrackUID returns historical versions at derivation distances
-// [from, to] behind the given version (M16).
-func (e *Engine) TrackUID(uid types.UID, from, to int) ([]*types.FObject, error) {
+// [from, to] behind the given version (M16), checking ctx at every
+// step of the walk.
+func (e *Engine) TrackUID(ctx context.Context, uid types.UID, from, to int) ([]*types.FObject, error) {
 	if from < 0 || to < from {
 		return nil, fmt.Errorf("core: bad distance range [%d, %d]", from, to)
 	}
@@ -383,6 +390,9 @@ func (e *Engine) TrackUID(uid types.UID, from, to int) ([]*types.FObject, error)
 		return nil, err
 	}
 	for d := 0; d <= to; d++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if d >= from {
 			out = append(out, cur)
 		}
@@ -398,14 +408,14 @@ func (e *Engine) TrackUID(uid types.UID, from, to int) ([]*types.FObject, error)
 }
 
 // LCA returns the least common ancestor of two versions (M17).
-func (e *Engine) LCA(uid1, uid2 types.UID) (*types.FObject, error) {
-	return merge.LCA(e.s, uid1, uid2)
+func (e *Engine) LCA(ctx context.Context, uid1, uid2 types.UID) (*types.FObject, error) {
+	return merge.LCA(ctx, e.s, uid1, uid2)
 }
 
 // MergeBranches merges refBranch into tgtBranch (M5): the target's head
 // is replaced by a version containing data from both branches and
 // deriving from both heads.
-func (e *Engine) MergeBranches(key []byte, tgtBranch, refBranch string, res merge.Resolver, context []byte) (types.UID, []merge.Conflict, error) {
+func (e *Engine) MergeBranches(ctx context.Context, key []byte, tgtBranch, refBranch string, res merge.Resolver, meta []byte) (types.UID, []merge.Conflict, error) {
 	t, ok := e.space.Lookup(key)
 	if !ok {
 		return types.UID{}, nil, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
@@ -414,11 +424,11 @@ func (e *Engine) MergeBranches(key []byte, tgtBranch, refBranch string, res merg
 	if !ok {
 		return types.UID{}, nil, fmt.Errorf("%w: %q", branch.ErrBranchNotFound, refBranch)
 	}
-	return e.MergeUID(key, tgtBranch, refHead, res, context)
+	return e.MergeUID(ctx, key, tgtBranch, refHead, res, meta)
 }
 
 // MergeUID merges a specific version into tgtBranch (M6).
-func (e *Engine) MergeUID(key []byte, tgtBranch string, ref types.UID, res merge.Resolver, context []byte) (types.UID, []merge.Conflict, error) {
+func (e *Engine) MergeUID(ctx context.Context, key []byte, tgtBranch string, ref types.UID, res merge.Resolver, meta []byte) (types.UID, []merge.Conflict, error) {
 	l := e.keyLock(key)
 	l.Lock()
 	defer l.Unlock()
@@ -427,7 +437,7 @@ func (e *Engine) MergeUID(key []byte, tgtBranch string, ref types.UID, res merge
 	if !ok {
 		return types.UID{}, nil, fmt.Errorf("%w: %q", branch.ErrBranchNotFound, tgtBranch)
 	}
-	merged, conflicts, err := e.merge(tgtHead, ref, res)
+	merged, conflicts, err := e.merge(ctx, tgtHead, ref, res)
 	if err != nil {
 		return types.UID{}, conflicts, err
 	}
@@ -439,7 +449,7 @@ func (e *Engine) MergeUID(key []byte, tgtBranch string, ref types.UID, res merge
 	if err != nil {
 		return types.UID{}, nil, err
 	}
-	o, err := types.Save(e.s, e.cfg, key, merged, []*types.FObject{a, b}, context)
+	o, err := types.Save(e.s, e.cfg, key, merged, []*types.FObject{a, b}, meta)
 	if err != nil {
 		return types.UID{}, nil, err
 	}
@@ -452,7 +462,7 @@ func (e *Engine) MergeUID(key []byte, tgtBranch string, ref types.UID, res merge
 
 // MergeUntagged merges a collection of untagged heads (M7); the inputs
 // are logically replaced by the merge result in the UB-table.
-func (e *Engine) MergeUntagged(key []byte, res merge.Resolver, context []byte, uids ...types.UID) (types.UID, []merge.Conflict, error) {
+func (e *Engine) MergeUntagged(ctx context.Context, key []byte, res merge.Resolver, meta []byte, uids ...types.UID) (types.UID, []merge.Conflict, error) {
 	if len(uids) < 2 {
 		return types.UID{}, nil, fmt.Errorf("core: MergeUntagged needs at least 2 versions")
 	}
@@ -463,7 +473,7 @@ func (e *Engine) MergeUntagged(key []byte, res merge.Resolver, context []byte, u
 	cur := uids[0]
 	var mergedVal types.Value
 	for _, next := range uids[1:] {
-		v, conflicts, err := e.merge(cur, next, res)
+		v, conflicts, err := e.merge(ctx, cur, next, res)
 		if err != nil {
 			return types.UID{}, conflicts, err
 		}
@@ -478,7 +488,7 @@ func (e *Engine) MergeUntagged(key []byte, res merge.Resolver, context []byte, u
 		if err != nil {
 			return types.UID{}, nil, err
 		}
-		o, err := types.Save(e.s, e.cfg, key, mergedVal, []*types.FObject{a, b}, context)
+		o, err := types.Save(e.s, e.cfg, key, mergedVal, []*types.FObject{a, b}, meta)
 		if err != nil {
 			return types.UID{}, nil, err
 		}
@@ -591,8 +601,9 @@ func (e *Engine) GC(ctx context.Context, threshold float64) (store.GCStats, erro
 	}, types.ChunkRefs, threshold)
 }
 
-// merge three-way merges two versions using their LCA as base.
-func (e *Engine) merge(u1, u2 types.UID, res merge.Resolver) (types.Value, []merge.Conflict, error) {
+// merge three-way merges two versions using their LCA as base; the
+// ancestor search honours ctx.
+func (e *Engine) merge(ctx context.Context, u1, u2 types.UID, res merge.Resolver) (types.Value, []merge.Conflict, error) {
 	a, err := types.LoadFObject(e.s, u1)
 	if err != nil {
 		return nil, nil, err
@@ -601,18 +612,21 @@ func (e *Engine) merge(u1, u2 types.UID, res merge.Resolver) (types.Value, []mer
 	if err != nil {
 		return nil, nil, err
 	}
-	base, err := merge.LCA(e.s, u1, u2)
+	base, err := merge.LCA(ctx, e.s, u1, u2)
 	if err != nil {
 		return nil, nil, err
 	}
-	return merge.ThreeWay(e.s, e.cfg, base, a, b, res)
+	return merge.ThreeWay(ctx, e.s, e.cfg, base, a, b, res)
 }
 
 // Diff compares two versions of the same type (the Diff operation of
 // §3.2). The result depends on the value type: element-wise for sorted
 // chunkables, chunk-level summary for unsorted ones, byte equality for
 // primitives.
-func (e *Engine) Diff(u1, u2 types.UID) (*Diff, error) {
+func (e *Engine) Diff(ctx context.Context, u1, u2 types.UID) (*Diff, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	a, err := types.LoadFObject(e.s, u1)
 	if err != nil {
 		return nil, err
@@ -641,7 +655,7 @@ func (e *Engine) Diff(u1, u2 types.UID) (*Diff, error) {
 		} else {
 			ta, tb = av.(*types.Set).Tree(), bv.(*types.Set).Tree()
 		}
-		sd, err := postree.DiffSorted(ta, tb)
+		sd, err := postree.DiffSorted(ctx, ta, tb)
 		if err != nil {
 			return nil, err
 		}
@@ -661,7 +675,7 @@ func (e *Engine) Diff(u1, u2 types.UID) (*Diff, error) {
 		} else {
 			ta, tb = av.(*types.List).Tree(), bv.(*types.List).Tree()
 		}
-		ud, err := postree.DiffUnsorted(ta, tb)
+		ud, err := postree.DiffUnsorted(ctx, ta, tb)
 		if err != nil {
 			return nil, err
 		}

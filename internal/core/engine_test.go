@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -35,19 +36,19 @@ func TestTrackRangeValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.TrackUID(uid, -1, 2); err == nil {
+	if _, err := e.TrackUID(context.Background(), uid, -1, 2); err == nil {
 		t.Fatal("negative from accepted")
 	}
-	if _, err := e.TrackUID(uid, 3, 1); err == nil {
+	if _, err := e.TrackUID(context.Background(), uid, 3, 1); err == nil {
 		t.Fatal("inverted range accepted")
 	}
 	// Range beyond history is truncated, not an error.
-	hist, err := e.TrackUID(uid, 0, 100)
+	hist, err := e.TrackUID(context.Background(), uid, 0, 100)
 	if err != nil || len(hist) != 1 {
 		t.Fatalf("beyond history: %d %v", len(hist), err)
 	}
 	// Range entirely before the first version yields nothing.
-	hist, err = e.TrackUID(uid, 5, 7)
+	hist, err = e.TrackUID(context.Background(), uid, 5, 7)
 	if err != nil || len(hist) != 0 {
 		t.Fatalf("past the root: %d %v", len(hist), err)
 	}
@@ -74,7 +75,7 @@ func TestForkUIDUnknownVersion(t *testing.T) {
 func TestMergeUntaggedNeedsTwo(t *testing.T) {
 	e := newEngine()
 	uid, _ := e.PutBase([]byte("k"), types.UID{}, types.String("v"), nil)
-	if _, _, err := e.MergeUntagged([]byte("k"), nil, nil, uid); err == nil {
+	if _, _, err := e.MergeUntagged(context.Background(), []byte("k"), nil, nil, uid); err == nil {
 		t.Fatal("single-input untagged merge accepted")
 	}
 }
@@ -96,7 +97,7 @@ func TestMergeUntaggedThreeWayFold(t *testing.T) {
 	u1 := mk(map[string]string{"shared": "x", "a": "1"}, base)
 	u2 := mk(map[string]string{"shared": "x", "b": "2"}, base)
 	u3 := mk(map[string]string{"shared": "x", "c": "3"}, base)
-	merged, _, err := e.MergeUntagged([]byte("k"), nil, nil, u1, u2, u3)
+	merged, _, err := e.MergeUntagged(context.Background(), []byte("k"), nil, nil, u1, u2, u3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestDiffTypeMismatch(t *testing.T) {
 	e := newEngine()
 	u1, _ := e.Put([]byte("a"), "master", types.String("s"), nil)
 	u2, _ := e.Put([]byte("b"), "master", types.Int(1), nil)
-	if _, err := e.Diff(u1, u2); !errors.Is(err, ErrTypeMismatch) {
+	if _, err := e.Diff(context.Background(), u1, u2); !errors.Is(err, ErrTypeMismatch) {
 		t.Fatalf("type mismatch diff: %v", err)
 	}
 }
@@ -134,14 +135,14 @@ func TestDiffAllValueClasses(t *testing.T) {
 	// Primitive diff.
 	p1, _ := e.Put([]byte("p"), "master", types.String("a"), nil)
 	p2, _ := e.Put([]byte("p"), "master", types.String("a"), nil)
-	d, err := e.Diff(p1, p2)
+	d, err := e.Diff(context.Background(), p1, p2)
 	if err != nil || !d.PrimitiveEqual {
 		t.Fatalf("primitive diff: %+v %v", d, err)
 	}
 	// Unsorted (blob) diff.
 	b1, _ := e.Put([]byte("b"), "master", types.NewBlob(make([]byte, 4096)), nil)
 	b2, _ := e.Put([]byte("b"), "master", types.NewBlob(make([]byte, 8192)), nil)
-	d, err = e.Diff(b1, b2)
+	d, err = e.Diff(context.Background(), b1, b2)
 	if err != nil || d.Unsorted == nil {
 		t.Fatalf("blob diff: %+v %v", d, err)
 	}
@@ -150,7 +151,7 @@ func TestDiffAllValueClasses(t *testing.T) {
 	s2 := types.NewSet([]byte("x"), []byte("y"))
 	u1, _ := e.Put([]byte("s"), "master", s1, nil)
 	u2, _ := e.Put([]byte("s"), "master", s2, nil)
-	d, err = e.Diff(u1, u2)
+	d, err = e.Diff(context.Background(), u1, u2)
 	if err != nil || d.Sorted == nil || len(d.Sorted.Added) != 1 {
 		t.Fatalf("set diff: %+v %v", d, err)
 	}
@@ -176,7 +177,7 @@ func TestMergeConflictDoesNotMoveHead(t *testing.T) {
 	e.Put([]byte("k"), "master", types.String("left"), nil)
 	e.Put([]byte("k"), "other", types.String("right"), nil)
 	before, _ := e.Get([]byte("k"), "master")
-	_, _, err := e.MergeBranches([]byte("k"), "master", "other", nil, nil)
+	_, _, err := e.MergeBranches(context.Background(), []byte("k"), "master", "other", nil, nil)
 	if !errors.Is(err, merge.ErrConflict) {
 		t.Fatalf("expected conflict, got %v", err)
 	}
@@ -198,12 +199,109 @@ func TestEngineManyKeysIndependentHistories(t *testing.T) {
 	}
 	for i := 0; i < 50; i++ {
 		key := []byte(fmt.Sprintf("key-%d", i))
-		hist, err := e.Track(key, "master", 0, 10)
+		hist, err := e.Track(context.Background(), key, "master", 0, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if len(hist) != i%5+1 {
 			t.Fatalf("key-%d history %d, want %d", i, len(hist), i%5+1)
 		}
+	}
+}
+
+// countdownCtx is a context whose Err starts failing after n calls:
+// it deterministically cancels "mid-walk", which a real cancel racing
+// a history traversal cannot do reliably.
+type countdownCtx struct {
+	context.Context
+	n int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.n--; c.n < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestHistoryWalksHonourCtx proves the long walks — Track and the LCA
+// search behind Merge — observe ctx between steps, not just at entry.
+// The remote client's cancel-on-disconnect depends on this: a server
+// goroutine stuck in a deep walk would otherwise run to completion
+// long after the caller hung up.
+func TestHistoryWalksHonourCtx(t *testing.T) {
+	e := newEngine()
+	const depth = 64
+	var root types.UID
+	for i := 0; i < depth; i++ {
+		uid, err := e.Put([]byte("k"), "master", types.String(fmt.Sprintf("v%d", i)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			root = uid
+		}
+	}
+	head, err := e.Get([]byte("k"), "master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track: cancel after a handful of loaded versions.
+	ctx := &countdownCtx{Context: context.Background(), n: 5}
+	if _, err := e.TrackUID(ctx, head.UID(), 0, depth); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-walk Track: %v", err)
+	}
+	// LCA: a branch forked at the root forces the ancestor search to
+	// expand master's whole chain before the two frontiers meet.
+	if err := e.ForkUID([]byte("k"), root, "side"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Put([]byte("k"), "side", types.String("s"), nil); err != nil {
+		t.Fatal(err)
+	}
+	side, err := e.Get([]byte("k"), "side")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx = &countdownCtx{Context: context.Background(), n: 5}
+	if _, err := e.LCA(ctx, head.UID(), side.UID()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-walk LCA: %v", err)
+	}
+	// The merge entry points abort through the same search.
+	ctx = &countdownCtx{Context: context.Background(), n: 5}
+	if _, _, err := e.MergeBranches(ctx, []byte("k"), "master", "side", merge.ChooseB, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-walk Merge: %v", err)
+	}
+}
+
+// TestDiffHonoursCtxMidWalk: the structural diff's unshared-leaf
+// comparison observes ctx, not just the entry check — a large diff
+// must abort when its remote caller disconnects.
+func TestDiffHonoursCtxMidWalk(t *testing.T) {
+	e := newEngine()
+	m := types.NewMap()
+	for i := 0; i < 2000; i++ {
+		m.Set([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("a-%d", i)))
+	}
+	u1, err := e.Put([]byte("d"), "master", m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := types.NewMap()
+	for i := 0; i < 2000; i++ {
+		// Every value differs: no leaf is shared, so the diff must
+		// fetch leaves from both sides — the loop under test.
+		m2.Set([]byte(fmt.Sprintf("key-%05d", i)), []byte(fmt.Sprintf("b-%d", i)))
+	}
+	u2, err := e.Put([]byte("d"), "master", m2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Diff(context.Background(), u1, u2); err != nil {
+		t.Fatalf("uncancelled diff: %v", err)
+	}
+	ctx := &countdownCtx{Context: context.Background(), n: 5}
+	if _, err := e.Diff(ctx, u1, u2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-walk diff: %v", err)
 	}
 }

@@ -7,6 +7,7 @@ package merge
 import (
 	"bytes"
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 
@@ -96,8 +97,10 @@ func encodeInt(v int64) []byte {
 // LCA finds the least common ancestor of two versions: the deepest
 // FObject reachable from both (M17). It is the three-way merge base —
 // "the most recent version where they start to fork" (§4.5.2). Returns
-// nil when the histories are disjoint.
-func LCA(s store.Store, a, b types.UID) (*types.FObject, error) {
+// nil when the histories are disjoint. The walk checks ctx at every
+// expanded node: deep or bushy histories abort promptly when the
+// caller cancels or a remote client disconnects.
+func LCA(ctx context.Context, s store.Store, a, b types.UID) (*types.FObject, error) {
 	if a == b {
 		return types.LoadFObject(s, a)
 	}
@@ -123,6 +126,9 @@ func LCA(s store.Store, a, b types.UID) (*types.FObject, error) {
 		return nil, err
 	}
 	for h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		o := heap.Pop(h).(*types.FObject)
 		m := marks[o.UID()]
 		if m == markA|markB {
@@ -156,15 +162,15 @@ func (h *objHeap) Pop() interface{} {
 // ThreeWay merges versions a and b against their common ancestor base
 // (which may be nil for disjoint histories) and returns the merged
 // value. Unresolved conflicts are returned alongside ErrConflict.
-func ThreeWay(s store.Store, cfg postree.Config, base, a, b *types.FObject, res Resolver) (types.Value, []Conflict, error) {
+func ThreeWay(ctx context.Context, s store.Store, cfg postree.Config, base, a, b *types.FObject, res Resolver) (types.Value, []Conflict, error) {
 	if a.VType != b.VType {
 		return nil, []Conflict{{Message: fmt.Sprintf("type mismatch: %v vs %v", a.VType, b.VType)}}, ErrConflict
 	}
 	switch a.VType {
 	case types.TypeMap:
-		return mergeMap(s, cfg, base, a, b, res)
+		return mergeMap(ctx, s, cfg, base, a, b, res)
 	case types.TypeSet:
-		return mergeSet(s, cfg, base, a, b, res)
+		return mergeSet(ctx, s, cfg, base, a, b, res)
 	default:
 		return mergeOpaque(s, cfg, base, a, b, res)
 	}
@@ -247,7 +253,7 @@ type change struct {
 }
 
 // mapChanges computes the key-level delta base -> o.
-func mapChanges(s store.Store, cfg postree.Config, base, o *types.FObject) (map[string]change, error) {
+func mapChanges(ctx context.Context, s store.Store, cfg postree.Config, base, o *types.FObject) (map[string]change, error) {
 	var baseTree, tree *postree.Tree
 	v, err := o.Value(s, cfg)
 	if err != nil {
@@ -263,7 +269,7 @@ func mapChanges(s store.Store, cfg postree.Config, base, o *types.FObject) (map[
 	} else {
 		baseTree = postree.Empty(tree.Store(), cfg, postree.KindMap)
 	}
-	d, err := postree.DiffSorted(baseTree, tree)
+	d, err := postree.DiffSorted(ctx, baseTree, tree)
 	if err != nil {
 		return nil, err
 	}
@@ -283,12 +289,12 @@ func mapChanges(s store.Store, cfg postree.Config, base, o *types.FObject) (map[
 // mergeMap performs key-wise three-way merge of Map objects: changes
 // from both sides are combined; a key changed on both sides to
 // different results is a conflict.
-func mergeMap(s store.Store, cfg postree.Config, base, a, b *types.FObject, res Resolver) (types.Value, []Conflict, error) {
-	ca, err := mapChanges(s, cfg, base, a)
+func mergeMap(ctx context.Context, s store.Store, cfg postree.Config, base, a, b *types.FObject, res Resolver) (types.Value, []Conflict, error) {
+	ca, err := mapChanges(ctx, s, cfg, base, a)
 	if err != nil {
 		return nil, nil, err
 	}
-	cb, err := mapChanges(s, cfg, base, b)
+	cb, err := mapChanges(ctx, s, cfg, base, b)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -359,7 +365,7 @@ func mergeMap(s store.Store, cfg postree.Config, base, a, b *types.FObject, res 
 
 // mergeSet merges Set objects: additions and removals from both sides
 // union together; add-vs-remove of the same element conflicts.
-func mergeSet(s store.Store, cfg postree.Config, base, a, b *types.FObject, res Resolver) (types.Value, []Conflict, error) {
+func mergeSet(ctx context.Context, s store.Store, cfg postree.Config, base, a, b *types.FObject, res Resolver) (types.Value, []Conflict, error) {
 	changes := func(o *types.FObject) (map[string]change, *types.Set, error) {
 		v, err := o.Value(s, cfg)
 		if err != nil {
@@ -376,7 +382,7 @@ func mergeSet(s store.Store, cfg postree.Config, base, a, b *types.FObject, res 
 		} else {
 			baseTree = postree.Empty(set.Tree().Store(), cfg, postree.KindSet)
 		}
-		d, err := postree.DiffSorted(baseTree, set.Tree())
+		d, err := postree.DiffSorted(ctx, baseTree, set.Tree())
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,6 +1,7 @@
 package merge
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -42,7 +43,7 @@ func TestLCALinear(t *testing.T) {
 	v0 := e.save(t, types.String("0"))
 	v1 := e.save(t, types.String("1"), v0)
 	v2 := e.save(t, types.String("2"), v1)
-	got, err := LCA(e.s, v2.UID(), v1.UID())
+	got, err := LCA(context.Background(), e.s, v2.UID(), v1.UID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestLCAFork(t *testing.T) {
 	a := e.save(t, types.String("a"), v1)
 	a2 := e.save(t, types.String("a2"), a)
 	b := e.save(t, types.String("b"), v1)
-	got, err := LCA(e.s, a2.UID(), b.UID())
+	got, err := LCA(context.Background(), e.s, a2.UID(), b.UID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestLCAFork(t *testing.T) {
 		t.Fatalf("LCA = %s, want fork point v1", got.UID().Short())
 	}
 	// Same version.
-	self, err := LCA(e.s, a.UID(), a.UID())
+	self, err := LCA(context.Background(), e.s, a.UID(), a.UID())
 	if err != nil || self.UID() != a.UID() {
 		t.Fatalf("LCA(x,x): %v", err)
 	}
@@ -76,7 +77,7 @@ func TestLCADisjoint(t *testing.T) {
 	e := newEnv()
 	a := e.save(t, types.String("a"))
 	b := e.save(t, types.String("b"))
-	got, err := LCA(e.s, a.UID(), b.UID())
+	got, err := LCA(context.Background(), e.s, a.UID(), b.UID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestLCAThroughMergeNode(t *testing.T) {
 	b := e.save(t, types.String("b"), root)
 	m := e.save(t, types.String("m"), a, b) // merge node with two bases
 	c := e.save(t, types.String("c"), b)
-	got, err := LCA(e.s, m.UID(), c.UID())
+	got, err := LCA(context.Background(), e.s, m.UID(), c.UID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestMergeMapDisjointChanges(t *testing.T) {
 	left := e.mapOf(t, map[string]string{"a": "1-left", "b": "2", "c": "3"}, base)
 	right := e.mapOf(t, map[string]string{"a": "1", "b": "2", "c": "3", "d": "4"}, base)
 
-	merged, conflicts, err := ThreeWay(e.s, e.cfg, base, left, right, nil)
+	merged, conflicts, err := ThreeWay(context.Background(), e.s, e.cfg, base, left, right, nil)
 	if err != nil {
 		t.Fatalf("%v (conflicts %v)", err, conflicts)
 	}
@@ -125,7 +126,7 @@ func TestMergeMapDeleteVsUntouched(t *testing.T) {
 	base := e.mapOf(t, map[string]string{"a": "1", "b": "2"})
 	left := e.mapOf(t, map[string]string{"b": "2"}, base) // deleted a
 	right := e.mapOf(t, map[string]string{"a": "1", "b": "2", "c": "3"}, base)
-	merged, _, err := ThreeWay(e.s, e.cfg, base, left, right, nil)
+	merged, _, err := ThreeWay(context.Background(), e.s, e.cfg, base, left, right, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestMergeMapConflict(t *testing.T) {
 	base := e.mapOf(t, map[string]string{"a": "1"})
 	left := e.mapOf(t, map[string]string{"a": "left"}, base)
 	right := e.mapOf(t, map[string]string{"a": "right"}, base)
-	_, conflicts, err := ThreeWay(e.s, e.cfg, base, left, right, nil)
+	_, conflicts, err := ThreeWay(context.Background(), e.s, e.cfg, base, left, right, nil)
 	if !errors.Is(err, ErrConflict) {
 		t.Fatalf("err = %v, want ErrConflict", err)
 	}
@@ -154,7 +155,7 @@ func TestMergeMapConflict(t *testing.T) {
 		t.Fatalf("conflict sides wrong: %+v", conflicts[0])
 	}
 	// With a resolver the merge succeeds.
-	merged, _, err := ThreeWay(e.s, e.cfg, base, left, right, ChooseB)
+	merged, _, err := ThreeWay(context.Background(), e.s, e.cfg, base, left, right, ChooseB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestMergeMapBothSidesSameChange(t *testing.T) {
 	base := e.mapOf(t, map[string]string{"a": "1"})
 	left := e.mapOf(t, map[string]string{"a": "same"}, base)
 	right := e.mapOf(t, map[string]string{"a": "same"}, base)
-	merged, _, err := ThreeWay(e.s, e.cfg, base, left, right, nil)
+	merged, _, err := ThreeWay(context.Background(), e.s, e.cfg, base, left, right, nil)
 	if err != nil {
 		t.Fatalf("identical changes conflicted: %v", err)
 	}
@@ -191,7 +192,7 @@ func TestMergeSet(t *testing.T) {
 	base := mk([]string{"a", "b", "c"})
 	left := mk([]string{"a", "b", "c", "d"}, base) // +d
 	right := mk([]string{"a", "c"}, base)          // -b
-	merged, _, err := ThreeWay(e.s, e.cfg, base, left, right, nil)
+	merged, _, err := ThreeWay(context.Background(), e.s, e.cfg, base, left, right, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestMergeSet(t *testing.T) {
 	}
 	// One-sided change: no conflict.
 	l2 := mk([]string{"a", "b", "c", "x"}, base)
-	if _, _, err = ThreeWay(e.s, e.cfg, base, l2, mk([]string{"a", "b", "c"}, base), nil); err != nil {
+	if _, _, err = ThreeWay(context.Background(), e.s, e.cfg, base, l2, mk([]string{"a", "b", "c"}, base), nil); err != nil {
 		t.Fatalf("one-sided set change conflicted: %v", err)
 	}
 }
@@ -221,7 +222,7 @@ func TestMergeSetAddRemoveConflict(t *testing.T) {
 	base := mk([]string{"a", "x"})
 	left := mk([]string{"a"}, base)       // removed x
 	right := mk([]string{"a", "x"}, base) // kept x — no change, no conflict
-	if _, _, err := ThreeWay(e.s, e.cfg, base, left, right, nil); err != nil {
+	if _, _, err := ThreeWay(context.Background(), e.s, e.cfg, base, left, right, nil); err != nil {
 		t.Fatalf("remove vs untouched conflicted: %v", err)
 	}
 	// The true conflict: one side removes x, the other re-adds it
@@ -230,7 +231,7 @@ func TestMergeSetAddRemoveConflict(t *testing.T) {
 	base2 := mk([]string{"a"})
 	addX := mk([]string{"a", "x"}, base2)
 	keep := mk([]string{"a"}, base2)
-	if _, _, err := ThreeWay(e.s, e.cfg, base2, addX, keep, nil); err != nil {
+	if _, _, err := ThreeWay(context.Background(), e.s, e.cfg, base2, addX, keep, nil); err != nil {
 		t.Fatalf("add vs untouched conflicted: %v", err)
 	}
 }
@@ -241,7 +242,7 @@ func TestMergeOpaqueStrings(t *testing.T) {
 	same := e.save(t, types.String("base"), base)
 	changed := e.save(t, types.String("changed"), base)
 
-	merged, _, err := ThreeWay(e.s, e.cfg, base, same, changed, nil)
+	merged, _, err := ThreeWay(context.Background(), e.s, e.cfg, base, same, changed, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,11 +252,11 @@ func TestMergeOpaqueStrings(t *testing.T) {
 	// Both changed differently: conflict; Append resolver concatenates.
 	l := e.save(t, types.String("L"), base)
 	r := e.save(t, types.String("R"), base)
-	_, _, err = ThreeWay(e.s, e.cfg, base, l, r, nil)
+	_, _, err = ThreeWay(context.Background(), e.s, e.cfg, base, l, r, nil)
 	if !errors.Is(err, ErrConflict) {
 		t.Fatalf("err = %v", err)
 	}
-	merged, _, err = ThreeWay(e.s, e.cfg, base, l, r, Append)
+	merged, _, err = ThreeWay(context.Background(), e.s, e.cfg, base, l, r, Append)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestMergeTypeMismatch(t *testing.T) {
 	e := newEnv()
 	a := e.save(t, types.String("s"))
 	b := e.save(t, types.Int(1))
-	_, conflicts, err := ThreeWay(e.s, e.cfg, nil, a, b, nil)
+	_, conflicts, err := ThreeWay(context.Background(), e.s, e.cfg, nil, a, b, nil)
 	if !errors.Is(err, ErrConflict) || len(conflicts) != 1 {
 		t.Fatalf("type mismatch: %v %v", err, conflicts)
 	}
@@ -279,7 +280,7 @@ func TestAggregateResolver(t *testing.T) {
 	base := e.save(t, types.Int(100))
 	l := e.save(t, types.Int(110), base) // +10
 	r := e.save(t, types.Int(95), base)  // -5
-	merged, _, err := ThreeWay(e.s, e.cfg, base, l, r, Aggregate)
+	merged, _, err := ThreeWay(context.Background(), e.s, e.cfg, base, l, r, Aggregate)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestMergeMapNoBase(t *testing.T) {
 	e := newEnv()
 	left := e.mapOf(t, map[string]string{"a": "1"})
 	right := e.mapOf(t, map[string]string{"b": "2"})
-	merged, _, err := ThreeWay(e.s, e.cfg, nil, left, right, nil)
+	merged, _, err := ThreeWay(context.Background(), e.s, e.cfg, nil, left, right, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func TestMergeLargeMapsSharedStructure(t *testing.T) {
 	rm["key-02900"] = "right-change"
 	left := e.mapOf(t, lm, base)
 	right := e.mapOf(t, rm, base)
-	merged, _, err := ThreeWay(e.s, e.cfg, base, left, right, nil)
+	merged, _, err := ThreeWay(context.Background(), e.s, e.cfg, base, left, right, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package postree
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"forkbase/internal/chunk"
@@ -28,8 +29,11 @@ type SortedDiff struct {
 	SharedLeaves, TotalLeaves int
 }
 
-// DiffSorted compares two sorted trees of the same kind.
-func DiffSorted(a, b *Tree) (*SortedDiff, error) {
+// DiffSorted compares two sorted trees of the same kind. ctx is
+// observed per unshared-leaf fetch — the loop that dominates large
+// diffs — so a cancelled caller (or a disconnected remote client)
+// stops paying for the comparison promptly.
+func DiffSorted(ctx context.Context, a, b *Tree) (*SortedDiff, error) {
 	if !a.kind.Sorted() || a.kind != b.kind {
 		return nil, fmt.Errorf("postree: DiffSorted on %v vs %v", a.kind, b.kind)
 	}
@@ -52,6 +56,9 @@ func DiffSorted(a, b *Tree) (*SortedDiff, error) {
 	var ea, eb [][]byte
 	shared := 0
 	for _, e := range la {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if inB[e.id] {
 			shared++
 			continue
@@ -63,6 +70,9 @@ func DiffSorted(a, b *Tree) (*SortedDiff, error) {
 		ea = append(ea, elems...)
 	}
 	for _, e := range lb {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if inA[e.id] {
 			continue
 		}
@@ -116,10 +126,14 @@ type UnsortedDiff struct {
 	BytesA, BytesB uint64 // unshared payload bytes on each side
 }
 
-// DiffUnsorted compares two Blob or List trees chunk-wise.
-func DiffUnsorted(a, b *Tree) (*UnsortedDiff, error) {
+// DiffUnsorted compares two Blob or List trees chunk-wise, honouring
+// ctx between the two index walks.
+func DiffUnsorted(ctx context.Context, a, b *Tree) (*UnsortedDiff, error) {
 	if a.kind.Sorted() || a.kind != b.kind {
 		return nil, fmt.Errorf("postree: DiffUnsorted on %v vs %v", a.kind, b.kind)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	la, err := a.leafEntries()
 	if err != nil {
@@ -127,6 +141,9 @@ func DiffUnsorted(a, b *Tree) (*UnsortedDiff, error) {
 	}
 	lb, err := b.leafEntries()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sizes := func(t *Tree, e entry) uint64 {

@@ -1,6 +1,7 @@
 package postree
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestDiffSortedExact(t *testing.T) {
 	mod["zzz-brand-new"] = "v2"
 	b := buildMap(t, s, mod)
 
-	d, err := DiffSorted(a, b)
+	d, err := DiffSorted(context.Background(), a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestDiffIdenticalTrees(t *testing.T) {
 	kvs := randomKVs(500, 11)
 	a := buildMap(t, s, kvs)
 	b := buildMap(t, s, kvs)
-	d, err := DiffSorted(a, b)
+	d, err := DiffSorted(context.Background(), a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestDiffEmptyVsFull(t *testing.T) {
 	kvs := randomKVs(300, 12)
 	a := Empty(s, testConfig(), KindMap)
 	b := buildMap(t, s, kvs)
-	d, err := DiffSorted(a, b)
+	d, err := DiffSorted(context.Background(), a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestDiffUnsortedBlobs(t *testing.T) {
 	edited := append([]byte(nil), data...)
 	copy(edited[64<<10:], []byte("XXXX-EDIT-XXXX"))
 	b := buildBlob(t, s, edited)
-	d, err := DiffUnsorted(a, b)
+	d, err := DiffUnsorted(context.Background(), a, b)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package postree
 
 import (
+	"context"
 	"testing"
 
 	"forkbase/internal/chunk"
@@ -55,10 +56,10 @@ func TestKindChecksOnWrongOperations(t *testing.T) {
 	if _, err := b.GetAt(0); err == nil {
 		t.Fatal("GetAt on a Blob succeeded")
 	}
-	if _, err := DiffSorted(b, b); err == nil {
+	if _, err := DiffSorted(context.Background(), b, b); err == nil {
 		t.Fatal("DiffSorted on Blobs succeeded")
 	}
-	if _, err := DiffUnsorted(m, m); err == nil {
+	if _, err := DiffUnsorted(context.Background(), m, m); err == nil {
 		t.Fatal("DiffUnsorted on Maps succeeded")
 	}
 }

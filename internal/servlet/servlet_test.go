@@ -1,6 +1,7 @@
 package servlet
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -83,7 +84,7 @@ func TestServletSerializesExecution(t *testing.T) {
 	}
 	var n int
 	sv.Exec(func(eng *core.Engine) error {
-		hist, err := eng.Track([]byte("k"), "master", 0, 100)
+		hist, err := eng.Track(context.Background(), []byte("k"), "master", 0, 100)
 		n = len(hist)
 		return err
 	})

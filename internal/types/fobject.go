@@ -150,6 +150,25 @@ func Persist(s store.Store, cfg postree.Config, v Value) error {
 	return err
 }
 
+// MarshalFObject returns the version's canonical meta-chunk payload,
+// the transportable form of an FObject. The uid travels implicitly:
+// it is the digest of exactly these bytes, so UnmarshalFObject
+// recomputes it — a transport cannot alter a version or mis-attribute
+// a uid without the receiver noticing.
+func MarshalFObject(o *FObject) []byte { return o.encode() }
+
+// UnmarshalFObject parses a meta-chunk payload produced by
+// MarshalFObject and recomputes the version's uid from the bytes,
+// preserving tamper evidence (§3.2) across transports.
+func UnmarshalFObject(payload []byte) (*FObject, error) {
+	o, err := decodeFObject(payload)
+	if err != nil {
+		return nil, err
+	}
+	o.uid = chunk.New(chunk.TypeMeta, payload).ID()
+	return o, nil
+}
+
 // LoadFObject fetches and verifies the FObject with the given uid.
 func LoadFObject(s store.Store, uid UID) (*FObject, error) {
 	c, err := store.GetVerified(s, uid)

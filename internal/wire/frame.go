@@ -1,0 +1,165 @@
+// Package wire implements ForkBase's client-server protocol: a
+// compact, length-prefixed binary framing with per-frame crc
+// protection, and codecs for every request and response payload the
+// unified Store API needs. The same codecs serve both ends — the
+// RemoteStore client and the forkserved daemon — so the two cannot
+// drift apart on the layout.
+//
+// # Frame layout
+//
+// Every message — request or response — travels in one frame:
+//
+//	u32  n        frame length: bytes that follow this field
+//	u64  reqID    request identifier, chosen by the client; the
+//	              response echoes it, which is what lets many
+//	              in-flight requests share one connection
+//	u8   op       operation code (request) / echoed op (response)
+//	...  payload  op-specific body
+//	u32  crc      crc32 (Castagnoli) over reqID..payload
+//
+// All integers are little-endian, matching the rest of the storage
+// formats in this repository. The frame is the unit of trust: a bad
+// length, a short read or a crc mismatch means the stream is
+// desynchronized and the connection must be dropped — there is no way
+// to find the next frame boundary. A well-framed request carrying an
+// unknown op code, by contrast, is answered with a typed error and
+// the connection survives.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// ProtoVersion is the protocol revision spoken by this build. The
+// Hello exchange rejects mismatched peers before any data moves.
+const ProtoVersion = 1
+
+// frameOverhead is the fixed byte cost beyond the payload: reqID (8),
+// op (1) and crc (4). The leading length field is not counted by n.
+const frameOverhead = 8 + 1 + 4
+
+// DefaultMaxFrame bounds a frame's length field: 256 MiB admits any
+// realistic value while stopping a hostile 4 GiB allocation.
+const DefaultMaxFrame = 256 << 20
+
+// ErrFrame reports an unrecoverable framing violation — bad length,
+// torn frame, crc mismatch. The stream cannot be resynchronized; the
+// connection carrying it must be closed.
+var ErrFrame = errors.New("wire: malformed frame")
+
+// castagnoli is the crc table shared by every frame.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Operation codes. Response frames echo the request's op.
+const (
+	// OpHello opens a connection: protocol version and auth token.
+	OpHello uint8 = iota + 1
+	// OpCancel aborts the in-flight request named in the payload; it
+	// has no response.
+	OpCancel
+	// The Store surface, one code per method.
+	OpGet
+	OpPut
+	OpApply
+	OpFork
+	OpMerge
+	OpTrack
+	OpDiff
+	OpListKeys
+	OpListBranches
+	OpRenameBranch
+	OpRemoveBranch
+	OpPin
+	OpUnpin
+	OpGC
+	OpValue
+	// OpStats reports the backend's chunk-storage counters (admin /
+	// tooling; not part of the Store interface).
+	OpStats
+	opMax
+)
+
+// KnownOp reports whether op names an operation this protocol version
+// understands.
+func KnownOp(op uint8) bool { return op >= OpHello && op < opMax }
+
+// MaxPayload returns the largest payload a frame can carry under the
+// given cap (0 means DefaultMaxFrame). Writers must check against it
+// BEFORE framing an outgoing message: the receiving end drops the
+// whole connection on an oversized length — the stream cannot be
+// resynchronized — so an unchecked large payload would fail every
+// unrelated request multiplexed on the connection instead of just its
+// own. The cap is also clamped below 4 GiB so the u32 length field
+// can never wrap.
+func MaxPayload(maxFrame int) int {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if maxFrame > math.MaxUint32 {
+		maxFrame = math.MaxUint32
+	}
+	return maxFrame - frameOverhead
+}
+
+// AppendFrame serializes one frame onto dst and returns the extended
+// slice.
+func AppendFrame(dst []byte, reqID uint64, op uint8, payload []byte) []byte {
+	n := frameOverhead + len(payload)
+	var hdr [4 + 8 + 1]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(n))
+	binary.LittleEndian.PutUint64(hdr[4:12], reqID)
+	hdr[12] = op
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	crc := crc32.Update(0, castagnoli, dst[len(dst)-n+4:])
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	return append(dst, tail[:]...)
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, reqID uint64, op uint8, payload []byte) error {
+	buf := AppendFrame(make([]byte, 0, 4+frameOverhead+len(payload)), reqID, op, payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads and verifies one frame from r. maxFrame caps the
+// claimed length (0 means DefaultMaxFrame). A framing violation is
+// reported wrapped in ErrFrame; the caller must close the connection,
+// since the stream cannot be re-synchronized.
+func ReadFrame(r io.Reader, maxFrame int) (reqID uint64, op uint8, payload []byte, err error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		// A clean EOF between frames is the peer hanging up, not a
+		// protocol violation; mid-frame truncation below is.
+		return 0, 0, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if n < frameOverhead {
+		return 0, 0, nil, fmt.Errorf("%w: length %d below frame overhead", ErrFrame, n)
+	}
+	if n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("%w: length %d exceeds cap %d", ErrFrame, n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, fmt.Errorf("%w: torn frame: %v", ErrFrame, err)
+	}
+	want := binary.LittleEndian.Uint32(body[n-4:])
+	if got := crc32.Update(0, castagnoli, body[:n-4]); got != want {
+		return 0, 0, nil, fmt.Errorf("%w: crc mismatch", ErrFrame)
+	}
+	reqID = binary.LittleEndian.Uint64(body[:8])
+	op = body[8]
+	payload = body[9 : n-4 : n-4]
+	return reqID, op, payload, nil
+}

@@ -1,0 +1,663 @@
+package forkbase
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"forkbase/internal/wire"
+)
+
+// ErrRemoteClosed is returned by calls on a RemoteStore after Close.
+var ErrRemoteClosed = errors.New("forkbase: remote store is closed")
+
+// RemoteConfig configures Dial.
+type RemoteConfig struct {
+	// Conns is the connection-pool size; requests round-robin across
+	// it. Each connection multiplexes any number of in-flight
+	// requests, so 1 (the default) is already fully pipelined — more
+	// connections add TCP-level parallelism for large transfers.
+	Conns int
+	// AuthToken is presented in each connection's Hello; it must match
+	// the server's ServerOptions.AuthToken.
+	AuthToken string
+	// DialTimeout bounds each TCP connect; 0 means 10s.
+	DialTimeout time.Duration
+	// MaxFrame caps response frames (0 = wire.DefaultMaxFrame).
+	MaxFrame int
+}
+
+// RemoteStore is the network Store implementation: the same client
+// API as the embedded DB and the ClusterClient, executed by a
+// forkserved daemon on the other end of a TCP connection. Because it
+// satisfies Store, application code — and the whole conformance suite
+// — runs against it unchanged.
+//
+// Concurrency: safe for concurrent use. Requests are multiplexed over
+// a small connection pool; each call is one request frame and one
+// response frame, matched by request id, so slow calls never block
+// fast ones behind them (pipelining). Cancelling a call's context
+// aborts it locally at once and sends a best-effort cancel to the
+// server, which stops the request's server-side work (history walks
+// observe it mid-walk).
+//
+// Values: chunkable values fetched through Value come back staged
+// (fully materialized, detached from any store), ready to edit and
+// Put back. Custom merge resolvers cannot cross the wire; the
+// built-ins (ChooseA, ChooseB, AppendResolve, Aggregate) are
+// translated by code.
+type RemoteStore struct {
+	addr string
+	cfg  RemoteConfig
+
+	reqID atomic.Uint64
+	next  atomic.Uint64 // round-robin cursor over the pool
+
+	mu     sync.Mutex
+	conns  []*remoteConn // fixed-size pool; nil slots dial lazily
+	closed bool
+}
+
+// Dial connects to a forkserved instance and returns its Store. The
+// first connection is established (and authenticated) eagerly so a
+// bad address or token fails here, not on the first call.
+func Dial(addr string, cfg RemoteConfig) (*RemoteStore, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	rs := &RemoteStore{addr: addr, cfg: cfg, conns: make([]*remoteConn, cfg.Conns)}
+	if _, err := rs.conn(0); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// Close tears down the connection pool; in-flight calls fail with
+// ErrRemoteClosed.
+func (rs *RemoteStore) Close() error {
+	rs.mu.Lock()
+	if rs.closed {
+		rs.mu.Unlock()
+		return nil
+	}
+	rs.closed = true
+	conns := append([]*remoteConn(nil), rs.conns...)
+	rs.mu.Unlock()
+	for _, c := range conns {
+		if c != nil {
+			c.fail(ErrRemoteClosed)
+		}
+	}
+	return nil
+}
+
+// conn returns the pool slot, dialing it (or re-dialing a dead one)
+// on demand.
+func (rs *RemoteStore) conn(slot uint64) (*remoteConn, error) {
+	i := int(slot % uint64(len(rs.conns)))
+	rs.mu.Lock()
+	if rs.closed {
+		rs.mu.Unlock()
+		return nil, ErrRemoteClosed
+	}
+	if c := rs.conns[i]; c != nil && !c.isDead() {
+		rs.mu.Unlock()
+		return c, nil
+	}
+	rs.mu.Unlock()
+	// Dial outside the lock; a racing caller may dial the same slot —
+	// the loser's connection is closed again, which is harmless.
+	c, err := rs.dial()
+	if err != nil {
+		return nil, err
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.closed {
+		c.fail(ErrRemoteClosed)
+		return nil, ErrRemoteClosed
+	}
+	if old := rs.conns[i]; old != nil && !old.isDead() {
+		c.fail(ErrRemoteClosed)
+		return old, nil
+	}
+	rs.conns[i] = c
+	return c, nil
+}
+
+// dial opens and authenticates one connection, then starts its reader.
+func (rs *RemoteStore) dial() (*remoteConn, error) {
+	nc, err := net.DialTimeout("tcp", rs.addr, rs.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &remoteConn{
+		c:        nc,
+		br:       bufio.NewReader(nc),
+		maxFrame: rs.cfg.MaxFrame,
+		pending:  make(map[uint64]chan remoteResp),
+	}
+	// Hello is synchronous: the reader starts only once the handshake
+	// frame has been consumed.
+	var e wire.Enc
+	e.U32(wire.ProtoVersion)
+	e.Str(rs.cfg.AuthToken)
+	id := rs.reqID.Add(1)
+	if err := wire.WriteFrame(nc, id, wire.OpHello, e.Bytes()); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	respID, op, payload, err := wire.ReadFrame(c.br, rs.cfg.MaxFrame)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("forkbase: dial %s: %w", rs.addr, err)
+	}
+	if respID != id || op != wire.OpHello {
+		nc.Close()
+		return nil, fmt.Errorf("forkbase: dial %s: out-of-order hello response", rs.addr)
+	}
+	if _, ep, err := decodeStatus(payload); err != nil {
+		nc.Close()
+		return nil, err
+	} else if ep != nil {
+		nc.Close()
+		return nil, fmt.Errorf("forkbase: dial %s: %w", rs.addr, ep.Err)
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// remoteConn is one pooled connection: a write mutex for frame
+// atomicity and a pending map matching responses to waiting calls.
+type remoteConn struct {
+	c        net.Conn
+	br       *bufio.Reader
+	maxFrame int
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan remoteResp
+	dead    bool
+	err     error
+}
+
+type remoteResp struct {
+	payload []byte
+	err     error
+}
+
+func (c *remoteConn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// fail marks the connection dead and releases every waiting call.
+func (c *remoteConn) fail(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	c.err = err
+	pending := c.pending
+	c.pending = make(map[uint64]chan remoteResp)
+	c.mu.Unlock()
+	c.c.Close()
+	for _, ch := range pending {
+		ch <- remoteResp{err: err}
+	}
+}
+
+func (c *remoteConn) readLoop() {
+	for {
+		reqID, _, payload, err := wire.ReadFrame(c.br, c.maxFrame)
+		if err != nil {
+			c.fail(fmt.Errorf("forkbase: remote connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[reqID]
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- remoteResp{payload: payload}
+		}
+		// Unknown ids are responses to abandoned (cancelled) calls.
+	}
+}
+
+func (c *remoteConn) register(id uint64) (chan remoteResp, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return nil, c.err
+	}
+	ch := make(chan remoteResp, 1)
+	c.pending[id] = ch
+	return ch, nil
+}
+
+func (c *remoteConn) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+func (c *remoteConn) write(id uint64, op uint8, payload []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return wire.WriteFrame(c.c, id, op, payload)
+}
+
+// call performs one request/response exchange. Exactly one of the
+// three results is meaningful: a decoder positioned after the status
+// byte (success), the server's typed error payload, or a local /
+// transport error.
+func (rs *RemoteStore) call(ctx context.Context, op uint8, payload []byte) (*wire.Dec, *wire.ErrorPayload, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if max := wire.MaxPayload(rs.cfg.MaxFrame); len(payload) > max {
+		// An oversized frame would desynchronize the stream and kill
+		// every request multiplexed on the connection; fail only this
+		// one, before any bytes move.
+		return nil, nil, fmt.Errorf("forkbase: request of %d bytes exceeds the %d-byte frame cap (RemoteConfig.MaxFrame)", len(payload), max)
+	}
+	c, err := rs.conn(rs.next.Add(1))
+	if err != nil {
+		return nil, nil, err
+	}
+	id := rs.reqID.Add(1)
+	ch, err := c.register(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.write(id, op, payload); err != nil {
+		c.unregister(id)
+		c.fail(err)
+		return nil, nil, err
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		return decodeStatus(r.payload)
+	case <-ctx.Done():
+		// Abandon locally at once; tell the server so it stops paying
+		// for the walk. The response, if it still arrives, is dropped
+		// by the read loop.
+		c.unregister(id)
+		var e wire.Enc
+		e.U64(id)
+		go c.write(rs.reqID.Add(1), wire.OpCancel, e.Bytes())
+		return nil, nil, ctx.Err()
+	}
+}
+
+// decodeStatus splits a response payload into success decoder or
+// typed error.
+func decodeStatus(payload []byte) (*wire.Dec, *wire.ErrorPayload, error) {
+	d := wire.NewDec(payload)
+	switch status := d.U8(); status {
+	case 0:
+		return d, nil, nil
+	case 1:
+		ep, err := wire.DecodeError(d)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, &ep, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown response status %d", wire.ErrCodec, status)
+	}
+}
+
+// wireOpts converts a resolved option set to its wire form; custom
+// resolvers cannot be serialized and are rejected before any bytes
+// move.
+func wireOpts(o callOpts) (wire.CallOptions, error) {
+	code, ok := wire.ResolverCode(o.resolver)
+	if !ok {
+		return wire.CallOptions{}, fmt.Errorf(
+			"%w: custom resolvers cannot cross the wire; use ChooseA/ChooseB/AppendResolve/Aggregate", ErrBadOptions)
+	}
+	return wire.CallOptions{
+		User:      o.user,
+		Branch:    o.branch,
+		BranchSet: o.branchSet,
+		Bases:     o.bases,
+		Guard:     o.guard,
+		Meta:      o.meta,
+		Resolver:  code,
+	}, nil
+}
+
+// request encodes the common prefix (options) and hands the encoder
+// over for op-specific fields.
+func (rs *RemoteStore) request(ctx context.Context, op uint8, opts []Option, fill func(e *wire.Enc) error) (*wire.Dec, *wire.ErrorPayload, error) {
+	co, err := wireOpts(resolveOpts(opts))
+	if err != nil {
+		return nil, nil, err
+	}
+	var e wire.Enc
+	wire.EncodeCallOptions(&e, co)
+	if fill != nil {
+		if err := fill(&e); err != nil {
+			return nil, nil, err
+		}
+	}
+	return rs.call(ctx, op, e.Bytes())
+}
+
+// Get implements Store.
+func (rs *RemoteStore) Get(ctx context.Context, key string, opts ...Option) (*FObject, error) {
+	d, ep, err := rs.request(ctx, wire.OpGet, opts, func(e *wire.Enc) error {
+		e.Str(key)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ep != nil {
+		return nil, ep.Err
+	}
+	return wire.DecodeFObject(d)
+}
+
+// Put implements Store.
+func (rs *RemoteStore) Put(ctx context.Context, key string, v Value, opts ...Option) (UID, error) {
+	d, ep, err := rs.request(ctx, wire.OpPut, opts, func(e *wire.Enc) error {
+		e.Str(key)
+		return wire.EncodeValue(e, v)
+	})
+	if err != nil {
+		return UID{}, err
+	}
+	if ep != nil {
+		return ep.UID, ep.Err
+	}
+	uid := d.UID()
+	return uid, d.Err()
+}
+
+// Apply implements Store: the whole batch travels as one request and
+// executes as one batched apply on the server, keeping the
+// per-servlet grouping benefits.
+func (rs *RemoteStore) Apply(ctx context.Context, b *Batch, opts ...Option) ([]UID, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	d, ep, err := rs.request(ctx, wire.OpApply, opts, func(e *wire.Enc) error {
+		e.U32(uint32(len(b.puts)))
+		for _, p := range b.puts {
+			e.Str(string(p.Key))
+			wire.EncodeCallOptions(e, wire.CallOptions{
+				Branch:    p.Branch,
+				BranchSet: true,
+				Guard:     p.Guard,
+				Meta:      p.Meta,
+			})
+			if err := wire.EncodeValue(e, p.Value); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ep != nil {
+		return nil, ep.Err
+	}
+	uids := wire.DecodeUIDs(d)
+	return uids, d.Err()
+}
+
+// Fork implements Store.
+func (rs *RemoteStore) Fork(ctx context.Context, key, newBranch string, opts ...Option) error {
+	_, ep, err := rs.request(ctx, wire.OpFork, opts, func(e *wire.Enc) error {
+		e.Str(key)
+		e.Str(newBranch)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if ep != nil {
+		return ep.Err
+	}
+	return nil
+}
+
+// Merge implements Store. Conflict lists — and the uid of a merge
+// that applied but failed a durability report — round-trip inside
+// error responses.
+func (rs *RemoteStore) Merge(ctx context.Context, key, tgtBranch string, opts ...Option) (UID, []Conflict, error) {
+	d, ep, err := rs.request(ctx, wire.OpMerge, opts, func(e *wire.Enc) error {
+		e.Str(key)
+		e.Str(tgtBranch)
+		return nil
+	})
+	if err != nil {
+		return UID{}, nil, err
+	}
+	if ep != nil {
+		return ep.UID, ep.Conflicts, ep.Err
+	}
+	uid := d.UID()
+	return uid, nil, d.Err()
+}
+
+// Track implements Store.
+func (rs *RemoteStore) Track(ctx context.Context, key string, from, to int, opts ...Option) ([]*FObject, error) {
+	d, ep, err := rs.request(ctx, wire.OpTrack, opts, func(e *wire.Enc) error {
+		e.Str(key)
+		e.I64(int64(from))
+		e.I64(int64(to))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ep != nil {
+		return nil, ep.Err
+	}
+	n := d.Count(4)
+	out := make([]*FObject, 0, n)
+	for i := 0; i < n; i++ {
+		o, err := wire.DecodeFObject(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, d.Err()
+}
+
+// Diff implements Store.
+func (rs *RemoteStore) Diff(ctx context.Context, key string, a, b UID, opts ...Option) (*Diff, error) {
+	d, ep, err := rs.request(ctx, wire.OpDiff, opts, func(e *wire.Enc) error {
+		e.Str(key)
+		e.UID(a)
+		e.UID(b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ep != nil {
+		return nil, ep.Err
+	}
+	return wire.DecodeDiff(d)
+}
+
+// ListKeys implements Store.
+func (rs *RemoteStore) ListKeys(ctx context.Context, opts ...Option) ([]string, error) {
+	d, ep, err := rs.request(ctx, wire.OpListKeys, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	if ep != nil {
+		return nil, ep.Err
+	}
+	n := d.Count(4)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.Str())
+	}
+	return out, d.Err()
+}
+
+// ListBranches implements Store.
+func (rs *RemoteStore) ListBranches(ctx context.Context, key string, opts ...Option) (BranchList, error) {
+	d, ep, err := rs.request(ctx, wire.OpListBranches, opts, func(e *wire.Enc) error {
+		e.Str(key)
+		return nil
+	})
+	if err != nil {
+		return BranchList{}, err
+	}
+	if ep != nil {
+		return BranchList{}, ep.Err
+	}
+	bl := BranchList{
+		Tagged:   wire.DecodeTaggedBranches(d),
+		Untagged: wire.DecodeUIDs(d),
+	}
+	return bl, d.Err()
+}
+
+// RenameBranch implements Store.
+func (rs *RemoteStore) RenameBranch(ctx context.Context, key, branchName, newName string, opts ...Option) error {
+	_, ep, err := rs.request(ctx, wire.OpRenameBranch, opts, func(e *wire.Enc) error {
+		e.Str(key)
+		e.Str(branchName)
+		e.Str(newName)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if ep != nil {
+		return ep.Err
+	}
+	return nil
+}
+
+// RemoveBranch implements Store.
+func (rs *RemoteStore) RemoveBranch(ctx context.Context, key, branchName string, opts ...Option) error {
+	_, ep, err := rs.request(ctx, wire.OpRemoveBranch, opts, func(e *wire.Enc) error {
+		e.Str(key)
+		e.Str(branchName)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if ep != nil {
+		return ep.Err
+	}
+	return nil
+}
+
+// Pin implements Store.
+func (rs *RemoteStore) Pin(ctx context.Context, key string, uid UID, opts ...Option) error {
+	return rs.pinOp(ctx, wire.OpPin, key, uid, opts)
+}
+
+// Unpin implements Store.
+func (rs *RemoteStore) Unpin(ctx context.Context, key string, uid UID, opts ...Option) error {
+	return rs.pinOp(ctx, wire.OpUnpin, key, uid, opts)
+}
+
+func (rs *RemoteStore) pinOp(ctx context.Context, op uint8, key string, uid UID, opts []Option) error {
+	_, ep, err := rs.request(ctx, op, opts, func(e *wire.Enc) error {
+		e.Str(key)
+		e.UID(uid)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if ep != nil {
+		return ep.Err
+	}
+	return nil
+}
+
+// GC implements Store: the collection runs on the server against
+// whatever backend forkserved wraps.
+func (rs *RemoteStore) GC(ctx context.Context, opts ...Option) (GCStats, error) {
+	d, ep, err := rs.request(ctx, wire.OpGC, opts, nil)
+	if err != nil {
+		return GCStats{}, err
+	}
+	if ep != nil {
+		return GCStats{}, ep.Err
+	}
+	stats := wire.DecodeGCStats(d)
+	return stats, d.Err()
+}
+
+// Value implements Store. The value is materialized by the server
+// and comes back staged, ready to edit and Put back. Primitives could
+// decode locally from o.Data, but the round trip is made anyway so
+// the server-side ACL check runs exactly as it would embedded —
+// deployment modes must not diverge on who may decode what.
+func (rs *RemoteStore) Value(ctx context.Context, key string, o *FObject, opts ...Option) (Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if o.UID().IsNil() {
+		return nil, fmt.Errorf("%w: Value needs a version fetched from the store", ErrBadOptions)
+	}
+	d, ep, err := rs.request(ctx, wire.OpValue, opts, func(e *wire.Enc) error {
+		e.Str(key)
+		e.UID(o.UID())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ep != nil {
+		return nil, ep.Err
+	}
+	return wire.DecodeValue(d)
+}
+
+// Stats reports the server backend's chunk-storage counters (tooling;
+// not part of the Store interface — backends without counters return
+// an error).
+func (rs *RemoteStore) Stats(ctx context.Context) (StoreStats, error) {
+	d, ep, err := rs.call(ctx, wire.OpStats, okStatsPayload())
+	if err != nil {
+		return StoreStats{}, err
+	}
+	if ep != nil {
+		return StoreStats{}, ep.Err
+	}
+	stats := wire.DecodeStats(d)
+	return stats, d.Err()
+}
+
+// okStatsPayload is an empty option set — Stats carries no options
+// but the request layout always leads with one.
+func okStatsPayload() []byte {
+	var e wire.Enc
+	wire.EncodeCallOptions(&e, wire.CallOptions{})
+	return e.Bytes()
+}
+
+var _ Store = (*RemoteStore)(nil)

@@ -1,0 +1,513 @@
+package forkbase_test
+
+// Network-serving tests: the wire protocol's failure modes (malformed
+// frames, garbage op codes, oversized lengths, mid-request
+// disconnects), graceful shutdown, cancel propagation and goroutine
+// hygiene. The functional surface is covered by the conformance
+// suites, which run every scenario against a live loopback server.
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	forkbase "forkbase"
+	"forkbase/internal/wire"
+)
+
+// startServer serves backend on a loopback listener and returns the
+// address plus the server handle for shutdown assertions.
+func startServer(t *testing.T, backend forkbase.Store, opts forkbase.ServerOptions) (string, *forkbase.Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := forkbase.NewServer(backend, opts)
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		backend.Close()
+	})
+	return ln.Addr().String(), srv
+}
+
+// TestRemoteTortureMalformedFrames throws every class of wire garbage
+// at a live server and, after each attack, proves a healthy client on
+// ANOTHER connection still gets served. Nothing here may panic the
+// server: a framing violation costs the offending connection only.
+func TestRemoteTortureMalformedFrames(t *testing.T) {
+	addr, _ := startServer(t, forkbase.Open(), forkbase.ServerOptions{})
+	healthy, err := forkbase.Dial(addr, forkbase.RemoteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	ctx := context.Background()
+
+	checkHealthy := func(attack string) {
+		t.Helper()
+		key := fmt.Sprintf("k-%s", attack)
+		uid, err := healthy.Put(ctx, key, forkbase.String("alive"))
+		if err != nil {
+			t.Fatalf("after %s: healthy put: %v", attack, err)
+		}
+		o, err := healthy.Get(ctx, key)
+		if err != nil || o.UID() != uid {
+			t.Fatalf("after %s: healthy get: %v", attack, err)
+		}
+	}
+
+	raw := func(t *testing.T) net.Conn {
+		t.Helper()
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	// hello authenticates a raw connection so post-handshake garbage
+	// is exercised too.
+	hello := func(t *testing.T, c net.Conn) {
+		t.Helper()
+		var e wire.Enc
+		e.U32(wire.ProtoVersion)
+		e.Str("")
+		if err := wire.WriteFrame(c, 1, wire.OpHello, e.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := wire.ReadFrame(c, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expectClosed := func(t *testing.T, c net.Conn) {
+		t.Helper()
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 1024)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				if errors.Is(err, io.EOF) || strings.Contains(err.Error(), "reset") {
+					return
+				}
+				t.Fatalf("connection not closed: %v", err)
+			}
+		}
+	}
+
+	t.Run("RandomGarbage", func(t *testing.T) {
+		c := raw(t)
+		// An absurd length prefix followed by noise.
+		c.Write([]byte("\xff\xff\xff\xffnonsense stream that never frames"))
+		expectClosed(t, c)
+		checkHealthy("random-garbage")
+	})
+	t.Run("OversizedLength", func(t *testing.T) {
+		c := raw(t)
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(wire.DefaultMaxFrame+1))
+		c.Write(hdr[:])
+		expectClosed(t, c)
+		checkHealthy("oversized-length")
+	})
+	t.Run("TruncatedFrame", func(t *testing.T) {
+		c := raw(t)
+		hello(t, c)
+		// A frame claiming 100 bytes, delivering 20, then hanging up.
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], 100)
+		c.Write(hdr[:])
+		c.Write(make([]byte, 20))
+		c.Close()
+		checkHealthy("truncated-frame")
+	})
+	t.Run("BadCRC", func(t *testing.T) {
+		c := raw(t)
+		hello(t, c)
+		frame := wire.AppendFrame(nil, 7, wire.OpListKeys, okStatsOpts())
+		frame[len(frame)-1] ^= 0xff // corrupt the crc
+		c.Write(frame)
+		expectClosed(t, c)
+		checkHealthy("bad-crc")
+	})
+	t.Run("GarbageOpCode", func(t *testing.T) {
+		c := raw(t)
+		hello(t, c)
+		// Well-framed unknown ops get typed errors; the connection
+		// SURVIVES and later serves a real request.
+		for _, op := range []uint8{0, 99, 200, 255} {
+			if err := wire.WriteFrame(c, uint64(op)+10, op, nil); err != nil {
+				t.Fatal(err)
+			}
+			_, _, payload, err := wire.ReadFrame(c, 0)
+			if err != nil {
+				t.Fatalf("op %d killed the connection: %v", op, err)
+			}
+			if len(payload) == 0 || payload[0] != 1 {
+				t.Fatalf("op %d: expected error response", op)
+			}
+		}
+		if err := wire.WriteFrame(c, 1000, wire.OpListKeys, okStatsOpts()); err != nil {
+			t.Fatal(err)
+		}
+		_, _, payload, err := wire.ReadFrame(c, 0)
+		if err != nil || len(payload) == 0 || payload[0] != 0 {
+			t.Fatalf("connection unusable after garbage ops: %v", err)
+		}
+		checkHealthy("garbage-op")
+	})
+	t.Run("GarbagePayload", func(t *testing.T) {
+		c := raw(t)
+		hello(t, c)
+		// A known op with an undecodable payload fails the request,
+		// not the connection.
+		if err := wire.WriteFrame(c, 44, wire.OpGet, []byte{0xde, 0xad}); err != nil {
+			t.Fatal(err)
+		}
+		_, _, payload, err := wire.ReadFrame(c, 0)
+		if err != nil || len(payload) == 0 || payload[0] != 1 {
+			t.Fatalf("garbage payload: %v", err)
+		}
+		checkHealthy("garbage-payload")
+	})
+	t.Run("RequestBeforeHello", func(t *testing.T) {
+		c := raw(t)
+		if err := wire.WriteFrame(c, 5, wire.OpListKeys, okStatsOpts()); err != nil {
+			t.Fatal(err)
+		}
+		// One error response, then the server hangs up.
+		_, _, payload, err := wire.ReadFrame(c, 0)
+		if err != nil || len(payload) == 0 || payload[0] != 1 {
+			t.Fatalf("pre-hello request: %v", err)
+		}
+		expectClosed(t, c)
+		checkHealthy("pre-hello")
+	})
+	t.Run("MidRequestDisconnect", func(t *testing.T) {
+		// A full valid request whose connection dies before the
+		// response: the handler must abort via ctx, not linger.
+		gate := make(chan struct{})
+		bs := newBlockingStore(forkbase.Open(), gate)
+		addr2, _ := startServer(t, bs, forkbase.ServerOptions{})
+		rc, err := forkbase.Dial(addr2, forkbase.RemoteConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rc.Put(context.Background(), "k", forkbase.String("v")); err != nil {
+			t.Fatal(err)
+		}
+		bs.block.Store(true)
+		done := make(chan error, 1)
+		go func() {
+			_, err := rc.Get(context.Background(), "k")
+			done <- err
+		}()
+		<-bs.entered // the handler is inside Get
+		rc.Close()   // mid-request disconnect
+		if err := <-done; err == nil {
+			t.Fatal("get survived its connection")
+		}
+		select {
+		case <-bs.aborted: // handler observed ctx cancellation
+		case <-time.After(5 * time.Second):
+			t.Fatal("server handler not cancelled by disconnect")
+		}
+		close(gate)
+		checkHealthy("mid-request-disconnect")
+	})
+}
+
+// okStatsOpts encodes an empty option set — the minimal valid request
+// payload for option-only ops.
+func okStatsOpts() []byte {
+	var e wire.Enc
+	wire.EncodeCallOptions(&e, wire.CallOptions{})
+	return e.Bytes()
+}
+
+// blockingStore wraps a Store with a Get that parks until its gate
+// opens or ctx cancels, signalling both events — the probe for drain
+// and cancel-propagation tests.
+type blockingStore struct {
+	forkbase.Store
+	gate chan struct{}
+
+	block       boolFlag
+	abortedOnce sync.Once
+	aborted     chan struct{}
+	entered     chan struct{}
+}
+
+func newBlockingStore(backend forkbase.Store, gate chan struct{}) *blockingStore {
+	return &blockingStore{
+		Store:   backend,
+		gate:    gate,
+		aborted: make(chan struct{}),
+		entered: make(chan struct{}, 16),
+	}
+}
+
+type boolFlag struct {
+	mu sync.Mutex
+	v  bool
+}
+
+func (b *boolFlag) Store(v bool) { b.mu.Lock(); b.v = v; b.mu.Unlock() }
+func (b *boolFlag) Load() bool   { b.mu.Lock(); defer b.mu.Unlock(); return b.v }
+
+func (bs *blockingStore) Get(ctx context.Context, key string, opts ...forkbase.Option) (*forkbase.FObject, error) {
+	if bs.block.Load() {
+		bs.entered <- struct{}{}
+		select {
+		case <-bs.gate:
+		case <-ctx.Done():
+			bs.abortedOnce.Do(func() { close(bs.aborted) })
+			return nil, ctx.Err()
+		}
+	}
+	return bs.Store.Get(ctx, key, opts...)
+}
+
+// TestRemoteCancelPropagation proves a client-side ctx cancel aborts
+// the request server-side: the handler's context fires while the
+// request is executing, and the client returns context.Canceled
+// immediately rather than waiting the call out.
+func TestRemoteCancelPropagation(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	bs := newBlockingStore(forkbase.Open(), gate)
+	addr, _ := startServer(t, bs, forkbase.ServerOptions{})
+	rc, err := forkbase.Dial(addr, forkbase.RemoteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	ctx := context.Background()
+	if _, err := rc.Put(ctx, "k", forkbase.String("v")); err != nil {
+		t.Fatal(err)
+	}
+	bs.block.Store(true)
+	cctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := rc.Get(cctx, "k")
+		done <- err
+	}()
+	<-bs.entered
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled remote get: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client did not observe its own cancel")
+	}
+	select {
+	case <-bs.aborted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OpCancel did not reach the server handler")
+	}
+	// The connection it travelled on still works.
+	bs.block.Store(false)
+	if _, err := rc.Get(ctx, "k"); err != nil {
+		t.Fatalf("connection unusable after cancel: %v", err)
+	}
+}
+
+// TestRemoteGracefulShutdown: Shutdown waits for in-flight requests,
+// flushes their responses, refuses new work with ErrServerClosed, and
+// leaks no goroutines.
+func TestRemoteGracefulShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+	gate := make(chan struct{})
+	bs := newBlockingStore(forkbase.Open(), gate)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := forkbase.NewServer(bs, forkbase.ServerOptions{})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	rc, err := forkbase.Dial(ln.Addr().String(), forkbase.RemoteConfig{Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := rc.Put(ctx, "k", forkbase.String("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Park one request inside the store, then start the drain.
+	bs.block.Store(true)
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := rc.Get(ctx, "k")
+		inflight <- err
+	}()
+	<-bs.entered
+	bs.block.Store(false)
+	shutdownDone := make(chan error, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(sctx)
+	}()
+	// The drain must wait for the parked request...
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("shutdown did not wait for in-flight work: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// ...and once released, the response reaches the client.
+	gate <- struct{}{}
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request lost during drain: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; !errors.Is(err, forkbase.ErrServerClosed) {
+		t.Fatalf("Serve returned %v", err)
+	}
+	// New work is refused.
+	if _, err := rc.Get(ctx, "k"); err == nil {
+		t.Fatal("get served after shutdown")
+	}
+	rc.Close()
+	bs.Store.Close()
+	// Goroutine hygiene: everything the server and client spawned is
+	// gone (polling, since conn teardown is asynchronous).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d -> %d\n%s", before, runtime.NumGoroutine(),
+				buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRemoteAuth: a server with an auth token refuses bad and missing
+// tokens at the handshake and serves matching ones.
+func TestRemoteAuth(t *testing.T) {
+	addr, _ := startServer(t, forkbase.Open(), forkbase.ServerOptions{AuthToken: "sesame"})
+	if _, err := forkbase.Dial(addr, forkbase.RemoteConfig{}); !errors.Is(err, forkbase.ErrAccessDenied) {
+		t.Fatalf("tokenless dial: %v", err)
+	}
+	if _, err := forkbase.Dial(addr, forkbase.RemoteConfig{AuthToken: "wrong"}); !errors.Is(err, forkbase.ErrAccessDenied) {
+		t.Fatalf("bad-token dial: %v", err)
+	}
+	rc, err := forkbase.Dial(addr, forkbase.RemoteConfig{AuthToken: "sesame"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, err := rc.Put(context.Background(), "k", forkbase.String("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteCustomResolverRejected: resolvers are functions; only the
+// built-ins can cross the wire, and the rejection is local and typed.
+func TestRemoteCustomResolverRejected(t *testing.T) {
+	addr, _ := startServer(t, forkbase.Open(), forkbase.ServerOptions{})
+	rc, err := forkbase.Dial(addr, forkbase.RemoteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	custom := func(c forkbase.Conflict) ([]byte, bool) { return c.A, true }
+	_, _, err = rc.Merge(context.Background(), "k", "master", forkbase.WithResolver(custom))
+	if !errors.Is(err, forkbase.ErrBadOptions) {
+		t.Fatalf("custom resolver: %v", err)
+	}
+}
+
+// TestRemotePipelining floods one connection with concurrent requests
+// and checks every response lands on its caller — the request-id
+// multiplexing under real contention.
+func TestRemotePipelining(t *testing.T) {
+	addr, _ := startServer(t, forkbase.Open(), forkbase.ServerOptions{})
+	rc, err := forkbase.Dial(addr, forkbase.RemoteConfig{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	ctx := context.Background()
+	const workers, per = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("w%d", w)
+			for i := 0; i < per; i++ {
+				want := fmt.Sprintf("%d-%d", w, i)
+				if _, err := rc.Put(ctx, key, forkbase.String(want)); err != nil {
+					errs <- fmt.Errorf("put %s: %w", want, err)
+					return
+				}
+				o, err := rc.Get(ctx, key)
+				if err != nil {
+					errs <- fmt.Errorf("get %s: %w", want, err)
+					return
+				}
+				if string(o.Data) != want {
+					errs <- fmt.Errorf("cross-talk: key %s got %q want %q", key, o.Data, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Each worker's history is its own, fully intact.
+	for w := 0; w < workers; w++ {
+		hist, err := rc.Track(ctx, fmt.Sprintf("w%d", w), 0, per)
+		if err != nil || len(hist) != per {
+			t.Fatalf("worker %d history: %d versions, %v", w, len(hist), err)
+		}
+	}
+}
+
+// TestRemoteServerOfCluster serves a ClusterClient — the daemon's
+// dispatcher role from the paper: network clients in front, the
+// (simulated) servlet cluster behind.
+func TestRemoteServerOfCluster(t *testing.T) {
+	cc, err := forkbase.OpenCluster(forkbase.ClusterConfig{Nodes: 3, TwoLayer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := startServer(t, cc, forkbase.ServerOptions{})
+	rc, err := forkbase.Dial(addr, forkbase.RemoteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := rc.Put(ctx, fmt.Sprintf("k%d", i), forkbase.String("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := rc.ListKeys(ctx)
+	if err != nil || len(keys) != 20 {
+		t.Fatalf("cluster behind server: %d keys, %v", len(keys), err)
+	}
+}

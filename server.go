@@ -1,0 +1,654 @@
+package forkbase
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"forkbase/internal/wire"
+)
+
+// ErrServerClosed is the typed error a draining server answers new
+// requests with; in-flight requests still complete. It round-trips to
+// clients, so a RemoteStore caller can tell "server going away" from
+// a data error and fail over.
+var ErrServerClosed = wire.ErrShutdown
+
+// ServerOptions configures NewServer.
+type ServerOptions struct {
+	// AuthToken, when non-empty, must be presented by every
+	// connection's Hello before any request is served. The protocol is
+	// plaintext: the token gates accidental cross-talk, it is not a
+	// substitute for a trusted network (see README, "Serving over the
+	// network").
+	AuthToken string
+	// MaxFrame caps a single request or response frame in bytes; 0
+	// means wire.DefaultMaxFrame (256 MiB). Values a client ships in
+	// one Put must fit in one frame.
+	MaxFrame int
+	// Logf, when set, receives connection-level diagnostics (framing
+	// violations, disconnects). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server exposes any Store — an embedded *DB, a ClusterClient, even
+// another RemoteStore — over the forkbase wire protocol. This is the
+// paper's dispatcher made real (§4.1): requests arrive over TCP,
+// carry the user identity the access controller checks, and execute
+// against the wrapped store with full pipelining — many in-flight
+// requests per connection, each answered as it completes.
+//
+//	srv := forkbase.NewServer(db, forkbase.ServerOptions{})
+//	ln, _ := net.Listen("tcp", ":7707")
+//	go srv.Serve(ln)
+//	...
+//	srv.Shutdown(ctx) // graceful: drain in-flight, refuse new work
+type Server struct {
+	st   Store
+	opts ServerOptions
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*serverConn]struct{}
+	draining bool
+	closed   bool
+
+	inflight sync.WaitGroup // request handlers across all connections
+	connWG   sync.WaitGroup // connection read loops
+}
+
+// NewServer returns a server over st. The store stays owned by the
+// caller: Shutdown/Close never close it, so one store can outlive —
+// or be shared by — several listeners.
+func NewServer(st Store, opts ServerOptions) *Server {
+	return &Server{st: st, opts: opts, conns: make(map[*serverConn]struct{})}
+}
+
+// Serve accepts connections on ln until Shutdown or Close. It always
+// returns a non-nil error; after a clean Shutdown that error is
+// ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	var retryDelay time.Duration
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopped := s.draining || s.closed
+			s.mu.Unlock()
+			if stopped {
+				return ErrServerClosed
+			}
+			// Transient accept failures (fd exhaustion under load,
+			// ECONNABORTED) must not kill a daemon with established
+			// clients; back off and retry, the way net/http does.
+			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+				if retryDelay == 0 {
+					retryDelay = 5 * time.Millisecond
+				} else if retryDelay *= 2; retryDelay > time.Second {
+					retryDelay = time.Second
+				}
+				s.logf("forkserved: accept: %v; retrying in %v", err, retryDelay)
+				time.Sleep(retryDelay)
+				continue
+			}
+			return err
+		}
+		retryDelay = 0
+		sc := s.newConn(c)
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		s.conns[sc] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go sc.readLoop()
+	}
+}
+
+// Shutdown drains the server: the listener closes, requests already
+// executing run to completion and their responses are flushed, and
+// new requests are refused with ErrServerClosed. It returns nil once
+// every in-flight request has finished, or ctx.Err() if the drain
+// outlives ctx — in which case the remaining work is cut off as Close
+// would.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.closeConns()
+	s.connWG.Wait()
+	return err
+}
+
+// Close stops the server immediately: the listener and every
+// connection close, cancelling in-flight requests.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.closeConns()
+	s.connWG.Wait()
+	return nil
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	for _, sc := range conns {
+		sc.close()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// serverConn is one client connection: a read loop feeding pipelined
+// request handlers, a write mutex serializing their response frames,
+// and a cancel registry so OpCancel (or the connection dropping)
+// aborts exactly the in-flight work it should.
+type serverConn struct {
+	srv *Server
+	c   net.Conn
+	br  *bufio.Reader
+
+	ctx    context.Context // cancelled when the connection dies
+	cancel context.CancelFunc
+
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	inflight map[uint64]context.CancelFunc
+	authed   bool
+	closed   bool
+}
+
+func (s *Server) newConn(c net.Conn) *serverConn {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &serverConn{
+		srv:      s,
+		c:        c,
+		br:       bufio.NewReader(c),
+		ctx:      ctx,
+		cancel:   cancel,
+		inflight: make(map[uint64]context.CancelFunc),
+	}
+}
+
+// close tears the connection down and cancels its in-flight requests.
+func (sc *serverConn) close() {
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return
+	}
+	sc.closed = true
+	sc.mu.Unlock()
+	sc.cancel() // aborts handlers blocked in ctx-aware walks
+	sc.c.Close()
+	sc.srv.mu.Lock()
+	delete(sc.srv.conns, sc)
+	sc.srv.mu.Unlock()
+}
+
+// readLoop parses frames until the connection dies. Framing
+// violations close this connection only — the stream cannot be
+// resynchronized — while well-framed garbage (unknown ops, undecodable
+// payloads) is answered with a typed error and the connection lives.
+func (sc *serverConn) readLoop() {
+	defer sc.srv.connWG.Done()
+	defer sc.close()
+	for {
+		reqID, op, payload, err := wire.ReadFrame(sc.br, sc.srv.opts.MaxFrame)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !sc.isClosed() {
+				sc.srv.logf("forkserved: %s: %v", sc.c.RemoteAddr(), err)
+			}
+			return
+		}
+		switch {
+		case op == wire.OpCancel:
+			// Abort the named request; no response of its own.
+			d := wire.NewDec(payload)
+			target := d.U64()
+			if d.Err() == nil {
+				sc.mu.Lock()
+				if cancel := sc.inflight[target]; cancel != nil {
+					cancel()
+				}
+				sc.mu.Unlock()
+			}
+		case op == wire.OpHello:
+			if !sc.hello(reqID, payload) {
+				return
+			}
+		case !sc.isAuthed():
+			// Requests before a successful Hello are a protocol
+			// violation; refuse and hang up.
+			sc.respondErr(reqID, op, fmt.Errorf("%w: hello required before requests", ErrAccessDenied), nil, UID{})
+			return
+		case !wire.KnownOp(op):
+			sc.respondErr(reqID, op, fmt.Errorf("%w: unknown op %d", wire.ErrCodec, op), nil, UID{})
+		case !sc.srv.admit():
+			sc.respondErr(reqID, op, ErrServerClosed, nil, UID{})
+		default:
+			// The in-flight slot is held (admit). Register the
+			// request's cancel func HERE, on the read loop, before the
+			// handler goroutine exists: an OpCancel frame can arrive
+			// on this same loop immediately after the request, and a
+			// registration done inside the handler would race it —
+			// losing the cancel and walking a deep history for a
+			// client that already hung up.
+			ctx, cancel := context.WithCancel(sc.ctx)
+			sc.mu.Lock()
+			sc.inflight[reqID] = cancel
+			sc.mu.Unlock()
+			go sc.handle(ctx, cancel, reqID, op, payload)
+		}
+	}
+}
+
+func (sc *serverConn) isClosed() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.closed
+}
+
+func (sc *serverConn) isAuthed() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.authed
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
+}
+
+// admit reserves an in-flight slot for a new request unless the
+// server is draining. The check and the WaitGroup Add happen under
+// the same lock Shutdown takes to set draining, so once Shutdown's
+// Wait begins no further Add can slip in — which is both what keeps
+// the drain contract (every admitted request finishes and flushes)
+// and what makes the Add/Wait pair race-free.
+func (s *Server) admit() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// hello performs the version/auth handshake. Returns false when the
+// connection must close (bad version or bad token).
+func (sc *serverConn) hello(reqID uint64, payload []byte) bool {
+	d := wire.NewDec(payload)
+	version := d.U32()
+	token := d.Str()
+	if err := d.Err(); err != nil {
+		sc.respondErr(reqID, wire.OpHello, err, nil, UID{})
+		return false
+	}
+	if version != wire.ProtoVersion {
+		sc.respondErr(reqID, wire.OpHello,
+			fmt.Errorf("%w: protocol version %d, server speaks %d", wire.ErrCodec, version, wire.ProtoVersion), nil, UID{})
+		return false
+	}
+	if sc.srv.opts.AuthToken != "" && token != sc.srv.opts.AuthToken {
+		sc.respondErr(reqID, wire.OpHello, fmt.Errorf("%w: bad auth token", ErrAccessDenied), nil, UID{})
+		return false
+	}
+	sc.mu.Lock()
+	sc.authed = true
+	sc.mu.Unlock()
+	var e wire.Enc
+	e.U8(0)
+	e.Str("forkbase/1")
+	sc.write(reqID, wire.OpHello, e.Bytes())
+	return true
+}
+
+// handle executes one pipelined request on its own goroutine; its
+// cancel func was registered by the read loop before spawn.
+func (sc *serverConn) handle(ctx context.Context, cancel context.CancelFunc, reqID uint64, op uint8, payload []byte) {
+	defer sc.srv.inflight.Done()
+	defer func() {
+		sc.mu.Lock()
+		delete(sc.inflight, reqID)
+		sc.mu.Unlock()
+		cancel()
+	}()
+	sc.write(reqID, op, sc.srv.dispatch(ctx, op, payload))
+}
+
+func (sc *serverConn) write(reqID uint64, op uint8, payload []byte) {
+	if max := wire.MaxPayload(sc.srv.opts.MaxFrame); len(payload) > max {
+		// An oversized response frame would make the client drop the
+		// whole connection (stream desync), failing its other
+		// in-flight requests; downgrade to a typed per-request error.
+		payload = errPayload(fmt.Errorf("response of %d bytes exceeds the %d-byte frame cap", len(payload), max), nil, UID{})
+	}
+	sc.writeMu.Lock()
+	defer sc.writeMu.Unlock()
+	if err := wire.WriteFrame(sc.c, reqID, op, payload); err != nil {
+		// The read loop (or close) will notice; nothing to salvage here.
+		sc.srv.logf("forkserved: write to %s: %v", sc.c.RemoteAddr(), err)
+	}
+}
+
+func (sc *serverConn) respondErr(reqID uint64, op uint8, err error, conflicts []Conflict, uid UID) {
+	sc.write(reqID, op, errPayload(err, conflicts, uid))
+}
+
+// --- request dispatch -------------------------------------------------
+
+func okPayload(fill func(e *wire.Enc)) []byte {
+	var e wire.Enc
+	e.U8(0)
+	if fill != nil {
+		fill(&e)
+	}
+	return e.Bytes()
+}
+
+func errPayload(err error, conflicts []Conflict, uid UID) []byte {
+	var e wire.Enc
+	e.U8(1)
+	wire.EncodeError(&e, err, conflicts, uid)
+	return e.Bytes()
+}
+
+// callOptions reconstructs the per-call option slice a request's
+// CallOptions describe — including WithUser, which is what routes the
+// request through the wrapped store's access controller.
+func callOptions(o wire.CallOptions) ([]Option, error) {
+	var opts []Option
+	if o.User != "" {
+		opts = append(opts, WithUser(o.User))
+	}
+	if o.BranchSet {
+		opts = append(opts, WithBranch(o.Branch))
+	}
+	for _, b := range o.Bases {
+		opts = append(opts, WithBase(b))
+	}
+	if o.Guard != nil {
+		opts = append(opts, WithGuard(*o.Guard))
+	}
+	if o.Meta != nil {
+		opts = append(opts, WithMeta(string(o.Meta)))
+	}
+	if o.Resolver != wire.ResolverNone {
+		r := wire.ResolverFromCode(o.Resolver)
+		if r == nil {
+			return nil, fmt.Errorf("%w: unknown resolver code %d", ErrBadOptions, o.Resolver)
+		}
+		opts = append(opts, WithResolver(r))
+	}
+	return opts, nil
+}
+
+// dispatch decodes one request, runs it against the wrapped store and
+// returns the response payload. Decode failures — truncated or
+// garbage payloads inside intact frames — fail the request, never the
+// process: every decoder is bounds-checked by construction.
+func (s *Server) dispatch(ctx context.Context, op uint8, payload []byte) []byte {
+	d := wire.NewDec(payload)
+	co := wire.DecodeCallOptions(d)
+	opts, err := callOptions(co)
+	if err == nil {
+		err = d.Err()
+	}
+	if err != nil {
+		return errPayload(err, nil, UID{})
+	}
+	fail := func(err error) []byte { return errPayload(err, nil, UID{}) }
+	switch op {
+	case wire.OpGet:
+		key := d.Str()
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		o, err := s.st.Get(ctx, key, opts...)
+		if err != nil {
+			return fail(err)
+		}
+		return okPayload(func(e *wire.Enc) { wire.EncodeFObject(e, o) })
+	case wire.OpPut:
+		key := d.Str()
+		v, verr := wire.DecodeValue(d)
+		if verr == nil {
+			verr = d.Err()
+		}
+		if verr != nil {
+			return fail(verr)
+		}
+		uid, err := s.st.Put(ctx, key, v, opts...)
+		if err != nil {
+			return errPayload(err, nil, uid)
+		}
+		return okPayload(func(e *wire.Enc) { e.UID(uid) })
+	case wire.OpApply:
+		n := d.Count(4)
+		b := NewBatch()
+		for i := 0; i < n; i++ {
+			key := d.Str()
+			putOpts, oerr := callOptions(wire.DecodeCallOptions(d))
+			v, verr := wire.DecodeValue(d)
+			if verr == nil {
+				verr = oerr
+			}
+			if verr == nil {
+				verr = d.Err()
+			}
+			if verr != nil {
+				return fail(verr)
+			}
+			b.Put(key, v, putOpts...)
+		}
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		uids, err := s.st.Apply(ctx, b, opts...)
+		if err != nil {
+			return fail(err)
+		}
+		return okPayload(func(e *wire.Enc) { wire.EncodeUIDs(e, uids) })
+	case wire.OpFork:
+		key, newBranch := d.Str(), d.Str()
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		if err := s.st.Fork(ctx, key, newBranch, opts...); err != nil {
+			return fail(err)
+		}
+		return okPayload(nil)
+	case wire.OpMerge:
+		key, tgt := d.Str(), d.Str()
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		uid, conflicts, err := s.st.Merge(ctx, key, tgt, opts...)
+		if err != nil {
+			return errPayload(err, conflicts, uid)
+		}
+		return okPayload(func(e *wire.Enc) { e.UID(uid) })
+	case wire.OpTrack:
+		key := d.Str()
+		from, to := int(d.I64()), int(d.I64())
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		hist, err := s.st.Track(ctx, key, from, to, opts...)
+		if err != nil {
+			return fail(err)
+		}
+		return okPayload(func(e *wire.Enc) {
+			e.U32(uint32(len(hist)))
+			for _, o := range hist {
+				wire.EncodeFObject(e, o)
+			}
+		})
+	case wire.OpDiff:
+		key := d.Str()
+		a, b := d.UID(), d.UID()
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		df, err := s.st.Diff(ctx, key, a, b, opts...)
+		if err != nil {
+			return fail(err)
+		}
+		return okPayload(func(e *wire.Enc) { wire.EncodeDiff(e, df) })
+	case wire.OpListKeys:
+		keys, err := s.st.ListKeys(ctx, opts...)
+		if err != nil {
+			return fail(err)
+		}
+		return okPayload(func(e *wire.Enc) {
+			e.U32(uint32(len(keys)))
+			for _, k := range keys {
+				e.Str(k)
+			}
+		})
+	case wire.OpListBranches:
+		key := d.Str()
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		bl, err := s.st.ListBranches(ctx, key, opts...)
+		if err != nil {
+			return fail(err)
+		}
+		return okPayload(func(e *wire.Enc) {
+			wire.EncodeTaggedBranches(e, bl.Tagged)
+			wire.EncodeUIDs(e, bl.Untagged)
+		})
+	case wire.OpRenameBranch:
+		key, br, newName := d.Str(), d.Str(), d.Str()
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		if err := s.st.RenameBranch(ctx, key, br, newName, opts...); err != nil {
+			return fail(err)
+		}
+		return okPayload(nil)
+	case wire.OpRemoveBranch:
+		key, br := d.Str(), d.Str()
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		if err := s.st.RemoveBranch(ctx, key, br, opts...); err != nil {
+			return fail(err)
+		}
+		return okPayload(nil)
+	case wire.OpPin, wire.OpUnpin:
+		key, uid := d.Str(), d.UID()
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		var err error
+		if op == wire.OpPin {
+			err = s.st.Pin(ctx, key, uid, opts...)
+		} else {
+			err = s.st.Unpin(ctx, key, uid, opts...)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return okPayload(nil)
+	case wire.OpGC:
+		stats, err := s.st.GC(ctx, opts...)
+		if err != nil {
+			return fail(err)
+		}
+		return okPayload(func(e *wire.Enc) { wire.EncodeGCStats(e, stats) })
+	case wire.OpValue:
+		key, uid := d.Str(), d.UID()
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		// Only the user identity applies here: the version is named by
+		// uid, and forwarding the caller's branch/base options into the
+		// internal Get would redirect it to a different version (or
+		// trip ErrBadOptions) — semantics the embedded Value does not
+		// have.
+		var userOpts []Option
+		if co.User != "" {
+			userOpts = append(userOpts, WithUser(co.User))
+		}
+		o, err := s.st.Get(ctx, key, append(userOpts[:len(userOpts):len(userOpts)], WithBase(uid))...)
+		if err != nil {
+			return fail(err)
+		}
+		v, err := s.st.Value(ctx, key, o, userOpts...)
+		if err != nil {
+			return fail(err)
+		}
+		return okPayload2(func(e *wire.Enc) error { return wire.EncodeValue(e, v) })
+	case wire.OpStats:
+		type statser interface{ Stats() StoreStats }
+		ss, ok := s.st.(statser)
+		if !ok {
+			return fail(fmt.Errorf("%w: backend %T has no storage counters", wire.ErrUnsupported, s.st))
+		}
+		stats := ss.Stats()
+		return okPayload(func(e *wire.Enc) { wire.EncodeStats(e, stats) })
+	}
+	return fail(fmt.Errorf("%w: unhandled op %d", wire.ErrCodec, op))
+}
+
+// okPayload2 is okPayload for encoders that can fail mid-way (value
+// materialization reads chunks); the failure downgrades the response
+// to an error payload.
+func okPayload2(fill func(e *wire.Enc) error) []byte {
+	var e wire.Enc
+	e.U8(0)
+	if err := fill(&e); err != nil {
+		return errPayload(err, nil, UID{})
+	}
+	return e.Bytes()
+}
