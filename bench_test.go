@@ -406,3 +406,5 @@ func BenchmarkRemoteGet(b *testing.B) {
 }
 
 func BenchmarkNetExperiment(b *testing.B) { runExperiment(b, bench.RunNet) }
+
+func BenchmarkChunkSyncExperiment(b *testing.B) { runExperiment(b, bench.RunChunkSync) }

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"forkbase/internal/bench"
@@ -43,6 +45,7 @@ var experiments = []struct {
 	{"gc", bench.RunGC},
 	{"recover", bench.RunRecover},
 	{"net", bench.RunNet},
+	{"chunksync", bench.RunChunkSync},
 	{"ablations", runAblations},
 }
 
@@ -63,6 +66,7 @@ func runAblations(w io.Writer, s bench.Scale) error {
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
+	jsonDir := flag.String("json", "", "also write BENCH_<experiment>.json snapshots into this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: forkbench [-scale quick|paper] [experiment ...]\nexperiments:")
 		for _, e := range experiments {
@@ -80,12 +84,32 @@ func main() {
 	want := flag.Args()
 	run := func(name string, fn func(io.Writer, bench.Scale) error) {
 		fmt.Printf("=== %s ===\n", name)
+		if *jsonDir != "" {
+			bench.Sink = &bench.Metrics{Experiment: name, Scale: scale.String()}
+		}
 		t0 := time.Now()
 		if err := fn(os.Stdout, scale); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Printf("(%s took %.1fs)\n\n", name, time.Since(t0).Seconds())
+		if sink := bench.Sink; sink != nil {
+			bench.Sink = nil
+			if len(sink.Rows) == 0 {
+				return // experiment has no machine-readable series
+			}
+			out, err := json.MarshalIndent(sink, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: snapshot: %v\n", name, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+			if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: snapshot: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
 	}
 	if len(want) == 0 {
 		for _, e := range experiments {

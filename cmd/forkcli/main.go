@@ -8,14 +8,20 @@
 // Usage:
 //
 //	forkcli [-path dir | -cluster n | -connect host:port] [-user name]
-//	        [-token t] [-cache bytes] [-verify]
+//	        [-token t] [-cache bytes] [-verify] [-chunksync]
+//	        [-chunkcache dir]
 //
 // Without -path the store is in-memory and vanishes on exit; with it,
 // versions persist in a log-structured chunk store and remain reachable
 // by uid across runs. With -cluster n, requests dispatch to n
 // in-process servlets by key hash. With -connect, every subcommand
 // below runs against the remote daemon (-token supplies its -auth
-// token); -user still selects the identity its ACL checks.
+// token); -user still selects the identity its ACL checks. Adding
+// -chunksync moves large values chunk-by-chunk — only chunks the other
+// side is missing cross the wire — and -chunkcache keeps the fetched
+// chunks in a directory that outlives the session, so repeat reads of
+// barely-changed objects transfer only their deltas (-cache bounds
+// that cache's in-memory tier).
 //
 // Commands:
 //
@@ -64,12 +70,19 @@ func main() {
 	user := flag.String("user", "", "user the requests run as")
 	cacheBytes := flag.Int64("cache", 0, "chunk-cache byte budget on the read path (0 = off)")
 	verify := flag.Bool("verify", false, "re-verify every chunk read against its cid")
+	chunkSync := flag.Bool("chunksync", false, "with -connect: transfer chunk deltas instead of whole values")
+	chunkCache := flag.String("chunkcache", "", "with -connect: persist fetched chunks in this directory (implies -chunksync)")
 	flag.Parse()
 
 	var st forkbase.Store
 	switch {
 	case *connect != "":
-		rs, err := forkbase.Dial(*connect, forkbase.RemoteConfig{AuthToken: *token})
+		rs, err := forkbase.Dial(*connect, forkbase.RemoteConfig{
+			AuthToken:       *token,
+			ChunkSync:       *chunkSync,
+			ChunkCacheDir:   *chunkCache,
+			ChunkCacheBytes: *cacheBytes,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -27,6 +27,9 @@
 //	-gc-threshold r    segment compaction live-ratio threshold
 //	-auto-gc n         run GC after every n branch removals
 //	-max-frame bytes   largest request/response frame accepted
+//	-chunksync         offer chunk-granular delta transfer (default
+//	                   true; capable clients then move only chunks
+//	                   the other side is missing)
 //	-drain d           graceful-shutdown drain budget (default 30s)
 //
 // On SIGTERM or SIGINT the daemon drains: the listener closes,
@@ -67,6 +70,7 @@ func main() {
 	gcThreshold := flag.Float64("gc-threshold", 0, "segment compaction live-ratio threshold (0 = default)")
 	autoGC := flag.Int("auto-gc", 0, "run GC after every n branch removals (0 = off)")
 	maxFrame := flag.Int("max-frame", 0, "largest request/response frame in bytes (0 = 256 MiB)")
+	chunkSync := flag.Bool("chunksync", true, "offer chunk-granular delta transfer to capable clients")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
@@ -119,9 +123,10 @@ func main() {
 		log.Fatalf("forkserved: listen: %v", err)
 	}
 	srv := forkbase.NewServer(st, forkbase.ServerOptions{
-		AuthToken: *auth,
-		MaxFrame:  *maxFrame,
-		Logf:      log.Printf,
+		AuthToken:        *auth,
+		MaxFrame:         *maxFrame,
+		DisableChunkSync: !*chunkSync,
+		Logf:             log.Printf,
 	})
 
 	backend := "in-memory"

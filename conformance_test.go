@@ -35,6 +35,11 @@ func stores(t *testing.T, acl *forkbase.ACL) map[string]forkbase.Store {
 		"embedded": forkbase.Open(forkbase.Options{ACL: acl}),
 		"cluster":  cc,
 		"remote":   remoteStore(t, forkbase.Open(forkbase.Options{ACL: acl})),
+		// Same wire protocol, but with chunk-granular transfer active:
+		// chunkable values move as POS-Tree deltas through a client-side
+		// chunk cache. Every scenario — guarded-put races, ACL denials,
+		// GC reclamation, typed errors — must behave identically.
+		"remote+chunksync": remoteStoreChunked(t, forkbase.Open(forkbase.Options{ACL: acl})),
 	}
 }
 
@@ -42,13 +47,30 @@ func stores(t *testing.T, acl *forkbase.ACL) map[string]forkbase.Store {
 // Cleanup shuts the server down gracefully and closes the backend.
 func remoteStore(t *testing.T, backend forkbase.Store) *forkbase.RemoteStore {
 	t.Helper()
+	return remoteStoreCfg(t, backend, forkbase.RemoteConfig{Conns: 2})
+}
+
+// remoteStoreChunked is remoteStore with chunk sync and an on-disk
+// client chunk cache enabled.
+func remoteStoreChunked(t *testing.T, backend forkbase.Store) *forkbase.RemoteStore {
+	t.Helper()
+	return remoteStoreCfg(t, backend, forkbase.RemoteConfig{
+		Conns:           2,
+		ChunkSync:       true,
+		ChunkCacheDir:   t.TempDir(),
+		ChunkCacheBytes: 8 << 20,
+	})
+}
+
+func remoteStoreCfg(t *testing.T, backend forkbase.Store, cfg forkbase.RemoteConfig) *forkbase.RemoteStore {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	srv := forkbase.NewServer(backend, forkbase.ServerOptions{})
 	go srv.Serve(ln)
-	rs, err := forkbase.Dial(ln.Addr().String(), forkbase.RemoteConfig{Conns: 2})
+	rs, err := forkbase.Dial(ln.Addr().String(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -395,6 +395,26 @@ func (db *DB) Engine() *core.Engine { return db.eng }
 // Stats returns chunk-storage counters, including deduplication rates.
 func (db *DB) Stats() StoreStats { return db.eng.Store().Stats() }
 
+// --- chunkBackend (chunk-granular serving) --------------------------
+//
+// These methods let a Server wrapping this DB serve the chunk-granular
+// transfer ops (OpChunkHave/Want/Send/PutChunked): direct access to
+// the chunk store, transient GC shields for negotiated-but-uncommitted
+// chunks, and the per-key access check the materialized ops would run.
+
+func (db *DB) chunkStore() store.Store       { return db.eng.Store() }
+func (db *DB) treeConfig() postree.Config    { return db.eng.Config() }
+func (db *DB) shieldChunks(ids []chunk.ID)   { db.eng.ShieldUIDs(ids) }
+func (db *DB) unshieldChunks(ids []chunk.ID) { db.eng.UnshieldUIDs(ids) }
+
+func (db *DB) checkChunkAccess(user, key string, write bool) error {
+	need := PermRead
+	if write {
+		need = PermWrite
+	}
+	return db.check(user, key, "", need)
+}
+
 // --- deprecated method zoo ------------------------------------------
 //
 // The original API exposed one method per Table 1 operation. They

@@ -1,0 +1,245 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+
+	"forkbase"
+)
+
+// RunChunkSync measures what the have/want delta-sync subsystem buys
+// on versioned workloads: the bytes a client actually moves over the
+// wire, full-ship Value/Put against chunk-granular transfer. Two
+// experiments:
+//
+//  1. Bytes-on-wire vs object size — after a 1% in-place edit lands on
+//     the server, how much does re-reading the object cost? Full-ship
+//     re-downloads everything; chunk sync re-fetches only the chunks
+//     the edit produced (the POS-Tree shares the rest), so its cost is
+//     near-constant while full-ship grows linearly.
+//  2. A wiki-style edit stream — one document, a run of small edits,
+//     the reader re-syncing after each — accumulated wire bytes in
+//     both directions (delta puts for the writer, delta re-reads for
+//     the reader).
+func RunChunkSync(w io.Writer, scale Scale) error {
+	sizes := []int{256 << 10, 1 << 20, 4 << 20}
+	if scale == Paper {
+		sizes = []int{1 << 20, 4 << 20, 16 << 20, 64 << 20}
+	}
+	edits := scale.pick(10, 50)
+
+	backend := forkbase.Open()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := forkbase.NewServer(backend, forkbase.ServerOptions{})
+	go srv.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(bgCtx, 10*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+		backend.Close()
+	}()
+	addr := ln.Addr().String()
+
+	fmt.Fprintln(w, "ChunkSync: bytes on the wire to re-read after a 1% edit")
+	t := newTable(w, 10, 14, 14, 14, 10)
+	t.row("Size", "Cold bytes", "Full-ship", "Chunk-sync", "Moved")
+	rng := rand.New(rand.NewSource(11))
+	for _, size := range sizes {
+		key := fmt.Sprintf("doc-%d", size)
+		data := make([]byte, size)
+		rng.Read(data)
+		if _, err := backend.Put(bgCtx, key, forkbase.NewBlob(data)); err != nil {
+			return err
+		}
+
+		full, err := forkbase.Dial(addr, forkbase.RemoteConfig{})
+		if err != nil {
+			return err
+		}
+		cs, err := forkbase.Dial(addr, forkbase.RemoteConfig{ChunkSync: true})
+		if err != nil {
+			full.Close()
+			return err
+		}
+		// Cold reads populate the chunk-sync client's cache and give the
+		// full-object transfer cost.
+		if _, err := readBlob(full, key); err != nil {
+			return err
+		}
+		cold := cs.WireStats().BytesReceived
+		if _, err := readBlob(cs, key); err != nil {
+			return err
+		}
+		cold = cs.WireStats().BytesReceived - cold
+
+		if err := serverEdit(backend, key, rng, size/100); err != nil {
+			return err
+		}
+		fullBytes := full.WireStats().BytesReceived
+		if _, err := readBlob(full, key); err != nil {
+			return err
+		}
+		fullBytes = full.WireStats().BytesReceived - fullBytes
+		csBytes := cs.WireStats().BytesReceived
+		if _, err := readBlob(cs, key); err != nil {
+			return err
+		}
+		csBytes = cs.WireStats().BytesReceived - csBytes
+		full.Close()
+		cs.Close()
+
+		t.row(mib(int64(size)), comma(cold), comma(fullBytes), comma(csBytes),
+			fmt.Sprintf("%.1f%%", 100*float64(csBytes)/float64(size)))
+		record(fmt.Sprintf("reread-1pct-edit %s", mib(int64(size))), map[string]float64{
+			"object_bytes":          float64(size),
+			"cold_wire_bytes":       float64(cold),
+			"fullship_wire_bytes":   float64(fullBytes),
+			"chunksync_wire_bytes":  float64(csBytes),
+			"chunksync_moved_ratio": float64(csBytes) / float64(size),
+		})
+	}
+
+	// Wiki-style stream: a writer commits a run of 1% edits from its
+	// own replica; a reader re-syncs after each commit. Both directions
+	// accumulate: BytesSent for the writer, BytesReceived for the
+	// reader, full-ship vs chunk-sync.
+	fmt.Fprintln(w)
+	docSize := scale.pick(1<<20, 16<<20)
+	fmt.Fprintf(w, "ChunkSync: wiki edit stream (%s doc, %d edits of 1%%)\n", mib(int64(docSize)), edits)
+	tw := newTable(w, 22, 16, 16, 10)
+	tw.row("Client", "Writer sent", "Reader recvd", "Factor")
+
+	var fullSent, fullRecv, csSent, csRecv int64
+	for i, chunked := range []bool{false, true} {
+		key := fmt.Sprintf("wiki-%d", i)
+		doc := make([]byte, docSize)
+		rng.Read(doc)
+		cfg := forkbase.RemoteConfig{ChunkSync: chunked}
+		writer, err := forkbase.Dial(addr, cfg)
+		if err != nil {
+			return err
+		}
+		reader, err := forkbase.Dial(addr, cfg)
+		if err != nil {
+			writer.Close()
+			return err
+		}
+		if _, err := writer.Put(bgCtx, key, forkbase.NewBlob(doc)); err != nil {
+			return err
+		}
+		if _, err := readBlob(reader, key); err != nil {
+			return err
+		}
+		sent0, recv0 := writer.WireStats().BytesSent, reader.WireStats().BytesReceived
+		for e := 0; e < edits; e++ {
+			// The writer edits its latest replica — over chunk sync the
+			// Value is cache-backed and the Put uploads only new chunks.
+			o, err := writer.Get(bgCtx, key)
+			if err != nil {
+				return err
+			}
+			v, err := writer.Value(bgCtx, key, o)
+			if err != nil {
+				return err
+			}
+			b, err := forkbase.AsBlob(v)
+			if err != nil {
+				return err
+			}
+			edit := make([]byte, docSize/100)
+			rng.Read(edit)
+			off := rng.Intn(docSize - len(edit))
+			if err := b.Splice(uint64(off), uint64(len(edit)), edit); err != nil {
+				return err
+			}
+			if _, err := writer.Put(bgCtx, key, b); err != nil {
+				return err
+			}
+			if _, err := readBlob(reader, key); err != nil {
+				return err
+			}
+		}
+		sent := writer.WireStats().BytesSent - sent0
+		recv := reader.WireStats().BytesReceived - recv0
+		writer.Close()
+		reader.Close()
+		if chunked {
+			csSent, csRecv = sent, recv
+		} else {
+			fullSent, fullRecv = sent, recv
+		}
+	}
+	tw.row("full-ship", comma(fullSent), comma(fullRecv), "1.0x")
+	factor := float64(fullSent+fullRecv) / float64(csSent+csRecv)
+	tw.row("chunk-sync", comma(csSent), comma(csRecv), fmt.Sprintf("%.1fx", factor))
+	record("wiki-stream full-ship", map[string]float64{
+		"writer_sent_bytes": float64(fullSent), "reader_recv_bytes": float64(fullRecv),
+	})
+	record("wiki-stream chunk-sync", map[string]float64{
+		"writer_sent_bytes": float64(csSent), "reader_recv_bytes": float64(csRecv),
+		"wire_savings_factor": factor,
+	})
+	return nil
+}
+
+// readBlob fully materializes key's blob over st and returns its size.
+func readBlob(st forkbase.Store, key string) (int, error) {
+	o, err := st.Get(bgCtx, key)
+	if err != nil {
+		return 0, err
+	}
+	v, err := st.Value(bgCtx, key, o)
+	if err != nil {
+		return 0, err
+	}
+	b, err := forkbase.AsBlob(v)
+	if err != nil {
+		return 0, err
+	}
+	data, err := b.Bytes()
+	if err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// serverEdit splices n random bytes into the middle of key's blob
+// directly on the backend — a version the clients haven't seen.
+func serverEdit(db *forkbase.DB, key string, rng *rand.Rand, n int) error {
+	o, err := db.Get(bgCtx, key)
+	if err != nil {
+		return err
+	}
+	b, err := db.BlobOf(o)
+	if err != nil {
+		return err
+	}
+	edit := make([]byte, n)
+	rng.Read(edit)
+	if err := b.Splice(b.Len()/2, uint64(n), edit); err != nil {
+		return err
+	}
+	_, err = db.Put(bgCtx, key, b)
+	return err
+}
+
+// comma renders a byte count with thousands separators.
+func comma(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	var out bytes.Buffer
+	for i, r := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out.WriteByte(',')
+		}
+		out.WriteRune(r)
+	}
+	return out.String()
+}

@@ -1,0 +1,40 @@
+package bench
+
+// Sink, when non-nil, collects machine-readable metric rows alongside
+// an experiment's human-readable tables; cmd/forkbench points it at a
+// fresh collector per experiment and snapshots the result as
+// BENCH_<experiment>.json. Experiments record only their headline
+// series — the numbers a CI perf job tracks across commits — so most
+// rows of the printed tables have no JSON counterpart.
+var Sink *Metrics
+
+// Metrics is one experiment's snapshot.
+type Metrics struct {
+	Experiment string      `json:"experiment"`
+	Scale      string      `json:"scale"`
+	Rows       []MetricRow `json:"rows"`
+}
+
+// MetricRow is one measured configuration: a name (matching the table
+// row it came from) and its values, keyed by unit-suffixed metric
+// names (puts_per_s, put_p99_ms, wire_bytes, ...).
+type MetricRow struct {
+	Name   string             `json:"name"`
+	Values map[string]float64 `json:"values"`
+}
+
+// record appends a row to the active snapshot, if any.
+func record(name string, values map[string]float64) {
+	if Sink == nil {
+		return
+	}
+	Sink.Rows = append(Sink.Rows, MetricRow{Name: name, Values: values})
+}
+
+// String names the scale the way the -scale flag spells it.
+func (s Scale) String() string {
+	if s == Paper {
+		return "paper"
+	}
+	return "quick"
+}

@@ -53,6 +53,10 @@ func RunNet(w io.Writer, scale Scale) error {
 		return err
 	}
 	t.row("embedded", rps(basePut), rps(baseGet), basePut99, baseGet99)
+	record("small embedded", map[string]float64{
+		"puts_per_s": basePut, "gets_per_s": baseGet,
+		"put_p99_ms": ms(basePut99), "get_p99_ms": ms(baseGet99),
+	})
 
 	for _, conns := range []int{1, 4} {
 		for _, depth := range []int{1, 8, 32} {
@@ -65,8 +69,12 @@ func RunNet(w io.Writer, scale Scale) error {
 			if err != nil {
 				return err
 			}
-			t.row(fmt.Sprintf("remote c=%d depth=%d", conns, depth),
-				rps(put), rps(get), put99, get99)
+			name := fmt.Sprintf("remote c=%d depth=%d", conns, depth)
+			t.row(name, rps(put), rps(get), put99, get99)
+			record("small "+name, map[string]float64{
+				"puts_per_s": put, "gets_per_s": get,
+				"put_p99_ms": ms(put99), "get_p99_ms": ms(get99),
+			})
 		}
 	}
 
@@ -79,6 +87,7 @@ func RunNet(w io.Writer, scale Scale) error {
 		return err
 	}
 	tb.row("embedded", fmt.Sprintf("%.1f", putMB), fmt.Sprintf("%.1f", getMB))
+	record("blob64k embedded", map[string]float64{"put_mb_s": putMB, "get_mb_s": getMB})
 	rc, err := forkbase.Dial(ln.Addr().String(), forkbase.RemoteConfig{Conns: 4})
 	if err != nil {
 		return err
@@ -89,6 +98,7 @@ func RunNet(w io.Writer, scale Scale) error {
 		return err
 	}
 	tb.row("remote c=4 depth=8", fmt.Sprintf("%.1f", putMB), fmt.Sprintf("%.1f", getMB))
+	record("blob64k remote c=4 depth=8", map[string]float64{"put_mb_s": putMB, "get_mb_s": getMB})
 	return nil
 }
 

@@ -1,0 +1,245 @@
+// Package chunksync implements chunk-granular transfer of POS-Trees:
+// the negotiation and traversal logic that lets two content-addressed
+// stores exchange only the chunks one of them is missing, instead of
+// materializing whole values. It is the paper's deduplication argument
+// (§3.4) applied to the network — after a small edit to a large
+// object, the two versions' trees share all but a handful of chunks,
+// so syncing the new version should move only that handful.
+//
+// The package is transport-agnostic: callers supply the three wire
+// primitives as closures (HaveFunc answers "which of these ids do you
+// hold", FetchFunc returns raw chunk bytes by id, SendFunc uploads
+// chunks), and this package contributes the tree walks, batching, and
+// verification around them. Both ends re-verify every chunk that
+// crosses the boundary: a fetched or received chunk is admitted only
+// if its bytes hash to the id it was claimed under, so a hostile or
+// corrupted peer can waste a request but never poison a store.
+package chunksync
+
+import (
+	"context"
+	"fmt"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/postree"
+	"forkbase/internal/store"
+)
+
+// Default batching knobs. Have batches are bounded by id count (32
+// bytes each); fetch batches by id count with the responder free to
+// answer a prefix; send batches by cumulative payload bytes.
+const (
+	// DefaultHaveBatch is the largest id list per Have request.
+	DefaultHaveBatch = 4096
+	// DefaultFetchBatch is the largest id list per Fetch request.
+	DefaultFetchBatch = 512
+	// DefaultSendBytes is the target payload size per Send request.
+	DefaultSendBytes = 4 << 20
+)
+
+// HaveFunc answers, for each id, whether the remote end already holds
+// the chunk. The result is aligned with ids.
+type HaveFunc func(ctx context.Context, ids []chunk.ID) ([]bool, error)
+
+// FetchFunc returns raw serialized chunk bytes for a non-empty prefix
+// of ids (a responder may stop early to bound its reply); entries are
+// aligned with that prefix, nil where the remote holds nothing.
+type FetchFunc func(ctx context.Context, ids []chunk.ID) ([][]byte, error)
+
+// SendFunc uploads a batch of chunks to the remote end.
+type SendFunc func(ctx context.Context, chunks []*chunk.Chunk) error
+
+// Stats counts a transfer's work. Byte counts cover chunk payloads
+// only (framing overhead is the transport's business).
+type Stats struct {
+	// ChunksFetched and BytesFetched cover chunks pulled from the
+	// remote end; ChunksLocal counts the ones the local store already
+	// held, i.e. the fetches deduplication saved.
+	ChunksFetched int
+	BytesFetched  int64
+	ChunksLocal   int
+	// ChunksSent and BytesSent cover chunks pushed to the remote end;
+	// ChunksSkipped counts the ones negotiation proved already there.
+	ChunksSent    int
+	BytesSent     int64
+	ChunksSkipped int
+}
+
+// Pull completes the POS-Tree rooted at root in local: it walks the
+// tree top-down, resolves index nodes on demand (reading them locally
+// when present, fetching them when not), and fetches exactly the
+// chunks local is missing. Leaves are fetched but never decoded. Every
+// fetched chunk is verified against the id it was requested under
+// before it is admitted to local. height is the tree's level count as
+// recorded in its chunk reference; batch caps ids per fetch (0 means
+// DefaultFetchBatch).
+//
+// Partially-pulled trees (an earlier Pull cancelled mid-way) are
+// handled by construction: presence of an index node never implies
+// presence of its subtree, because the walk descends into every index
+// node — local ones cost a memory read, not a fetch.
+func Pull(ctx context.Context, local store.Store, fetch FetchFunc, root chunk.ID, height int, batch int) (Stats, error) {
+	var st Stats
+	if root.IsNil() {
+		return st, nil
+	}
+	if batch <= 0 {
+		batch = DefaultFetchBatch
+	}
+	level := []chunk.ID{root}
+	for h := height; h >= 1 && len(level) > 0; h-- {
+		// Fetch the level's missing chunks. Duplicate ids (identical
+		// content repeated in the tree) collapse to one fetch.
+		var missing []chunk.ID
+		seen := make(map[chunk.ID]bool, len(level))
+		for _, id := range level {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			if local.Has(id) {
+				st.ChunksLocal++
+			} else {
+				missing = append(missing, id)
+			}
+		}
+		if err := fetchInto(ctx, local, fetch, missing, batch, &st); err != nil {
+			return st, err
+		}
+		if h == 1 {
+			break
+		}
+		var next []chunk.ID
+		for _, id := range level {
+			c, err := store.GetVerified(local, id)
+			if err != nil {
+				return st, err
+			}
+			kids, err := postree.IndexChildIDs(c.Data())
+			if err != nil {
+				return st, err
+			}
+			next = append(next, kids...)
+		}
+		level = next
+	}
+	return st, nil
+}
+
+// fetchInto pulls the given ids into local, verifying each chunk
+// against the id it was requested under.
+func fetchInto(ctx context.Context, local store.Store, fetch FetchFunc, ids []chunk.ID, batch int, st *Stats) error {
+	for len(ids) > 0 {
+		n := len(ids)
+		if n > batch {
+			n = batch
+		}
+		got, err := fetch(ctx, ids[:n])
+		if err != nil {
+			return err
+		}
+		if len(got) == 0 || len(got) > n {
+			return fmt.Errorf("chunksync: fetch answered %d of %d ids", len(got), n)
+		}
+		for i, raw := range got {
+			if raw == nil {
+				return fmt.Errorf("chunksync: chunk %s: %w", ids[i].Short(), store.ErrNotFound)
+			}
+			c, err := chunk.Decode(raw)
+			if err != nil {
+				return fmt.Errorf("chunksync: chunk %s: %w", ids[i].Short(), err)
+			}
+			if c.ID() != ids[i] {
+				return fmt.Errorf("chunksync: fetched chunk hashes to %s, requested %s: %w",
+					c.ID().Short(), ids[i].Short(), store.ErrCorrupt)
+			}
+			if _, err := local.Put(c); err != nil {
+				return err
+			}
+			st.ChunksFetched++
+			st.BytesFetched += int64(len(raw))
+		}
+		ids = ids[len(got):]
+	}
+	return nil
+}
+
+// Missing negotiates which of ids the remote end lacks, preserving
+// first-occurrence order and collapsing duplicates. batch caps ids per
+// Have request (0 means DefaultHaveBatch).
+func Missing(ctx context.Context, ids []chunk.ID, have HaveFunc, batch int, st *Stats) ([]chunk.ID, error) {
+	if batch <= 0 {
+		batch = DefaultHaveBatch
+	}
+	unique := make([]chunk.ID, 0, len(ids))
+	seen := make(map[chunk.ID]bool, len(ids))
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			unique = append(unique, id)
+		}
+	}
+	var missing []chunk.ID
+	for len(unique) > 0 {
+		n := len(unique)
+		if n > batch {
+			n = batch
+		}
+		got, err := have(ctx, unique[:n])
+		if err != nil {
+			return nil, err
+		}
+		if len(got) != n {
+			return nil, fmt.Errorf("chunksync: have answered %d of %d ids", len(got), n)
+		}
+		for i, present := range got {
+			if present {
+				st.ChunksSkipped++
+			} else {
+				missing = append(missing, unique[i])
+			}
+		}
+		unique = unique[n:]
+	}
+	return missing, nil
+}
+
+// Push uploads the given chunks from src, batched by cumulative
+// payload size (maxBytes; 0 means DefaultSendBytes — a batch always
+// carries at least one chunk, so a single chunk larger than the target
+// still ships alone).
+func Push(ctx context.Context, src store.Store, ids []chunk.ID, send SendFunc, maxBytes int, st *Stats) error {
+	if maxBytes <= 0 {
+		maxBytes = DefaultSendBytes
+	}
+	var batch []*chunk.Chunk
+	var batchBytes int
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := send(ctx, batch); err != nil {
+			return err
+		}
+		for _, c := range batch {
+			st.ChunksSent++
+			st.BytesSent += int64(len(c.Bytes()))
+		}
+		batch, batchBytes = batch[:0], 0
+		return nil
+	}
+	for _, id := range ids {
+		c, err := store.GetVerified(src, id)
+		if err != nil {
+			return err
+		}
+		if len(batch) > 0 && batchBytes+len(c.Bytes()) > maxBytes {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		batch = append(batch, c)
+		batchBytes += len(c.Bytes())
+	}
+	return flush()
+}

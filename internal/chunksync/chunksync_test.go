@@ -1,0 +1,263 @@
+package chunksync
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/postree"
+	"forkbase/internal/store"
+)
+
+// remoteEnd adapts a MemStore into the three transport closures,
+// counting what crosses the boundary.
+type remoteEnd struct {
+	s           *store.MemStore
+	fetches     int
+	sends       int
+	fetchPrefix int // when >0, answer at most this many ids per fetch
+}
+
+func (r *remoteEnd) have(_ context.Context, ids []chunk.ID) ([]bool, error) {
+	out := make([]bool, len(ids))
+	for i, id := range ids {
+		out[i] = r.s.Has(id)
+	}
+	return out, nil
+}
+
+func (r *remoteEnd) fetch(_ context.Context, ids []chunk.ID) ([][]byte, error) {
+	r.fetches++
+	if r.fetchPrefix > 0 && len(ids) > r.fetchPrefix {
+		ids = ids[:r.fetchPrefix]
+	}
+	out := make([][]byte, len(ids))
+	for i, id := range ids {
+		c, err := r.s.Get(id)
+		if errors.Is(err, store.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c.Bytes()
+	}
+	return out, nil
+}
+
+func (r *remoteEnd) send(_ context.Context, chunks []*chunk.Chunk) error {
+	r.sends++
+	for _, c := range chunks {
+		if _, err := r.s.Put(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildBlob persists data as a blob POS-Tree on s.
+func buildBlob(t *testing.T, s store.Store, data []byte) *postree.Tree {
+	t.Helper()
+	b := postree.NewBuilder(s, postree.DefaultConfig(), postree.KindBlob)
+	b.AppendBytes(data)
+	tree, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func treeIDs(t *testing.T, tree *postree.Tree) []chunk.ID {
+	t.Helper()
+	var ids []chunk.ID
+	if err := tree.WalkChunkIDs(func(id chunk.ID, _ bool) error {
+		ids = append(ids, id)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func TestPullCompletesTree(t *testing.T) {
+	ctx := context.Background()
+	rnd := rand.New(rand.NewSource(1))
+	data := make([]byte, 1<<20)
+	rnd.Read(data)
+
+	server := &remoteEnd{s: store.NewMemStore(), fetchPrefix: 7}
+	tree := buildBlob(t, server.s, data)
+	local := store.NewMemStore()
+
+	st, err := Pull(ctx, local, server.fetch, tree.Root(), tree.Height(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ChunksFetched == 0 || st.BytesFetched == 0 {
+		t.Fatalf("nothing fetched: %+v", st)
+	}
+	// Every tree chunk must now be local, and readable without the
+	// remote end.
+	attached := postree.Attach(local, postree.DefaultConfig(), postree.KindBlob, tree.Root(), tree.Count(), tree.Height())
+	got, err := attached.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("pulled tree does not reproduce the content")
+	}
+
+	// A second pull is free: everything is local.
+	st2, err := Pull(ctx, local, server.fetch, tree.Root(), tree.Height(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ChunksFetched != 0 {
+		t.Fatalf("re-pull fetched %d chunks", st2.ChunksFetched)
+	}
+}
+
+func TestPullAfterSmallEditFetchesOnlyDelta(t *testing.T) {
+	ctx := context.Background()
+	rnd := rand.New(rand.NewSource(2))
+	data := make([]byte, 4<<20)
+	rnd.Read(data)
+
+	server := &remoteEnd{s: store.NewMemStore()}
+	tree := buildBlob(t, server.s, data)
+	local := store.NewMemStore()
+	if _, err := Pull(ctx, local, server.fetch, tree.Root(), tree.Height(), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// A 1% splice in the middle; the server-side edit shares all
+	// untouched chunks with the original tree.
+	edit := make([]byte, len(data)/100)
+	rnd.Read(edit)
+	edited, err := tree.SpliceBytes(uint64(len(data)/2), uint64(len(edit)), edit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Pull(ctx, local, server.fetch, edited.Root(), edited.Height(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BytesFetched > int64(len(data))/10 {
+		t.Fatalf("1%% edit re-pull moved %d of %d bytes (>10%%)", st.BytesFetched, len(data))
+	}
+	if st.ChunksFetched == 0 {
+		t.Fatal("edit produced no new chunks to fetch")
+	}
+}
+
+func TestPullVerifiesFetchedChunks(t *testing.T) {
+	ctx := context.Background()
+	server := &remoteEnd{s: store.NewMemStore()}
+	tree := buildBlob(t, server.s, bytes.Repeat([]byte("forkbase"), 1<<12))
+
+	// A transport that swaps in a valid chunk under the wrong id must
+	// be caught by the id recomputation.
+	evil := func(ctx context.Context, ids []chunk.ID) ([][]byte, error) {
+		out, err := server.fetch(ctx, ids)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			if out[i] != nil {
+				out[i] = chunk.New(chunk.TypeBlob, []byte("swapped")).Bytes()
+			}
+		}
+		return out, nil
+	}
+	local := store.NewMemStore()
+	if _, err := Pull(ctx, local, evil, tree.Root(), tree.Height(), 0); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("poisoned fetch admitted: %v", err)
+	}
+
+	// Garbage bytes (not even a decodable chunk) also cost the pull.
+	garbage := func(ctx context.Context, ids []chunk.ID) ([][]byte, error) {
+		out := make([][]byte, len(ids))
+		for i := range out {
+			out[i] = []byte{0xff, 0xfe}
+		}
+		return out, nil
+	}
+	if _, err := Pull(ctx, store.NewMemStore(), garbage, tree.Root(), tree.Height(), 0); err == nil {
+		t.Fatal("garbage fetch admitted")
+	}
+}
+
+func TestMissingAndPushDelta(t *testing.T) {
+	ctx := context.Background()
+	rnd := rand.New(rand.NewSource(3))
+	data := make([]byte, 2<<20)
+	rnd.Read(data)
+
+	// Client builds v1 locally, pushes everything; edits 1%, pushes
+	// again — the second push must move only the delta.
+	local := store.NewMemStore()
+	server := &remoteEnd{s: store.NewMemStore()}
+	tree := buildBlob(t, local, data)
+
+	var st Stats
+	ids := treeIDs(t, tree)
+	missing, err := Missing(ctx, ids, server.have, 16, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) == 0 {
+		t.Fatal("fresh server reported no missing chunks")
+	}
+	if err := Push(ctx, local, missing, server.send, 64<<10, &st); err != nil {
+		t.Fatal(err)
+	}
+	firstBytes := st.BytesSent
+
+	edit := make([]byte, len(data)/100)
+	rnd.Read(edit)
+	edited, err := tree.SpliceBytes(uint64(len(data)/3), uint64(len(edit)), edit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 Stats
+	missing2, err := Missing(ctx, treeIDs(t, edited), server.have, 0, &st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Push(ctx, local, missing2, server.send, 0, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.ChunksSkipped == 0 {
+		t.Fatal("negotiation found no shared chunks after a 1% edit")
+	}
+	if st2.BytesSent > firstBytes/10 {
+		t.Fatalf("1%% edit re-push moved %d of %d bytes (>10%%)", st2.BytesSent, firstBytes)
+	}
+	// The pushed tree must be complete and readable on the server.
+	attached := postree.Attach(server.s, postree.DefaultConfig(), postree.KindBlob, edited.Root(), edited.Count(), edited.Height())
+	if err := attached.WalkChunkIDs(func(id chunk.ID, _ bool) error {
+		if !server.s.Has(id) {
+			t.Fatalf("chunk %s missing after push", id.Short())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPushBatchesBySize(t *testing.T) {
+	ctx := context.Background()
+	local := store.NewMemStore()
+	tree := buildBlob(t, local, bytes.Repeat([]byte{7}, 1<<20))
+	server := &remoteEnd{s: store.NewMemStore()}
+	var st Stats
+	if err := Push(ctx, local, treeIDs(t, tree), server.send, 8<<10, &st); err != nil {
+		t.Fatal(err)
+	}
+	if server.sends < 2 {
+		t.Fatalf("1 MiB push with 8 KiB batches used %d sends", server.sends)
+	}
+}

@@ -58,15 +58,29 @@ type Engine struct {
 	// mutations are journaled by the tables themselves, which carry
 	// the journal as their sink.
 	meta branch.Sink
+
+	// shields are transient, refcounted GC roots protecting chunks that
+	// exist in the store but are not yet reachable from any version —
+	// the window between a chunk-sync upload (or a Have answer that
+	// told a client not to re-send) and the OpPutChunked commit that
+	// references them. Unlike pins they are never journaled: a crash
+	// drops them, exactly as it drops the half-finished upload they
+	// were protecting. The store's own GC protection window cannot
+	// cover this case — it shields only chunks Put while a collection
+	// is running, not chunks uploaded before BeginGC and referenced
+	// after Sweep.
+	shieldMu sync.Mutex
+	shields  map[types.UID]int
 }
 
 // NewEngine returns an engine over the given chunk store.
 func NewEngine(s store.Store, cfg postree.Config) *Engine {
 	return &Engine{
-		s:     s,
-		cfg:   cfg,
-		space: branch.NewSpace(),
-		pins:  make(map[types.UID]struct{}),
+		s:       s,
+		cfg:     cfg,
+		space:   branch.NewSpace(),
+		pins:    make(map[types.UID]struct{}),
+		shields: make(map[types.UID]int),
 	}
 }
 
@@ -585,7 +599,47 @@ func (e *Engine) Roots() []types.UID {
 		}
 	}
 	e.pinMu.RUnlock()
+	e.shieldMu.Lock()
+	for uid := range e.shields {
+		// Same reasoning as pins: a shield taken before its chunk was
+		// stored is covered by the store's own protection window once
+		// the Put lands mid-collection.
+		if e.s.Has(uid) {
+			roots = append(roots, uid)
+		}
+	}
+	e.shieldMu.Unlock()
 	return roots
+}
+
+// ShieldUIDs takes transient GC shields on the given chunk ids: each
+// id counts as a collection root until a matching UnshieldUIDs drops
+// it. Shields are refcounted (two uploads of the same chunk need two
+// releases) and never journaled — they exist to keep negotiated or
+// freshly uploaded chunks alive until the version that references them
+// commits, and they die with the process.
+func (e *Engine) ShieldUIDs(ids []types.UID) {
+	e.shieldMu.Lock()
+	for _, id := range ids {
+		e.shields[id]++
+	}
+	e.shieldMu.Unlock()
+}
+
+// UnshieldUIDs drops one shield reference per given id. Ids that were
+// never shielded are ignored.
+func (e *Engine) UnshieldUIDs(ids []types.UID) {
+	e.shieldMu.Lock()
+	for _, id := range ids {
+		if n, ok := e.shields[id]; ok {
+			if n <= 1 {
+				delete(e.shields, id)
+			} else {
+				e.shields[id] = n - 1
+			}
+		}
+	}
+	e.shieldMu.Unlock()
 }
 
 // GC runs one dedup-aware collection against the engine's store: it

@@ -520,6 +520,58 @@ func CloneSet(s *Set) *Set {
 	return &Set{staged: staged}
 }
 
+// ParseChunkRef decodes the meta-chunk data of a chunkable value into
+// its POS-Tree shape parameters. It is the exported face of the
+// chunkRef layout for transports that move trees by reference (chunk
+// sync) instead of materializing them.
+func ParseChunkRef(data []byte) (root chunk.ID, count uint64, height int, err error) {
+	root, err = chunkRefRoot(data)
+	if err != nil {
+		return chunk.ID{}, 0, 0, err
+	}
+	count = binary.LittleEndian.Uint64(data[chunk.IDSize:])
+	height = int(data[chunk.IDSize+8])
+	return root, count, height, nil
+}
+
+// KindOfType maps a chunkable value type to its POS-Tree kind. The
+// second result is false for primitive (or invalid) types, which have
+// no tree.
+func KindOfType(t Type) (postree.Kind, bool) {
+	switch t {
+	case TypeBlob:
+		return postree.KindBlob, true
+	case TypeList:
+		return postree.KindList, true
+	case TypeMap:
+		return postree.KindMap, true
+	case TypeSet:
+		return postree.KindSet, true
+	}
+	return 0, false
+}
+
+// AttachValue wraps an existing POS-Tree as the value handle matching
+// the given chunkable type. The second result is false when t is not a
+// chunkable type.
+func AttachValue(t Type, tree *postree.Tree) (Value, bool) {
+	switch t {
+	case TypeBlob:
+		return AttachBlob(tree), true
+	case TypeList:
+		return AttachList(tree), true
+	case TypeMap:
+		return AttachMap(tree), true
+	case TypeSet:
+		return AttachSet(tree), true
+	}
+	return nil, false
+}
+
+// TreeOf returns the underlying POS-Tree of an attached chunkable
+// value, or nil for primitives and staged handles.
+func TreeOf(v Value) *postree.Tree { return valueTree(v) }
+
 // valueTree returns the underlying tree of an attached chunkable value,
 // or nil.
 func valueTree(v Value) *postree.Tree {

@@ -1,0 +1,120 @@
+package wire
+
+// Codecs for the chunk-granular transfer ops. Requests lead with the
+// usual CallOptions prefix (user identity for the access check) and a
+// routing key; these helpers cover the op-specific remainder. Chunks
+// travel in their canonical serialized form (chunk.Chunk.Bytes: type
+// byte + payload), so the receiving end can recompute the content id
+// and refuse a chunk whose bytes do not hash to the id it was claimed
+// under — the transport never becomes a way to smuggle unverified data
+// into a content-addressed store.
+
+import (
+	"forkbase/internal/chunk"
+)
+
+// EncodeBitmap appends a presence bitmap: one bit per entry, LSB-first
+// within each byte. The count is not encoded — both ends know it from
+// the id list the bitmap answers.
+func EncodeBitmap(e *Enc, bits []bool) {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	e.Blob(out)
+}
+
+// DecodeBitmap parses a presence bitmap for n entries.
+func DecodeBitmap(d *Dec, n int) []bool {
+	raw := d.Blob()
+	if d.err != nil {
+		return nil
+	}
+	if len(raw) != (n+7)/8 {
+		d.fail("bitmap length")
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = raw[i/8]&(1<<(i%8)) != 0
+	}
+	return out
+}
+
+// ChunkFrame is one uploaded chunk as it appears on the wire: the id
+// the sender claims, and the serialized bytes the receiver must verify
+// against it.
+type ChunkFrame struct {
+	ID    chunk.ID
+	Bytes []byte
+}
+
+// chunkFrameMin is the smallest possible encoded ChunkFrame: id, byte
+// count, and the one type byte every serialized chunk carries.
+const chunkFrameMin = chunk.IDSize + 4 + 1
+
+// EncodeChunkUpload appends an OpChunkSend chunk batch.
+func EncodeChunkUpload(e *Enc, chunks []*chunk.Chunk) {
+	e.U32(uint32(len(chunks)))
+	for _, c := range chunks {
+		e.UID(c.ID())
+		e.Blob(c.Bytes())
+	}
+}
+
+// DecodeChunkUpload parses an OpChunkSend chunk batch. The frames are
+// returned as claimed — verification (decode + id recompute) is the
+// caller's job, so a failure can be attributed to the specific chunk.
+func DecodeChunkUpload(d *Dec) []ChunkFrame {
+	n := d.Count(chunkFrameMin)
+	out := make([]ChunkFrame, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		var f ChunkFrame
+		f.ID = d.UID()
+		f.Bytes = d.Blob()
+		if d.err == nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// EncodeWantResponse appends an OpChunkWant response body: how many of
+// the requested ids are answered (a prefix — the server stops early
+// rather than overflow the frame cap), then a presence flag and the
+// raw bytes for each answered id. Entries for ids the server does not
+// hold carry present=false and no bytes.
+func EncodeWantResponse(e *Enc, answered []*chunk.Chunk) {
+	e.U32(uint32(len(answered)))
+	for _, c := range answered {
+		if c == nil {
+			e.Bool(false)
+			continue
+		}
+		e.Bool(true)
+		e.Blob(c.Bytes())
+	}
+}
+
+// DecodeWantResponse parses an OpChunkWant response: serialized chunk
+// bytes aligned with the answered prefix of the request's id list, nil
+// where the server held nothing.
+func DecodeWantResponse(d *Dec) [][]byte {
+	n := d.Count(1)
+	out := make([][]byte, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		if !d.Bool() {
+			if d.err == nil {
+				out = append(out, nil)
+			}
+			continue
+		}
+		b := d.Blob()
+		if d.err == nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}

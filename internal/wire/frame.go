@@ -81,7 +81,39 @@ const (
 	// OpStats reports the backend's chunk-storage counters (admin /
 	// tooling; not part of the Store interface).
 	OpStats
+	// Chunk-granular transfer (the chunksync subsystem). These ops move
+	// individual POS-Tree chunks instead of materialized values, which
+	// is what lets a client that already holds 99% of a large object's
+	// chunks ship only the remaining 1% — the paper's dedup argument
+	// applied to the wire. Servers that cannot reach their backend's
+	// chunk store (e.g. a cluster proxy) answer them with ErrUnsupported
+	// and do not advertise FeatureChunkSync in their Hello.
+	//
+	// OpChunkHave asks which of a batch of chunk ids the server already
+	// stores; the response is a presence bitmap.
+	OpChunkHave
+	// OpChunkWant requests a batch of chunks by id; the response carries
+	// the raw chunk bytes for a prefix of the batch (the server may stop
+	// early to respect the frame cap) with per-id presence flags.
+	OpChunkWant
+	// OpChunkSend uploads a batch of raw chunks. The server re-verifies
+	// every chunk's id against its content before admission; a mismatch
+	// fails the whole request (corrupt chunks cost one request).
+	OpChunkSend
+	// OpPutChunked commits a version whose value chunks were uploaded
+	// via OpChunkSend: the payload names the POS-Tree root, and the
+	// server verifies the tree is complete before the put executes.
+	OpPutChunked
 	opMax
+)
+
+// Hello feature bits. The server's Hello response advertises a bitmask
+// of optional capabilities after its banner; clients that predate the
+// field simply ignore the trailing bytes.
+const (
+	// FeatureChunkSync marks a server that accepts the chunk-granular
+	// transfer ops (OpChunkHave/OpChunkWant/OpChunkSend/OpPutChunked).
+	FeatureChunkSync uint32 = 1 << 0
 )
 
 // KnownOp reports whether op names an operation this protocol version

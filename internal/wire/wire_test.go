@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"forkbase/internal/branch"
+	"forkbase/internal/chunk"
 	"forkbase/internal/core"
 	"forkbase/internal/merge"
 	"forkbase/internal/postree"
@@ -277,7 +278,58 @@ func decodeAnything(b []byte) {
 	DecodeUIDs(NewDec(b))
 	DecodeGCStats(NewDec(b))
 	DecodeStats(NewDec(b))
+	DecodeBitmap(NewDec(b), 64)
+	DecodeChunkUpload(NewDec(b))
+	DecodeWantResponse(NewDec(b))
 	ReadFrame(bytes.NewReader(b), 1<<20)
+}
+
+func TestChunkSyncCodecRoundTrip(t *testing.T) {
+	// Bitmap: every width around the byte boundaries.
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65} {
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = i%3 == 0
+		}
+		var e Enc
+		EncodeBitmap(&e, bits)
+		got := DecodeBitmap(NewDec(e.Bytes()), n)
+		if !reflect.DeepEqual(append([]bool{}, bits...), append([]bool{}, got...)) {
+			t.Fatalf("bitmap width %d: %v != %v", n, got, bits)
+		}
+		// A claimed width that disagrees with the payload is an error,
+		// not a misread.
+		if n > 0 {
+			d := NewDec(e.Bytes())
+			DecodeBitmap(d, n+16)
+			if d.Err() == nil {
+				t.Fatalf("bitmap width %d decoded as %d", n, n+16)
+			}
+		}
+	}
+
+	chunks := []*chunk.Chunk{
+		chunk.New(chunk.TypeBlob, []byte("alpha")),
+		chunk.New(chunk.TypeUIndex, bytes.Repeat([]byte{9}, 500)),
+	}
+	var e Enc
+	EncodeChunkUpload(&e, chunks)
+	frames := DecodeChunkUpload(NewDec(e.Bytes()))
+	if len(frames) != len(chunks) {
+		t.Fatalf("upload: %d frames", len(frames))
+	}
+	for i, f := range frames {
+		if f.ID != chunks[i].ID() || !bytes.Equal(f.Bytes, chunks[i].Bytes()) {
+			t.Fatalf("upload frame %d corrupted", i)
+		}
+	}
+
+	var w Enc
+	EncodeWantResponse(&w, []*chunk.Chunk{chunks[0], nil, chunks[1]})
+	got := DecodeWantResponse(NewDec(w.Bytes()))
+	if len(got) != 3 || got[1] != nil || !bytes.Equal(got[0], chunks[0].Bytes()) || !bytes.Equal(got[2], chunks[1].Bytes()) {
+		t.Fatalf("want response mangled: %d entries", len(got))
+	}
 }
 
 func TestDecodersSurviveGarbage(t *testing.T) {
@@ -311,6 +363,15 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(e.Bytes())
 	f.Add(AppendFrame(nil, 1, OpGet, []byte("x")))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	var cs Enc
+	EncodeBitmap(&cs, []bool{true, false, true, true, false, false, true, false, true})
+	f.Add(cs.Bytes())
+	var up Enc
+	EncodeChunkUpload(&up, []*chunk.Chunk{chunk.New(chunk.TypeBlob, []byte("fuzz seed"))})
+	f.Add(up.Bytes())
+	var wr Enc
+	EncodeWantResponse(&wr, []*chunk.Chunk{chunk.New(chunk.TypeBlob, []byte("present")), nil})
+	f.Add(wr.Bytes())
 	f.Fuzz(func(t *testing.T, b []byte) {
 		decodeAnything(b)
 	})

@@ -10,6 +10,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"forkbase/internal/chunk"
+	"forkbase/internal/chunksync"
+	"forkbase/internal/postree"
+	"forkbase/internal/store"
+	"forkbase/internal/types"
 	"forkbase/internal/wire"
 )
 
@@ -30,6 +35,30 @@ type RemoteConfig struct {
 	DialTimeout time.Duration
 	// MaxFrame caps response frames (0 = wire.DefaultMaxFrame).
 	MaxFrame int
+	// ChunkSync opts into chunk-granular transfer when the server
+	// advertises FeatureChunkSync: chunkable values are read by
+	// fetching only the POS-Tree chunks missing from a local chunk
+	// cache, and written by uploading only the chunks the server
+	// reports missing. Servers without the feature (or proxy backends)
+	// fall back to full-ship transparently. Implied by ChunkCacheDir.
+	ChunkSync bool
+	// ChunkCacheDir, when non-empty, backs the client chunk cache with
+	// a persistent on-disk store at that path, so chunks survive
+	// process restarts — a fresh client re-reading a barely-changed
+	// object moves only the delta. Empty means the cache is in-memory
+	// only (per-process).
+	ChunkCacheDir string
+	// ChunkCacheBytes bounds the in-memory chunk cache layered over
+	// the on-disk store (or standing alone); 0 means 64 MiB.
+	ChunkCacheBytes int64
+}
+
+// WireStats counts bytes moved over the connection pool since Dial,
+// framing included. The versioned-workload benchmark and the delta-
+// transfer tests use it to prove chunk sync's bytes-on-wire claim.
+type WireStats struct {
+	BytesSent     int64
+	BytesReceived int64
 }
 
 // RemoteStore is the network Store implementation: the same client
@@ -58,6 +87,21 @@ type RemoteStore struct {
 	reqID atomic.Uint64
 	next  atomic.Uint64 // round-robin cursor over the pool
 
+	// features is the capability bitmask from the most recent Hello;
+	// chunk sync engages only when the server advertises it.
+	features atomic.Uint32
+
+	// local is the client-side chunk cache stack (Cache over FileStore
+	// or MemStore); nil unless chunk sync was requested. treeCfg is the
+	// POS-Tree configuration local trees are built with — DefaultConfig,
+	// matching the server default, so client-built and server-built
+	// trees chunk identically and deduplicate against each other.
+	local   store.Store
+	treeCfg postree.Config
+
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+
 	mu     sync.Mutex
 	conns  []*remoteConn // fixed-size pool; nil slots dial lazily
 	closed bool
@@ -73,11 +117,38 @@ func Dial(addr string, cfg RemoteConfig) (*RemoteStore, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 10 * time.Second
 	}
-	rs := &RemoteStore{addr: addr, cfg: cfg, conns: make([]*remoteConn, cfg.Conns)}
+	rs := &RemoteStore{addr: addr, cfg: cfg, conns: make([]*remoteConn, cfg.Conns), treeCfg: postree.DefaultConfig()}
+	if cfg.ChunkSync || cfg.ChunkCacheDir != "" {
+		cacheBytes := cfg.ChunkCacheBytes
+		if cacheBytes <= 0 {
+			cacheBytes = 64 << 20
+		}
+		var inner store.Store = store.NewMemStore()
+		if cfg.ChunkCacheDir != "" {
+			fs, err := store.OpenFileStore(cfg.ChunkCacheDir, store.FileStoreOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("forkbase: chunk cache at %s: %w", cfg.ChunkCacheDir, err)
+			}
+			inner = fs
+		}
+		rs.local = store.NewCache(inner, cacheBytes)
+	}
 	if _, err := rs.conn(0); err != nil {
+		rs.Close()
 		return nil, err
 	}
 	return rs, nil
+}
+
+// WireStats reports bytes moved over the pool since Dial.
+func (rs *RemoteStore) WireStats() WireStats {
+	return WireStats{BytesSent: rs.bytesSent.Load(), BytesReceived: rs.bytesRecv.Load()}
+}
+
+// chunkSyncOn reports whether chunk-granular transfer is active: the
+// client asked for it and the server's Hello advertised it.
+func (rs *RemoteStore) chunkSyncOn() bool {
+	return rs.local != nil && rs.features.Load()&wire.FeatureChunkSync != 0
 }
 
 // Close tears down the connection pool; in-flight calls fail with
@@ -95,6 +166,9 @@ func (rs *RemoteStore) Close() error {
 		if c != nil {
 			c.fail(ErrRemoteClosed)
 		}
+	}
+	if rs.local != nil {
+		return rs.local.Close()
 	}
 	return nil
 }
@@ -144,6 +218,8 @@ func (rs *RemoteStore) dial() (*remoteConn, error) {
 		br:       bufio.NewReader(nc),
 		maxFrame: rs.cfg.MaxFrame,
 		pending:  make(map[uint64]chan remoteResp),
+		sent:     &rs.bytesSent,
+		recv:     &rs.bytesRecv,
 	}
 	// Hello is synchronous: the reader starts only once the handshake
 	// frame has been consumed.
@@ -151,7 +227,7 @@ func (rs *RemoteStore) dial() (*remoteConn, error) {
 	e.U32(wire.ProtoVersion)
 	e.Str(rs.cfg.AuthToken)
 	id := rs.reqID.Add(1)
-	if err := wire.WriteFrame(nc, id, wire.OpHello, e.Bytes()); err != nil {
+	if err := c.write(id, wire.OpHello, e.Bytes()); err != nil {
 		nc.Close()
 		return nil, err
 	}
@@ -160,20 +236,34 @@ func (rs *RemoteStore) dial() (*remoteConn, error) {
 		nc.Close()
 		return nil, fmt.Errorf("forkbase: dial %s: %w", rs.addr, err)
 	}
+	c.recv.Add(frameWireBytes + int64(len(payload)))
 	if respID != id || op != wire.OpHello {
 		nc.Close()
 		return nil, fmt.Errorf("forkbase: dial %s: out-of-order hello response", rs.addr)
 	}
-	if _, ep, err := decodeStatus(payload); err != nil {
+	d, ep, err := decodeStatus(payload)
+	if err != nil {
 		nc.Close()
 		return nil, err
 	} else if ep != nil {
 		nc.Close()
 		return nil, fmt.Errorf("forkbase: dial %s: %w", rs.addr, ep.Err)
 	}
+	// Banner, then the optional capability bitmask (absent on older
+	// servers — the trailing bytes simply aren't there).
+	d.Str()
+	var features uint32
+	if d.Err() == nil && d.Rest() >= 4 {
+		features = d.U32()
+	}
+	rs.features.Store(features)
 	go c.readLoop()
 	return c, nil
 }
+
+// frameWireBytes is the fixed per-frame cost beyond the payload: the
+// u32 length prefix plus reqID, op and crc.
+const frameWireBytes = 4 + 8 + 1 + 4
 
 // remoteConn is one pooled connection: a write mutex for frame
 // atomicity and a pending map matching responses to waiting calls.
@@ -181,6 +271,10 @@ type remoteConn struct {
 	c        net.Conn
 	br       *bufio.Reader
 	maxFrame int
+
+	// sent/recv point at the owning RemoteStore's wire-byte counters.
+	sent *atomic.Int64
+	recv *atomic.Int64
 
 	writeMu sync.Mutex
 
@@ -226,6 +320,7 @@ func (c *remoteConn) readLoop() {
 			c.fail(fmt.Errorf("forkbase: remote connection lost: %w", err))
 			return
 		}
+		c.recv.Add(frameWireBytes + int64(len(payload)))
 		c.mu.Lock()
 		ch := c.pending[reqID]
 		delete(c.pending, reqID)
@@ -257,7 +352,11 @@ func (c *remoteConn) unregister(id uint64) {
 func (c *remoteConn) write(id uint64, op uint8, payload []byte) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return wire.WriteFrame(c.c, id, op, payload)
+	if err := wire.WriteFrame(c.c, id, op, payload); err != nil {
+		return err
+	}
+	c.sent.Add(frameWireBytes + int64(len(payload)))
+	return nil
 }
 
 // call performs one request/response exchange. Exactly one of the
@@ -265,6 +364,16 @@ func (c *remoteConn) write(id uint64, op uint8, payload []byte) error {
 // byte (success), the server's typed error payload, or a local /
 // transport error.
 func (rs *RemoteStore) call(ctx context.Context, op uint8, payload []byte) (*wire.Dec, *wire.ErrorPayload, error) {
+	return rs.callSlot(ctx, rs.next.Add(1), op, payload)
+}
+
+// callSlot is call pinned to a pool slot. The chunk-sync ops of one
+// logical Put must all travel on the same connection: the server
+// scopes the GC shields taken during negotiation to the connection
+// that negotiated them, so a commit arriving on a different connection
+// would not release them (and a mid-upload disconnect could not be
+// told apart from a still-negotiating client).
+func (rs *RemoteStore) callSlot(ctx context.Context, slot uint64, op uint8, payload []byte) (*wire.Dec, *wire.ErrorPayload, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -274,7 +383,7 @@ func (rs *RemoteStore) call(ctx context.Context, op uint8, payload []byte) (*wir
 		// one, before any bytes move.
 		return nil, nil, fmt.Errorf("forkbase: request of %d bytes exceeds the %d-byte frame cap (RemoteConfig.MaxFrame)", len(payload), max)
 	}
-	c, err := rs.conn(rs.next.Add(1))
+	c, err := rs.conn(slot)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -376,8 +485,19 @@ func (rs *RemoteStore) Get(ctx context.Context, key string, opts ...Option) (*FO
 	return wire.DecodeFObject(d)
 }
 
-// Put implements Store.
+// Put implements Store. With chunk sync active, chunkable values take
+// the delta path: build the POS-Tree locally, negotiate which chunks
+// the server is missing, upload only those, and commit by tree root —
+// a 1% edit to a large object ships roughly 1% of its bytes.
 func (rs *RemoteStore) Put(ctx context.Context, key string, v Value, opts ...Option) (UID, error) {
+	if rs.chunkSyncOn() && !v.Type().Primitive() {
+		uid, err := rs.putChunked(ctx, key, v, opts)
+		if err == nil || !errors.Is(err, wire.ErrUnsupported) {
+			return uid, err
+		}
+		// The server stopped serving chunk ops (e.g. failed over to a
+		// proxy backend); full-ship still works.
+	}
 	d, ep, err := rs.request(ctx, wire.OpPut, opts, func(e *wire.Enc) error {
 		e.Str(key)
 		return wire.EncodeValue(e, v)
@@ -623,6 +743,12 @@ func (rs *RemoteStore) Value(ctx context.Context, key string, o *FObject, opts .
 	if o.UID().IsNil() {
 		return nil, fmt.Errorf("%w: Value needs a version fetched from the store", ErrBadOptions)
 	}
+	if rs.chunkSyncOn() && !o.VType.Primitive() {
+		v, err := rs.valueChunked(ctx, key, o, opts)
+		if err == nil || !errors.Is(err, wire.ErrUnsupported) {
+			return v, err
+		}
+	}
 	d, ep, err := rs.request(ctx, wire.OpValue, opts, func(e *wire.Enc) error {
 		e.Str(key)
 		e.UID(o.UID())
@@ -659,5 +785,217 @@ func okStatsPayload() []byte {
 	wire.EncodeCallOptions(&e, wire.CallOptions{})
 	return e.Bytes()
 }
+
+// --- chunk-granular transfer (chunksync) ----------------------------
+
+// chunkOpts is the option prefix chunk ops carry: only the user
+// identity matters — the server checks it against the routing key.
+func chunkOpts(user, key string) *wire.Enc {
+	var e wire.Enc
+	wire.EncodeCallOptions(&e, wire.CallOptions{User: user})
+	e.Str(key)
+	return &e
+}
+
+// chunkHave asks which of ids the server already stores. Shield-taking
+// ops ride a caller-pinned slot; see callSlot.
+func (rs *RemoteStore) chunkHave(ctx context.Context, slot uint64, user, key string, ids []chunk.ID) ([]bool, error) {
+	e := chunkOpts(user, key)
+	wire.EncodeUIDs(e, ids)
+	d, ep, err := rs.callSlot(ctx, slot, wire.OpChunkHave, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if ep != nil {
+		return nil, ep.Err
+	}
+	bits := wire.DecodeBitmap(d, len(ids))
+	return bits, d.Err()
+}
+
+// chunkWant fetches raw chunks by id; the server may answer a prefix.
+func (rs *RemoteStore) chunkWant(ctx context.Context, user, key string, ids []chunk.ID) ([][]byte, error) {
+	e := chunkOpts(user, key)
+	wire.EncodeUIDs(e, ids)
+	d, ep, err := rs.call(ctx, wire.OpChunkWant, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if ep != nil {
+		return nil, ep.Err
+	}
+	out := wire.DecodeWantResponse(d)
+	return out, d.Err()
+}
+
+// chunkSend uploads a batch of chunks; the server re-verifies each
+// chunk's id before admission. Shield-taking ops ride a caller-pinned
+// slot; see callSlot.
+func (rs *RemoteStore) chunkSend(ctx context.Context, slot uint64, user, key string, chunks []*chunk.Chunk) error {
+	e := chunkOpts(user, key)
+	wire.EncodeChunkUpload(e, chunks)
+	_, ep, err := rs.callSlot(ctx, slot, wire.OpChunkSend, e.Bytes())
+	if err != nil {
+		return err
+	}
+	if ep != nil {
+		return ep.Err
+	}
+	return nil
+}
+
+// haveBatch caps ids per Have request so the request fits the frame.
+func (rs *RemoteStore) haveBatch() int {
+	if n := (wire.MaxPayload(rs.cfg.MaxFrame) - 1024) / (chunk.IDSize + 1); n < chunksync.DefaultHaveBatch {
+		return n
+	}
+	return chunksync.DefaultHaveBatch
+}
+
+// sendBytes caps cumulative chunk payload per Send request.
+func (rs *RemoteStore) sendBytes() int {
+	if n := wire.MaxPayload(rs.cfg.MaxFrame) / 2; n < chunksync.DefaultSendBytes {
+		return n
+	}
+	return chunksync.DefaultSendBytes
+}
+
+// valueChunked is Value over chunk sync: pull the POS-Tree into the
+// local chunk cache — fetching only what the cache is missing — and
+// attach the handle locally. Reads after this touch no network; edits
+// stage copy-on-write chunks in the cache, ready for a delta Put.
+func (rs *RemoteStore) valueChunked(ctx context.Context, key string, o *FObject, opts []Option) (Value, error) {
+	kind, ok := types.KindOfType(o.VType)
+	if !ok {
+		return nil, fmt.Errorf("forkbase: cannot decode value of type %v", o.VType)
+	}
+	root, count, height, err := types.ParseChunkRef(o.Data)
+	if err != nil {
+		return nil, err
+	}
+	user := resolveOpts(opts).user
+	fetch := func(ctx context.Context, ids []chunk.ID) ([][]byte, error) {
+		return rs.chunkWant(ctx, user, key, ids)
+	}
+	st, err := chunksync.Pull(ctx, rs.local, fetch, root, height, 0)
+	if err != nil {
+		return nil, err
+	}
+	if st.ChunksFetched == 0 {
+		// Everything was cached, so no request carried the user's
+		// identity to the server. Deployment modes must not diverge on
+		// who may decode what: make an empty Want purely for the
+		// access check, exactly as the full-ship Value would.
+		if _, err := rs.chunkWant(ctx, user, key, nil); err != nil {
+			return nil, err
+		}
+	}
+	tree := postree.Attach(&remoteChunkStore{rs: rs, user: user, key: key}, rs.treeCfg, kind, root, count, height)
+	v, _ := types.AttachValue(o.VType, tree)
+	return v, nil
+}
+
+// putChunked is Put over chunk sync: persist the value's tree into the
+// local cache (a no-op for values already attached there), negotiate
+// the server's missing set, upload it, and commit by root. The commit
+// op re-derives the tree shape server-side and verifies completeness
+// before the put executes.
+func (rs *RemoteStore) putChunked(ctx context.Context, key string, v Value, opts []Option) (UID, error) {
+	if err := types.Persist(rs.local, rs.treeCfg, v); err != nil {
+		return UID{}, err
+	}
+	tree := types.TreeOf(v)
+	if tree == nil {
+		return UID{}, fmt.Errorf("forkbase: chunked put: value of type %v has no tree", v.Type())
+	}
+	var ids []chunk.ID
+	if err := tree.WalkChunkIDs(func(id chunk.ID, _ bool) error {
+		ids = append(ids, id)
+		return nil
+	}); err != nil {
+		return UID{}, err
+	}
+	user := resolveOpts(opts).user
+	// One slot for the whole negotiate→upload→commit sequence: the
+	// server scopes the GC shields taken by Have/Send to the connection
+	// that took them, and only the commit (or teardown) on that same
+	// connection releases them.
+	slot := rs.next.Add(1)
+	var st chunksync.Stats
+	have := func(ctx context.Context, ids []chunk.ID) ([]bool, error) {
+		return rs.chunkHave(ctx, slot, user, key, ids)
+	}
+	missing, err := chunksync.Missing(ctx, ids, have, rs.haveBatch(), &st)
+	if err != nil {
+		return UID{}, err
+	}
+	send := func(ctx context.Context, chunks []*chunk.Chunk) error {
+		return rs.chunkSend(ctx, slot, user, key, chunks)
+	}
+	if err := chunksync.Push(ctx, tree.Store(), missing, send, rs.sendBytes(), &st); err != nil {
+		return UID{}, err
+	}
+	co, err := wireOpts(resolveOpts(opts))
+	if err != nil {
+		return UID{}, err
+	}
+	var e wire.Enc
+	wire.EncodeCallOptions(&e, co)
+	e.Str(key)
+	e.U8(uint8(v.Type()))
+	e.UID(tree.Root())
+	d, ep, err := rs.callSlot(ctx, slot, wire.OpPutChunked, e.Bytes())
+	if err != nil {
+		return UID{}, err
+	}
+	if ep != nil {
+		return ep.UID, ep.Err
+	}
+	uid := d.UID()
+	return uid, d.Err()
+}
+
+// remoteChunkStore is the store chunk-synced value handles attach to:
+// reads are served from the local cache and fall through to the wire
+// for anything missing (verified before admission); writes — the
+// copy-on-write chunks of local edits — land in the cache, where the
+// next delta Put finds them.
+type remoteChunkStore struct {
+	rs   *RemoteStore
+	user string
+	key  string
+}
+
+func (s *remoteChunkStore) Get(id chunk.ID) (*chunk.Chunk, error) {
+	c, err := s.rs.local.Get(id)
+	if err == nil || !errors.Is(err, store.ErrNotFound) {
+		return c, err
+	}
+	// Handle reads carry no context (they mirror the embedded store's
+	// interface); a straggler fetch rides on the background context.
+	got, werr := s.rs.chunkWant(context.Background(), s.user, s.key, []chunk.ID{id})
+	if werr != nil {
+		return nil, werr
+	}
+	if len(got) != 1 || got[0] == nil {
+		return nil, fmt.Errorf("forkbase: chunk %s: %w", id.Short(), store.ErrNotFound)
+	}
+	c, derr := chunk.Decode(got[0])
+	if derr != nil {
+		return nil, derr
+	}
+	if c.ID() != id {
+		return nil, fmt.Errorf("forkbase: fetched chunk hashes to %s, requested %s: %w", c.ID().Short(), id.Short(), store.ErrCorrupt)
+	}
+	if _, err := s.rs.local.Put(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (s *remoteChunkStore) Put(c *chunk.Chunk) (bool, error) { return s.rs.local.Put(c) }
+func (s *remoteChunkStore) Has(id chunk.ID) bool             { return s.rs.local.Has(id) }
+func (s *remoteChunkStore) Stats() store.Stats               { return s.rs.local.Stats() }
+func (s *remoteChunkStore) Close() error                     { return nil }
 
 var _ Store = (*RemoteStore)(nil)

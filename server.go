@@ -10,6 +10,10 @@ import (
 	"sync"
 	"time"
 
+	"forkbase/internal/chunk"
+	"forkbase/internal/postree"
+	"forkbase/internal/store"
+	"forkbase/internal/types"
 	"forkbase/internal/wire"
 )
 
@@ -34,6 +38,35 @@ type ServerOptions struct {
 	// Logf, when set, receives connection-level diagnostics (framing
 	// violations, disconnects). Nil discards them.
 	Logf func(format string, args ...any)
+	// DisableChunkSync turns off the chunk-granular transfer ops even
+	// when the backend could serve them: the server stops advertising
+	// FeatureChunkSync and answers the chunk ops with ErrUnsupported,
+	// forcing clients onto the full-ship path.
+	DisableChunkSync bool
+}
+
+// chunkBackend is the optional capability a wrapped store can expose
+// to serve the chunk-granular transfer ops. The embedded *DB
+// implements it; proxy backends (ClusterClient, RemoteStore) do not —
+// they have no local chunk store to negotiate against — so a server
+// wrapping one simply never advertises FeatureChunkSync and clients
+// fall back to full-ship transparently.
+type chunkBackend interface {
+	// chunkStore is the content-addressed store chunk ops read from
+	// and admit into.
+	chunkStore() store.Store
+	// treeConfig is the POS-Tree configuration committed versions are
+	// attached with.
+	treeConfig() postree.Config
+	// shieldChunks / unshieldChunks bracket the window between a chunk
+	// becoming known to a client (uploaded, or reported present during
+	// negotiation) and the commit that references it, keeping GC from
+	// sweeping it mid-upload.
+	shieldChunks(ids []chunk.ID)
+	unshieldChunks(ids []chunk.ID)
+	// checkChunkAccess runs the access controller for a chunk-level
+	// read (write=false) or upload/commit (write=true) on key.
+	checkChunkAccess(user, key string, write bool) error
 }
 
 // Server exposes any Store — an embedded *DB, a ClusterClient, even
@@ -201,6 +234,14 @@ type serverConn struct {
 	inflight map[uint64]context.CancelFunc
 	authed   bool
 	closed   bool
+
+	// shields tracks, per chunk id, how many GC shield references this
+	// connection holds on the backend (taken during chunk negotiation
+	// and upload, released when the referencing commit lands). Whatever
+	// is left when the connection dies — a client that uploaded and
+	// hung up — is released wholesale, returning the orphaned chunks to
+	// the collector.
+	shields map[chunk.ID]int
 }
 
 func (s *Server) newConn(c net.Conn) *serverConn {
@@ -215,6 +256,88 @@ func (s *Server) newConn(c net.Conn) *serverConn {
 	}
 }
 
+// chunkBack returns the wrapped store's chunk capability, nil when
+// absent or disabled.
+func (s *Server) chunkBack() chunkBackend {
+	if s.opts.DisableChunkSync {
+		return nil
+	}
+	cb, _ := s.st.(chunkBackend)
+	return cb
+}
+
+// features is the capability bitmask advertised in the Hello response.
+func (s *Server) features() uint32 {
+	if s.chunkBack() != nil {
+		return wire.FeatureChunkSync
+	}
+	return 0
+}
+
+// addShields takes one backend shield per unique id and records it
+// against this connection.
+func (sc *serverConn) addShields(cb chunkBackend, ids []chunk.ID) {
+	if len(ids) == 0 {
+		return
+	}
+	sc.mu.Lock()
+	if sc.shields == nil {
+		sc.shields = make(map[chunk.ID]int)
+	}
+	for _, id := range ids {
+		sc.shields[id]++
+	}
+	sc.mu.Unlock()
+	cb.shieldChunks(ids)
+}
+
+// dropShields releases one connection-held shield per unique id (ids
+// the connection never shielded are ignored).
+func (sc *serverConn) dropShields(cb chunkBackend, ids []chunk.ID) {
+	seen := make(map[chunk.ID]bool, len(ids))
+	release := make([]chunk.ID, 0, len(ids))
+	sc.mu.Lock()
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if n, ok := sc.shields[id]; ok && n > 0 {
+			if n == 1 {
+				delete(sc.shields, id)
+			} else {
+				sc.shields[id] = n - 1
+			}
+			release = append(release, id)
+		}
+	}
+	sc.mu.Unlock()
+	if len(release) > 0 {
+		cb.unshieldChunks(release)
+	}
+}
+
+// dropAllShields releases every shield reference the connection still
+// holds (connection teardown).
+func (sc *serverConn) dropAllShields() {
+	cb, _ := sc.srv.st.(chunkBackend)
+	if cb == nil {
+		return
+	}
+	sc.mu.Lock()
+	var release []chunk.ID
+	for id, n := range sc.shields {
+		for i := 0; i < n; i++ {
+			release = append(release, id)
+		}
+	}
+	sc.shields = nil
+	sc.mu.Unlock()
+	if len(release) > 0 {
+		cb.unshieldChunks(release)
+	}
+}
+
 // close tears the connection down and cancels its in-flight requests.
 func (sc *serverConn) close() {
 	sc.mu.Lock()
@@ -224,6 +347,7 @@ func (sc *serverConn) close() {
 	}
 	sc.closed = true
 	sc.mu.Unlock()
+	sc.dropAllShields()
 	sc.cancel() // aborts handlers blocked in ctx-aware walks
 	sc.c.Close()
 	sc.srv.mu.Lock()
@@ -347,6 +471,9 @@ func (sc *serverConn) hello(reqID uint64, payload []byte) bool {
 	var e wire.Enc
 	e.U8(0)
 	e.Str("forkbase/1")
+	// Optional-capability bitmask; clients that predate it ignore the
+	// trailing bytes, so this is compatible with ProtoVersion 1 peers.
+	e.U32(sc.srv.features())
 	sc.write(reqID, wire.OpHello, e.Bytes())
 	return true
 }
@@ -361,7 +488,7 @@ func (sc *serverConn) handle(ctx context.Context, cancel context.CancelFunc, req
 		sc.mu.Unlock()
 		cancel()
 	}()
-	sc.write(reqID, op, sc.srv.dispatch(ctx, op, payload))
+	sc.write(reqID, op, sc.srv.dispatch(ctx, sc, op, payload))
 }
 
 func (sc *serverConn) write(reqID uint64, op uint8, payload []byte) {
@@ -434,8 +561,11 @@ func callOptions(o wire.CallOptions) ([]Option, error) {
 // dispatch decodes one request, runs it against the wrapped store and
 // returns the response payload. Decode failures — truncated or
 // garbage payloads inside intact frames — fail the request, never the
-// process: every decoder is bounds-checked by construction.
-func (s *Server) dispatch(ctx context.Context, op uint8, payload []byte) []byte {
+// process: every decoder is bounds-checked by construction. sc is the
+// originating connection: the chunk ops scope their GC shields to it,
+// so a client that disconnects mid-negotiation releases whatever it
+// had protected.
+func (s *Server) dispatch(ctx context.Context, sc *serverConn, op uint8, payload []byte) []byte {
 	d := wire.NewDec(payload)
 	co := wire.DecodeCallOptions(d)
 	opts, err := callOptions(co)
@@ -629,6 +759,12 @@ func (s *Server) dispatch(ctx context.Context, op uint8, payload []byte) []byte 
 			return fail(err)
 		}
 		return okPayload2(func(e *wire.Enc) error { return wire.EncodeValue(e, v) })
+	case wire.OpChunkHave, wire.OpChunkWant, wire.OpChunkSend, wire.OpPutChunked:
+		cb := s.chunkBack()
+		if cb == nil {
+			return fail(fmt.Errorf("%w: backend %T does not serve chunk-granular transfer", wire.ErrUnsupported, s.st))
+		}
+		return s.dispatchChunk(ctx, sc, cb, op, d, co, opts)
 	case wire.OpStats:
 		type statser interface{ Stats() StoreStats }
 		ss, ok := s.st.(statser)
@@ -639,6 +775,188 @@ func (s *Server) dispatch(ctx context.Context, op uint8, payload []byte) []byte 
 		return okPayload(func(e *wire.Enc) { wire.EncodeStats(e, stats) })
 	}
 	return fail(fmt.Errorf("%w: unhandled op %d", wire.ErrCodec, op))
+}
+
+// dispatchChunk executes the chunk-granular transfer ops. Three rules
+// govern every path here:
+//
+//  1. Admission is verified: a chunk enters the store only if its
+//     bytes hash to the id it was claimed under. A mismatch — or any
+//     undecodable chunk in the batch — fails the whole request before
+//     anything is admitted, so corrupt uploads cost one request and
+//     leave no trace.
+//  2. Negotiated chunks are shielded: an id the server reported as
+//     present (OpChunkHave) or admitted (OpChunkSend) becomes a
+//     transient GC root scoped to this connection, because the client
+//     will rely on it when it commits. The matching OpPutChunked
+//     releases the shields; a dropped connection releases the rest.
+//  3. Access is per key: every chunk op carries the routing key being
+//     read or written and runs the same ACL check the materialized op
+//     would. Within a granted key, chunk ids act as capabilities —
+//     the server cannot cheaply prove a content-addressed chunk
+//     "belongs" to a key, and does not try (see README, trust model).
+func (s *Server) dispatchChunk(ctx context.Context, sc *serverConn, cb chunkBackend, op uint8, d *wire.Dec, co wire.CallOptions, opts []Option) []byte {
+	fail := func(err error) []byte { return errPayload(err, nil, UID{}) }
+	cs := cb.chunkStore()
+	switch op {
+	case wire.OpChunkHave:
+		key := d.Str()
+		ids := wire.DecodeUIDs(d)
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		// Have is the upload negotiation, so it needs write intent —
+		// a read-only user learns nothing about what the store holds.
+		if err := cb.checkChunkAccess(co.User, key, true); err != nil {
+			return fail(err)
+		}
+		bits := make([]bool, len(ids))
+		var present []chunk.ID
+		seen := make(map[chunk.ID]bool, len(ids))
+		for i, id := range ids {
+			if cs.Has(id) {
+				bits[i] = true
+				if !seen[id] {
+					seen[id] = true
+					present = append(present, id)
+				}
+			}
+		}
+		// The client will skip re-sending these; keep them alive until
+		// its commit (or disconnect).
+		sc.addShields(cb, present)
+		return okPayload(func(e *wire.Enc) { wire.EncodeBitmap(e, bits) })
+	case wire.OpChunkWant:
+		key := d.Str()
+		ids := wire.DecodeUIDs(d)
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		if err := cb.checkChunkAccess(co.User, key, false); err != nil {
+			return fail(err)
+		}
+		// Answer a prefix of the request, stopping before the response
+		// would overflow the frame cap; the client re-requests the
+		// tail. Half the cap leaves comfortable room for per-chunk
+		// framing no matter how the sizes fall.
+		budget := wire.MaxPayload(s.opts.MaxFrame) / 2
+		var answered []*chunk.Chunk
+		total := 0
+		for _, id := range ids {
+			if err := ctx.Err(); err != nil {
+				return fail(err)
+			}
+			c, err := store.GetVerified(cs, id)
+			if errors.Is(err, store.ErrNotFound) {
+				answered = append(answered, nil)
+				continue
+			}
+			if err != nil {
+				return fail(err)
+			}
+			if total+len(c.Bytes()) > budget && len(answered) > 0 {
+				break
+			}
+			answered = append(answered, c)
+			total += len(c.Bytes())
+		}
+		return okPayload(func(e *wire.Enc) { wire.EncodeWantResponse(e, answered) })
+	case wire.OpChunkSend:
+		key := d.Str()
+		frames := wire.DecodeChunkUpload(d)
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		if err := cb.checkChunkAccess(co.User, key, true); err != nil {
+			return fail(err)
+		}
+		// Verify the whole batch before admitting any of it.
+		decoded := make([]*chunk.Chunk, 0, len(frames))
+		var ids []chunk.ID
+		seen := make(map[chunk.ID]bool, len(frames))
+		for _, f := range frames {
+			c, err := chunk.Decode(f.Bytes)
+			if err != nil {
+				return fail(fmt.Errorf("%w: undecodable chunk claimed as %s: %v", store.ErrCorrupt, f.ID.Short(), err))
+			}
+			if c.ID() != f.ID {
+				return fail(fmt.Errorf("%w: chunk claimed as %s hashes to %s", store.ErrCorrupt, f.ID.Short(), c.ID().Short()))
+			}
+			decoded = append(decoded, c)
+			if !seen[c.ID()] {
+				seen[c.ID()] = true
+				ids = append(ids, c.ID())
+			}
+		}
+		// Shield before Put: a collection sweeping between the Put and
+		// the commit must treat these as roots.
+		sc.addShields(cb, ids)
+		var stored, dups uint32
+		for _, c := range decoded {
+			dup, err := cs.Put(c)
+			if err != nil {
+				return fail(err)
+			}
+			if dup {
+				dups++
+			} else {
+				stored++
+			}
+		}
+		return okPayload(func(e *wire.Enc) {
+			e.U32(stored)
+			e.U32(dups)
+		})
+	case wire.OpPutChunked:
+		key := d.Str()
+		vt := types.Type(d.U8())
+		root := d.UID()
+		if err := d.Err(); err != nil {
+			return fail(err)
+		}
+		kind, ok := types.KindOfType(vt)
+		if !ok {
+			return fail(fmt.Errorf("%w: type %v is not chunkable", ErrBadOptions, vt))
+		}
+		if err := cb.checkChunkAccess(co.User, key, true); err != nil {
+			return fail(err)
+		}
+		// Load derives count and height by walking the root path —
+		// trusting the client's claimed shape would let it commit a
+		// version whose meta chunk misdescribes the tree.
+		tree, err := postree.Load(cs, cb.treeConfig(), kind, root)
+		if err != nil {
+			return fail(fmt.Errorf("chunked put of %s: %w", root.Short(), err))
+		}
+		// The tree must be complete before the commit: every index node
+		// must decode and every leaf must exist. The walked id set is
+		// also exactly what this connection's shields protect for this
+		// value, so it doubles as the release list.
+		var ids []chunk.ID
+		err = tree.WalkChunkIDs(func(id chunk.ID, isLeaf bool) error {
+			ids = append(ids, id)
+			if isLeaf && !cs.Has(id) {
+				return fmt.Errorf("chunked put: leaf %s: %w (upload incomplete)", id.Short(), store.ErrNotFound)
+			}
+			return nil
+		})
+		if err != nil {
+			// Leave the shields in place: the client can finish the
+			// upload and retry; disconnect still releases them.
+			return fail(err)
+		}
+		v, _ := types.AttachValue(vt, tree)
+		uid, perr := s.st.Put(ctx, key, v, opts...)
+		// Success or failure, the negotiation window is over: on
+		// success the new version roots the chunks; on failure the
+		// client renegotiates from OpChunkHave, which re-shields.
+		sc.dropShields(cb, ids)
+		if perr != nil {
+			return errPayload(perr, nil, uid)
+		}
+		return okPayload(func(e *wire.Enc) { e.UID(uid) })
+	}
+	return fail(fmt.Errorf("%w: unhandled chunk op %d", wire.ErrCodec, op))
 }
 
 // okPayload2 is okPayload for encoders that can fail mid-way (value
