@@ -201,6 +201,77 @@ func TestChunkSyncCachePersistsAcrossDials(t *testing.T) {
 	}
 }
 
+// TestChunkSyncColdMissHonorsCtx: a chunk-synced handle's lazy fetches
+// are scoped by the context of the Value call that attached it. After
+// the local cache loses the tree, reading the handle cold-misses over
+// the wire — with the attach context live that refetch is transparent;
+// cancelled, it must abort instead of riding an unbounded background
+// request.
+func TestChunkSyncColdMissHonorsCtx(t *testing.T) {
+	db := forkbase.Open()
+	addr, _ := startServer(t, db, forkbase.ServerOptions{})
+	ctx := context.Background()
+	rnd := rand.New(rand.NewSource(11))
+	data := make([]byte, 1<<20)
+	rnd.Read(data)
+	if _, err := db.Put(ctx, "doc", forkbase.NewBlob(data)); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, err := forkbase.Dial(addr, forkbase.RemoteConfig{ChunkSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	// Live attach context: a handle whose chunks vanished refetches
+	// them transparently.
+	o, err := rc.Get(ctx, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := rc.Value(ctx, "doc", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := forkbase.AsBlob(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.DropChunkCacheForTest()
+	base := rc.WireStats().BytesReceived
+	got, err := b1.Bytes()
+	if err != nil {
+		t.Fatalf("read after cache loss with live ctx: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("lazy refetch corrupted the object")
+	}
+	if moved := rc.WireStats().BytesReceived - base; moved < int64(len(data)) {
+		t.Fatalf("read after cache loss moved only %d of %d bytes", moved, len(data))
+	}
+
+	// Cancelled attach context: the cold miss must abort, not fetch.
+	vctx, cancel := context.WithCancel(ctx)
+	v2, err := rc.Value(vctx, "doc", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := forkbase.AsBlob(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.DropChunkCacheForTest()
+	cancel()
+	base = rc.WireStats().BytesReceived
+	if _, err := b2.Bytes(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("read after cancel: err = %v, want context.Canceled", err)
+	}
+	if moved := rc.WireStats().BytesReceived - base; moved > 4<<10 {
+		t.Fatalf("cancelled read still moved %d bytes over the wire", moved)
+	}
+}
+
 // rawChunkConn dials a raw wire connection and completes the hello,
 // for handcrafted chunk-op frames.
 func rawChunkConn(t *testing.T, addr string) net.Conn {

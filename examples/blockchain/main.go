@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	clustered := flag.Bool("cluster", false, "run the ledger on a simulated 4-servlet cluster")
 	flag.Parse()
 
@@ -56,7 +58,7 @@ func main() {
 		transfer("carol", "bob", 25),
 	}
 	for _, tx := range txs {
-		if err := ledger.Submit(tx); err != nil {
+		if err := ledger.Submit(ctx, tx); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -72,7 +74,7 @@ func main() {
 
 	// State scan: alice's balance history, newest first, straight off
 	// the Blob's derivation chain (§5.1.3).
-	hist, err := backend.StateScan("alice", 100)
+	hist, err := backend.StateScan(ctx, "alice", 100)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func main() {
 	}
 
 	// Block scan: every state as of block 1.
-	states, err := backend.BlockScan(1)
+	states, err := backend.BlockScan(ctx, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

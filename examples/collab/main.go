@@ -15,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db := forkbase.Open()
 	defer db.Close()
 
@@ -28,7 +29,7 @@ func main() {
 
 	// Analyst 1 cleans a block of records on their own branch; the
 	// fork copies nothing.
-	if err := table.Fork("master", "cleaning"); err != nil {
+	if err := table.Fork(ctx, "master", "cleaning"); err != nil {
 		log.Fatal(err)
 	}
 	var cleaned []workload.Record

@@ -18,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	db := forkbase.Open()
 	defer db.Close()
 	engine := wiki.NewForkBase(db, wiki.FetchModel{})
@@ -26,7 +27,7 @@ func main() {
 	// Create a 60 KB article and edit it five times.
 	rng := rand.New(rand.NewSource(1))
 	content := workload.RandText(rng, 60<<10)
-	if err := engine.Save(author, "go-programming", content); err != nil {
+	if err := engine.Save(ctx, author, "go-programming", content); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("saved initial article (%d KB), storage %s\n", len(content)>>10, db.Stats())
@@ -37,7 +38,7 @@ func main() {
 			Offset:  10000 * (i + 1),
 			Content: []byte(fmt.Sprintf("== revision %d inserted this section ==", i+1)),
 		}
-		if err := engine.Edit(author, edit); err != nil {
+		if err := engine.Edit(ctx, author, edit); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -45,7 +46,7 @@ func main() {
 	fmt.Println("a copy-per-version store would hold", 6*len(content)>>10, "KB of page data")
 
 	// Diff the two newest versions chunk-wise.
-	shared, distinct, err := engine.Diff("go-programming")
+	shared, distinct, err := engine.Diff(ctx, "go-programming")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func main() {
 	reader := wiki.NewClient()
 	for back := 0; back < 6; back++ {
 		before := engine.BytesFetched()
-		v, err := engine.LoadVersion(reader, "go-programming", back)
+		v, err := engine.LoadVersion(ctx, reader, "go-programming", back)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,13 @@
+package forkbase
+
+import "forkbase/internal/store"
+
+// DropChunkCacheForTest replaces the client chunk cache with an empty
+// one, simulating a cache that lost its contents between attaching a
+// value handle and reading it (a cleaned cache directory, a collected
+// cache). Handle reads after this must take the lazy-fetch path.
+func (rs *RemoteStore) DropChunkCacheForTest() {
+	if rs.local != nil {
+		rs.local = store.NewCache(store.NewMemStore(), 64<<20)
+	}
+}

@@ -426,21 +426,21 @@ func (db *DB) checkChunkAccess(user, key string, write bool) error {
 //
 // Deprecated: use Get with WithBranch.
 func (db *DB) GetBranch(key, branchName string) (*FObject, error) {
-	return db.Get(context.Background(), key, WithBranch(branchName))
+	return db.Get(bg(), key, WithBranch(branchName))
 }
 
 // GetUID reads a specific version (M2) and verifies it against uid.
 //
 // Deprecated: use Get with WithBase.
 func (db *DB) GetUID(uid UID) (*FObject, error) {
-	return db.Get(context.Background(), "", WithBase(uid))
+	return db.Get(bg(), "", WithBase(uid))
 }
 
 // PutBranch writes to a named branch, creating it on first write (M3).
 //
 // Deprecated: use Put with WithBranch.
 func (db *DB) PutBranch(key, branchName string, v Value) (UID, error) {
-	return db.Put(context.Background(), key, v, WithBranch(branchName))
+	return db.Put(bg(), key, v, WithBranch(branchName))
 }
 
 // PutWithContext writes to a branch with application metadata stored in
@@ -455,7 +455,7 @@ func (db *DB) PutWithContext(key, branchName string, v Value, context []byte) (U
 //
 // Deprecated: use Put with WithGuard.
 func (db *DB) PutGuarded(key, branchName string, v Value, guard UID) (UID, error) {
-	return db.Put(context.Background(), key, v, WithBranch(branchName), WithGuard(guard))
+	return db.Put(bg(), key, v, WithBranch(branchName), WithGuard(guard))
 }
 
 // PutBase writes a new version deriving from an explicit base (M4), the
@@ -463,21 +463,21 @@ func (db *DB) PutGuarded(key, branchName string, v Value, guard UID) (UID, error
 //
 // Deprecated: use Put with WithBase.
 func (db *DB) PutBase(key string, base UID, v Value) (UID, error) {
-	return db.Put(context.Background(), key, v, WithBase(base))
+	return db.Put(bg(), key, v, WithBase(base))
 }
 
 // ForkUID creates a new branch at an arbitrary version (M12).
 //
 // Deprecated: use Fork with WithBase.
 func (db *DB) ForkUID(key string, uid UID, newBranch string) error {
-	return db.Fork(context.Background(), key, newBranch, WithBase(uid))
+	return db.Fork(bg(), key, newBranch, WithBase(uid))
 }
 
 // Rename renames a branch (M13).
 //
 // Deprecated: use RenameBranch.
 func (db *DB) Rename(key, branchName, newName string) error {
-	return db.RenameBranch(context.Background(), key, branchName, newName)
+	return db.RenameBranch(bg(), key, branchName, newName)
 }
 
 // ListTaggedBranches returns a key's named branches and heads (M9). It
@@ -503,7 +503,7 @@ func (db *DB) ListUntaggedBranches(key string) []UID {
 //
 // Deprecated: use Merge with WithBase.
 func (db *DB) MergeUID(key, tgtBranch string, ref UID, res Resolver) (UID, []Conflict, error) {
-	return db.Merge(context.Background(), key, tgtBranch, WithBase(ref), WithResolver(res))
+	return db.Merge(bg(), key, tgtBranch, WithBase(ref), WithResolver(res))
 }
 
 // MergeUntagged merges untagged heads into one, replacing them in the
@@ -515,7 +515,7 @@ func (db *DB) MergeUntagged(key string, res Resolver, uids ...UID) (UID, []Confl
 	for _, u := range uids {
 		opts = append(opts, WithBase(u))
 	}
-	return db.Merge(context.Background(), key, "", opts...)
+	return db.Merge(bg(), key, "", opts...)
 }
 
 // TrackUID returns versions at derivation distances [from, to] behind a
@@ -523,26 +523,26 @@ func (db *DB) MergeUntagged(key string, res Resolver, uids ...UID) (UID, []Confl
 //
 // Deprecated: use Track with WithBase.
 func (db *DB) TrackUID(uid UID, from, to int) ([]*FObject, error) {
-	return db.Track(context.Background(), "", from, to, WithBase(uid))
+	return db.Track(bg(), "", from, to, WithBase(uid))
 }
 
 // LCA returns the least common ancestor of two versions (M17).
 func (db *DB) LCA(uid1, uid2 UID) (*FObject, error) {
-	return db.eng.LCA(context.Background(), uid1, uid2)
+	return db.eng.LCA(bg(), uid1, uid2)
 }
 
 // DiffVersions compares two versions of the same type.
 //
 // Deprecated: use Diff.
 func (db *DB) DiffVersions(uid1, uid2 UID) (*Diff, error) {
-	return db.Diff(context.Background(), "", uid1, uid2)
+	return db.Diff(bg(), "", uid1, uid2)
 }
 
 // ValueOf decodes an FObject's value.
 //
 // Deprecated: use Value.
 func (db *DB) ValueOf(o *FObject) (Value, error) {
-	return db.Value(context.Background(), string(o.Key), o)
+	return db.Value(bg(), string(o.Key), o)
 }
 
 // BlobOf decodes an FObject known to hold a Blob.
@@ -587,6 +587,9 @@ func (db *DB) VerifyHistory(o *FObject) (int, error) {
 	return o.VerifyHistory(db.eng.Store())
 }
 
-// bg sidesteps the shadowing of the context package by PutWithContext's
-// legacy parameter name.
+// bg is the root context behind the deprecated, context-free wrappers
+// above: they predate cancellation in the API, so a fresh root is the
+// only context they can offer. New code takes a ctx parameter instead.
+//
+//forkvet:allow ctxflow — deprecated context-free API surface; callers that want cancellation use the Store methods
 func bg() context.Context { return context.Background() }

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding can be acknowledged in source with
+//
+//	//forkvet:allow <name>[,<name>...] — reason
+//
+// where <name> is an analyzer name (or "all"). The reason is free
+// text; CONTRIBUTING.md asks for one, but the parser only needs the
+// names. A directive suppresses matching diagnostics
+//
+//   - on its own line (trailing comment),
+//   - on the line immediately below it (a comment line above the
+//     flagged statement), and
+//   - anywhere inside the declaration it documents, when it appears in
+//     the doc comment of a top-level func/var/const/type declaration.
+const allowPrefix = "//forkvet:allow"
+
+// allowSet indexes every directive of one package's files.
+type allowSet struct {
+	// lines maps file -> line -> analyzer names allowed on that line.
+	lines map[string]map[int][]string
+	// spans are declaration-scoped directives.
+	spans []allowSpan
+	fset  *token.FileSet
+}
+
+type allowSpan struct {
+	file       string
+	start, end int // line range, inclusive
+	names      []string
+}
+
+// parseAllow extracts analyzer names from one comment line, or nil if
+// the comment is not a directive.
+func parseAllow(text string) []string {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil
+	}
+	rest := strings.TrimPrefix(text, allowPrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil // e.g. //forkvet:allowance
+	}
+	// Names end at the first token that is not a comma-separated list
+	// of identifiers; everything after is the human reason.
+	fields := strings.Fields(rest)
+	var names []string
+	for _, f := range fields {
+		ok := true
+		for _, part := range strings.Split(f, ",") {
+			if part == "" {
+				continue
+			}
+			for _, r := range part {
+				if (r < 'a' || r > 'z') && (r < '0' || r > '9') {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		for _, part := range strings.Split(f, ",") {
+			if part != "" {
+				names = append(names, part)
+			}
+		}
+	}
+	return names
+}
+
+// collectAllows scans a package's comments for directives.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	s := &allowSet{lines: make(map[string]map[int][]string), fset: fset}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if names == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := s.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					s.lines[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], names...)
+			}
+		}
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc == nil {
+				continue
+			}
+			var names []string
+			for _, c := range doc.List {
+				names = append(names, parseAllow(c.Text)...)
+			}
+			if len(names) == 0 {
+				continue
+			}
+			start := fset.Position(decl.Pos())
+			end := fset.Position(decl.End())
+			s.spans = append(s.spans, allowSpan{
+				file: start.Filename, start: start.Line, end: end.Line, names: names,
+			})
+		}
+	}
+	return s
+}
+
+// allowed reports whether a diagnostic from the named analyzer at pos
+// is suppressed.
+func (s *allowSet) allowed(analyzer string, pos token.Position) bool {
+	match := func(names []string) bool {
+		for _, n := range names {
+			if n == analyzer || n == "all" {
+				return true
+			}
+		}
+		return false
+	}
+	if m := s.lines[pos.Filename]; m != nil {
+		if match(m[pos.Line]) || match(m[pos.Line-1]) {
+			return true
+		}
+	}
+	for _, sp := range s.spans {
+		if sp.file == pos.Filename && pos.Line >= sp.start && pos.Line <= sp.end && match(sp.names) {
+			return true
+		}
+	}
+	return false
+}

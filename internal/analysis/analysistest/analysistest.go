@@ -1,0 +1,267 @@
+// Package analysistest runs an analyzer over golden fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixture
+// sources live under <analyzer pkg>/testdata/src/<pkgpath>/, and every
+// line expected to produce a diagnostic carries a trailing
+//
+//	// want "regexp"
+//
+// comment (several quoted regexps mean several diagnostics on that
+// line). The test fails on any unmatched diagnostic or unmet
+// expectation. Because diagnostics pass through the same
+// //forkvet:allow suppression as the real driver, a fixture line with
+// an allow directive and no want comment is the negative test proving
+// suppression works.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"forkbase/internal/analysis"
+)
+
+// Run loads each fixture package and checks the analyzer's diagnostics
+// against its want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &loader{
+		fset:    token.NewFileSet(),
+		src:     src,
+		fixture: make(map[string]*analysis.Package),
+		exports: make(map[string]string),
+	}
+	ld.std = &stdImporter{ld: ld, under: importer.ForCompiler(ld.fset, "gc", ld.lookup)}
+	for _, path := range pkgpaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkExpectations(t, ld.fset, pkg, findings)
+	}
+}
+
+// expectation is one want regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				for _, pat := range parseWant(t, pos, c.Text) {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: pat})
+				}
+			}
+		}
+	}
+	for _, d := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps of a `// want "..." "..."`
+// comment, or nil if the comment is not a want.
+func parseWant(t *testing.T, pos token.Position, text string) []*regexp.Regexp {
+	t.Helper()
+	rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	var pats []*regexp.Regexp
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		lit, remainder, err := cutQuoted(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment: %v", pos, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp: %v", pos, err)
+		}
+		pats = append(pats, re)
+		rest = remainder
+	}
+	return pats
+}
+
+// cutQuoted splits a leading Go-quoted string off s.
+func cutQuoted(s string) (lit, rest string, err error) {
+	if s == "" || (s[0] != '"' && s[0] != '`') {
+		return "", "", fmt.Errorf("expected quoted regexp, have %q", s)
+	}
+	q := s[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' && q == '"' {
+			i++
+			continue
+		}
+		if s[i] == q {
+			lit, err := strconv.Unquote(s[:i+1])
+			return lit, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted regexp in %q", s)
+}
+
+// loader resolves fixture packages (GOPATH-style, from testdata/src)
+// and standard-library packages (from compiled export data fetched
+// lazily via `go list -export`).
+type loader struct {
+	fset    *token.FileSet
+	src     string
+	fixture map[string]*analysis.Package
+	exports map[string]string
+	std     types.Importer
+}
+
+func (ld *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := ld.fixture[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	var terrs []string
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { terrs = append(terrs, err.Error()) },
+	}
+	tpkg, _ := conf.Check(path, ld.fset, files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("type errors:\n  %s", strings.Join(terrs, "\n  "))
+	}
+	pkg := &analysis.Package{
+		PkgPath: path,
+		Name:    files[0].Name.Name,
+		Dir:     dir,
+		Fset:    ld.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}
+	ld.fixture[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer over both source trees.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, err := os.Stat(filepath.Join(ld.src, filepath.FromSlash(path))); err == nil {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// lookup feeds export data to the gc importer, shelling out to
+// `go list` once per missing root and caching the whole dependency
+// closure it reports.
+func (ld *loader) lookup(path string) (io.ReadCloser, error) {
+	if e, ok := ld.exports[path]; ok {
+		return os.Open(e)
+	}
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", path)
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v", path, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			ld.exports[p.ImportPath] = p.Export
+		}
+	}
+	e, ok := ld.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(e)
+}
+
+// stdImporter guards "unsafe" in front of the export-data importer.
+type stdImporter struct {
+	ld    *loader
+	under types.Importer
+}
+
+func (s *stdImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return s.under.Import(path)
+}

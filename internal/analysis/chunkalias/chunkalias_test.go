@@ -1,0 +1,11 @@
+package chunkalias
+
+import (
+	"testing"
+
+	"forkbase/internal/analysis/analysistest"
+)
+
+func TestChunkalias(t *testing.T) {
+	analysistest.Run(t, Analyzer, "chunkalias/use")
+}

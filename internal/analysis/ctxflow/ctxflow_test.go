@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"forkbase/internal/analysis/analysistest"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, Analyzer, "ctxflow", "ctxflowmain")
+}

@@ -1,0 +1,39 @@
+package fixture
+
+import "context"
+
+// withCtx has a ctx in scope: a fresh root provably discards it.
+func withCtx(ctx context.Context) {
+	_ = context.Background() // want `discards the ctx already in scope`
+	use(ctx)
+}
+
+// noCtx is library code with no ctx parameter: still flagged, since
+// library paths are presumed reachable from ctx-bearing entry points.
+func noCtx() {
+	_ = context.TODO() // want `creates a fresh root context in library code`
+}
+
+// root is a package-level root context: flagged.
+var root = context.Background() // want `creates a fresh root context in library code`
+
+// nested ctx parameters count through closures.
+func nested(ctx context.Context) func() {
+	return func() {
+		_ = context.Background() // want `discards the ctx already in scope`
+	}
+}
+
+// litWithCtx: the literal's own ctx parameter counts too.
+var litWithCtx = func(ctx context.Context) {
+	_ = context.Background() // want `discards the ctx already in scope`
+}
+
+// derived contexts are fine.
+func derived(ctx context.Context) {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	use(c)
+}
+
+func use(ctx context.Context) { _ = ctx }

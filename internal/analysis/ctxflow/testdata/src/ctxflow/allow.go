@@ -1,0 +1,26 @@
+package fixture
+
+import "context"
+
+// Negative fixture: every occurrence below is suppressed by a
+// //forkvet:allow directive, so none produces a diagnostic.
+
+func allowedSameLine() context.Context {
+	return context.Background() //forkvet:allow ctxflow — fixture: suppressed on the same line
+}
+
+func allowedLineAbove() context.Context {
+	//forkvet:allow ctxflow — fixture: suppressed from the line above
+	return context.Background()
+}
+
+// allowedDecl owns a root context for its whole body.
+//
+//forkvet:allow ctxflow — fixture: suppressed for the whole declaration
+func allowedDecl(ctx context.Context) context.Context {
+	c := context.Background()
+	return c
+}
+
+//forkvet:allow ctxflow — fixture: package-level var, suppressed via doc comment
+var allowedRoot = context.Background()

@@ -1,0 +1,11 @@
+// Package main is exempt: entry points own their root context.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	helper(ctx)
+}
+
+func helper(ctx context.Context) { _ = ctx }

@@ -1,0 +1,327 @@
+// Package lockhold flags blocking calls made while a sync mutex is
+// held.
+//
+// Invariant (PR 2): the Engine's stripe locks, the branch Table mutex
+// and the FileStore index lock serialize hot paths; anything that can
+// park the goroutine for unbounded time while one is held — wire or
+// socket I/O, fsync barriers, channel operations, WaitGroup waits,
+// chunk-sync Pull/Push — turns a short critical section into a
+// cluster-wide stall. The handful of places that hold a lock across
+// I/O on purpose (a connection's write mutex serializing frames, the
+// metadata journal's write-ahead barrier) carry //forkvet:allow
+// lockhold with the reason.
+//
+// The analysis is intra-procedural: it sees a Lock() and a blocking
+// call in the same function body. Branches are scanned with a copy of
+// the held set, so a conditional unlock-and-return does not leak into
+// the fall-through path. Calls that acquire a lock internally (the
+// "xxxLocked" helper convention) are by construction out of scope.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"forkbase/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "flags blocking calls (socket I/O, fsync, channel ops, Pull/Push) under a held mutex",
+	Run:  run,
+}
+
+// blockingFuncs are package-qualified functions that park the caller.
+var blockingFuncs = map[[2]string]bool{
+	{"time", "Sleep"}:   true,
+	{"io", "ReadFull"}:  true,
+	{"io", "Copy"}:      true,
+	{"io", "ReadAll"}:   true,
+	{"net", "Dial"}:     true,
+	{"os/exec", "Run"}:  true,
+	{"os/exec", "Wait"}: true,
+}
+
+// blockingNames are bare function or method names treated as blocking
+// wherever they resolve — repository conventions: Barrier is the
+// journal's write-ahead flush, Pull/Push are chunk-sync transfers,
+// ReadFrame/WriteFrame are the wire codec's socket I/O.
+var blockingNames = map[string]bool{
+	"Barrier":    true,
+	"Pull":       true,
+	"Push":       true,
+	"Fsync":      true,
+	"ReadFrame":  true,
+	"WriteFrame": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		var roots []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					roots = append(roots, n.Body)
+				}
+			case *ast.FuncLit:
+				roots = append(roots, n.Body)
+			}
+			return true
+		})
+		for _, body := range roots {
+			s := &scan{pass: pass}
+			s.stmts(body.List, map[string]token.Pos{})
+		}
+	}
+	return nil
+}
+
+type scan struct {
+	pass *analysis.Pass
+}
+
+// stmts walks one statement list in source order. held maps a lock's
+// source expression (e.g. "fs.mu") to the position that acquired it.
+// Nested control-flow bodies get a copy, so branch-local lock activity
+// stays branch-local.
+func (s *scan) stmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, st := range list {
+		s.stmt(st, held)
+	}
+}
+
+func (s *scan) stmt(st ast.Stmt, held map[string]token.Pos) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		s.expr(st.X, held)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			s.reportHeld(st.Arrow, "channel send", held)
+		}
+		s.expr(st.Chan, held)
+		s.expr(st.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the remainder of
+		// the function — exactly the case the scan must keep tracking —
+		// so a deferred release does not clear the held set. Any other
+		// deferred call runs at return; its arguments are evaluated now.
+		for _, arg := range st.Call.Args {
+			s.expr(arg, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine runs elsewhere; its body is analyzed as its own
+		// root. Argument evaluation happens here, though.
+		for _, arg := range st.Call.Args {
+			s.expr(arg, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		s.expr(st.Cond, held)
+		s.stmts(st.Body.List, clone(held))
+		if st.Else != nil {
+			s.stmt(st.Else, clone(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond, held)
+		}
+		s.stmts(st.Body.List, clone(held))
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if tv, ok := s.pass.TypesInfo.Types[st.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					s.reportHeld(st.For, "range over channel", held)
+				}
+			}
+		}
+		s.expr(st.X, held)
+		s.stmts(st.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					s.expr(e, held)
+				}
+				s.stmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.stmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 && !hasDefault(st) {
+			s.reportHeld(st.Select, "select", held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				s.stmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.BlockStmt:
+		s.stmts(st.List, held)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt, held)
+	}
+}
+
+// expr scans an expression tree for lock transitions, blocking calls
+// and channel receives. FuncLit bodies are skipped: they are analyzed
+// as separate roots with an empty held set.
+func (s *scan) expr(e ast.Expr, held map[string]token.Pos) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				s.reportHeld(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			s.call(n, held)
+		}
+		return true
+	})
+}
+
+// call classifies one call: lock transition, or blocking operation.
+func (s *scan) call(call *ast.CallExpr, held map[string]token.Pos) {
+	sel, _ := call.Fun.(*ast.SelectorExpr)
+	fn := calleeFunc(s.pass, call)
+	if fn == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	// Lock/Unlock on sync types track the held set, keyed by the
+	// receiver's source expression.
+	if sel != nil && sig != nil && sig.Recv() != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		key := types.ExprString(sel.X)
+		switch fn.Name() {
+		case "Lock", "RLock":
+			held[key] = call.Pos()
+			return
+		case "Unlock", "RUnlock":
+			delete(held, key)
+			return
+		}
+	}
+	if len(held) == 0 {
+		return
+	}
+	if op := blockingOp(fn, sig); op != "" {
+		s.reportHeld(call.Pos(), op, held)
+	}
+}
+
+// blockingOp classifies a callee as blocking, returning a description
+// or "".
+func blockingOp(fn *types.Func, sig *types.Signature) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+			rp := named.Obj().Pkg().Path()
+			rn := named.Obj().Name()
+			switch {
+			case rp == "sync" && fn.Name() == "Wait":
+				return "sync." + rn + ".Wait"
+			case rp == "os" && rn == "File" && fn.Name() == "Sync":
+				return "os.File.Sync (fsync)"
+			case rp == "net" && (fn.Name() == "Read" || fn.Name() == "Write" || fn.Name() == "Accept"):
+				return "net socket " + fn.Name()
+			}
+		}
+	}
+	if blockingFuncs[[2]string{pkg, fn.Name()}] {
+		return pkg + "." + fn.Name()
+	}
+	if blockingNames[fn.Name()] {
+		return fn.Name()
+	}
+	return ""
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func hasDefault(st *ast.SelectStmt) bool {
+	for _, c := range st.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *scan) reportHeld(pos token.Pos, op string, held map[string]token.Pos) {
+	// Report against the lock acquired first (lowest position) for a
+	// stable message when several are held.
+	var key string
+	var lockPos token.Pos
+	for k, p := range held {
+		if key == "" || p < lockPos {
+			key, lockPos = k, p
+		}
+	}
+	line := s.pass.Fset.Position(lockPos).Line
+	s.pass.Reportf(pos, "%s while %q is locked (line %d): blocking I/O, channel ops and Pull/Push must not run under Engine/Table/FileStore locks (PR 2); unlock first or annotate //forkvet:allow lockhold", op, key, line)
+}
+
+func clone(m map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+package lockhold
+
+import (
+	"testing"
+
+	"forkbase/internal/analysis/analysistest"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, Analyzer, "lockhold")
+}

@@ -1,0 +1,130 @@
+package fixture
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+type engine struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	conn  net.Conn
+	f     *os.File
+	ch    chan int
+	wg    sync.WaitGroup
+	locks [16]sync.Mutex
+}
+
+func Barrier() error        { return nil }
+func Pull(n int) error      { _ = n; return nil }
+func WriteFrame(c net.Conn) {} //nolint
+
+func (e *engine) badSocketWrite(b []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.conn.Write(b) // want `net socket Write while "e\.mu" is locked`
+}
+
+func (e *engine) badFsync() {
+	e.rw.Lock()
+	e.f.Sync() // want `os\.File\.Sync \(fsync\) while "e\.rw" is locked`
+	e.rw.Unlock()
+}
+
+func (e *engine) badChannelOps() {
+	e.mu.Lock()
+	e.ch <- 1 // want `channel send while "e\.mu" is locked`
+	<-e.ch    // want `channel receive while "e\.mu" is locked`
+	e.mu.Unlock()
+}
+
+func (e *engine) badSelect() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select { // want `select while "e\.mu" is locked`
+	case <-e.ch:
+	}
+}
+
+func (e *engine) okSelectWithDefault() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case v := <-e.ch:
+		_ = v
+	default:
+	}
+}
+
+func (e *engine) badNamedBlocking() {
+	e.locks[3].Lock()
+	defer e.locks[3].Unlock()
+	Barrier()                    // want `Barrier while "e\.locks\[3\]" is locked`
+	Pull(1)                      // want `Pull while "e\.locks\[3\]" is locked`
+	time.Sleep(time.Millisecond) // want `time\.Sleep while "e\.locks\[3\]" is locked`
+}
+
+func (e *engine) badWait() {
+	e.mu.Lock()
+	e.wg.Wait() // want `sync\.WaitGroup\.Wait while "e\.mu" is locked`
+	e.mu.Unlock()
+}
+
+func (e *engine) okAfterUnlock(b []byte) {
+	e.mu.Lock()
+	v := len(b)
+	e.mu.Unlock()
+	e.conn.Write(b)
+	_ = v
+}
+
+// okBranchUnlock: the early-return branch unlocks its own copy of the
+// held set; the fall-through path is still held and still flagged.
+func (e *engine) branchUnlock(b []byte, fail bool) {
+	e.mu.Lock()
+	if fail {
+		e.mu.Unlock()
+		e.conn.Write(b) // branch released the lock: fine
+		return
+	}
+	e.conn.Write(b) // want `net socket Write while "e\.mu" is locked`
+	e.mu.Unlock()
+}
+
+// okBranchLock: a lock taken and released inside a branch does not
+// leak into the fall-through path.
+func (e *engine) branchLock(b []byte, lockIt bool) {
+	if lockIt {
+		e.mu.Lock()
+		e.mu.Unlock()
+	}
+	e.conn.Write(b)
+}
+
+// okGoroutine: the spawned body runs outside the critical section (it
+// is analyzed as its own root with no lock held).
+func (e *engine) okGoroutine(b []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		e.conn.Write(b)
+	}()
+}
+
+func (e *engine) badRangeChan() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for v := range e.ch { // want `range over channel while "e\.mu" is locked`
+		_ = v
+	}
+}
+
+// allowWrite serializes frames on a shared socket on purpose.
+func (e *engine) allowWrite(b []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//forkvet:allow lockhold — fixture: deliberate write serialization
+	e.conn.Write(b)
+}

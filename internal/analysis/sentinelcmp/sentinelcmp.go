@@ -1,0 +1,84 @@
+// Package sentinelcmp flags ==/!= comparisons against sentinel error
+// variables.
+//
+// Invariant (PR 5): errors cross the wire as codes and come back
+// wrapped (a *remoteError unwrapping to the local sentinel), so the
+// same logical failure compares == true against an embedded store and
+// == false against a RemoteStore. errors.Is sees through the wrapper;
+// == does not. Any comparison of an error expression against a
+// package-level error variable must use errors.Is.
+//
+// io.EOF is exempt: the io.Reader contract guarantees it is returned
+// unwrapped, and == against it is stdlib idiom.
+package sentinelcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"forkbase/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelcmp",
+	Doc:  "flags ==/!= against sentinel errors where errors.Is is required",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			var sentinel *types.Var
+			var other ast.Expr
+			if v := sentinelVar(pass, be.X); v != nil {
+				sentinel, other = v, be.Y
+			} else if v := sentinelVar(pass, be.Y); v != nil {
+				sentinel, other = v, be.X
+			}
+			if sentinel == nil {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[other]; !ok || !isErrorType(tv.Type) {
+				return true
+			}
+			pass.Reportf(be.Pos(), "%s compared with %s; use errors.Is — wire-decoded errors wrap the sentinel, so == is silently wrong against a RemoteStore (PR 5)", sentinel.Name(), be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelVar resolves expr to a package-level error variable, or nil.
+func sentinelVar(pass *analysis.Pass, expr ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(v.Type()) {
+		return nil
+	}
+	if v.Pkg().Path() == "io" && v.Name() == "EOF" {
+		return nil
+	}
+	return v
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

@@ -1,0 +1,11 @@
+package sentinelcmp
+
+import (
+	"testing"
+
+	"forkbase/internal/analysis/analysistest"
+)
+
+func TestSentinelcmp(t *testing.T) {
+	analysistest.Run(t, Analyzer, "sentinelcmp")
+}

@@ -1,0 +1,39 @@
+package fixture
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrNotFound = errors.New("not found")
+var errInternal = errors.New("internal") // unexported sentinels count too
+
+func check(err error) bool {
+	if err == ErrNotFound { // want `use errors\.Is`
+		return true
+	}
+	if ErrNotFound != err { // want `use errors\.Is`
+		return true
+	}
+	if err == errInternal { // want `use errors\.Is`
+		return true
+	}
+	if err == nil { // nil checks are fine
+		return false
+	}
+	if err == io.EOF { // io.EOF is exempt (io.Reader contract)
+		return false
+	}
+	return errors.Is(err, ErrNotFound) // the required form
+}
+
+func localsAreFine() bool {
+	a := errors.New("a")
+	b := errors.New("b")
+	return a == b // locals are not sentinels
+}
+
+func allowed(err error) bool {
+	//forkvet:allow sentinelcmp — fixture: negative case
+	return err == ErrNotFound
+}

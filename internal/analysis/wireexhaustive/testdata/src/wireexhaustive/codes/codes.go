@@ -1,0 +1,35 @@
+// Package codes mirrors the error-codec shape of internal/wire:
+// CodeHalfWired decodes but is never produced, CodeOrphan is wired on
+// neither side, and core.ErrUncovered has no code at all.
+package codes
+
+import (
+	"errors"
+
+	"wireexhaustive/core"
+)
+
+const (
+	CodeGeneric uint8 = iota
+	CodeKeyNotFound
+	CodeTypeMismatch
+	CodeHalfWired // want `CodeHalfWired is missing from ErrorCode's classification list`
+	CodeOrphan    // want `CodeOrphan has no codeSentinels entry` `CodeOrphan is missing from ErrorCode's classification list`
+)
+
+var codeSentinels = map[uint8]error{ // want `core\.ErrUncovered has no wire error code`
+	CodeKeyNotFound:  core.ErrKeyNotFound,
+	CodeTypeMismatch: core.ErrTypeMismatch,
+	CodeHalfWired:    errHalf,
+}
+
+var errHalf = errors.New("codes: half wired")
+
+func ErrorCode(err error) uint8 {
+	for _, code := range []uint8{CodeKeyNotFound, CodeTypeMismatch} {
+		if errors.Is(err, codeSentinels[code]) {
+			return code
+		}
+	}
+	return CodeGeneric
+}

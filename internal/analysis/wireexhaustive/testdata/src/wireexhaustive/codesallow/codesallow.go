@@ -1,0 +1,27 @@
+// Package codesallow proves the allow directive suppresses both rule-1
+// diagnostics: CodeOrphan is unwired on both sides but annotated.
+package codesallow
+
+import "errors"
+
+//forkvet:allow wireexhaustive — fixture: negative case
+const (
+	CodeGeneric uint8 = iota
+	CodeOK
+	CodeOrphan
+)
+
+var codeSentinels = map[uint8]error{
+	CodeOK: errOK,
+}
+
+var errOK = errors.New("codesallow: ok")
+
+func ErrorCode(err error) uint8 {
+	for _, code := range []uint8{CodeOK} {
+		if errors.Is(err, codeSentinels[code]) {
+			return code
+		}
+	}
+	return CodeGeneric
+}

@@ -1,0 +1,10 @@
+// Package core mirrors forkbase/internal/core's sentinel block.
+package core
+
+import "errors"
+
+var (
+	ErrKeyNotFound  = errors.New("core: key not found")
+	ErrTypeMismatch = errors.New("core: type mismatch")
+	ErrUncovered    = errors.New("core: no wire plumbing yet")
+)

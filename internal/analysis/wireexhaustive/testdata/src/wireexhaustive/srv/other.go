@@ -1,0 +1,7 @@
+// other.go uses one opcode but is not a protocol surface file, so it
+// carries no obligation to reference the rest.
+package srv
+
+import "wireexhaustive/wire"
+
+func isHello(op uint8) bool { return op == wire.OpHello }

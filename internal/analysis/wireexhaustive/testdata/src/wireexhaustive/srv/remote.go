@@ -1,0 +1,17 @@
+// remote.go mirrors the client codec; every opcode is encoded, so the
+// file is clean.
+package srv
+
+import "wireexhaustive/wire"
+
+func encode(kind string) uint8 {
+	switch kind {
+	case "hello":
+		return wire.OpHello
+	case "get":
+		return wire.OpGet
+	case "put":
+		return wire.OpPut
+	}
+	return 0
+}

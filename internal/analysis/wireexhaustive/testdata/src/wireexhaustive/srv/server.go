@@ -1,0 +1,15 @@
+// server.go mirrors the root package's dispatch switch; OpPut is
+// deliberately not dispatched.
+package srv // want `OpPut is not referenced in server\.go`
+
+import "wireexhaustive/wire"
+
+func dispatch(op uint8) string {
+	switch op {
+	case wire.OpHello:
+		return "hello"
+	case wire.OpGet:
+		return "get"
+	}
+	return "?"
+}

@@ -1,0 +1,11 @@
+//forkvet:allow wireexhaustive — fixture: negative case
+package srvallow
+
+import "wireexhaustive/wire"
+
+func dispatch(op uint8) string {
+	if op == wire.OpHello {
+		return "hello"
+	}
+	return "?"
+}

@@ -1,0 +1,13 @@
+// Package wire mirrors the opcode block of forkbase/internal/wire.
+package wire
+
+const (
+	OpHello uint8 = iota + 1
+	OpGet
+	OpPut
+
+	opMax // unexported: not part of the protocol surface
+)
+
+// KnownOp keeps opMax referenced, as in the real package.
+func KnownOp(op uint8) bool { return op >= OpHello && op < opMax }

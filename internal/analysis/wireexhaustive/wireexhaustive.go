@@ -1,0 +1,252 @@
+// Package wireexhaustive cross-checks the wire protocol's two
+// exhaustiveness invariants (PR 5):
+//
+//  1. Error-codec completeness. In the package that declares the
+//     `codeSentinels` map and the `ErrorCode` classifier, every
+//     `Code*` constant (except CodeGeneric, the deliberate catch-all)
+//     must appear both as a key of codeSentinels — the decode side,
+//     or the client rebuilds an opaque error and errors.Is breaks —
+//     and in ErrorCode's ordered classification list — the encode
+//     side, or the server downgrades the sentinel to CodeGeneric.
+//     Every exported `Err*` sentinel of the imported core package must
+//     appear as a codeSentinels value, so adding an engine error
+//     without wire plumbing is a build failure.
+//
+//  2. Opcode-surface completeness. In files named server.go (the
+//     dispatch switch) and remote.go (the client codec), every
+//     exported `Op*` constant of the wire package must be referenced:
+//     an opcode the server does not dispatch costs a whole request
+//     (CodeProto), and one the client cannot issue is dead protocol.
+//
+// Both rules are driven by the declared names, so renaming a constant
+// moves the obligation with it.
+package wireexhaustive
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"forkbase/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wireexhaustive",
+	Doc:  "cross-checks wire error codes and opcodes against their encode/decode/dispatch surfaces",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkErrorCodec(pass)
+	checkOpSurfaces(pass)
+	return nil
+}
+
+// --- rule 1: error-codec completeness ---------------------------------
+
+func checkErrorCodec(pass *analysis.Pass) {
+	sentinelsSpec, sentinelsLit := findCodeSentinels(pass)
+	errorCodeDecl := findFunc(pass, "ErrorCode")
+	if sentinelsSpec == nil || sentinelsLit == nil || errorCodeDecl == nil {
+		return // not the error-codec package
+	}
+
+	// The declared code space.
+	var codes []*types.Const
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok &&
+			strings.HasPrefix(name, "Code") && name != "Code" && name != "CodeGeneric" {
+			codes = append(codes, c)
+		}
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i].Pos() < codes[j].Pos() })
+
+	// Decode side: keys of the codeSentinels literal.
+	keys := make(map[types.Object]bool)
+	values := make(map[types.Object]bool)
+	for _, el := range sentinelsLit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if obj := usedObject(pass, kv.Key); obj != nil {
+			keys[obj] = true
+		}
+		if obj := usedObject(pass, kv.Value); obj != nil {
+			values[obj] = true
+		}
+	}
+
+	// Encode side: the ordered classification list inside ErrorCode.
+	ordered := make(map[types.Object]bool)
+	ast.Inspect(errorCodeDecl.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, el := range cl.Elts {
+			if obj := usedObject(pass, el); obj != nil {
+				ordered[obj] = true
+			}
+		}
+		return true
+	})
+
+	for _, c := range codes {
+		if !keys[c] {
+			pass.Reportf(c.Pos(), "%s has no codeSentinels entry: a response carrying this code decodes as an opaque error, so errors.Is fails against a RemoteStore (PR 5)", c.Name())
+		}
+		if !ordered[c] {
+			pass.Reportf(c.Pos(), "%s is missing from ErrorCode's classification list: errors matching its sentinel are sent as CodeGeneric (PR 5)", c.Name())
+		}
+	}
+
+	// Every core sentinel must be covered by some code.
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Name() != "core" {
+			continue
+		}
+		iscope := imp.Scope()
+		var missing []string
+		for _, name := range iscope.Names() {
+			v, ok := iscope.Lookup(name).(*types.Var)
+			if !ok || !v.Exported() || !strings.HasPrefix(name, "Err") || !isErrorType(v.Type()) {
+				continue
+			}
+			if !values[v] {
+				missing = append(missing, imp.Name()+"."+name)
+			}
+		}
+		sort.Strings(missing)
+		for _, name := range missing {
+			pass.Reportf(sentinelsSpec.Pos(), "%s has no wire error code: it cannot round-trip the wire typed — add a Code constant, a codeSentinels entry and an ErrorCode list entry (PR 5)", name)
+		}
+	}
+}
+
+// findCodeSentinels locates the codeSentinels map declaration and its
+// composite literal.
+func findCodeSentinels(pass *analysis.Pass) (*ast.ValueSpec, *ast.CompositeLit) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "codeSentinels" || i >= len(vs.Values) {
+						continue
+					}
+					if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+						return vs, cl
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func findFunc(pass *analysis.Pass, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name && fd.Body != nil {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// --- rule 2: opcode-surface completeness ------------------------------
+
+// opSurfaces are the files that must each reference every opcode.
+var opSurfaces = map[string]string{
+	"server.go": "the server dispatch",
+	"remote.go": "the client codec",
+}
+
+func checkOpSurfaces(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		role, ok := opSurfaces[base]
+		if !ok {
+			continue
+		}
+		used := make(map[types.Object]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					used[obj] = true
+				}
+			}
+			return true
+		})
+		// The op space: exported Op* constants of any imported package
+		// named "wire" (plus this package's own, if it declares them).
+		var ops []*types.Const
+		scopes := []*types.Scope{pass.Pkg.Scope()}
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Name() == "wire" {
+				scopes = append(scopes, imp.Scope())
+			}
+		}
+		for _, scope := range scopes {
+			for _, name := range scope.Names() {
+				c, ok := scope.Lookup(name).(*types.Const)
+				if !ok || !c.Exported() || !strings.HasPrefix(name, "Op") || name == "Op" {
+					continue
+				}
+				if _, isBasic := c.Type().Underlying().(*types.Basic); isBasic {
+					ops = append(ops, c)
+				}
+			}
+		}
+		// Only a file that already speaks the protocol is a surface.
+		any := false
+		for _, op := range ops {
+			if used[op] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		var missing []string
+		for _, op := range ops {
+			if !used[op] {
+				missing = append(missing, op.Name())
+			}
+		}
+		sort.Strings(missing)
+		for _, name := range missing {
+			pass.Reportf(f.Name.Pos(), "%s is not referenced in %s (%s): every opcode needs both server dispatch and client encoding, or adding an op silently half-plumbs the protocol (PR 5)", name, base, role)
+		}
+	}
+}
+
+// usedObject resolves an identifier or selector element to its object.
+func usedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

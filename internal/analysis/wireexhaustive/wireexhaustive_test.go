@@ -1,0 +1,16 @@
+package wireexhaustive
+
+import (
+	"testing"
+
+	"forkbase/internal/analysis/analysistest"
+)
+
+func TestWireexhaustive(t *testing.T) {
+	analysistest.Run(t, Analyzer,
+		"wireexhaustive/codes",
+		"wireexhaustive/codesallow",
+		"wireexhaustive/srv",
+		"wireexhaustive/srvallow",
+	)
+}

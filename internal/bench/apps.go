@@ -39,14 +39,14 @@ func RunFig13(w io.Writer, scale Scale) error {
 			c := wiki.NewClient()
 			rng := rand.New(rand.NewSource(11))
 			for p := 0; p < pages; p++ {
-				if err := e.Save(c, fmt.Sprintf("page-%05d", p), workload.RandText(rng, pageSize)); err != nil {
+				if err := e.Save(bgCtx, c, fmt.Sprintf("page-%05d", p), workload.RandText(rng, pageSize)); err != nil {
 					return err
 				}
 			}
 			trace := workload.NewWikiTrace(12, pages, 200, inPlace, 0)
 			t0 := time.Now()
 			for i := 0; i < requests; i++ {
-				if err := e.Edit(c, trace.Next(pageSize)); err != nil {
+				if err := e.Edit(bgCtx, c, trace.Next(pageSize)); err != nil {
 					return err
 				}
 			}
@@ -85,7 +85,7 @@ func RunFig14(w io.Writer, scale Scale) error {
 		rng := rand.New(rand.NewSource(13))
 		trace := workload.NewWikiTrace(14, pages, 150, 1.0, 0)
 		for p := 0; p < pages; p++ {
-			if err := e.Save(seedClient, fmt.Sprintf("page-%05d", p), workload.RandText(rng, pageSize)); err != nil {
+			if err := e.Save(bgCtx, seedClient, fmt.Sprintf("page-%05d", p), workload.RandText(rng, pageSize)); err != nil {
 				return err
 			}
 		}
@@ -93,7 +93,7 @@ func RunFig14(w io.Writer, scale Scale) error {
 			for p := 0; p < pages; p++ {
 				edit := trace.Next(pageSize)
 				edit.Page = fmt.Sprintf("page-%05d", p)
-				if err := e.Edit(seedClient, edit); err != nil {
+				if err := e.Edit(bgCtx, seedClient, edit); err != nil {
 					return err
 				}
 			}
@@ -108,7 +108,7 @@ func RunFig14(w io.Writer, scale Scale) error {
 				c := wiki.NewClient()
 				p := fmt.Sprintf("page-%05d", rng.Intn(pages))
 				for back := 0; back < track; back++ {
-					if _, err := e.LoadVersion(c, p, back); err != nil {
+					if _, err := e.LoadVersion(bgCtx, c, p, back); err != nil {
 						return err
 					}
 					total++
@@ -192,7 +192,7 @@ func RunFig17(w io.Writer, scale Scale) error {
 		if err := tbl.Import("master", base); err != nil {
 			return err
 		}
-		if err := tbl.Fork("master", "edited"); err != nil {
+		if err := tbl.Fork(bgCtx, "master", "edited"); err != nil {
 			return err
 		}
 		if n > 0 {

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"context"
 	"fmt"
 	"io"
 	"time"
@@ -17,7 +16,7 @@ import (
 // — so with a simulated network hop the win scales with the batch
 // size.
 func RunBatchPut(w io.Writer, scale Scale) error {
-	ctx := context.Background()
+	ctx := bgCtx
 	writes := scale.pick(2000, 20000)
 	batchSize := 64
 	keys := scale.pick(16, 64)

@@ -55,7 +55,7 @@ func RunFig9(w io.Writer, scale Scale) error {
 				op := y.Next()
 				if op.Read {
 					reads.time(func() {
-						if _, err := be.Read(op.Key); err != nil {
+						if _, err := be.Read(bgCtx, op.Key); err != nil {
 							panic(err)
 						}
 					})
@@ -66,7 +66,7 @@ func RunFig9(w io.Writer, scale Scale) error {
 				if pending == blockSize {
 					h := uint64(commits.samplesLen())
 					commits.time(func() {
-						if _, err := be.Commit(h); err != nil {
+						if _, err := be.Commit(bgCtx, h); err != nil {
 							panic(err)
 						}
 					})
@@ -115,12 +115,12 @@ func RunFig10(w io.Writer, scale Scale) error {
 				// Model transaction execution cost (contract
 				// interpretation dominates storage, §6.2.1).
 				simulateContractWork()
-				if err := l.Submit(blockchain.Tx{Contract: "kv", Ops: []blockchain.Op{
+				if err := l.Submit(bgCtx, blockchain.Tx{Contract: "kv", Ops: []blockchain.Op{
 					{Key: op.Key, Value: op.Value, Read: op.Read}}}); err != nil {
 					return err
 				}
 			}
-			l.CommitBlock()
+			l.CommitBlock(bgCtx)
 			t.row(updates, name, opsPerSec(updates, time.Since(t0)))
 			be.Close()
 		}
@@ -183,7 +183,7 @@ func RunFig11(w io.Writer, scale Scale) error {
 				v.be.BufferWrite(op.Key, op.Value)
 			}
 			lat.time(func() {
-				if _, err := v.be.Commit(uint64(c)); err != nil {
+				if _, err := v.be.Commit(bgCtx, uint64(c)); err != nil {
 					panic(err)
 				}
 			})
@@ -237,7 +237,7 @@ func RunFig12(w io.Writer, scale Scale) error {
 					op := y.Next()
 					p.be.BufferWrite(op.Key, op.Value)
 				}
-				if _, err := p.be.Commit(uint64(c)); err != nil {
+				if _, err := p.be.Commit(bgCtx, uint64(c)); err != nil {
 					return err
 				}
 			}
@@ -258,7 +258,7 @@ func RunFig12(w io.Writer, scale Scale) error {
 					names[i] = workload.Key(i)
 				}
 				t0 := time.Now()
-				if _, err := p.be.ScanStates(names, 1<<30); err != nil {
+				if _, err := p.be.ScanStates(bgCtx, names, 1<<30); err != nil {
 					return err
 				}
 				lats[pi] = fmt.Sprintf("%.2fms", ms(time.Since(t0)))
@@ -277,7 +277,7 @@ func RunFig12(w io.Writer, scale Scale) error {
 			for pi := 0; pi < 2; pi++ {
 				p := preps[ki*2+pi]
 				t0 := time.Now()
-				if _, err := p.be.BlockScan(h); err != nil {
+				if _, err := p.be.BlockScan(bgCtx, h); err != nil {
 					return err
 				}
 				lats[pi] = fmt.Sprintf("%.2fms", ms(time.Since(t0)))

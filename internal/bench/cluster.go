@@ -43,11 +43,11 @@ func RunFig8(w io.Writer, scale Scale) error {
 						for i := 0; i < opsPerClient; i++ {
 							key := fmt.Sprintf("k-%d-%d", cl, i)
 							if put {
-								if _, err := c.Put(key, "master", types.String(value)); err != nil {
+								if _, err := c.Put(bgCtx, key, "master", types.String(value)); err != nil {
 									panic(err)
 								}
 							} else {
-								if _, err := c.Get(key, "master"); err != nil {
+								if _, err := c.Get(bgCtx, key, "master"); err != nil {
 									panic(err)
 								}
 							}
@@ -109,7 +109,7 @@ func RunFig15(w io.Writer, scale Scale) error {
 			}
 			next := append(append(append([]byte(nil), cur[:off]...), e.Content...), cur[end:]...)
 			contents[e.Page] = next
-			if _, err := c.Put(e.Page, "master", types.NewBlob(next)); err != nil {
+			if _, err := c.Put(bgCtx, e.Page, "master", types.NewBlob(next)); err != nil {
 				return err
 			}
 		}

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"bytes"
-	"context"
 	"crypto/sha256"
 	"fmt"
 	"io"
@@ -58,11 +57,11 @@ func RunTable3(w io.Writer, scale Scale) error {
 	keyOf := func(client, i int) string { return fmt.Sprintf("k-%d-%d", client, i) }
 	ops := []opSpec{
 		{"Put-String", nil, func(db *forkbase.DB, size, c, i int) error {
-			_, err := db.Put(context.Background(), keyOf(c, i), forkbase.String(uniquePayload(size, c, i)))
+			_, err := db.Put(bgCtx, keyOf(c, i), forkbase.String(uniquePayload(size, c, i)))
 			return err
 		}},
 		{"Put-Blob", nil, func(db *forkbase.DB, size, c, i int) error {
-			_, err := db.Put(context.Background(), keyOf(c, i), forkbase.NewBlob(uniquePayload(size, c, i)))
+			_, err := db.Put(bgCtx, keyOf(c, i), forkbase.NewBlob(uniquePayload(size, c, i)))
 			return err
 		}},
 		{"Put-Map", nil, func(db *forkbase.DB, size, c, i int) error {
@@ -71,23 +70,23 @@ func RunTable3(w io.Writer, scale Scale) error {
 			for j := 0; j+100 <= len(p); j += 100 {
 				m.Set(p[j:j+8], p[j+8:j+100])
 			}
-			_, err := db.Put(context.Background(), keyOf(c, i), m)
+			_, err := db.Put(bgCtx, keyOf(c, i), m)
 			return err
 		}},
 		{"Get-String", func(db *forkbase.DB, size int) { preload(db, forkbase.String(payload(size, 1)), 64) },
 			func(db *forkbase.DB, size, c, i int) error {
-				_, err := db.Get(context.Background(), fmt.Sprintf("pre-%d", i%64))
+				_, err := db.Get(bgCtx, fmt.Sprintf("pre-%d", i%64))
 				return err
 			}},
 		{"Get-Blob-Meta", func(db *forkbase.DB, size int) { preload(db, forkbase.NewBlob(payload(size, 1)), 64) },
 			func(db *forkbase.DB, size, c, i int) error {
 				// Meta read: version record only, no tree traversal.
-				_, err := db.Get(context.Background(), fmt.Sprintf("pre-%d", i%64))
+				_, err := db.Get(bgCtx, fmt.Sprintf("pre-%d", i%64))
 				return err
 			}},
 		{"Get-Blob-Full", func(db *forkbase.DB, size int) { preload(db, forkbase.NewBlob(payload(size, 1)), 64) },
 			func(db *forkbase.DB, size, c, i int) error {
-				o, err := db.Get(context.Background(), fmt.Sprintf("pre-%d", i%64))
+				o, err := db.Get(bgCtx, fmt.Sprintf("pre-%d", i%64))
 				if err != nil {
 					return err
 				}
@@ -106,7 +105,7 @@ func RunTable3(w io.Writer, scale Scale) error {
 			}
 			preload(db, m, 64)
 		}, func(db *forkbase.DB, size, c, i int) error {
-			o, err := db.Get(context.Background(), fmt.Sprintf("pre-%d", i%64))
+			o, err := db.Get(bgCtx, fmt.Sprintf("pre-%d", i%64))
 			if err != nil {
 				return err
 			}
@@ -121,12 +120,12 @@ func RunTable3(w io.Writer, scale Scale) error {
 				preload(db, forkbase.NewBlob(payload(size, v)), 64)
 			}
 		}, func(db *forkbase.DB, size, c, i int) error {
-			_, err := db.Track(context.Background(), fmt.Sprintf("pre-%d", i%64), 0, 3)
+			_, err := db.Track(bgCtx, fmt.Sprintf("pre-%d", i%64), 0, 3)
 			return err
 		}},
 		{"Fork", func(db *forkbase.DB, size int) { preload(db, forkbase.NewBlob(payload(size, 1)), 64) },
 			func(db *forkbase.DB, size, c, i int) error {
-				return db.Fork(context.Background(), fmt.Sprintf("pre-%d", i%64), fmt.Sprintf("b-%d-%d", c, i))
+				return db.Fork(bgCtx, fmt.Sprintf("pre-%d", i%64), fmt.Sprintf("b-%d-%d", c, i))
 			}},
 	}
 
@@ -175,7 +174,7 @@ func payload(size, seed int) []byte {
 
 func preload(db *forkbase.DB, v forkbase.Value, n int) {
 	for i := 0; i < n; i++ {
-		if _, err := db.Put(context.Background(), fmt.Sprintf("pre-%d", i), v); err != nil {
+		if _, err := db.Put(bgCtx, fmt.Sprintf("pre-%d", i), v); err != nil {
 			panic(err)
 		}
 	}

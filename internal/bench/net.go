@@ -107,38 +107,49 @@ func rps(v float64) string { return fmt.Sprintf("%.0f", v) }
 // drivePool runs ops calls of fn across depth concurrent workers —
 // the shape of a pipelined client — returning the wall-clock elapsed
 // and, when sw is non-nil, recording per-call latencies into it. The
-// first call error wins; remaining queued work still drains.
+// lowest-indexed worker's error wins; remaining queued work still
+// drains. Each worker accumulates samples and its first error in its
+// own slot, merged only after the pool drains: a shared metrics mutex
+// inside the timed region would serialize the workers and fold lock
+// wait into the latencies being measured.
 func drivePool(ops, depth int, sw *stopwatch, fn func(i int) error) (time.Duration, error) {
-	var mu sync.Mutex
 	var wg sync.WaitGroup
-	var firstErr error
+	samples := make([][]time.Duration, depth)
+	errs := make([]error, depth)
 	next := make(chan int)
 	t0 := time.Now()
 	for d := 0; d < depth; d++ {
 		wg.Add(1)
-		go func() {
+		go func(d int) {
 			defer wg.Done()
 			for i := range next {
 				s0 := time.Now()
 				callErr := fn(i)
-				d := time.Since(s0)
-				mu.Lock()
-				if sw != nil {
-					sw.add(d)
+				samples[d] = append(samples[d], time.Since(s0))
+				if callErr != nil && errs[d] == nil {
+					errs[d] = callErr
 				}
-				if callErr != nil && firstErr == nil {
-					firstErr = callErr
-				}
-				mu.Unlock()
 			}
-		}()
+		}(d)
 	}
 	for i := 0; i < ops; i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
-	return time.Since(t0), firstErr
+	elapsed := time.Since(t0)
+	var firstErr error
+	for d := 0; d < depth; d++ {
+		if sw != nil {
+			for _, s := range samples[d] {
+				sw.add(s)
+			}
+		}
+		if errs[d] != nil && firstErr == nil {
+			firstErr = errs[d]
+		}
+	}
+	return elapsed, firstErr
 }
 
 // netSmallOps drives ops String puts then ops gets at the given

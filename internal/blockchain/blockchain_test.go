@@ -2,12 +2,16 @@ package blockchain
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
 	"forkbase"
 	"forkbase/internal/workload"
 )
+
+// ctx is the shared root for tests: nothing here exercises cancellation.
+var ctx = context.Background()
 
 // backends returns one of each backend kind over fresh storage.
 func backends(t *testing.T) map[string]Backend {
@@ -35,7 +39,7 @@ func TestLedgerAllBackendsAgree(t *testing.T) {
 		y := gen()
 		for i := 0; i < blocks*txPerBlock; i++ {
 			op := y.Next()
-			if err := l.Submit(Tx{Contract: "kv", Ops: []Op{{Key: op.Key, Value: op.Value, Read: op.Read}}}); err != nil {
+			if err := l.Submit(ctx, Tx{Contract: "kv", Ops: []Op{{Key: op.Key, Value: op.Value, Read: op.Read}}}); err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
 		}
@@ -46,12 +50,12 @@ func TestLedgerAllBackendsAgree(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		// Snapshot the full latest state and one key's history.
-		state, err := be.BlockScan(uint64(blocks - 1))
+		state, err := be.BlockScan(ctx, uint64(blocks-1))
 		if err != nil {
 			t.Fatalf("%s: block scan: %v", name, err)
 		}
 		results[name] = state
-		hist, err := be.ScanStates(keysOf(state), 1<<30)
+		hist, err := be.ScanStates(ctx, keysOf(state), 1<<30)
 		if err != nil {
 			t.Fatalf("%s: state scan: %v", name, err)
 		}
@@ -102,7 +106,7 @@ func TestBlockScanHistorical(t *testing.T) {
 		l := NewLedger(be, 1)
 		// Block h writes key "k" = "v<h>".
 		for h := 0; h < 5; h++ {
-			if err := l.Submit(Tx{Contract: "kv", Ops: []Op{
+			if err := l.Submit(ctx, Tx{Contract: "kv", Ops: []Op{
 				{Key: "k", Value: []byte(fmt.Sprintf("v%d", h))},
 				{Key: fmt.Sprintf("only-%d", h), Value: []byte("x")},
 			}}); err != nil {
@@ -110,7 +114,7 @@ func TestBlockScanHistorical(t *testing.T) {
 			}
 		}
 		for h := 0; h < 5; h++ {
-			state, err := be.BlockScan(uint64(h))
+			state, err := be.BlockScan(ctx, uint64(h))
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -136,9 +140,9 @@ func TestStateScanOrder(t *testing.T) {
 	for name, be := range backends(t) {
 		l := NewLedger(be, 1)
 		for h := 0; h < 6; h++ {
-			l.Submit(Tx{Contract: "kv", Ops: []Op{{Key: "x", Value: []byte(fmt.Sprintf("v%d", h))}}})
+			l.Submit(ctx, Tx{Contract: "kv", Ops: []Op{{Key: "x", Value: []byte(fmt.Sprintf("v%d", h))}}})
 		}
-		hist, err := be.StateScan("x", 100)
+		hist, err := be.StateScan(ctx, "x", 100)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -152,12 +156,12 @@ func TestStateScanOrder(t *testing.T) {
 			}
 		}
 		// Limited scan.
-		hist, _ = be.StateScan("x", 2)
+		hist, _ = be.StateScan(ctx, "x", 2)
 		if len(hist) != 2 || string(hist[0]) != "v5" {
 			t.Fatalf("%s: limited scan: %v", name, hist)
 		}
 		// Missing key.
-		if h, err := be.StateScan("never-written", 5); err != nil || len(h) != 0 {
+		if h, err := be.StateScan(ctx, "never-written", 5); err != nil || len(h) != 0 {
 			t.Fatalf("%s: missing key scan: %v %v", name, h, err)
 		}
 		be.Close()
@@ -169,7 +173,7 @@ func TestChainTamperDetection(t *testing.T) {
 	defer be.Close()
 	l := NewLedger(be, 2)
 	for i := 0; i < 10; i++ {
-		l.Submit(Tx{Contract: "kv", Ops: []Op{{Key: "k", Value: []byte{byte(i)}}}})
+		l.Submit(ctx, Tx{Contract: "kv", Ops: []Op{{Key: "k", Value: []byte{byte(i)}}}})
 	}
 	if err := l.VerifyChain(); err != nil {
 		t.Fatal(err)
@@ -183,16 +187,16 @@ func TestChainTamperDetection(t *testing.T) {
 func TestReadsDoNotSeeBuffer(t *testing.T) {
 	for name, be := range backends(t) {
 		l := NewLedger(be, 100) // never auto-commits
-		l.Submit(Tx{Contract: "kv", Ops: []Op{{Key: "k", Value: []byte("buffered")}}})
-		v, err := be.Read("k")
+		l.Submit(ctx, Tx{Contract: "kv", Ops: []Op{{Key: "k", Value: []byte("buffered")}}})
+		v, err := be.Read(ctx, "k")
 		if err != nil {
 			t.Fatal(err)
 		}
 		if v != nil {
 			t.Fatalf("%s: read observed the write buffer: %q", name, v)
 		}
-		l.CommitBlock()
-		v, _ = be.Read("k")
+		l.CommitBlock(ctx)
+		v, _ = be.Read(ctx, "k")
 		if string(v) != "buffered" {
 			t.Fatalf("%s: read after commit: %q", name, v)
 		}
@@ -204,8 +208,8 @@ func TestStateRefsDifferAcrossBlocks(t *testing.T) {
 	be := NewNative(forkbase.Open(), "kv")
 	defer be.Close()
 	l := NewLedger(be, 1)
-	l.Submit(Tx{Contract: "kv", Ops: []Op{{Key: "a", Value: []byte("1")}}})
-	l.Submit(Tx{Contract: "kv", Ops: []Op{{Key: "a", Value: []byte("2")}}})
+	l.Submit(ctx, Tx{Contract: "kv", Ops: []Op{{Key: "a", Value: []byte("1")}}})
+	l.Submit(ctx, Tx{Contract: "kv", Ops: []Op{{Key: "a", Value: []byte("2")}}})
 	if bytes.Equal(l.Block(0).StateRef, l.Block(1).StateRef) {
 		t.Fatal("state commitment did not change across blocks")
 	}

@@ -17,9 +17,9 @@ import (
 // Hyperledger design (Figure 7a): an LSM store playing RocksDB, or
 // ForkBase driven as a plain KV store.
 type kvStore interface {
-	get(key string) ([]byte, bool, error)
-	put(key string, value []byte) error
-	scanPrefix(prefix string, fn func(key string, value []byte) bool) error
+	get(ctx context.Context, key string) ([]byte, bool, error)
+	put(ctx context.Context, key string, value []byte) error
+	scanPrefix(ctx context.Context, prefix string, fn func(key string, value []byte) bool) error
 	close() error
 }
 
@@ -110,8 +110,8 @@ func newKVBackend(name string, kv kvStore, kind MerkleKind, buckets int) *KVBack
 func (b *KVBackend) Name() string { return b.name }
 
 // Read implements Backend.
-func (b *KVBackend) Read(key string) ([]byte, error) {
-	v, ok, err := b.kv.get("s/" + key)
+func (b *KVBackend) Read(ctx context.Context, key string) ([]byte, error) {
+	v, ok, err := b.kv.get(ctx, "s/"+key)
 	if err != nil || !ok {
 		return nil, err
 	}
@@ -127,7 +127,7 @@ func (b *KVBackend) BufferWrite(key string, value []byte) {
 
 // Commit implements Backend: record the delta, update the Merkle
 // structure and the flat store, persist the delta for history queries.
-func (b *KVBackend) Commit(height uint64) ([]byte, error) {
+func (b *KVBackend) Commit(ctx context.Context, height uint64) ([]byte, error) {
 	keys := make([]string, 0, len(b.buffer))
 	for k := range b.buffer {
 		keys = append(keys, k)
@@ -135,13 +135,13 @@ func (b *KVBackend) Commit(height uint64) ([]byte, error) {
 	sort.Strings(keys)
 	delta := merkle.NewStateDelta()
 	for _, k := range keys {
-		old, existed, err := b.kv.get("s/" + k)
+		old, existed, err := b.kv.get(ctx, "s/"+k)
 		if err != nil {
 			return nil, err
 		}
 		delta.Record(k, old, existed)
 		b.tree.Set(k, b.buffer[k])
-		if err := b.kv.put("s/"+k, b.buffer[k]); err != nil {
+		if err := b.kv.put(ctx, "s/"+k, b.buffer[k]); err != nil {
 			return nil, err
 		}
 	}
@@ -150,12 +150,12 @@ func (b *KVBackend) Commit(height uint64) ([]byte, error) {
 	// root, as Hyperledger writes changed buckets / trie nodes to its
 	// KV store on every commit.
 	for k, v := range b.tree.DirtySerialized() {
-		if err := b.kv.put(k, v); err != nil {
+		if err := b.kv.put(ctx, k, v); err != nil {
 			return nil, err
 		}
 	}
 	root := b.tree.Commit()
-	if err := b.kv.put(deltaKey(height), encodeDelta(delta)); err != nil {
+	if err := b.kv.put(ctx, deltaKey(height), encodeDelta(delta)); err != nil {
 		return nil, err
 	}
 	for uint64(len(b.stateRefs)) < height {
@@ -228,10 +228,10 @@ func decodeDelta(data []byte) (map[string][]byte, error) {
 // preprocess parses every block's delta — "a pre-processing step that
 // parses all the internal structures of all the blocks" (§5.1.2) —
 // and returns them newest-first.
-func (b *KVBackend) preprocess() ([]map[string][]byte, error) {
+func (b *KVBackend) preprocess(ctx context.Context) ([]map[string][]byte, error) {
 	deltas := make([]map[string][]byte, 0, b.height)
 	for h := int64(b.height) - 1; h >= 0; h-- {
-		raw, ok, err := b.kv.get(deltaKey(uint64(h)))
+		raw, ok, err := b.kv.get(ctx, deltaKey(uint64(h)))
 		if err != nil {
 			return nil, err
 		}
@@ -248,8 +248,8 @@ func (b *KVBackend) preprocess() ([]map[string][]byte, error) {
 }
 
 // StateScan implements Backend via the full delta walk.
-func (b *KVBackend) StateScan(key string, max int) ([][]byte, error) {
-	m, err := b.ScanStates([]string{key}, max)
+func (b *KVBackend) StateScan(ctx context.Context, key string, max int) ([][]byte, error) {
+	m, err := b.ScanStates(ctx, []string{key}, max)
 	if err != nil {
 		return nil, err
 	}
@@ -259,14 +259,14 @@ func (b *KVBackend) StateScan(key string, max int) ([][]byte, error) {
 // ScanStates returns the history of each requested key. One delta walk
 // serves all keys, which is why the gap to ForkBase narrows as more
 // keys are scanned per query (Figure 12a).
-func (b *KVBackend) ScanStates(keys []string, max int) (map[string][][]byte, error) {
-	deltas, err := b.preprocess()
+func (b *KVBackend) ScanStates(ctx context.Context, keys []string, max int) (map[string][][]byte, error) {
+	deltas, err := b.preprocess(ctx)
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[string][][]byte, len(keys))
 	for _, k := range keys {
-		cur, ok, err := b.kv.get("s/" + k)
+		cur, ok, err := b.kv.get(ctx, "s/"+k)
 		if err != nil {
 			return nil, err
 		}
@@ -296,16 +296,16 @@ func (b *KVBackend) ScanStates(keys []string, max int) (map[string][][]byte, err
 // pays a pre-processing pass over every block's internal structures
 // before reconstructing the requested block's states by rolling deltas
 // back from the current state.
-func (b *KVBackend) BlockScan(height uint64) (map[string][]byte, error) {
+func (b *KVBackend) BlockScan(ctx context.Context, height uint64) (map[string][]byte, error) {
 	if height >= b.height {
 		return nil, fmt.Errorf("blockchain: no block %d", height)
 	}
-	deltas, err := b.preprocess() // newest first, one per block
+	deltas, err := b.preprocess(ctx) // newest first, one per block
 	if err != nil {
 		return nil, err
 	}
 	state := make(map[string][]byte)
-	if err := b.kv.scanPrefix("s/", func(k string, v []byte) bool {
+	if err := b.kv.scanPrefix(ctx, "s/", func(k string, v []byte) bool {
 		state[strings.TrimPrefix(k, "s/")] = v
 		return true
 	}); err != nil {
@@ -329,7 +329,7 @@ func (b *KVBackend) Close() error { return b.kv.close() }
 // lsmKV adapts lsm.DB to kvStore.
 type lsmKV struct{ db *lsm.DB }
 
-func (l *lsmKV) get(key string) ([]byte, bool, error) {
+func (l *lsmKV) get(ctx context.Context, key string) ([]byte, bool, error) {
 	v, err := l.db.Get([]byte(key))
 	if errors.Is(err, lsm.ErrNotFound) {
 		return nil, false, nil
@@ -340,11 +340,11 @@ func (l *lsmKV) get(key string) ([]byte, bool, error) {
 	return v, true, nil
 }
 
-func (l *lsmKV) put(key string, value []byte) error {
+func (l *lsmKV) put(ctx context.Context, key string, value []byte) error {
 	return l.db.Put([]byte(key), value)
 }
 
-func (l *lsmKV) scanPrefix(prefix string, fn func(string, []byte) bool) error {
+func (l *lsmKV) scanPrefix(ctx context.Context, prefix string, fn func(string, []byte) bool) error {
 	end := prefix[:len(prefix)-1] + string(prefix[len(prefix)-1]+1)
 	return l.db.Scan([]byte(prefix), []byte(end), func(k, v []byte) bool {
 		return fn(string(k), v)
@@ -357,8 +357,8 @@ func (l *lsmKV) close() error { return l.db.Close() }
 // ForkBase's versioning features.
 type fbKV struct{ db *forkbase.DB }
 
-func (f *fbKV) get(key string) ([]byte, bool, error) {
-	o, err := f.db.Get(context.Background(), key)
+func (f *fbKV) get(ctx context.Context, key string) ([]byte, bool, error) {
+	o, err := f.db.Get(ctx, key)
 	if errors.Is(err, forkbase.ErrKeyNotFound) {
 		return nil, false, nil
 	}
@@ -368,13 +368,13 @@ func (f *fbKV) get(key string) ([]byte, bool, error) {
 	return o.Data, true, nil
 }
 
-func (f *fbKV) put(key string, value []byte) error {
-	_, err := f.db.Put(context.Background(), key, forkbase.String(value))
+func (f *fbKV) put(ctx context.Context, key string, value []byte) error {
+	_, err := f.db.Put(ctx, key, forkbase.String(value))
 	return err
 }
 
-func (f *fbKV) scanPrefix(prefix string, fn func(string, []byte) bool) error {
-	keys, err := f.db.ListKeys(context.Background())
+func (f *fbKV) scanPrefix(ctx context.Context, prefix string, fn func(string, []byte) bool) error {
+	keys, err := f.db.ListKeys(ctx)
 	if err != nil {
 		return err
 	}
@@ -382,7 +382,7 @@ func (f *fbKV) scanPrefix(prefix string, fn func(string, []byte) bool) error {
 		if !strings.HasPrefix(k, prefix) {
 			continue
 		}
-		o, err := f.db.Get(context.Background(), k)
+		o, err := f.db.Get(ctx, k)
 		if err != nil {
 			return err
 		}

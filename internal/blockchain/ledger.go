@@ -18,6 +18,7 @@
 package blockchain
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -87,21 +88,21 @@ type Backend interface {
 	// Name identifies the backend in benchmark output.
 	Name() string
 	// Read returns the latest committed (or block-buffered) value.
-	Read(key string) ([]byte, error)
+	Read(ctx context.Context, key string) ([]byte, error)
 	// BufferWrite stages a write for the current block, as
 	// Hyperledger buffers writes in memory until commit (§5.1.1).
 	BufferWrite(key string, value []byte)
 	// Commit applies the buffered writes as block `height` and
 	// returns the state commitment to embed in the block.
-	Commit(height uint64) ([]byte, error)
+	Commit(ctx context.Context, height uint64) ([]byte, error)
 	// StateScan returns the historical values of key, newest first,
 	// up to max entries (§5.1.2).
-	StateScan(key string, max int) ([][]byte, error)
+	StateScan(ctx context.Context, key string, max int) ([][]byte, error)
 	// ScanStates answers a state-scan query covering several keys at
 	// once; Figure 12a varies the number of keys per query.
-	ScanStates(keys []string, max int) (map[string][][]byte, error)
+	ScanStates(ctx context.Context, keys []string, max int) (map[string][][]byte, error)
 	// BlockScan returns all states as of block height (§5.1.2).
-	BlockScan(height uint64) (map[string][]byte, error)
+	BlockScan(ctx context.Context, height uint64) (map[string][]byte, error)
 	// Close releases resources.
 	Close() error
 }
@@ -129,10 +130,10 @@ func (l *Ledger) Backend() Backend { return l.backend }
 // Submit executes a transaction: reads go to the backend, writes are
 // buffered. A block commits automatically when blockSize transactions
 // have accumulated.
-func (l *Ledger) Submit(tx Tx) error {
+func (l *Ledger) Submit(ctx context.Context, tx Tx) error {
 	for _, op := range tx.Ops {
 		if op.Read {
-			if _, err := l.backend.Read(op.Key); err != nil {
+			if _, err := l.backend.Read(ctx, op.Key); err != nil {
 				return err
 			}
 		} else {
@@ -141,18 +142,18 @@ func (l *Ledger) Submit(tx Tx) error {
 	}
 	l.pending = append(l.pending, tx)
 	if len(l.pending) >= l.blockSize {
-		return l.CommitBlock()
+		return l.CommitBlock(ctx)
 	}
 	return nil
 }
 
 // CommitBlock seals the pending transactions into a new block.
-func (l *Ledger) CommitBlock() error {
+func (l *Ledger) CommitBlock(ctx context.Context) error {
 	if len(l.pending) == 0 {
 		return nil
 	}
 	height := uint64(len(l.blocks))
-	stateRef, err := l.backend.Commit(height)
+	stateRef, err := l.backend.Commit(ctx, height)
 	if err != nil {
 		return err
 	}

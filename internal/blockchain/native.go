@@ -39,8 +39,8 @@ func (n *Native) Name() string { return "ForkBase" }
 func (n *Native) stateKey(key string) string { return "s/" + n.contract + "/" + key }
 
 // blobOf decodes the Blob held by o, which was fetched under key.
-func (n *Native) blobOf(key string, o *forkbase.FObject) (*forkbase.Blob, error) {
-	v, err := n.db.Value(context.Background(), key, o)
+func (n *Native) blobOf(ctx context.Context, key string, o *forkbase.FObject) (*forkbase.Blob, error) {
+	v, err := n.db.Value(ctx, key, o)
 	if err != nil {
 		return nil, err
 	}
@@ -48,8 +48,8 @@ func (n *Native) blobOf(key string, o *forkbase.FObject) (*forkbase.Blob, error)
 }
 
 // mapOf decodes the Map held by o, which was fetched under key.
-func (n *Native) mapOf(key string, o *forkbase.FObject) (*forkbase.Map, error) {
-	v, err := n.db.Value(context.Background(), key, o)
+func (n *Native) mapOf(ctx context.Context, key string, o *forkbase.FObject) (*forkbase.Map, error) {
+	v, err := n.db.Value(ctx, key, o)
 	if err != nil {
 		return nil, err
 	}
@@ -58,15 +58,15 @@ func (n *Native) mapOf(key string, o *forkbase.FObject) (*forkbase.Map, error) {
 
 // Read implements Backend: it fetches the committed value from storage
 // (Hyperledger reads do not observe the in-block write buffer, §5.1.1).
-func (n *Native) Read(key string) ([]byte, error) {
-	o, err := n.db.Get(context.Background(), n.stateKey(key))
+func (n *Native) Read(ctx context.Context, key string) ([]byte, error) {
+	o, err := n.db.Get(ctx, n.stateKey(key))
 	if errors.Is(err, forkbase.ErrKeyNotFound) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	b, err := n.blobOf(n.stateKey(key), o)
+	b, err := n.blobOf(ctx, n.stateKey(key), o)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +83,7 @@ func (n *Native) BufferWrite(key string, value []byte) {
 // Commit implements Backend: each dirty state gets a new Blob version,
 // the second-level Map is updated in one batch, and the first-level Map
 // version becomes the block's state reference.
-func (n *Native) Commit(height uint64) ([]byte, error) {
+func (n *Native) Commit(ctx context.Context, height uint64) ([]byte, error) {
 	keys := make([]string, 0, len(n.buffer))
 	for k := range n.buffer {
 		keys = append(keys, k)
@@ -96,7 +96,7 @@ func (n *Native) Commit(height uint64) ([]byte, error) {
 	for _, k := range keys {
 		batch.Put(n.stateKey(k), forkbase.NewBlob(n.buffer[k]))
 	}
-	uids, err := n.db.Apply(context.Background(), batch)
+	uids, err := n.db.Apply(ctx, batch)
 	if err != nil {
 		return nil, err
 	}
@@ -109,8 +109,8 @@ func (n *Native) Commit(height uint64) ([]byte, error) {
 	// Second-level Map: data key -> Blob version.
 	contractKey := "contract/" + n.contract
 	var cmap *forkbase.Map
-	if o, err := n.db.Get(context.Background(), contractKey); err == nil {
-		cmap, err = n.mapOf(contractKey, o)
+	if o, err := n.db.Get(ctx, contractKey); err == nil {
+		cmap, err = n.mapOf(ctx, contractKey, o)
 		if err != nil {
 			return nil, err
 		}
@@ -122,15 +122,15 @@ func (n *Native) Commit(height uint64) ([]byte, error) {
 	if err := cmap.Apply(sets, nil); err != nil {
 		return nil, err
 	}
-	cuid, err := n.db.Put(context.Background(), contractKey, cmap)
+	cuid, err := n.db.Put(ctx, contractKey, cmap)
 	if err != nil {
 		return nil, err
 	}
 
 	// First-level Map: contract -> second-level version.
 	var smap *forkbase.Map
-	if o, err := n.db.Get(context.Background(), "states"); err == nil {
-		smap, err = n.mapOf("states", o)
+	if o, err := n.db.Get(ctx, "states"); err == nil {
+		smap, err = n.mapOf(ctx, "states", o)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +142,7 @@ func (n *Native) Commit(height uint64) ([]byte, error) {
 	if err := smap.Set([]byte(n.contract), cuid[:]); err != nil {
 		return nil, err
 	}
-	suid, err := n.db.Put(context.Background(), "states", smap)
+	suid, err := n.db.Put(ctx, "states", smap)
 	if err != nil {
 		return nil, err
 	}
@@ -156,21 +156,21 @@ func (n *Native) Commit(height uint64) ([]byte, error) {
 
 // StateScan implements Backend: follow the Blob's base-version chain —
 // no chain scan, no pre-processing (§5.1.3).
-func (n *Native) StateScan(key string, max int) ([][]byte, error) {
-	o, err := n.db.Get(context.Background(), n.stateKey(key))
+func (n *Native) StateScan(ctx context.Context, key string, max int) ([][]byte, error) {
+	o, err := n.db.Get(ctx, n.stateKey(key))
 	if errors.Is(err, forkbase.ErrKeyNotFound) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	hist, err := n.db.Track(context.Background(), n.stateKey(key), 0, max-1, forkbase.WithBase(o.UID()))
+	hist, err := n.db.Track(ctx, n.stateKey(key), 0, max-1, forkbase.WithBase(o.UID()))
 	if err != nil {
 		return nil, err
 	}
 	out := make([][]byte, 0, len(hist))
 	for _, h := range hist {
-		b, err := n.blobOf(n.stateKey(key), h)
+		b, err := n.blobOf(ctx, n.stateKey(key), h)
 		if err != nil {
 			return nil, err
 		}
@@ -185,10 +185,10 @@ func (n *Native) StateScan(key string, max int) ([][]byte, error) {
 
 // ScanStates implements Backend: each key's history is one cheap walk
 // down its base-version chain; no shared pre-processing is needed.
-func (n *Native) ScanStates(keys []string, max int) (map[string][][]byte, error) {
+func (n *Native) ScanStates(ctx context.Context, keys []string, max int) (map[string][][]byte, error) {
 	out := make(map[string][][]byte, len(keys))
 	for _, k := range keys {
-		hist, err := n.StateScan(k, max)
+		hist, err := n.StateScan(ctx, k, max)
 		if err != nil {
 			return nil, err
 		}
@@ -201,15 +201,15 @@ func (n *Native) ScanStates(keys []string, max int) (map[string][][]byte, error)
 
 // BlockScan implements Backend: resolve the block's first-level Map,
 // then the contract's second-level Map, then each Blob version.
-func (n *Native) BlockScan(height uint64) (map[string][]byte, error) {
+func (n *Native) BlockScan(ctx context.Context, height uint64) (map[string][]byte, error) {
 	if height >= uint64(len(n.stateRefs)) {
 		return nil, fmt.Errorf("blockchain: no block %d", height)
 	}
-	top, err := n.db.Get(context.Background(), "states", forkbase.WithBase(n.stateRefs[height]))
+	top, err := n.db.Get(ctx, "states", forkbase.WithBase(n.stateRefs[height]))
 	if err != nil {
 		return nil, err
 	}
-	tm, err := n.mapOf("states", top)
+	tm, err := n.mapOf(ctx, "states", top)
 	if err != nil {
 		return nil, err
 	}
@@ -220,11 +220,11 @@ func (n *Native) BlockScan(height uint64) (map[string][]byte, error) {
 	var cuid forkbase.UID
 	copy(cuid[:], cref)
 	contractKey := "contract/" + n.contract
-	co, err := n.db.Get(context.Background(), contractKey, forkbase.WithBase(cuid))
+	co, err := n.db.Get(ctx, contractKey, forkbase.WithBase(cuid))
 	if err != nil {
 		return nil, err
 	}
-	cm, err := n.mapOf(contractKey, co)
+	cm, err := n.mapOf(ctx, contractKey, co)
 	if err != nil {
 		return nil, err
 	}
@@ -233,12 +233,12 @@ func (n *Native) BlockScan(height uint64) (map[string][]byte, error) {
 	cm.Iter(func(k, v []byte) bool {
 		var buid forkbase.UID
 		copy(buid[:], v)
-		bo, err := n.db.Get(context.Background(), n.stateKey(string(k)), forkbase.WithBase(buid))
+		bo, err := n.db.Get(ctx, n.stateKey(string(k)), forkbase.WithBase(buid))
 		if err != nil {
 			iterErr = err
 			return false
 		}
-		b, err := n.blobOf(n.stateKey(string(k)), bo)
+		b, err := n.blobOf(ctx, n.stateKey(string(k)), bo)
 		if err != nil {
 			iterErr = err
 			return false

@@ -341,6 +341,7 @@ func (j *Journal) Record(op Op) error {
 	j.walBytes += int64(len(frame))
 	j.sinceSnap++
 	if j.opts.Sync {
+		//forkvet:allow lockhold — fsync under j.mu is the point: journal order is apply order, so the barrier must complete before the next Record (PR 4)
 		if err := j.f.Sync(); err != nil {
 			return fmt.Errorf("branch: journal sync: %w", err)
 		}

@@ -340,8 +340,8 @@ func (c *Cluster) ExecAs(ctx context.Context, user, key, branchName string, need
 
 // dispatch routes a request to the owning servlet and executes it
 // there as the cluster's default user.
-func (c *Cluster) dispatch(key, branchName string, need servlet.Permission, fn func(eng *core.Engine) error) error {
-	return c.ExecAs(context.Background(), c.opts.DefaultUser, key, branchName, need, fn)
+func (c *Cluster) dispatch(ctx context.Context, key, branchName string, need servlet.Permission, fn func(eng *core.Engine) error) error {
+	return c.ExecAs(ctx, c.opts.DefaultUser, key, branchName, need, fn)
 }
 
 // PutBatch applies a group of writes on behalf of user, dispatching
@@ -408,8 +408,8 @@ func (c *Cluster) PutBatch(ctx context.Context, user string, puts []core.BatchPu
 // re-balancing is enabled and the owner is overloaded, POS-Tree
 // construction runs on the least-loaded servlet first and only the
 // branch-table update runs on the owner (§4.6.1).
-func (c *Cluster) Put(key, branchName string, v types.Value) (types.UID, error) {
-	return c.PutAs(context.Background(), c.opts.DefaultUser, key, branchName, v, nil, nil)
+func (c *Cluster) Put(ctx context.Context, key, branchName string, v types.Value) (types.UID, error) {
+	return c.PutAs(ctx, c.opts.DefaultUser, key, branchName, v, nil, nil)
 }
 
 // PutAs is Put on behalf of user, with optional version metadata and
@@ -465,9 +465,9 @@ func (c *Cluster) leastLoaded(owner int) int {
 }
 
 // Get reads the head of a branch of key via the owning servlet.
-func (c *Cluster) Get(key, branchName string) (*types.FObject, error) {
+func (c *Cluster) Get(ctx context.Context, key, branchName string) (*types.FObject, error) {
 	var o *types.FObject
-	err := c.dispatch(key, branchName, servlet.PermRead, func(eng *core.Engine) error {
+	err := c.dispatch(ctx, key, branchName, servlet.PermRead, func(eng *core.Engine) error {
 		var err error
 		o, err = eng.Get([]byte(key), branchName)
 		return err
@@ -495,8 +495,8 @@ func (c *Cluster) Value(key string, o *types.FObject) (types.Value, error) {
 }
 
 // Fork forwards a Fork request to the owning servlet.
-func (c *Cluster) Fork(key, refBranch, newBranch string) error {
-	return c.dispatch(key, newBranch, servlet.PermWrite, func(eng *core.Engine) error {
+func (c *Cluster) Fork(ctx context.Context, key, refBranch, newBranch string) error {
+	return c.dispatch(ctx, key, newBranch, servlet.PermWrite, func(eng *core.Engine) error {
 		return eng.Fork([]byte(key), refBranch, newBranch)
 	})
 }
@@ -578,9 +578,9 @@ func (c *Cluster) GC(ctx context.Context, threshold float64) (store.GCStats, err
 }
 
 // ListTaggedBranches lists the branches of key.
-func (c *Cluster) ListTaggedBranches(key string) ([]branch.TaggedBranch, error) {
+func (c *Cluster) ListTaggedBranches(ctx context.Context, key string) ([]branch.TaggedBranch, error) {
 	var out []branch.TaggedBranch
-	err := c.dispatch(key, "", servlet.PermRead, func(eng *core.Engine) error {
+	err := c.dispatch(ctx, key, "", servlet.PermRead, func(eng *core.Engine) error {
 		out = eng.ListTaggedBranches([]byte(key))
 		return nil
 	})

@@ -12,6 +12,9 @@ import (
 	"forkbase/internal/types"
 )
 
+// ctx is the shared root for tests: nothing here exercises cancellation.
+var ctx = context.Background()
+
 func TestRoutingIsStable(t *testing.T) {
 	c, err := New(Options{Nodes: 4, Placement: TwoLayer})
 	if err != nil {
@@ -34,13 +37,13 @@ func TestClusterPutGet(t *testing.T) {
 		}
 		for i := 0; i < 200; i++ {
 			k := fmt.Sprintf("key-%d", i)
-			if _, err := c.Put(k, "master", types.String(fmt.Sprintf("v-%d", i))); err != nil {
+			if _, err := c.Put(ctx, k, "master", types.String(fmt.Sprintf("v-%d", i))); err != nil {
 				t.Fatal(err)
 			}
 		}
 		for i := 0; i < 200; i++ {
 			k := fmt.Sprintf("key-%d", i)
-			o, err := c.Get(k, "master")
+			o, err := c.Get(ctx, k, "master")
 			if err != nil {
 				t.Fatalf("placement %v: %v", placement, err)
 			}
@@ -60,10 +63,10 @@ func TestClusterChunkableValues(t *testing.T) {
 	defer c.Close()
 	data := make([]byte, 64<<10)
 	rand.New(rand.NewSource(1)).Read(data)
-	if _, err := c.Put("blob", "master", types.NewBlob(data)); err != nil {
+	if _, err := c.Put(ctx, "blob", "master", types.NewBlob(data)); err != nil {
 		t.Fatal(err)
 	}
-	o, err := c.Get("blob", "master")
+	o, err := c.Get(ctx, "blob", "master")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +109,7 @@ func TestSkewBalance(t *testing.T) {
 		for i := 0; i < 300; i++ {
 			rng.Read(payload)
 			k := fmt.Sprintf("page-%d", zipf.Uint64())
-			if _, err := c.Put(k, "master", types.NewBlob(payload)); err != nil {
+			if _, err := c.Put(ctx, k, "master", types.NewBlob(payload)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -141,11 +144,11 @@ func TestClusterConcurrentClients(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				k := fmt.Sprintf("key-%d", (g*50+i)%64)
-				if _, err := c.Put(k, "master", types.String("v")); err != nil {
+				if _, err := c.Put(ctx, k, "master", types.String("v")); err != nil {
 					t.Error(err)
 					return
 				}
-				if _, err := c.Get(k, "master"); err != nil {
+				if _, err := c.Get(ctx, k, "master"); err != nil {
 					t.Error(err)
 					return
 				}
@@ -167,11 +170,11 @@ func TestClusterPoolCache(t *testing.T) {
 	defer c.Close()
 	data := make([]byte, 64<<10)
 	rand.New(rand.NewSource(3)).Read(data)
-	if _, err := c.Put("blob", "master", types.NewBlob(data)); err != nil {
+	if _, err := c.Put(ctx, "blob", "master", types.NewBlob(data)); err != nil {
 		t.Fatal(err)
 	}
 	read := func() {
-		o, err := c.Get("blob", "master")
+		o, err := c.Get(ctx, "blob", "master")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,13 +212,13 @@ func TestRebalancedPut(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := c.Put("hot-key", "master", types.NewBlob(data)); err != nil {
+			if _, err := c.Put(ctx, "hot-key", "master", types.NewBlob(data)); err != nil {
 				t.Error(err)
 			}
 		}(i)
 	}
 	wg.Wait()
-	o, err := c.Get("hot-key", "master")
+	o, err := c.Get(ctx, "hot-key", "master")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,20 +238,20 @@ func TestForkAcrossCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Put("doc", "master", types.String("v1")); err != nil {
+	if _, err := c.Put(ctx, "doc", "master", types.String("v1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Fork("doc", "master", "dev"); err != nil {
+	if err := c.Fork(ctx, "doc", "master", "dev"); err != nil {
 		t.Fatal(err)
 	}
-	branches, err := c.ListTaggedBranches("doc")
+	branches, err := c.ListTaggedBranches(ctx, "doc")
 	if err != nil || len(branches) != 2 {
 		t.Fatalf("branches: %v %v", branches, err)
 	}
-	if _, err := c.Put("doc", "dev", types.String("v2")); err != nil {
+	if _, err := c.Put(ctx, "doc", "dev", types.String("v2")); err != nil {
 		t.Fatal(err)
 	}
-	o, _ := c.Get("doc", "master")
+	o, _ := c.Get(ctx, "doc", "master")
 	if string(o.Data) != "v1" {
 		t.Fatal("fork isolation broken across cluster")
 	}
@@ -270,13 +273,13 @@ func TestClusterReopenRecoversSpaces(t *testing.T) {
 		heads := map[string]types.UID{}
 		for i := 0; i < 40; i++ {
 			k := fmt.Sprintf("key-%d", i)
-			uid, err := c.Put(k, "master", types.String(fmt.Sprintf("v-%d", i)))
+			uid, err := c.Put(ctx, k, "master", types.String(fmt.Sprintf("v-%d", i)))
 			if err != nil {
 				t.Fatal(err)
 			}
 			heads[k] = uid
 		}
-		if err := c.Fork("key-3", "master", "dev"); err != nil {
+		if err := c.Fork(ctx, "key-3", "master", "dev"); err != nil {
 			t.Fatal(err)
 		}
 		// Pin on the servlet owning key-5, and an untagged head on key-7.
@@ -312,7 +315,7 @@ func TestClusterReopenRecoversSpaces(t *testing.T) {
 				continue
 			}
 			k := fmt.Sprintf("key-%d", i)
-			o, err := re.Get(k, "master")
+			o, err := re.Get(ctx, k, "master")
 			if err != nil {
 				t.Fatalf("placement %v: %s lost after restart: %v", placement, k, err)
 			}
@@ -320,10 +323,10 @@ func TestClusterReopenRecoversSpaces(t *testing.T) {
 				t.Fatalf("placement %v: %s head diverged after restart", placement, k)
 			}
 		}
-		if _, err := re.Get("key-9", "master"); err == nil {
+		if _, err := re.Get(ctx, "key-9", "master"); err == nil {
 			t.Fatalf("placement %v: removed branch resurrected", placement)
 		}
-		branches, err := re.ListTaggedBranches("key-3")
+		branches, err := re.ListTaggedBranches(ctx, "key-3")
 		if err != nil || len(branches) != 2 {
 			t.Fatalf("placement %v: forked branches after restart: %v %v", placement, branches, err)
 		}
@@ -337,7 +340,7 @@ func TestClusterReopenRecoversSpaces(t *testing.T) {
 				continue
 			}
 			k := fmt.Sprintf("key-%d", i)
-			if o, err := re.Get(k, "master"); err != nil || string(o.Data) != fmt.Sprintf("v-%d", i) {
+			if o, err := re.Get(ctx, k, "master"); err != nil || string(o.Data) != fmt.Sprintf("v-%d", i) {
 				t.Fatalf("placement %v: %s lost by GC after restart: %v", placement, k, err)
 			}
 		}

@@ -673,6 +673,7 @@ func (fs *FileStore) sweepSegment(seg int, entries []idLoc, live func(chunk.ID) 
 		return fmt.Errorf("store: %w", err)
 	}
 	fs.flushed = fs.off
+	//forkvet:allow lockhold — durability barrier: the relocated copies must hit disk before the old segment (their only other copy) is unlinked, and fs.mu keeps writers off the active segment meanwhile
 	if err := fs.active.Sync(); err != nil {
 		fs.mu.Unlock()
 		return fmt.Errorf("store: %w", err)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 
 	"forkbase/internal/chunk"
@@ -79,7 +80,7 @@ func (p *Pool) Get(id chunk.ID) (*chunk.Chunk, error) {
 		if err == nil {
 			return c, nil
 		}
-		if err != ErrNotFound && firstErr == nil {
+		if !errors.Is(err, ErrNotFound) && firstErr == nil {
 			firstErr = fmt.Errorf("store: pool member %d: %w", (h+i)%len(p.members), err)
 		}
 	}

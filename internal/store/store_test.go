@@ -52,7 +52,7 @@ func TestStoreConformance(t *testing.T) {
 			if s.Has(c.ID()) {
 				t.Fatal("Has before Put")
 			}
-			if _, err := s.Get(c.ID()); err != ErrNotFound {
+			if _, err := s.Get(c.ID()); !errors.Is(err, ErrNotFound) {
 				t.Fatalf("Get before Put: %v, want ErrNotFound", err)
 			}
 			dup, err := s.Put(c)

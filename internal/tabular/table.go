@@ -151,13 +151,13 @@ func (t *FBTable) Import(branch string, records []workload.Record) error {
 // Fork creates a new branch of the dataset (the checkout of §6.4): in
 // ForkBase this is a constant-time branch-table operation, no data is
 // copied.
-func (t *FBTable) Fork(refBranch, newBranch string) error {
-	if err := t.db.Fork(context.Background(), t.rowKey(), newBranch, forkbase.WithBranch(refBranch)); err != nil {
+func (t *FBTable) Fork(ctx context.Context, refBranch, newBranch string) error {
+	if err := t.db.Fork(ctx, t.rowKey(), newBranch, forkbase.WithBranch(refBranch)); err != nil {
 		return err
 	}
 	if t.layout == ColLayout {
 		for _, col := range Schema {
-			if err := t.db.Fork(context.Background(), t.colKey(col), newBranch, forkbase.WithBranch(refBranch)); err != nil {
+			if err := t.db.Fork(ctx, t.colKey(col), newBranch, forkbase.WithBranch(refBranch)); err != nil {
 				return err
 			}
 		}

@@ -2,6 +2,7 @@ package tabular
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -117,7 +118,7 @@ func TestForkIsolatesDatasetBranches(t *testing.T) {
 	records := dataset(400)
 	tbl := NewFBTable(forkbase.Open(), "t", RowLayout)
 	tbl.Import("master", records)
-	if err := tbl.Fork("master", "cleaning"); err != nil {
+	if err := tbl.Fork(context.Background(), "master", "cleaning"); err != nil {
 		t.Fatal(err)
 	}
 	mod := records[0]

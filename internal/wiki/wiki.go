@@ -42,13 +42,13 @@ type Engine interface {
 	// Name identifies the engine in benchmark output.
 	Name() string
 	// Save stores a new version of page.
-	Save(c *Client, page string, content []byte) error
+	Save(ctx context.Context, c *Client, page string, content []byte) error
 	// Load returns the latest version of page.
-	Load(c *Client, page string) ([]byte, error)
+	Load(ctx context.Context, c *Client, page string) ([]byte, error)
 	// LoadVersion returns the version `back` steps behind the latest.
-	LoadVersion(c *Client, page string, back int) ([]byte, error)
+	LoadVersion(ctx context.Context, c *Client, page string, back int) ([]byte, error)
 	// Edit applies one edit to the latest version and saves it.
-	Edit(c *Client, e workload.WikiEdit) error
+	Edit(ctx context.Context, c *Client, e workload.WikiEdit) error
 	// StorageBytes reports the engine's storage consumption
 	// (Figure 13b).
 	StorageBytes() int64
@@ -90,9 +90,9 @@ func NewForkBase(db *forkbase.DB, model FetchModel) *ForkBaseWiki {
 func (w *ForkBaseWiki) Name() string { return "ForkBase" }
 
 // Save implements Engine.
-func (w *ForkBaseWiki) Save(c *Client, page string, content []byte) error {
+func (w *ForkBaseWiki) Save(ctx context.Context, c *Client, page string, content []byte) error {
 	ts := fmt.Sprintf("ts=%d", time.Now().UnixNano())
-	_, err := w.db.Put(context.Background(), page, forkbase.NewBlob(content), forkbase.WithMeta(ts))
+	_, err := w.db.Put(ctx, page, forkbase.NewBlob(content), forkbase.WithMeta(ts))
 	return err
 }
 
@@ -128,8 +128,8 @@ func (w *ForkBaseWiki) load(c *Client, o *forkbase.FObject) ([]byte, error) {
 }
 
 // Load implements Engine.
-func (w *ForkBaseWiki) Load(c *Client, page string) ([]byte, error) {
-	o, err := w.db.Get(context.Background(), page)
+func (w *ForkBaseWiki) Load(ctx context.Context, c *Client, page string) ([]byte, error) {
+	o, err := w.db.Get(ctx, page)
 	if errors.Is(err, forkbase.ErrKeyNotFound) {
 		return nil, ErrPageNotFound
 	}
@@ -140,8 +140,8 @@ func (w *ForkBaseWiki) Load(c *Client, page string) ([]byte, error) {
 }
 
 // LoadVersion implements Engine via the base-version chain (M15).
-func (w *ForkBaseWiki) LoadVersion(c *Client, page string, back int) ([]byte, error) {
-	hist, err := w.db.Track(context.Background(), page, back, back)
+func (w *ForkBaseWiki) LoadVersion(ctx context.Context, c *Client, page string, back int) ([]byte, error) {
+	hist, err := w.db.Track(ctx, page, back, back)
 	if errors.Is(err, forkbase.ErrKeyNotFound) {
 		return nil, ErrPageNotFound
 	}
@@ -156,10 +156,10 @@ func (w *ForkBaseWiki) LoadVersion(c *Client, page string, back int) ([]byte, er
 
 // Edit implements Engine: the edit splices the attached Blob, so only
 // the chunks covering the edited region are rewritten.
-func (w *ForkBaseWiki) Edit(c *Client, e workload.WikiEdit) error {
-	o, err := w.db.Get(context.Background(), e.Page)
+func (w *ForkBaseWiki) Edit(ctx context.Context, c *Client, e workload.WikiEdit) error {
+	o, err := w.db.Get(ctx, e.Page)
 	if errors.Is(err, forkbase.ErrKeyNotFound) {
-		return w.Save(c, e.Page, e.Content)
+		return w.Save(ctx, c, e.Page, e.Content)
 	}
 	if err != nil {
 		return err
@@ -183,14 +183,14 @@ func (w *ForkBaseWiki) Edit(c *Client, e workload.WikiEdit) error {
 		return err
 	}
 	ts := fmt.Sprintf("ts=%d", time.Now().UnixNano())
-	_, err = w.db.Put(context.Background(), e.Page, b, forkbase.WithMeta(ts))
+	_, err = w.db.Put(ctx, e.Page, b, forkbase.WithMeta(ts))
 	return err
 }
 
 // Diff compares the latest two versions of a page by chunk, using the
 // POS-Tree diff (§5.2).
-func (w *ForkBaseWiki) Diff(page string) (shared, distinct int, err error) {
-	hist, err := w.db.Track(context.Background(), page, 0, 1)
+func (w *ForkBaseWiki) Diff(ctx context.Context, page string) (shared, distinct int, err error) {
+	hist, err := w.db.Track(ctx, page, 0, 1)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -245,7 +245,7 @@ func compress(p []byte) []byte {
 }
 
 // Save implements Engine: append a full copy.
-func (r *RedisWiki) Save(c *Client, page string, content []byte) error {
+func (r *RedisWiki) Save(ctx context.Context, c *Client, page string, content []byte) error {
 	cp := make([]byte, len(content))
 	copy(cp, content)
 	r.mu.Lock()
@@ -284,21 +284,21 @@ func (r *RedisWiki) version(page string, back int) ([]byte, error) {
 }
 
 // Load implements Engine.
-func (r *RedisWiki) Load(c *Client, page string) ([]byte, error) {
+func (r *RedisWiki) Load(ctx context.Context, c *Client, page string) ([]byte, error) {
 	return r.version(page, 0)
 }
 
 // LoadVersion implements Engine.
-func (r *RedisWiki) LoadVersion(c *Client, page string, back int) ([]byte, error) {
+func (r *RedisWiki) LoadVersion(ctx context.Context, c *Client, page string, back int) ([]byte, error) {
 	return r.version(page, back)
 }
 
 // Edit implements Engine: server-side read-modify-write of the whole
 // page (a Lua-script-style update; no wire transfer).
-func (r *RedisWiki) Edit(c *Client, e workload.WikiEdit) error {
+func (r *RedisWiki) Edit(ctx context.Context, c *Client, e workload.WikiEdit) error {
 	cur, err := r.raw(e.Page, 0)
 	if errors.Is(err, ErrPageNotFound) {
-		return r.Save(c, e.Page, e.Content)
+		return r.Save(ctx, c, e.Page, e.Content)
 	}
 	if err != nil {
 		return err
@@ -317,7 +317,7 @@ func (r *RedisWiki) Edit(c *Client, e workload.WikiEdit) error {
 	} else {
 		next = append(append(append([]byte(nil), cur[:off]...), e.Content...), cur[off:]...)
 	}
-	return r.Save(c, e.Page, next)
+	return r.Save(ctx, c, e.Page, next)
 }
 
 // StorageBytes implements Engine: the persisted (compressed) footprint

@@ -2,6 +2,7 @@ package wiki
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -9,6 +10,9 @@ import (
 	"forkbase"
 	"forkbase/internal/workload"
 )
+
+// ctx is the shared root for tests: nothing here exercises cancellation.
+var ctx = context.Background()
 
 func engines(t *testing.T) map[string]Engine {
 	t.Helper()
@@ -22,17 +26,17 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	for name, e := range engines(t) {
 		c := NewClient()
 		content := workload.RandText(newRng(1), 15<<10)
-		if err := e.Save(c, "home", content); err != nil {
+		if err := e.Save(ctx, c, "home", content); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		got, err := e.Load(c, "home")
+		got, err := e.Load(ctx, c, "home")
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if !bytes.Equal(got, content) {
 			t.Fatalf("%s: content mismatch", name)
 		}
-		if _, err := e.Load(c, "missing"); !errors.Is(err, ErrPageNotFound) {
+		if _, err := e.Load(ctx, c, "missing"); !errors.Is(err, ErrPageNotFound) {
 			t.Fatalf("%s: missing page: %v", name, err)
 		}
 	}
@@ -45,12 +49,12 @@ func TestVersionHistory(t *testing.T) {
 		c := NewClient()
 		for i := 0; i < 5; i++ {
 			content := []byte{byte('a' + i)}
-			if err := e.Save(c, "p", bytes.Repeat(content, 100)); err != nil {
+			if err := e.Save(ctx, c, "p", bytes.Repeat(content, 100)); err != nil {
 				t.Fatal(err)
 			}
 		}
 		for back := 0; back < 5; back++ {
-			got, err := e.LoadVersion(c, "p", back)
+			got, err := e.LoadVersion(ctx, c, "p", back)
 			if err != nil {
 				t.Fatalf("%s back %d: %v", name, back, err)
 			}
@@ -59,7 +63,7 @@ func TestVersionHistory(t *testing.T) {
 				t.Fatalf("%s back %d: got %c want %c", name, back, got[0], want)
 			}
 		}
-		if _, err := e.LoadVersion(c, "p", 10); err == nil {
+		if _, err := e.LoadVersion(ctx, c, "p", 10); err == nil {
 			t.Fatalf("%s: version beyond history succeeded", name)
 		}
 	}
@@ -70,23 +74,23 @@ func TestEditSemanticsMatchAcrossEngines(t *testing.T) {
 	rd := NewRedis(FetchModel{})
 	c := NewClient()
 	initial := workload.RandText(newRng(2), 8<<10)
-	fb.Save(c, "p", initial)
-	rd.Save(c, "p", initial)
+	fb.Save(ctx, c, "p", initial)
+	rd.Save(ctx, c, "p", initial)
 
 	trace := workload.NewWikiTrace(3, 1, 200, 0.5, 0)
 	for i := 0; i < 20; i++ {
-		cur, _ := fb.Load(NewClient(), "p")
+		cur, _ := fb.Load(ctx, NewClient(), "p")
 		e := trace.Next(len(cur))
 		e.Page = "p"
-		if err := fb.Edit(c, e); err != nil {
+		if err := fb.Edit(ctx, c, e); err != nil {
 			t.Fatal(err)
 		}
-		if err := rd.Edit(c, e); err != nil {
+		if err := rd.Edit(ctx, c, e); err != nil {
 			t.Fatal(err)
 		}
 	}
-	a, _ := fb.Load(NewClient(), "p")
-	b, _ := rd.Load(NewClient(), "p")
+	a, _ := fb.Load(ctx, NewClient(), "p")
+	b, _ := rd.Load(ctx, NewClient(), "p")
 	if !bytes.Equal(a, b) {
 		t.Fatalf("engines diverged after identical edits: %d vs %d bytes", len(a), len(b))
 	}
@@ -104,19 +108,19 @@ func TestStorageDedup(t *testing.T) {
 	for p := 0; p < pages; p++ {
 		content := workload.RandText(rng, 15<<10)
 		page := string(rune('a' + p))
-		fb.Save(c, page, content)
-		rd.Save(c, page, content)
+		fb.Save(ctx, c, page, content)
+		rd.Save(ctx, c, page, content)
 	}
 	trace := workload.NewWikiTrace(5, pages, 200, 1.0, 0)
 	for i := 0; i < 100; i++ {
-		cur, err := fb.Load(NewClient(), string(rune('a'+i%pages)))
+		cur, err := fb.Load(ctx, NewClient(), string(rune('a'+i%pages)))
 		if err != nil {
 			t.Fatal(err)
 		}
 		e := trace.Next(len(cur))
 		e.Page = string(rune('a' + i%pages))
-		fb.Edit(c, e)
-		rd.Edit(c, e)
+		fb.Edit(ctx, c, e)
+		rd.Edit(ctx, c, e)
 	}
 	if fb.StorageBytes() >= rd.StorageBytes() {
 		t.Fatalf("ForkBase (%d) should use less storage than Redis (%d) after 100 versions",
@@ -135,23 +139,23 @@ func TestClientCacheReducesTransfer(t *testing.T) {
 	// Large enough that the page always spans several chunks; a 15 KB
 	// page has a small chance of fitting one content-defined chunk.
 	content := workload.RandText(newRng(6), 48<<10)
-	fb.Save(seed, "p", content)
-	rd.Save(seed, "p", content)
+	fb.Save(ctx, seed, "p", content)
+	rd.Save(ctx, seed, "p", content)
 	trace := workload.NewWikiTrace(7, 1, 100, 1.0, 0)
 	for i := 0; i < 5; i++ {
 		e := trace.Next(len(content))
 		e.Page = "p"
-		fb.Edit(seed, e)
-		rd.Edit(seed, e)
+		fb.Edit(ctx, seed, e)
+		rd.Edit(ctx, seed, e)
 	}
 	// A fresh client tracks all 6 versions of the page.
 	cf, cr := NewClient(), NewClient()
 	fb0, rd0 := fb.BytesFetched(), rd.BytesFetched()
 	for back := 0; back < 6; back++ {
-		if _, err := fb.LoadVersion(cf, "p", back); err != nil {
+		if _, err := fb.LoadVersion(ctx, cf, "p", back); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := rd.LoadVersion(cr, "p", back); err != nil {
+		if _, err := rd.LoadVersion(ctx, cr, "p", back); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -167,9 +171,9 @@ func TestDiffConsecutiveVersions(t *testing.T) {
 	fb := NewForkBase(forkbase.Open(), FetchModel{})
 	c := NewClient()
 	content := workload.RandText(newRng(8), 30<<10)
-	fb.Save(c, "p", content)
-	fb.Edit(c, workload.WikiEdit{Page: "p", Offset: 15 << 10, Content: []byte("tiny edit"), InPlace: true})
-	shared, distinct, err := fb.Diff("p")
+	fb.Save(ctx, c, "p", content)
+	fb.Edit(ctx, c, workload.WikiEdit{Page: "p", Offset: 15 << 10, Content: []byte("tiny edit"), InPlace: true})
+	shared, distinct, err := fb.Diff(ctx, "p")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -352,6 +352,7 @@ func (c *remoteConn) unregister(id uint64) {
 func (c *remoteConn) write(id uint64, op uint8, payload []byte) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	//forkvet:allow lockhold — writeMu exists to serialize frames on the shared socket; an interleaved frame would desync the stream
 	if err := wire.WriteFrame(c.c, id, op, payload); err != nil {
 		return err
 	}
@@ -890,7 +891,7 @@ func (rs *RemoteStore) valueChunked(ctx context.Context, key string, o *FObject,
 			return nil, err
 		}
 	}
-	tree := postree.Attach(&remoteChunkStore{rs: rs, user: user, key: key}, rs.treeCfg, kind, root, count, height)
+	tree := postree.Attach(&remoteChunkStore{rs: rs, user: user, key: key, ctx: ctx}, rs.treeCfg, kind, root, count, height)
 	v, _ := types.AttachValue(o.VType, tree)
 	return v, nil
 }
@@ -964,6 +965,12 @@ type remoteChunkStore struct {
 	rs   *RemoteStore
 	user string
 	key  string
+	// ctx is the context of the Value call that attached this handle.
+	// Handle reads mirror the embedded store's context-free interface,
+	// so lazy fetches inherit the attaching call's lifetime: cancel it
+	// and a cold cache miss aborts instead of riding an unbounded
+	// background request.
+	ctx context.Context
 }
 
 func (s *remoteChunkStore) Get(id chunk.ID) (*chunk.Chunk, error) {
@@ -971,9 +978,7 @@ func (s *remoteChunkStore) Get(id chunk.ID) (*chunk.Chunk, error) {
 	if err == nil || !errors.Is(err, store.ErrNotFound) {
 		return c, err
 	}
-	// Handle reads carry no context (they mirror the embedded store's
-	// interface); a straggler fetch rides on the background context.
-	got, werr := s.rs.chunkWant(context.Background(), s.user, s.key, []chunk.ID{id})
+	got, werr := s.rs.chunkWant(s.ctx, s.user, s.key, []chunk.ID{id})
 	if werr != nil {
 		return nil, werr
 	}

@@ -245,6 +245,7 @@ type serverConn struct {
 }
 
 func (s *Server) newConn(c net.Conn) *serverConn {
+	//forkvet:allow ctxflow — a connection IS a context root: per-request contexts hang off it and die with the socket, not with any caller
 	ctx, cancel := context.WithCancel(context.Background())
 	return &serverConn{
 		srv:      s,
@@ -500,6 +501,7 @@ func (sc *serverConn) write(reqID uint64, op uint8, payload []byte) {
 	}
 	sc.writeMu.Lock()
 	defer sc.writeMu.Unlock()
+	//forkvet:allow lockhold — writeMu exists to serialize frames on the shared socket; an interleaved frame would desync the stream
 	if err := wire.WriteFrame(sc.c, reqID, op, payload); err != nil {
 		// The read loop (or close) will notice; nothing to salvage here.
 		sc.srv.logf("forkserved: write to %s: %v", sc.c.RemoteAddr(), err)
