@@ -276,6 +276,32 @@ func (db *DB) Apply(ctx context.Context, b *Batch, opts ...Option) ([]UID, error
 	return db.eng.PutBatch(ctx, b.puts)
 }
 
+// putBatchServer executes a group of INDEPENDENT single puts on
+// behalf of the network server's put coalescer: per-put ACL checks
+// and per-put errors, with the engine-level batching of Apply. Unlike
+// Apply, one failing put does not abort the others — each coalesced
+// wire request must get exactly the result it would have gotten had
+// it been dispatched alone.
+func (db *DB) putBatchServer(ctx context.Context, user string, puts []core.BatchPut) ([]UID, []error) {
+	uids := make([]UID, len(puts))
+	errs := make([]error, len(puts))
+	run := make([]core.BatchPut, 0, len(puts))
+	idx := make([]int, 0, len(puts))
+	for i, p := range puts {
+		if err := db.check(user, string(p.Key), p.Branch, PermWrite); err != nil {
+			errs[i] = err
+			continue
+		}
+		run = append(run, p)
+		idx = append(idx, i)
+	}
+	ruids, rerrs := db.eng.PutBatchIndependent(ctx, run)
+	for j, i := range idx {
+		uids[i], errs[i] = ruids[j], rerrs[j]
+	}
+	return uids, errs
+}
+
 // Fork implements Store.
 func (db *DB) Fork(ctx context.Context, key, newBranch string, opts ...Option) error {
 	if err := ctx.Err(); err != nil {

@@ -6,10 +6,15 @@
 // Usage:
 //
 //	forkbench [-scale quick|paper] [experiment ...]
+//	forkbench ratchet [-tolerance 0.20] <baseline-dir> <fresh-dir>
 //
 // With no arguments every experiment runs in order. Experiments:
 // table3 table4 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16
 // fig17 batchput cache gc recover net ablations
+//
+// The ratchet form compares fresh -json snapshots against committed
+// baselines and exits non-zero when a guarded series degraded past
+// the tolerance — the perf CI job's pass/fail.
 package main
 
 import (
@@ -64,7 +69,38 @@ func runAblations(w io.Writer, s bench.Scale) error {
 	return nil
 }
 
+// runRatchet implements the "ratchet" subcommand: compare fresh
+// snapshot files against baselines and fail on regressions beyond
+// the tolerance.
+func runRatchet(args []string) {
+	fs := flag.NewFlagSet("ratchet", flag.ExitOnError)
+	tolerance := fs.Float64("tolerance", 0.20, "allowed fractional degradation per guarded metric")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: forkbench ratchet [-tolerance 0.20] <baseline-dir> <fresh-dir>")
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	failures := bench.Ratchet(os.Stdout, fs.Arg(0), fs.Arg(1), *tolerance)
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nperf ratchet: %d guarded series regressed:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nperf ratchet: all %d guarded series within tolerance\n", len(bench.GuardedMetrics))
+}
+
 func main() {
+	// The ratchet subcommand has its own flags; detect it before the
+	// experiment flag set parses.
+	if len(os.Args) > 1 && os.Args[1] == "ratchet" {
+		runRatchet(os.Args[2:])
+		return
+	}
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
 	jsonDir := flag.String("json", "", "also write BENCH_<experiment>.json snapshots into this directory")
 	flag.Usage = func() {

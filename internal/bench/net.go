@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -44,19 +45,17 @@ func RunNet(w io.Writer, scale Scale) error {
 	}()
 
 	fmt.Fprintln(w, "Net: loopback serving vs embedded, small String put/get")
-	t := newTable(w, 22, 12, 12, 14, 14)
-	t.row("Client", "Puts/s", "Gets/s", "Put p99", "Get p99")
+	t := newTable(w, 22, 12, 12, 12, 12, 14, 14)
+	t.row("Client", "Puts/s", "Gets/s", "Put allocs", "Get allocs", "Put p99", "Get p99")
 
 	// Embedded baseline: the same operation mix with no wire at all.
-	basePut, baseGet, basePut99, baseGet99, err := netSmallOps(backend, ops, 1)
+	base, err := netSmallOps(backend, ops, 1)
 	if err != nil {
 		return err
 	}
-	t.row("embedded", rps(basePut), rps(baseGet), basePut99, baseGet99)
-	record("small embedded", map[string]float64{
-		"puts_per_s": basePut, "gets_per_s": baseGet,
-		"put_p99_ms": ms(basePut99), "get_p99_ms": ms(baseGet99),
-	})
+	t.row("embedded", rps(base.putRate), rps(base.getRate),
+		apo(base.putAllocs), apo(base.getAllocs), base.put99, base.get99)
+	record("small embedded", base.metrics())
 
 	for _, conns := range []int{1, 4} {
 		for _, depth := range []int{1, 8, 32} {
@@ -64,17 +63,15 @@ func RunNet(w io.Writer, scale Scale) error {
 			if err != nil {
 				return err
 			}
-			put, get, put99, get99, err := netSmallOps(rc, ops, depth)
+			m, err := netSmallOps(rc, ops, depth)
 			rc.Close()
 			if err != nil {
 				return err
 			}
 			name := fmt.Sprintf("remote c=%d depth=%d", conns, depth)
-			t.row(name, rps(put), rps(get), put99, get99)
-			record("small "+name, map[string]float64{
-				"puts_per_s": put, "gets_per_s": get,
-				"put_p99_ms": ms(put99), "get_p99_ms": ms(get99),
-			})
+			t.row(name, rps(m.putRate), rps(m.getRate),
+				apo(m.putAllocs), apo(m.getAllocs), m.put99, m.get99)
+			record("small "+name, m.metrics())
 		}
 	}
 
@@ -103,6 +100,27 @@ func RunNet(w io.Writer, scale Scale) error {
 }
 
 func rps(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+func apo(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// netSmallMetrics is one netSmallOps measurement: throughputs, tail
+// latencies, and process-wide allocations per operation. The alloc
+// figure is a whole-pipeline number — on loopback it covers client
+// encode, server dispatch and both frame trips — which is exactly the
+// quantity the pooled hot path is supposed to hold down.
+type netSmallMetrics struct {
+	putRate, getRate     float64
+	putAllocs, getAllocs float64
+	put99, get99         time.Duration
+}
+
+func (m netSmallMetrics) metrics() map[string]float64 {
+	return map[string]float64{
+		"puts_per_s": m.putRate, "gets_per_s": m.getRate,
+		"put_allocs_per_op": m.putAllocs, "get_allocs_per_op": m.getAllocs,
+		"put_p99_ms": ms(m.put99), "get_p99_ms": ms(m.get99),
+	}
+}
 
 // drivePool runs ops calls of fn across depth concurrent workers —
 // the shape of a pipelined client — returning the wall-clock elapsed
@@ -154,28 +172,35 @@ func drivePool(ops, depth int, sw *stopwatch, fn func(i int) error) (time.Durati
 
 // netSmallOps drives ops String puts then ops gets at the given
 // pipelining depth (depth concurrent workers sharing the client) and
-// reports throughputs and p99 latencies.
-func netSmallOps(st forkbase.Store, ops, depth int) (putRate, getRate float64, put99, get99 time.Duration, err error) {
+// reports throughputs, p99 latencies and allocations per op.
+func netSmallOps(st forkbase.Store, ops, depth int) (m netSmallMetrics, err error) {
 	keys := make([]string, 64)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("net-%02d", i)
 	}
-	run := func(fn func(i int) error) (float64, time.Duration, error) {
+	run := func(fn func(i int) error) (float64, float64, time.Duration, error) {
 		var sw stopwatch
+		// Mallocs deltas bracket the pool, not each call: ReadMemStats
+		// stops the world, so per-call sampling would poison the very
+		// latencies being measured.
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		elapsed, err := drivePool(ops, depth, &sw, fn)
+		runtime.ReadMemStats(&m1)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
-		return float64(ops) / elapsed.Seconds(), sw.percentile(99), nil
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(ops)
+		return float64(ops) / elapsed.Seconds(), allocs, sw.percentile(99), nil
 	}
-	putRate, put99, err = run(func(i int) error {
+	m.putRate, m.putAllocs, m.put99, err = run(func(i int) error {
 		_, err := st.Put(bgCtx, keys[i%len(keys)], forkbase.String(fmt.Sprintf("v%d", i)))
 		return err
 	})
 	if err != nil {
 		return
 	}
-	getRate, get99, err = run(func(i int) error {
+	m.getRate, m.getAllocs, m.get99, err = run(func(i int) error {
 		_, err := st.Get(bgCtx, keys[i%len(keys)])
 		return err
 	})

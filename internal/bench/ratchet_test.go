@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, dir, file string, rows []MetricRow) {
+	t.Helper()
+	out, err := json.Marshal(Metrics{Experiment: "t", Scale: "quick", Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, file), out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scale writes both guarded snapshot files with every guarded metric
+// multiplied by factor relative to a fixed base value (direction-
+// aware: higher-is-better metrics shrink when factor < 1 means
+// "worse" is requested by the caller choosing the factor).
+func writeGuarded(t *testing.T, dir string, factor float64) {
+	t.Helper()
+	byFile := map[string]map[string]map[string]float64{}
+	for _, g := range GuardedMetrics {
+		if byFile[g.File] == nil {
+			byFile[g.File] = map[string]map[string]float64{}
+		}
+		if byFile[g.File][g.Row] == nil {
+			byFile[g.File][g.Row] = map[string]float64{}
+		}
+		byFile[g.File][g.Row][g.Metric] = 1000 * factor
+	}
+	for file, rows := range byFile {
+		var out []MetricRow
+		for name, vals := range rows {
+			out = append(out, MetricRow{Name: name, Values: vals})
+		}
+		writeSnapshot(t, dir, file, out)
+	}
+}
+
+func TestRatchetPassesWithinTolerance(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeGuarded(t, base, 1.0)
+	writeGuarded(t, fresh, 1.0) // identical numbers: every series ok
+	if fails := Ratchet(io.Discard, base, fresh, 0.20); len(fails) != 0 {
+		t.Fatalf("identical snapshots failed the ratchet: %v", fails)
+	}
+}
+
+func TestRatchetFailsOnRegression(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeGuarded(t, base, 1.0)
+	// Every metric at half its baseline: higher-is-better series are
+	// 50% worse (fail); the lower-is-better ratio improved (pass).
+	writeGuarded(t, fresh, 0.5)
+	fails := Ratchet(io.Discard, base, fresh, 0.20)
+	var wantFails int
+	for _, g := range GuardedMetrics {
+		if g.HigherIsBetter {
+			wantFails++
+		}
+	}
+	if len(fails) != wantFails {
+		t.Fatalf("got %d failures, want %d: %v", len(fails), wantFails, fails)
+	}
+}
+
+func TestRatchetFailsOnMissingSeries(t *testing.T) {
+	base, fresh := t.TempDir(), t.TempDir()
+	writeGuarded(t, base, 1.0)
+	// fresh dir has no snapshots at all: every series must fail, not
+	// silently pass.
+	fails := Ratchet(io.Discard, base, fresh, 0.20)
+	if len(fails) != len(GuardedMetrics) {
+		t.Fatalf("got %d failures, want %d", len(fails), len(GuardedMetrics))
+	}
+	for _, f := range fails {
+		if !strings.Contains(f, "missing") {
+			t.Fatalf("unexpected failure kind: %s", f)
+		}
+	}
+}

@@ -235,6 +235,42 @@ func (e *Engine) PutBatch(ctx context.Context, puts []BatchPut) ([]types.UID, er
 	return uids, nil
 }
 
+// PutBatchIndependent is PutBatch with per-put error isolation: each
+// key group commits or fails on its own and the batch always runs to
+// the end. errs[i] is nil exactly when puts[i] committed; a failed
+// group reports its error on every one of its puts (within a key the
+// group is still atomic, so they failed together). The network
+// server's put coalescer depends on this shape — adjacent pipelined
+// puts from independent requests must not abort each other the way
+// one Apply batch would.
+func (e *Engine) PutBatchIndependent(ctx context.Context, puts []BatchPut) ([]types.UID, []error) {
+	uids := make([]types.UID, len(puts))
+	errs := make([]error, len(puts))
+	var order []string
+	groups := make(map[string][]int)
+	for i, p := range puts {
+		k := string(p.Key)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	for _, k := range order {
+		idxs := groups[k]
+		err := ctx.Err()
+		if err == nil {
+			err = e.putGroup([]byte(k), idxs, puts, uids)
+		}
+		if err != nil {
+			for _, i := range idxs {
+				uids[i] = types.UID{}
+				errs[i] = err
+			}
+		}
+	}
+	return uids, errs
+}
+
 // putGroup applies one key's batched writes under a single lock hold.
 func (e *Engine) putGroup(key []byte, idxs []int, puts []BatchPut, uids []types.UID) error {
 	l := e.keyLock(key)

@@ -67,13 +67,19 @@ func EncodeChunkUpload(e *Enc, chunks []*chunk.Chunk) {
 // DecodeChunkUpload parses an OpChunkSend chunk batch. The frames are
 // returned as claimed — verification (decode + id recompute) is the
 // caller's job, so a failure can be attributed to the specific chunk.
+//
+// Zero-copy: each frame's Bytes aliases the decoder's buffer, so the
+// batch is only valid until that buffer is reused. The server's
+// admission path respects this — chunk.Decode copies the body before
+// anything is stored — and finishes before the frame buffer returns
+// to the pool.
 func DecodeChunkUpload(d *Dec) []ChunkFrame {
 	n := d.Count(chunkFrameMin)
 	out := make([]ChunkFrame, 0, n)
 	for i := 0; i < n && d.err == nil; i++ {
 		var f ChunkFrame
 		f.ID = d.UID()
-		f.Bytes = d.Blob()
+		f.Bytes = d.BlobRef()
 		if d.err == nil {
 			out = append(out, f)
 		}
@@ -101,6 +107,10 @@ func EncodeWantResponse(e *Enc, answered []*chunk.Chunk) {
 // DecodeWantResponse parses an OpChunkWant response: serialized chunk
 // bytes aligned with the answered prefix of the request's id list, nil
 // where the server held nothing.
+//
+// Zero-copy: the returned slices alias the decoder's buffer. The
+// client consumes them immediately — chunk.Decode copies on ingest —
+// and response payloads are never pooled, so no reuse can bite.
 func DecodeWantResponse(d *Dec) [][]byte {
 	n := d.Count(1)
 	out := make([][]byte, 0, n)
@@ -111,7 +121,7 @@ func DecodeWantResponse(d *Dec) [][]byte {
 			}
 			continue
 		}
-		b := d.Blob()
+		b := d.BlobRef()
 		if d.err == nil {
 			out = append(out, b)
 		}

@@ -31,6 +31,11 @@ const nilLen = math.MaxUint32
 // Enc builds a payload. The zero value is ready to use.
 type Enc struct{ buf []byte }
 
+// EncWith returns an encoder that appends onto buf (reset to empty),
+// so hot paths can feed pooled buffers through the codec instead of
+// growing a fresh allocation per message.
+func EncWith(buf []byte) Enc { return Enc{buf: buf[:0]} }
+
 // Bytes returns the encoded payload.
 func (e *Enc) Bytes() []byte { return e.buf }
 
@@ -181,6 +186,21 @@ func (d *Dec) Blob() []byte {
 	return out
 }
 
+// BlobRef is Blob without the defensive copy: the returned slice
+// aliases the decoder's underlying buffer. It exists for the server's
+// hot path, where the payload buffer is pooled and reused for the
+// next frame — the caller must therefore fully consume (or copy) the
+// result before that reuse. Safe today because every sink on those
+// paths copies on ingest: types.NewBlob and friends copy staged
+// bytes, and chunk.Decode copies the chunk body.
+func (d *Dec) BlobRef() []byte {
+	n := d.U32()
+	if n == nilLen {
+		return nil
+	}
+	return d.take(int(n))
+}
+
 // Str reads a length-prefixed string.
 func (d *Dec) Str() string {
 	n := d.U32()
@@ -266,6 +286,21 @@ func EncodeValue(e *Enc, v types.Value) error {
 // (unattached to any store), exactly like a freshly built NewBlob /
 // NewMap / NewList / NewSet — ready to be read, edited and Put.
 func DecodeValue(d *Dec) (types.Value, error) {
+	return decodeValue(d, (*Dec).Blob)
+}
+
+// DecodeValueRef is DecodeValue feeding byte fields through BlobRef
+// instead of Blob: no intermediate copy between the frame buffer and
+// the value. The returned Value never aliases the payload — the
+// types constructors copy staged bytes on ingest — so it outlives any
+// reuse of the decoder's buffer; only the decode itself must finish
+// before that reuse. This is the server-side decode for pooled frame
+// buffers.
+func DecodeValueRef(d *Dec) (types.Value, error) {
+	return decodeValue(d, (*Dec).BlobRef)
+}
+
+func decodeValue(d *Dec, blob func(*Dec) []byte) (types.Value, error) {
 	t := types.Type(d.U8())
 	var v types.Value
 	switch t {
@@ -278,6 +313,8 @@ func DecodeValue(d *Dec) (types.Value, error) {
 	case types.TypeBool:
 		v = types.Bool(d.Bool())
 	case types.TypeTuple:
+		// Always the copying accessor: DecodeTuple aliases its input,
+		// so a ref-decoded Tuple would outlive the pooled frame buffer.
 		raw := d.Blob()
 		if d.err == nil {
 			tup, err := types.DecodeTuple(raw)
@@ -287,12 +324,12 @@ func DecodeValue(d *Dec) (types.Value, error) {
 			v = tup
 		}
 	case types.TypeBlob:
-		v = types.NewBlob(d.Blob())
+		v = types.NewBlob(blob(d))
 	case types.TypeList:
 		n := d.Count(4)
 		l := types.NewList()
 		for i := 0; i < n && d.err == nil; i++ {
-			if err := l.Append(d.Blob()); err != nil {
+			if err := l.Append(blob(d)); err != nil {
 				return nil, err
 			}
 		}
@@ -301,7 +338,7 @@ func DecodeValue(d *Dec) (types.Value, error) {
 		n := d.Count(8)
 		m := types.NewMap()
 		for i := 0; i < n && d.err == nil; i++ {
-			k, val := d.Blob(), d.Blob()
+			k, val := blob(d), blob(d)
 			if d.err == nil {
 				if err := m.Set(k, val); err != nil {
 					return nil, err
@@ -313,7 +350,7 @@ func DecodeValue(d *Dec) (types.Value, error) {
 		n := d.Count(4)
 		s := types.NewSet()
 		for i := 0; i < n && d.err == nil; i++ {
-			if err := s.Add(d.Blob()); err != nil {
+			if err := s.Add(blob(d)); err != nil {
 				return nil, err
 			}
 		}

@@ -20,6 +20,13 @@ var ErrShutdown = errors.New("wire: server shutting down")
 // serve (e.g. Stats against a backend without counters).
 var ErrUnsupported = errors.New("wire: operation not supported by this server")
 
+// ErrDuplicateRequest reports a request id that is already in flight
+// on the same connection. The server refuses the newcomer instead of
+// overwriting the original's registration — overwriting would leak
+// the first request's context and make it uncancelable. The original
+// request is unaffected; only the reusing frame gets this error.
+var ErrDuplicateRequest = errors.New("wire: request id already in flight")
+
 // Error codes. A response's error payload leads with one of these so
 // the client can rebuild the exact sentinel the backend returned —
 // errors.Is works identically against a RemoteStore and an embedded
@@ -43,28 +50,30 @@ const (
 	CodeShutdown
 	CodeUnsupported
 	CodeProto // framing-level violation reported per-request (unknown op)
+	CodeDuplicateRequest
 )
 
 // codeSentinels maps each code to the sentinel the decoded error must
 // satisfy errors.Is against. CodeGeneric and unknown codes map to nil:
 // the decoded error is opaque.
 var codeSentinels = map[uint8]error{
-	CodeKeyNotFound:     core.ErrKeyNotFound,
-	CodeBranchNotFound:  branch.ErrBranchNotFound,
-	CodeBranchExists:    branch.ErrBranchExists,
-	CodeGuardFailed:     branch.ErrGuardFailed,
-	CodeConflict:        merge.ErrConflict,
-	CodeAccessDenied:    servlet.ErrAccessDenied,
-	CodeCorrupt:         store.ErrCorrupt,
-	CodeNotCollectable:  store.ErrNotCollectable,
-	CodeSweepInProgress: store.ErrSweepInProgress,
-	CodeBadOptions:      core.ErrBadOptions,
-	CodeTypeMismatch:    core.ErrTypeMismatch,
-	CodeCanceled:        context.Canceled,
-	CodeDeadline:        context.DeadlineExceeded,
-	CodeShutdown:        ErrShutdown,
-	CodeUnsupported:     ErrUnsupported,
-	CodeProto:           ErrCodec,
+	CodeKeyNotFound:      core.ErrKeyNotFound,
+	CodeBranchNotFound:   branch.ErrBranchNotFound,
+	CodeBranchExists:     branch.ErrBranchExists,
+	CodeGuardFailed:      branch.ErrGuardFailed,
+	CodeConflict:         merge.ErrConflict,
+	CodeAccessDenied:     servlet.ErrAccessDenied,
+	CodeCorrupt:          store.ErrCorrupt,
+	CodeNotCollectable:   store.ErrNotCollectable,
+	CodeSweepInProgress:  store.ErrSweepInProgress,
+	CodeBadOptions:       core.ErrBadOptions,
+	CodeTypeMismatch:     core.ErrTypeMismatch,
+	CodeCanceled:         context.Canceled,
+	CodeDeadline:         context.DeadlineExceeded,
+	CodeShutdown:         ErrShutdown,
+	CodeUnsupported:      ErrUnsupported,
+	CodeProto:            ErrCodec,
+	CodeDuplicateRequest: ErrDuplicateRequest,
 }
 
 // ErrorCode classifies an error for transport. The first matching
@@ -76,6 +85,7 @@ func ErrorCode(err error) uint8 {
 		CodeConflict, CodeAccessDenied, CodeCorrupt, CodeSweepInProgress,
 		CodeNotCollectable, CodeBadOptions, CodeTypeMismatch,
 		CodeCanceled, CodeDeadline, CodeShutdown, CodeUnsupported, CodeProto,
+		CodeDuplicateRequest,
 	} {
 		if errors.Is(err, codeSentinels[code]) {
 			return code

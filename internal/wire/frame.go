@@ -27,12 +27,14 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
+	"sync"
 )
 
 // ProtoVersion is the protocol revision spoken by this build. The
@@ -154,6 +156,21 @@ func AppendFrame(dst []byte, reqID uint64, op uint8, payload []byte) []byte {
 	return append(dst, tail[:]...)
 }
 
+// FrameParts builds the length-prefixed header and crc trailer of a
+// frame whose payload will travel as its own buffer (scatter-gather
+// writes via net.Buffers). Writing hdr, payload, tail back to back is
+// byte-identical to AppendFrame, without copying the payload.
+func FrameParts(reqID uint64, op uint8, payload []byte) (hdr [13]byte, tail [4]byte) {
+	n := frameOverhead + len(payload)
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(n))
+	binary.LittleEndian.PutUint64(hdr[4:12], reqID)
+	hdr[12] = op
+	crc := crc32.Update(0, castagnoli, hdr[4:13])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	return hdr, tail
+}
+
 // WriteFrame writes one frame to w.
 func WriteFrame(w io.Writer, reqID uint64, op uint8, payload []byte) error {
 	buf := AppendFrame(make([]byte, 0, 4+frameOverhead+len(payload)), reqID, op, payload)
@@ -161,37 +178,109 @@ func WriteFrame(w io.Writer, reqID uint64, op uint8, payload []byte) error {
 	return err
 }
 
+// framePool recycles the buffers the hot paths churn through: frame
+// bodies on the read side, request/response encodings on the write
+// side. Entries are *[]byte so returning one does not re-box the
+// slice header on every Put.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// maxPooledBuf caps what PutFrameBuf retains. A rare huge frame (a
+// multi-megabyte blob) would otherwise pin its allocation in the pool
+// forever; above the cap the buffer is simply dropped to the GC.
+const maxPooledBuf = 1 << 20
+
+// GetFrameBuf returns an empty reusable buffer from the frame pool.
+// Pass it back via PutFrameBuf once nothing aliases it any more.
+func GetFrameBuf() []byte {
+	return (*framePool.Get().(*[]byte))[:0]
+}
+
+// PutFrameBuf recycles a buffer obtained from GetFrameBuf (or grown
+// from one). The caller must not touch b — or anything aliasing its
+// backing array, such as a payload returned by ReadFrameInto or a
+// zero-copy Dec accessor — after the call.
+func PutFrameBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	framePool.Put(&b)
+}
+
 // ReadFrame reads and verifies one frame from r. maxFrame caps the
 // claimed length (0 means DefaultMaxFrame). A framing violation is
 // reported wrapped in ErrFrame; the caller must close the connection,
 // since the stream cannot be re-synchronized.
 func ReadFrame(r io.Reader, maxFrame int) (reqID uint64, op uint8, payload []byte, err error) {
+	reqID, op, payload, _, err = ReadFrameInto(r, maxFrame, nil)
+	return reqID, op, payload, err
+}
+
+// ReadFrameInto is ReadFrame reading into a caller-supplied buffer so
+// a steady-state read loop allocates nothing per frame. scratch is
+// grown as needed; the (possibly reallocated) buffer comes back as
+// buf — even on error — so the caller can keep reusing or pooling it.
+// payload aliases buf and is valid only until buf's next reuse.
+func ReadFrameInto(r io.Reader, maxFrame int, scratch []byte) (reqID uint64, op uint8, payload, buf []byte, err error) {
+	buf = scratch
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	// The length prefix is read through buf too — a stack [4]byte
+	// would escape into the io.Reader interface and cost the very
+	// per-frame allocation this entry point exists to avoid.
+	if cap(buf) < 4 {
+		buf = make([]byte, 0, 1024)
+	}
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
 		// A clean EOF between frames is the peer hanging up, not a
 		// protocol violation; mid-frame truncation below is.
-		return 0, 0, nil, err
+		return 0, 0, nil, buf, err
 	}
-	n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	n := int(binary.LittleEndian.Uint32(buf[:4]))
 	if n < frameOverhead {
-		return 0, 0, nil, fmt.Errorf("%w: length %d below frame overhead", ErrFrame, n)
+		return 0, 0, nil, buf, fmt.Errorf("%w: length %d below frame overhead", ErrFrame, n)
 	}
 	if n > maxFrame {
-		return 0, 0, nil, fmt.Errorf("%w: length %d exceeds cap %d", ErrFrame, n, maxFrame)
+		return 0, 0, nil, buf, fmt.Errorf("%w: length %d exceeds cap %d", ErrFrame, n, maxFrame)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, 0, nil, fmt.Errorf("%w: torn frame: %v", ErrFrame, err)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
 	}
-	want := binary.LittleEndian.Uint32(body[n-4:])
-	if got := crc32.Update(0, castagnoli, body[:n-4]); got != want {
-		return 0, 0, nil, fmt.Errorf("%w: crc mismatch", ErrFrame)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, 0, nil, buf, fmt.Errorf("%w: torn frame: %v", ErrFrame, err)
 	}
-	reqID = binary.LittleEndian.Uint64(body[:8])
-	op = body[8]
-	payload = body[9 : n-4 : n-4]
-	return reqID, op, payload, nil
+	want := binary.LittleEndian.Uint32(buf[n-4:])
+	if got := crc32.Update(0, castagnoli, buf[:n-4]); got != want {
+		return 0, 0, nil, buf, fmt.Errorf("%w: crc mismatch", ErrFrame)
+	}
+	reqID = binary.LittleEndian.Uint64(buf[:8])
+	op = buf[8]
+	payload = buf[9 : n-4 : n-4]
+	return reqID, op, payload, buf, nil
+}
+
+// FrameBuffered reports whether br already holds one complete frame,
+// i.e. whether a ReadFrameInto is guaranteed not to block. The server
+// uses it for two batching decisions: deferring the response flush
+// while a pipelined burst is still arriving, and coalescing adjacent
+// Put frames — both must never trade liveness for throughput, so they
+// only proceed on frames that are fully here. A hostile length field
+// cannot fake completeness: the claimed n must actually be buffered.
+func FrameBuffered(br *bufio.Reader) bool {
+	if br.Buffered() < 4 {
+		return false
+	}
+	hdr, err := br.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	return n <= uint32(br.Buffered()-4)
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package forkbase_test
+
+const raceEnabled = false

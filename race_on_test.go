@@ -1,0 +1,7 @@
+//go:build race
+
+package forkbase_test
+
+// raceEnabled lets allocation-pinning tests skip themselves: the race
+// runtime instruments allocations and the counts stop meaning anything.
+const raceEnabled = true

@@ -215,12 +215,15 @@ func (rs *RemoteStore) dial() (*remoteConn, error) {
 	}
 	c := &remoteConn{
 		c:        nc,
-		br:       bufio.NewReader(nc),
+		br:       bufio.NewReaderSize(nc, connBufSize),
 		maxFrame: rs.cfg.MaxFrame,
 		pending:  make(map[uint64]chan remoteResp),
 		sent:     &rs.bytesSent,
 		recv:     &rs.bytesRecv,
 	}
+	// A write failure anywhere fails the whole connection: pending
+	// calls get the error instead of hanging.
+	c.fw = newFrameWriter(nc, func(err error) { c.fail(err) })
 	// Hello is synchronous: the reader starts only once the handshake
 	// frame has been consumed.
 	var e wire.Enc
@@ -265,18 +268,18 @@ func (rs *RemoteStore) dial() (*remoteConn, error) {
 // u32 length prefix plus reqID, op and crc.
 const frameWireBytes = 4 + 8 + 1 + 4
 
-// remoteConn is one pooled connection: a write mutex for frame
-// atomicity and a pending map matching responses to waiting calls.
+// remoteConn is one pooled connection: a batching frame writer
+// coalescing concurrent callers' frames into shared syscalls, and a
+// pending map matching responses to waiting calls.
 type remoteConn struct {
 	c        net.Conn
 	br       *bufio.Reader
+	fw       *frameWriter
 	maxFrame int
 
 	// sent/recv point at the owning RemoteStore's wire-byte counters.
 	sent *atomic.Int64
 	recv *atomic.Int64
-
-	writeMu sync.Mutex
 
 	mu      sync.Mutex
 	pending map[uint64]chan remoteResp
@@ -332,13 +335,22 @@ func (c *remoteConn) readLoop() {
 	}
 }
 
+// respChanPool recycles the one-shot response channels of call —
+// otherwise every request allocates one. A channel may only return to
+// the pool after its waiter has RECEIVED: each registered channel
+// gets exactly one buffered send (read loop or fail), so post-receive
+// it is provably empty. Channels abandoned on cancellation are never
+// repooled — their send may still be in flight.
+var respChanPool = sync.Pool{New: func() any { return make(chan remoteResp, 1) }}
+
 func (c *remoteConn) register(id uint64) (chan remoteResp, error) {
+	ch := respChanPool.Get().(chan remoteResp)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.dead {
+		respChanPool.Put(ch) // never registered, provably empty
 		return nil, c.err
 	}
-	ch := make(chan remoteResp, 1)
 	c.pending[id] = ch
 	return ch, nil
 }
@@ -350,10 +362,7 @@ func (c *remoteConn) unregister(id uint64) {
 }
 
 func (c *remoteConn) write(id uint64, op uint8, payload []byte) error {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	//forkvet:allow lockhold — writeMu exists to serialize frames on the shared socket; an interleaved frame would desync the stream
-	if err := wire.WriteFrame(c.c, id, op, payload); err != nil {
+	if err := c.fw.writeFrame(id, op, payload); err != nil {
 		return err
 	}
 	c.sent.Add(frameWireBytes + int64(len(payload)))
@@ -400,6 +409,7 @@ func (rs *RemoteStore) callSlot(ctx context.Context, slot uint64, op uint8, payl
 	}
 	select {
 	case r := <-ch:
+		respChanPool.Put(ch) // received its one send; empty again
 		if r.err != nil {
 			return nil, nil, r.err
 		}
@@ -461,14 +471,20 @@ func (rs *RemoteStore) request(ctx context.Context, op uint8, opts []Option, fil
 	if err != nil {
 		return nil, nil, err
 	}
-	var e wire.Enc
+	// The request encoding rides a pooled buffer: the frame writer
+	// consumes the payload before writeFrame returns, so it is free
+	// for reuse once the call has been sent.
+	e := wire.EncWith(wire.GetFrameBuf())
 	wire.EncodeCallOptions(&e, co)
 	if fill != nil {
 		if err := fill(&e); err != nil {
+			wire.PutFrameBuf(e.Bytes())
 			return nil, nil, err
 		}
 	}
-	return rs.call(ctx, op, e.Bytes())
+	d, ep, err := rs.call(ctx, op, e.Bytes())
+	wire.PutFrameBuf(e.Bytes())
+	return d, ep, err
 }
 
 // Get implements Store.

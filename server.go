@@ -7,10 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"forkbase/internal/chunk"
+	"forkbase/internal/core"
 	"forkbase/internal/postree"
 	"forkbase/internal/store"
 	"forkbase/internal/types"
@@ -22,6 +25,14 @@ import (
 // clients, so a RemoteStore caller can tell "server going away" from
 // a data error and fail over.
 var ErrServerClosed = wire.ErrShutdown
+
+// ErrDuplicateRequest is the typed error a request receives when its
+// id is already in flight on the same connection. The server refuses
+// the newcomer rather than overwriting the original's cancel
+// registration; the original request is unaffected. A well-behaved
+// RemoteStore never triggers it (ids are monotonic per connection),
+// so seeing it client-side means a buggy or hostile multiplexer.
+var ErrDuplicateRequest = wire.ErrDuplicateRequest
 
 // ServerOptions configures NewServer.
 type ServerOptions struct {
@@ -43,6 +54,15 @@ type ServerOptions struct {
 	// FeatureChunkSync and answers the chunk ops with ErrUnsupported,
 	// forcing clients onto the full-ship path.
 	DisableChunkSync bool
+	// Workers bounds the request-execution pool shared by every
+	// connection; 0 means 4×GOMAXPROCS. The pool replaces
+	// goroutine-per-request dispatch: a saturated pool exerts
+	// backpressure (connections stop reading) instead of spawning
+	// unboundedly. Small reads against a local backend are answered
+	// inline on each connection's read loop and never occupy a worker,
+	// so the pool sizes against slow requests (deep Track walks, big
+	// Values), not request rate.
+	Workers int
 }
 
 // chunkBackend is the optional capability a wrapped store can expose
@@ -85,6 +105,19 @@ type Server struct {
 	st   Store
 	opts ServerOptions
 
+	// batcher is st's put-coalescing capability (the embedded *DB);
+	// nil for proxy backends, which dispatch puts singly.
+	batcher serverBatcher
+	// inline marks a local backend whose small reads are answered on
+	// the read loop. Proxies stay false: their Get may block on a
+	// downstream round-trip, which would stall every pipelined request
+	// behind it on this connection.
+	inline bool
+
+	tasks    chan serverTask
+	workerWG sync.WaitGroup
+	stopOnce sync.Once
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[*serverConn]struct{}
@@ -95,11 +128,64 @@ type Server struct {
 	connWG   sync.WaitGroup // connection read loops
 }
 
+// serverBatcher is the optional capability a wrapped store exposes to
+// execute a coalesced batch of independent puts with per-put results.
+type serverBatcher interface {
+	putBatchServer(ctx context.Context, user string, puts []core.BatchPut) ([]UID, []error)
+}
+
 // NewServer returns a server over st. The store stays owned by the
 // caller: Shutdown/Close never close it, so one store can outlive —
-// or be shared by — several listeners.
+// or be shared by — several listeners. The worker pool starts here,
+// so a Server must be Shutdown or Closed even if Serve never ran.
 func NewServer(st Store, opts ServerOptions) *Server {
-	return &Server{st: st, opts: opts, conns: make(map[*serverConn]struct{})}
+	if opts.Workers <= 0 {
+		opts.Workers = 4 * runtime.GOMAXPROCS(0)
+	}
+	s := &Server{st: st, opts: opts, conns: make(map[*serverConn]struct{})}
+	s.batcher, _ = st.(serverBatcher)
+	_, s.inline = st.(*DB)
+	s.tasks = make(chan serverTask, 2*opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// serverTask is one unit of pooled work: a registered slow-path
+// request, or a coalesced put batch (batch non-nil; the per-request
+// fields unused).
+type serverTask struct {
+	sc      *serverConn
+	ctx     context.Context
+	cancel  context.CancelFunc
+	reqID   uint64
+	op      uint8
+	payload []byte
+	buf     []byte // owning frame buffer; payload aliases it
+	user    string
+	batch   []putFrame
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for t := range s.tasks {
+		if t.batch != nil {
+			t.sc.runPutBatch(t.user, t.batch)
+		} else {
+			t.sc.handle(t.ctx, t.cancel, t.reqID, t.op, t.payload)
+			wire.PutFrameBuf(t.buf)
+		}
+	}
+}
+
+// stopWorkers joins the pool. Only safe once every read loop has
+// exited (connWG drained): a loop could otherwise send on the closed
+// channel.
+func (s *Server) stopWorkers() {
+	s.stopOnce.Do(func() { close(s.tasks) })
+	s.workerWG.Wait()
 }
 
 // Serve accepts connections on ln until Shutdown or Close. It always
@@ -180,6 +266,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.closeConns()
 	s.connWG.Wait()
+	s.stopWorkers()
 	return err
 }
 
@@ -195,6 +282,7 @@ func (s *Server) Close() error {
 	}
 	s.closeConns()
 	s.connWG.Wait()
+	s.stopWorkers()
 	return nil
 }
 
@@ -217,23 +305,32 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // serverConn is one client connection: a read loop feeding pipelined
-// request handlers, a write mutex serializing their response frames,
-// and a cancel registry so OpCancel (or the connection dropping)
-// aborts exactly the in-flight work it should.
+// request handlers, a batching frame writer coalescing their response
+// frames, and a cancel registry so OpCancel (or the connection
+// dropping) aborts exactly the in-flight work it should.
 type serverConn struct {
 	srv *Server
 	c   net.Conn
 	br  *bufio.Reader
+	fw  *frameWriter
 
 	ctx    context.Context // cancelled when the connection dies
 	cancel context.CancelFunc
 
-	writeMu sync.Mutex
+	// authed and closed are atomics, not mu-guarded: the read loop
+	// consults them per frame and must not contend with in-flight
+	// handlers' inflight-map updates under mu.
+	authed atomic.Bool
+	closed atomic.Bool
+
+	// deferredDone counts inline responses enqueued but not yet
+	// flushed; their inflight slots are released only after the burst
+	// flush, preserving Shutdown's "every admitted request's response
+	// is flushed" contract. Read-loop-only, no locking.
+	deferredDone int
 
 	mu       sync.Mutex
 	inflight map[uint64]context.CancelFunc
-	authed   bool
-	closed   bool
 
 	// shields tracks, per chunk id, how many GC shield references this
 	// connection holds on the backend (taken during chunk negotiation
@@ -247,14 +344,20 @@ type serverConn struct {
 func (s *Server) newConn(c net.Conn) *serverConn {
 	//forkvet:allow ctxflow — a connection IS a context root: per-request contexts hang off it and die with the socket, not with any caller
 	ctx, cancel := context.WithCancel(context.Background())
-	return &serverConn{
+	sc := &serverConn{
 		srv:      s,
 		c:        c,
-		br:       bufio.NewReader(c),
+		br:       bufio.NewReaderSize(c, connBufSize),
 		ctx:      ctx,
 		cancel:   cancel,
 		inflight: make(map[uint64]context.CancelFunc),
 	}
+	sc.fw = newFrameWriter(c, func(err error) {
+		if !sc.isClosed() {
+			s.logf("forkserved: write to %s: %v", c.RemoteAddr(), err)
+		}
+	})
+	return sc
 }
 
 // chunkBack returns the wrapped store's chunk capability, nil when
@@ -341,13 +444,9 @@ func (sc *serverConn) dropAllShields() {
 
 // close tears the connection down and cancels its in-flight requests.
 func (sc *serverConn) close() {
-	sc.mu.Lock()
-	if sc.closed {
-		sc.mu.Unlock()
+	if !sc.closed.CompareAndSwap(false, true) {
 		return
 	}
-	sc.closed = true
-	sc.mu.Unlock()
 	sc.dropAllShields()
 	sc.cancel() // aborts handlers blocked in ctx-aware walks
 	sc.c.Close()
@@ -356,74 +455,201 @@ func (sc *serverConn) close() {
 	sc.srv.mu.Unlock()
 }
 
+// rawFrame is one parsed frame plus the pooled buffer it lives in.
+type rawFrame struct {
+	reqID   uint64
+	op      uint8
+	payload []byte
+	buf     []byte
+}
+
 // readLoop parses frames until the connection dies. Framing
 // violations close this connection only — the stream cannot be
 // resynchronized — while well-framed garbage (unknown ops, undecodable
 // payloads) is answered with a typed error and the connection lives.
+//
+// The loop is also where response batching is decided: while complete
+// frames are still buffered (a pipelined burst mid-arrival), inline
+// responses are corked in the frame writer; when the burst is spent
+// the loop flushes once and releases the corked requests' inflight
+// slots. One syscall per burst, in each direction.
 func (sc *serverConn) readLoop() {
 	defer sc.srv.connWG.Done()
 	defer sc.close()
+	defer sc.releaseDeferred()
+	var carry *rawFrame
 	for {
-		reqID, op, payload, err := wire.ReadFrame(sc.br, sc.srv.opts.MaxFrame)
-		if err != nil {
-			if !errors.Is(err, io.EOF) && !sc.isClosed() {
-				sc.srv.logf("forkserved: %s: %v", sc.c.RemoteAddr(), err)
-			}
-			return
-		}
-		switch {
-		case op == wire.OpCancel:
-			// Abort the named request; no response of its own.
-			d := wire.NewDec(payload)
-			target := d.U64()
-			if d.Err() == nil {
-				sc.mu.Lock()
-				if cancel := sc.inflight[target]; cancel != nil {
-					cancel()
+		var f rawFrame
+		if carry != nil {
+			f, carry = *carry, nil
+		} else {
+			var err error
+			if f, err = sc.readFrame(); err != nil {
+				wire.PutFrameBuf(f.buf)
+				if !errors.Is(err, io.EOF) && !sc.isClosed() {
+					sc.srv.logf("forkserved: %s: %v", sc.c.RemoteAddr(), err)
 				}
-				sc.mu.Unlock()
-			}
-		case op == wire.OpHello:
-			if !sc.hello(reqID, payload) {
 				return
 			}
-		case !sc.isAuthed():
-			// Requests before a successful Hello are a protocol
-			// violation; refuse and hang up.
-			sc.respondErr(reqID, op, fmt.Errorf("%w: hello required before requests", ErrAccessDenied), nil, UID{})
+		}
+		keep, next, exit := sc.processFrame(f)
+		if !keep {
+			wire.PutFrameBuf(f.buf)
+		}
+		if exit {
 			return
-		case !wire.KnownOp(op):
-			sc.respondErr(reqID, op, fmt.Errorf("%w: unknown op %d", wire.ErrCodec, op), nil, UID{})
-		case !sc.srv.admit():
-			sc.respondErr(reqID, op, ErrServerClosed, nil, UID{})
-		default:
-			// The in-flight slot is held (admit). Register the
-			// request's cancel func HERE, on the read loop, before the
-			// handler goroutine exists: an OpCancel frame can arrive
-			// on this same loop immediately after the request, and a
-			// registration done inside the handler would race it —
-			// losing the cancel and walking a deep history for a
-			// client that already hung up.
-			ctx, cancel := context.WithCancel(sc.ctx)
-			sc.mu.Lock()
-			sc.inflight[reqID] = cancel
-			sc.mu.Unlock()
-			go sc.handle(ctx, cancel, reqID, op, payload)
+		}
+		carry = next
+		if carry == nil && !wire.FrameBuffered(sc.br) {
+			sc.fw.flush()
+			sc.releaseDeferred()
 		}
 	}
 }
 
-func (sc *serverConn) isClosed() bool {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	return sc.closed
+func (sc *serverConn) readFrame() (rawFrame, error) {
+	var f rawFrame
+	var err error
+	f.reqID, f.op, f.payload, f.buf, err = wire.ReadFrameInto(sc.br, sc.srv.opts.MaxFrame, wire.GetFrameBuf())
+	return f, err
 }
 
-func (sc *serverConn) isAuthed() bool {
-	sc.mu.Lock()
-	defer sc.mu.Unlock()
-	return sc.authed
+// releaseDeferred settles the inflight slots of inline responses now
+// that their bytes have been handed to the connection.
+func (sc *serverConn) releaseDeferred() {
+	for ; sc.deferredDone > 0; sc.deferredDone-- {
+		sc.srv.inflight.Done()
+	}
 }
+
+// processFrame handles one parsed frame. keep reports that ownership
+// of f.buf moved on (worker task or put batch); carry is a follow-up
+// frame the put coalescer read but could not use, to be processed
+// next; exit ends the read loop.
+func (sc *serverConn) processFrame(f rawFrame) (keep bool, carry *rawFrame, exit bool) {
+	switch {
+	case f.op == wire.OpCancel:
+		// Abort the named request; no response of its own.
+		d := wire.NewDec(f.payload)
+		target := d.U64()
+		if d.Err() == nil {
+			sc.mu.Lock()
+			if cancel := sc.inflight[target]; cancel != nil {
+				cancel()
+			}
+			sc.mu.Unlock()
+		}
+	case f.op == wire.OpHello:
+		if !sc.hello(f.reqID, f.payload) {
+			return false, nil, true
+		}
+	case !sc.isAuthed():
+		// Requests before a successful Hello are a protocol
+		// violation; refuse and hang up.
+		sc.respondErr(f.reqID, f.op, fmt.Errorf("%w: hello required before requests", ErrAccessDenied), nil, UID{})
+		return false, nil, true
+	case !wire.KnownOp(f.op):
+		sc.respondErr(f.reqID, f.op, fmt.Errorf("%w: unknown op %d", wire.ErrCodec, f.op), nil, UID{})
+	case !sc.srv.admit():
+		sc.respondErr(f.reqID, f.op, ErrServerClosed, nil, UID{})
+	case sc.inlineOp(f.op):
+		// The small-op fast path: answer right here on the read loop —
+		// no goroutine, no context allocation, no cancel registration
+		// (OpCancel arrives on this same loop, so it cannot race an op
+		// that completes before the next read) — and cork the response
+		// for the burst flush.
+		resp := sc.srv.dispatch(sc.ctx, sc, f.op, f.payload)
+		sc.send(f.reqID, f.op, resp)
+		sc.deferredDone++
+	case f.op == wire.OpPut && sc.srv.batcher != nil:
+		return sc.handlePut(f)
+	default:
+		return sc.slowPath(f), nil, false
+	}
+	return false, nil, false
+}
+
+// inlineOp reports the ops cheap enough to answer on the read loop:
+// point reads and metadata listings against a local backend. Writes,
+// merges, history walks and value materialization keep the worker
+// path — they can block, and a blocked read loop stalls the whole
+// connection.
+func (sc *serverConn) inlineOp(op uint8) bool {
+	if !sc.srv.inline {
+		return false
+	}
+	switch op {
+	case wire.OpGet, wire.OpStats, wire.OpListKeys, wire.OpListBranches:
+		return true
+	}
+	return false
+}
+
+// slowPath registers the request's cancel func and hands it to the
+// worker pool. Registration happens HERE, on the read loop, before
+// any worker sees the request: an OpCancel frame can arrive on this
+// same loop immediately after the request, and a registration done
+// inside the handler would race it — losing the cancel and walking a
+// deep history for a client that already hung up. Returns whether
+// f.buf's ownership moved to the task.
+func (sc *serverConn) slowPath(f rawFrame) bool {
+	ctx, cancel := context.WithCancel(sc.ctx)
+	sc.mu.Lock()
+	if _, dup := sc.inflight[f.reqID]; dup {
+		sc.mu.Unlock()
+		cancel()
+		sc.srv.inflight.Done()
+		// Refuse the reuse rather than overwrite: overwriting would
+		// orphan the original request's cancel registration, leaking
+		// its context and making it uncancelable. The original request
+		// is untouched; only the duplicate frame fails.
+		sc.respondErr(f.reqID, f.op, fmt.Errorf("%w: id %d", wire.ErrDuplicateRequest, f.reqID), nil, UID{})
+		return false
+	}
+	sc.inflight[f.reqID] = cancel
+	sc.mu.Unlock()
+	sc.enqueueTask(serverTask{sc: sc, ctx: ctx, cancel: cancel, reqID: f.reqID, op: f.op, payload: f.payload, buf: f.buf})
+	return true
+}
+
+// enqueueTask hands a task to the worker pool, blocking when the pool
+// is saturated — backpressure: this connection stops reading until a
+// worker frees up. A dying connection aborts the handoff and releases
+// everything the task held, so Close can never hang on a full queue.
+func (sc *serverConn) enqueueTask(t serverTask) {
+	select {
+	case sc.srv.tasks <- t:
+		return
+	default:
+	}
+	select {
+	case sc.srv.tasks <- t:
+	case <-sc.ctx.Done():
+		sc.dropTask(t)
+	}
+}
+
+// dropTask releases a task that will never run (connection died
+// before the pool accepted it).
+func (sc *serverConn) dropTask(t serverTask) {
+	if t.batch == nil {
+		sc.mu.Lock()
+		delete(sc.inflight, t.reqID)
+		sc.mu.Unlock()
+		t.cancel()
+		sc.srv.inflight.Done()
+		wire.PutFrameBuf(t.buf)
+		return
+	}
+	for _, pf := range t.batch {
+		sc.srv.inflight.Done()
+		wire.PutFrameBuf(pf.buf)
+	}
+}
+
+func (sc *serverConn) isClosed() bool { return sc.closed.Load() }
+
+func (sc *serverConn) isAuthed() bool { return sc.authed.Load() }
 
 func (s *Server) isDraining() bool {
 	s.mu.Lock()
@@ -466,10 +692,8 @@ func (sc *serverConn) hello(reqID uint64, payload []byte) bool {
 		sc.respondErr(reqID, wire.OpHello, fmt.Errorf("%w: bad auth token", ErrAccessDenied), nil, UID{})
 		return false
 	}
-	sc.mu.Lock()
-	sc.authed = true
-	sc.mu.Unlock()
-	var e wire.Enc
+	sc.authed.Store(true)
+	e := wire.EncWith(wire.GetFrameBuf())
 	e.U8(0)
 	e.Str("forkbase/1")
 	// Optional-capability bitmask; clients that predate it ignore the
@@ -479,33 +703,51 @@ func (sc *serverConn) hello(reqID uint64, payload []byte) bool {
 	return true
 }
 
-// handle executes one pipelined request on its own goroutine; its
-// cancel func was registered by the read loop before spawn.
+// handle executes one pipelined request on a pool worker.
 func (sc *serverConn) handle(ctx context.Context, cancel context.CancelFunc, reqID uint64, op uint8, payload []byte) {
-	defer sc.srv.inflight.Done()
-	defer func() {
-		sc.mu.Lock()
-		delete(sc.inflight, reqID)
-		sc.mu.Unlock()
-		cancel()
-	}()
-	sc.write(reqID, op, sc.srv.dispatch(ctx, sc, op, payload))
+	resp := sc.srv.dispatch(ctx, sc, op, payload)
+	// Unregister BEFORE the response leaves: a client is free to reuse
+	// the id the moment it sees the response, and the read loop must
+	// not mistake that for a duplicate.
+	sc.mu.Lock()
+	delete(sc.inflight, reqID)
+	sc.mu.Unlock()
+	cancel()
+	sc.write(reqID, op, resp)
+	sc.srv.inflight.Done()
 }
 
-func (sc *serverConn) write(reqID uint64, op uint8, payload []byte) {
+// clampResp downgrades an oversized response: the frame would make
+// the client drop the whole connection (stream desync), failing its
+// other in-flight requests; a typed per-request error fails only this
+// one.
+func (sc *serverConn) clampResp(payload []byte) []byte {
 	if max := wire.MaxPayload(sc.srv.opts.MaxFrame); len(payload) > max {
-		// An oversized response frame would make the client drop the
-		// whole connection (stream desync), failing its other
-		// in-flight requests; downgrade to a typed per-request error.
-		payload = errPayload(fmt.Errorf("response of %d bytes exceeds the %d-byte frame cap", len(payload), max), nil, UID{})
+		wire.PutFrameBuf(payload)
+		return errPayload(fmt.Errorf("response of %d bytes exceeds the %d-byte frame cap", len(payload), max), nil, UID{})
 	}
-	sc.writeMu.Lock()
-	defer sc.writeMu.Unlock()
-	//forkvet:allow lockhold — writeMu exists to serialize frames on the shared socket; an interleaved frame would desync the stream
-	if err := wire.WriteFrame(sc.c, reqID, op, payload); err != nil {
-		// The read loop (or close) will notice; nothing to salvage here.
-		sc.srv.logf("forkserved: write to %s: %v", sc.c.RemoteAddr(), err)
-	}
+	return payload
+}
+
+// write frames one response and flushes it (or leaves it with an
+// in-flight flusher). It takes ownership of payload, which must come
+// from the frame pool (all response payloads do: okPayload, errPayload
+// and hello build on pooled buffers).
+func (sc *serverConn) write(reqID uint64, op uint8, payload []byte) {
+	payload = sc.clampResp(payload)
+	// Write failures are sticky in the frame writer and logged by its
+	// error hook; the read loop (or close) notices the dead socket.
+	_ = sc.fw.writeFrame(reqID, op, payload)
+	wire.PutFrameBuf(payload)
+}
+
+// send corks one response in the frame writer without flushing; the
+// read loop flushes at burst end. Ownership of payload transfers, as
+// with write.
+func (sc *serverConn) send(reqID uint64, op uint8, payload []byte) {
+	payload = sc.clampResp(payload)
+	_ = sc.fw.enqueue(reqID, op, payload)
+	wire.PutFrameBuf(payload)
 }
 
 func (sc *serverConn) respondErr(reqID uint64, op uint8, err error, conflicts []Conflict, uid UID) {
@@ -514,8 +756,11 @@ func (sc *serverConn) respondErr(reqID uint64, op uint8, err error, conflicts []
 
 // --- request dispatch -------------------------------------------------
 
+// okPayload and errPayload build response payloads on pooled buffers;
+// serverConn.write/send return them to the pool once framed.
+
 func okPayload(fill func(e *wire.Enc)) []byte {
-	var e wire.Enc
+	e := wire.EncWith(wire.GetFrameBuf())
 	e.U8(0)
 	if fill != nil {
 		fill(&e)
@@ -524,7 +769,7 @@ func okPayload(fill func(e *wire.Enc)) []byte {
 }
 
 func errPayload(err error, conflicts []Conflict, uid UID) []byte {
-	var e wire.Enc
+	e := wire.EncWith(wire.GetFrameBuf())
 	e.U8(1)
 	wire.EncodeError(&e, err, conflicts, uid)
 	return e.Bytes()
@@ -591,7 +836,9 @@ func (s *Server) dispatch(ctx context.Context, sc *serverConn, op uint8, payload
 		return okPayload(func(e *wire.Enc) { wire.EncodeFObject(e, o) })
 	case wire.OpPut:
 		key := d.Str()
-		v, verr := wire.DecodeValue(d)
+		// Zero-copy decode: the value is consumed (its staged bytes
+		// copied on ingest) before the worker recycles the frame buffer.
+		v, verr := wire.DecodeValueRef(d)
 		if verr == nil {
 			verr = d.Err()
 		}
@@ -609,7 +856,7 @@ func (s *Server) dispatch(ctx context.Context, sc *serverConn, op uint8, payload
 		for i := 0; i < n; i++ {
 			key := d.Str()
 			putOpts, oerr := callOptions(wire.DecodeCallOptions(d))
-			v, verr := wire.DecodeValue(d)
+			v, verr := wire.DecodeValueRef(d)
 			if verr == nil {
 				verr = oerr
 			}
@@ -965,10 +1212,165 @@ func (s *Server) dispatchChunk(ctx context.Context, sc *serverConn, cb chunkBack
 // materialization reads chunks); the failure downgrades the response
 // to an error payload.
 func okPayload2(fill func(e *wire.Enc) error) []byte {
-	var e wire.Enc
+	e := wire.EncWith(wire.GetFrameBuf())
 	e.U8(0)
 	if err := fill(&e); err != nil {
+		wire.PutFrameBuf(e.Bytes())
 		return errPayload(err, nil, UID{})
 	}
 	return e.Bytes()
+}
+
+// --- put coalescing ---------------------------------------------------
+
+// maxPutBatch bounds one coalesced batch; past this the marginal
+// amortization is nil and the per-batch bookkeeping slices grow.
+const maxPutBatch = 64
+
+// putFrame is one OpPut decoded through its key, awaiting batch
+// execution; the value decode happens on the worker. payload and key
+// context alias buf, which the batch owns until its responses flush.
+type putFrame struct {
+	reqID    uint64
+	key      string
+	co       wire.CallOptions
+	valueOff int
+	payload  []byte
+	buf      []byte
+}
+
+// decodePutFrame splits an OpPut payload into its routing prefix and
+// the offset where the value encoding starts.
+func decodePutFrame(f rawFrame) (putFrame, bool) {
+	d := wire.NewDec(f.payload)
+	co := wire.DecodeCallOptions(d)
+	key := d.Str()
+	if d.Err() != nil {
+		return putFrame{}, false
+	}
+	return putFrame{
+		reqID:    f.reqID,
+		key:      key,
+		co:       co,
+		valueOff: len(f.payload) - d.Rest(),
+		payload:  f.payload,
+		buf:      f.buf,
+	}, true
+}
+
+// coalescible reports whether a decoded put can join a batch at all:
+// no version bases (base puts have fork semantics the batch engine
+// does not model) and a clean routing decode.
+func coalescible(pf putFrame, ok bool) bool {
+	return ok && len(pf.co.Bases) == 0
+}
+
+// handlePut serves one admitted OpPut. When more complete frames are
+// already buffered behind it, adjacent coalescible puts — same user,
+// distinct keys, no bases — are collected into a single worker task
+// that runs them as one engine batch: one lock hold and one branch
+// update per key, one response flush for the lot, with per-put errors
+// so the batch is observationally identical to dispatching each put
+// alone. A put that cannot join (or has nothing behind it) takes the
+// normal slow path.
+func (sc *serverConn) handlePut(f rawFrame) (keep bool, carry *rawFrame, exit bool) {
+	first, ok := decodePutFrame(f)
+	if !coalescible(first, ok) || !wire.FrameBuffered(sc.br) {
+		return sc.slowPath(f), nil, false
+	}
+	batch := []putFrame{first}
+	keys := map[string]bool{first.key: true}
+	for len(batch) < maxPutBatch && wire.FrameBuffered(sc.br) {
+		nf, err := sc.readFrame()
+		if err != nil {
+			// A framing violation kills the connection, but the puts
+			// already collected were admitted and must still execute
+			// (and flush) under the drain contract.
+			wire.PutFrameBuf(nf.buf)
+			if !errors.Is(err, io.EOF) && !sc.isClosed() {
+				sc.srv.logf("forkserved: %s: %v", sc.c.RemoteAddr(), err)
+			}
+			exit = true
+			break
+		}
+		if nf.op != wire.OpPut {
+			// Not a put: hand it back to the read loop, in order.
+			carry = &nf
+			break
+		}
+		if !sc.srv.admit() {
+			sc.respondErr(nf.reqID, nf.op, ErrServerClosed, nil, UID{})
+			wire.PutFrameBuf(nf.buf)
+			break
+		}
+		pf, ok := decodePutFrame(nf)
+		if !coalescible(pf, ok) || pf.co.User != first.co.User || keys[pf.key] {
+			// Cannot join (different identity, duplicate key — the
+			// engine batch would chain same-key puts, changing their
+			// guard semantics — or base/undecodable put): dispatch it
+			// alone on the worker pool and stop collecting.
+			if !sc.slowPath(nf) {
+				wire.PutFrameBuf(nf.buf)
+			}
+			break
+		}
+		keys[pf.key] = true
+		batch = append(batch, pf)
+	}
+	if len(batch) == 1 {
+		return sc.slowPath(f), carry, exit
+	}
+	sc.enqueueTask(serverTask{sc: sc, user: first.co.User, batch: batch})
+	return true, carry, exit
+}
+
+// runPutBatch executes one coalesced batch on a pool worker: decode
+// each value (zero-copy — the engine copies on ingest), one batched
+// engine commit with per-put error isolation, then all responses in
+// one flush.
+func (sc *serverConn) runPutBatch(user string, batch []putFrame) {
+	resp := make([][]byte, len(batch))
+	puts := make([]core.BatchPut, 0, len(batch))
+	idx := make([]int, 0, len(batch))
+	for i, pf := range batch {
+		d := wire.NewDec(pf.payload[pf.valueOff:])
+		v, err := wire.DecodeValueRef(d)
+		if err == nil && pf.co.Resolver != wire.ResolverNone && wire.ResolverFromCode(pf.co.Resolver) == nil {
+			// Mirror the slow path's option validation: Put ignores
+			// resolvers, but an unknown code is still a typed error.
+			err = fmt.Errorf("%w: unknown resolver code %d", ErrBadOptions, pf.co.Resolver)
+		}
+		if err != nil {
+			resp[i] = errPayload(err, nil, UID{})
+			continue
+		}
+		branch := DefaultBranch
+		if pf.co.BranchSet {
+			branch = pf.co.Branch
+		}
+		var guard *UID
+		if pf.co.Guard != nil {
+			g := *pf.co.Guard
+			guard = &g
+		}
+		puts = append(puts, core.BatchPut{Key: []byte(pf.key), Branch: branch, Value: v, Meta: pf.co.Meta, Guard: guard})
+		idx = append(idx, i)
+	}
+	uids, errs := sc.srv.batcher.putBatchServer(sc.ctx, user, puts)
+	for j, i := range idx {
+		if errs[j] != nil {
+			resp[i] = errPayload(errs[j], nil, UID{})
+		} else {
+			uid := uids[j]
+			resp[i] = okPayload(func(e *wire.Enc) { e.UID(uid) })
+		}
+	}
+	for i, pf := range batch {
+		sc.send(pf.reqID, wire.OpPut, resp[i])
+		wire.PutFrameBuf(pf.buf)
+	}
+	sc.fw.flush()
+	for range batch {
+		sc.srv.inflight.Done()
+	}
 }
