@@ -65,20 +65,234 @@ type Stats struct {
 	ChunksSkipped int
 }
 
+// DefaultPullWindow is the number of fetch batches Pull keeps in
+// flight at once.
+const DefaultPullWindow = 2
+
+// PullConfig tunes Pull's prefetch pipeline.
+type PullConfig struct {
+	// Batch caps ids per Fetch request (0 means DefaultFetchBatch).
+	Batch int
+	// Window is the number of fetch batches kept in flight at once
+	// (0 means DefaultPullWindow). A negative Window disables the
+	// pipeline entirely and runs the level-synchronous walk — one
+	// batch outstanding, a full barrier between tree levels — which
+	// PullLevelSync also exposes directly as a baseline.
+	Window int
+}
+
+func (c PullConfig) batch() int {
+	if c.Batch <= 0 {
+		return DefaultFetchBatch
+	}
+	return c.Batch
+}
+
+func (c PullConfig) window() int {
+	if c.Window == 0 {
+		return DefaultPullWindow
+	}
+	return c.Window
+}
+
 // Pull completes the POS-Tree rooted at root in local: it walks the
 // tree top-down, resolves index nodes on demand (reading them locally
 // when present, fetching them when not), and fetches exactly the
 // chunks local is missing. Leaves are fetched but never decoded. Every
 // fetched chunk is verified against the id it was requested under
 // before it is admitted to local. height is the tree's level count as
-// recorded in its chunk reference; batch caps ids per fetch (0 means
-// DefaultFetchBatch).
+// recorded in its chunk reference.
+//
+// Fetching is pipelined: up to cfg.Window batches are outstanding
+// concurrently, and newly discovered ids (children of an index node
+// that just arrived) are dispatched as soon as a window slot frees,
+// without waiting for the rest of the node's level. On a high-latency
+// link this overlaps the per-level round trips that dominate a cold
+// read. Workers verify and admit chunks concurrently; discovery and
+// dispatch stay on the caller's goroutine. The first error cancels the
+// outstanding fetches, and Pull returns only after every worker has
+// exited — no goroutines or fetches are leaked, even on
+// context cancellation.
 //
 // Partially-pulled trees (an earlier Pull cancelled mid-way) are
 // handled by construction: presence of an index node never implies
 // presence of its subtree, because the walk descends into every index
 // node — local ones cost a memory read, not a fetch.
-func Pull(ctx context.Context, local store.Store, fetch FetchFunc, root chunk.ID, height int, batch int) (Stats, error) {
+func Pull(ctx context.Context, local store.Store, fetch FetchFunc, root chunk.ID, height int, cfg PullConfig) (Stats, error) {
+	if cfg.Window < 0 {
+		return PullLevelSync(ctx, local, fetch, root, height, cfg.batch())
+	}
+	var st Stats
+	if root.IsNil() {
+		return st, nil
+	}
+	p := &puller{
+		local:   local,
+		fetch:   fetch,
+		batch:   cfg.batch(),
+		window:  cfg.window(),
+		seen:    map[chunk.ID]bool{root: true},
+		results: make(chan pullResult),
+		st:      &st,
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if err := p.admitOrQueue(pullItem{id: root, h: height}); err != nil {
+		return st, err
+	}
+	var firstErr error
+	for len(p.queue) > 0 || p.inflight > 0 {
+		for firstErr == nil && p.inflight < p.window && len(p.queue) > 0 {
+			p.dispatch(cctx)
+		}
+		if p.inflight == 0 {
+			break // firstErr != nil and nothing left to drain
+		}
+		res := <-p.results
+		p.inflight--
+		p.st.ChunksFetched += res.fetched
+		p.st.BytesFetched += res.bytes
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+				cancel() // abort the rest of the window
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // draining; don't expand or dispatch further
+		}
+		for _, it := range res.items {
+			if it.h <= 1 {
+				continue
+			}
+			if err := p.expand(it); err != nil {
+				firstErr = err
+				cancel()
+				break
+			}
+		}
+	}
+	return st, firstErr
+}
+
+// pullItem is one chunk the walk still owes: its id and its level in
+// the tree (leaves are level 1).
+type pullItem struct {
+	id chunk.ID
+	h  int
+}
+
+// pullResult is one fetch batch's outcome: the items whose chunks were
+// verified and admitted, and the payload bytes that moved.
+type pullResult struct {
+	items   []pullItem
+	fetched int
+	bytes   int64
+	err     error
+}
+
+// puller is Pull's dispatch state. Only fetchWorker goroutines run
+// concurrently with the main loop; everything here is owned by the
+// main loop, and workers communicate solely over results.
+type puller struct {
+	local    store.Store
+	fetch    FetchFunc
+	batch    int
+	window   int
+	seen     map[chunk.ID]bool
+	queue    []pullItem
+	inflight int
+	results  chan pullResult
+	st       *Stats
+}
+
+// admitOrQueue routes one newly discovered id: locally held index
+// nodes are expanded immediately (a memory read), locally held leaves
+// are counted, and missing chunks join the fetch queue. Callers must
+// have marked the id seen.
+func (p *puller) admitOrQueue(it pullItem) error {
+	if !p.local.Has(it.id) {
+		p.queue = append(p.queue, it)
+		return nil
+	}
+	p.st.ChunksLocal++
+	if it.h <= 1 {
+		return nil
+	}
+	return p.expand(it)
+}
+
+// expand reads a locally present index node and routes its unseen
+// children. Iterative with an explicit stack: a partially pulled tree
+// can hold arbitrarily deep local index paths.
+func (p *puller) expand(it pullItem) error {
+	stack := []pullItem{it}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c, err := store.GetVerified(p.local, cur.id)
+		if err != nil {
+			return err
+		}
+		kids, err := postree.IndexChildIDs(c.Data())
+		if err != nil {
+			return err
+		}
+		for _, kid := range kids {
+			if p.seen[kid] {
+				continue
+			}
+			p.seen[kid] = true
+			child := pullItem{id: kid, h: cur.h - 1}
+			if !p.local.Has(kid) {
+				p.queue = append(p.queue, child)
+				continue
+			}
+			p.st.ChunksLocal++
+			if child.h > 1 {
+				stack = append(stack, child)
+			}
+		}
+	}
+	return nil
+}
+
+// dispatch launches one fetch batch off the front of the queue.
+func (p *puller) dispatch(ctx context.Context) {
+	n := len(p.queue)
+	if n > p.batch {
+		n = p.batch
+	}
+	items := make([]pullItem, n)
+	copy(items, p.queue[:n])
+	p.queue = p.queue[n:]
+	p.inflight++
+	go fetchWorker(ctx, p.local, p.fetch, items, p.results)
+}
+
+// fetchWorker fetches, verifies, and admits one batch of chunks, then
+// reports. It always sends exactly one result.
+func fetchWorker(ctx context.Context, local store.Store, fetch FetchFunc, items []pullItem, results chan<- pullResult) {
+	res := pullResult{items: items}
+	ids := make([]chunk.ID, len(items))
+	for i, it := range items {
+		ids[i] = it.id
+	}
+	var st Stats
+	res.err = fetchInto(ctx, local, fetch, ids, len(ids), &st)
+	res.fetched = st.ChunksFetched
+	res.bytes = st.BytesFetched
+	results <- res
+}
+
+// PullLevelSync is the level-synchronous baseline: one fetch batch
+// outstanding at a time and a full barrier between tree levels, so a
+// cold read pays at least one round trip per level per batch. Pull
+// with a non-negative window supersedes it for real transfers; it
+// remains exported as the reference the pipelined walk is benchmarked
+// (and property-tested) against.
+func PullLevelSync(ctx context.Context, local store.Store, fetch FetchFunc, root chunk.ID, height int, batch int) (Stats, error) {
 	var st Stats
 	if root.IsNil() {
 		return st, nil
@@ -90,13 +304,14 @@ func Pull(ctx context.Context, local store.Store, fetch FetchFunc, root chunk.ID
 	for h := height; h >= 1 && len(level) > 0; h-- {
 		// Fetch the level's missing chunks. Duplicate ids (identical
 		// content repeated in the tree) collapse to one fetch.
-		var missing []chunk.ID
+		var unique, missing []chunk.ID
 		seen := make(map[chunk.ID]bool, len(level))
 		for _, id := range level {
 			if seen[id] {
 				continue
 			}
 			seen[id] = true
+			unique = append(unique, id)
 			if local.Has(id) {
 				st.ChunksLocal++
 			} else {
@@ -109,8 +324,10 @@ func Pull(ctx context.Context, local store.Store, fetch FetchFunc, root chunk.ID
 		if h == 1 {
 			break
 		}
+		// Expand the deduped set only: a duplicate index node's subtree
+		// is already covered by its first occurrence.
 		var next []chunk.ID
-		for _, id := range level {
+		for _, id := range unique {
 			c, err := store.GetVerified(local, id)
 			if err != nil {
 				return st, err
@@ -223,7 +440,7 @@ func Push(ctx context.Context, src store.Store, ids []chunk.ID, send SendFunc, m
 		}
 		for _, c := range batch {
 			st.ChunksSent++
-			st.BytesSent += int64(len(c.Bytes()))
+			st.BytesSent += int64(c.Size())
 		}
 		batch, batchBytes = batch[:0], 0
 		return nil
@@ -233,13 +450,13 @@ func Push(ctx context.Context, src store.Store, ids []chunk.ID, send SendFunc, m
 		if err != nil {
 			return err
 		}
-		if len(batch) > 0 && batchBytes+len(c.Bytes()) > maxBytes {
+		if len(batch) > 0 && batchBytes+c.Size() > maxBytes {
 			if err := flush(); err != nil {
 				return err
 			}
 		}
 		batch = append(batch, c)
-		batchBytes += len(c.Bytes())
+		batchBytes += c.Size()
 	}
 	return flush()
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"forkbase/internal/chunk"
@@ -13,9 +14,11 @@ import (
 )
 
 // remoteEnd adapts a MemStore into the three transport closures,
-// counting what crosses the boundary.
+// counting what crosses the boundary. Pull's pipelined fetches arrive
+// from concurrent workers, so the counters live under a mutex.
 type remoteEnd struct {
 	s           *store.MemStore
+	mu          sync.Mutex
 	fetches     int
 	sends       int
 	fetchPrefix int // when >0, answer at most this many ids per fetch
@@ -30,7 +33,9 @@ func (r *remoteEnd) have(_ context.Context, ids []chunk.ID) ([]bool, error) {
 }
 
 func (r *remoteEnd) fetch(_ context.Context, ids []chunk.ID) ([][]byte, error) {
+	r.mu.Lock()
 	r.fetches++
+	r.mu.Unlock()
 	if r.fetchPrefix > 0 && len(ids) > r.fetchPrefix {
 		ids = ids[:r.fetchPrefix]
 	}
@@ -92,7 +97,7 @@ func TestPullCompletesTree(t *testing.T) {
 	tree := buildBlob(t, server.s, data)
 	local := store.NewMemStore()
 
-	st, err := Pull(ctx, local, server.fetch, tree.Root(), tree.Height(), 64)
+	st, err := Pull(ctx, local, server.fetch, tree.Root(), tree.Height(), PullConfig{Batch: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +116,7 @@ func TestPullCompletesTree(t *testing.T) {
 	}
 
 	// A second pull is free: everything is local.
-	st2, err := Pull(ctx, local, server.fetch, tree.Root(), tree.Height(), 64)
+	st2, err := Pull(ctx, local, server.fetch, tree.Root(), tree.Height(), PullConfig{Batch: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +134,7 @@ func TestPullAfterSmallEditFetchesOnlyDelta(t *testing.T) {
 	server := &remoteEnd{s: store.NewMemStore()}
 	tree := buildBlob(t, server.s, data)
 	local := store.NewMemStore()
-	if _, err := Pull(ctx, local, server.fetch, tree.Root(), tree.Height(), 0); err != nil {
+	if _, err := Pull(ctx, local, server.fetch, tree.Root(), tree.Height(), PullConfig{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -141,7 +146,7 @@ func TestPullAfterSmallEditFetchesOnlyDelta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := Pull(ctx, local, server.fetch, edited.Root(), edited.Height(), 0)
+	st, err := Pull(ctx, local, server.fetch, edited.Root(), edited.Height(), PullConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +178,7 @@ func TestPullVerifiesFetchedChunks(t *testing.T) {
 		return out, nil
 	}
 	local := store.NewMemStore()
-	if _, err := Pull(ctx, local, evil, tree.Root(), tree.Height(), 0); !errors.Is(err, store.ErrCorrupt) {
+	if _, err := Pull(ctx, local, evil, tree.Root(), tree.Height(), PullConfig{}); !errors.Is(err, store.ErrCorrupt) {
 		t.Fatalf("poisoned fetch admitted: %v", err)
 	}
 
@@ -185,7 +190,7 @@ func TestPullVerifiesFetchedChunks(t *testing.T) {
 		}
 		return out, nil
 	}
-	if _, err := Pull(ctx, store.NewMemStore(), garbage, tree.Root(), tree.Height(), 0); err == nil {
+	if _, err := Pull(ctx, store.NewMemStore(), garbage, tree.Root(), tree.Height(), PullConfig{}); err == nil {
 		t.Fatal("garbage fetch admitted")
 	}
 }

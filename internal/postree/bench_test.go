@@ -1,0 +1,36 @@
+package postree
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"forkbase/internal/store"
+)
+
+func benchBuildBlob(b *testing.B, chunkers int) {
+	data := make([]byte, 8<<20)
+	rand.New(rand.NewSource(42)).Read(data)
+	cfg := DefaultConfig()
+	cfg.Chunkers = chunkers
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := store.NewMemStore()
+		bu := NewBuilder(s, cfg, KindBlob)
+		bu.AppendBytes(data)
+		if _, err := bu.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildBlobSequential(b *testing.B) { benchBuildBlob(b, 1) }
+func BenchmarkBuildBlobParallel(b *testing.B)   { benchBuildBlob(b, 0) }
+func BenchmarkBuildBlobParallel4(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		b.Skip("needs 4 procs for a meaningful number")
+	}
+	benchBuildBlob(b, 4)
+}

@@ -1,0 +1,283 @@
+package postree
+
+import (
+	"sync"
+
+	"forkbase/internal/chunk"
+	"forkbase/internal/rollsum"
+	"forkbase/internal/store"
+)
+
+// Parallel POS-Tree construction. The hard requirement is determinism:
+// a tree built with Config.Chunkers = N must be byte-identical to the
+// sequential build, or deduplication across writers dies. Two
+// independent tricks preserve it:
+//
+//  1. Leaf hashing and store writes are embarrassingly parallel once
+//     the boundaries are fixed: leaves are handed to a worker pool
+//     tagged with their sequence number and the resulting index entries
+//     are reassembled in submission order.
+//
+//  2. For Blob streams — where the rollsum scan itself is the
+//     bottleneck — the scan is parallelized speculatively. The input is
+//     cut into fixed blocks; a worker scans each block under the guess
+//     that a chunk boundary sits immediately before it. The guess is
+//     usually wrong, but boundary decisions only depend on content
+//     since the previous boundary (the roller resets at every cut), so
+//     the speculative boundary sequence converges with the true one: as
+//     soon as the authoritative scan — carried sequentially across
+//     blocks by the stitcher — places a boundary at an offset the
+//     speculative scan also chose, both scans are in identical states
+//     and every remaining speculative boundary in the block is adopted
+//     wholesale. The stitcher therefore re-scans only the first chunk
+//     or two of each block (the fallback, pattern-free content whose
+//     boundaries are all max-size-forced and misaligned, degrades to a
+//     full sequential scan of that block — slower, never wrong).
+//
+// The pool spins up lazily, once parMinBytes of leaves have been
+// committed: small values stay on the exact sequential path, keeping
+// its zero-extra-allocation property and its small-object throughput.
+const (
+	// parBlockSize is the speculative scan unit. It must comfortably
+	// exceed the expected chunk size so convergence costs a small
+	// fraction of the block (64 expected chunks at the default config).
+	parBlockSize = 256 << 10
+	// parMinBytes is how many committed leaf bytes it takes before a
+	// builder activates its worker pool.
+	parMinBytes = 256 << 10
+)
+
+// parJob is one leaf to hash and store. payload is owned by the job.
+type parJob struct {
+	seq     int
+	payload []byte
+	count   uint64
+	key     []byte
+}
+
+// parBlock is one speculative scan unit: raw bytes, the boundary
+// offsets a worker found under the boundary-at-start guess, and the
+// worker's scanner state after the last such boundary (adopted by the
+// stitcher when the guess is validated).
+type parBlock struct {
+	data   []byte
+	done   chan struct{}
+	bounds []int
+	tail   *rollsum.Chunker
+}
+
+// parBuilder is the concurrent half of a Builder: a bounded worker
+// pool hashing and storing leaves out of order, plus — in block mode
+// (Blob streams) — the speculative scan pipeline described above.
+type parBuilder struct {
+	s    store.Store
+	cfg  Config
+	kind Kind
+
+	jobs chan parJob
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	err    error
+	leaves []entry // slot per submitted leaf, indexed by parJob.seq
+
+	// Block mode (Blob only).
+	blockMode bool
+	blocks    []*parBlock // dispatched, not yet stitched
+	maxAhead  int         // dispatch-ahead bound (memory cap)
+	cur       []byte      // block being filled
+	auth      *rollsum.Chunker
+	carry     []byte // bytes of the current partial leaf, post-stitch
+}
+
+// newParBuilder starts the pool. auth is the (just-reset) scanner state
+// the sequential prefix ended in; block mode engages only for Blob.
+func newParBuilder(s store.Store, cfg Config, kind Kind, auth *rollsum.Chunker) *parBuilder {
+	workers := cfg.chunkers()
+	pb := &parBuilder{
+		s:         s,
+		cfg:       cfg,
+		kind:      kind,
+		jobs:      make(chan parJob, workers*2),
+		blockMode: kind == KindBlob,
+		maxAhead:  workers + 1,
+		auth:      auth,
+	}
+	pb.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go pb.worker()
+	}
+	return pb
+}
+
+// worker hashes and stores leaves, and runs speculative block scans.
+// Store implementations in this repository are safe for concurrent Put;
+// after a failure the pool keeps draining jobs (skipping the work) so
+// submitters never block on a dead pipeline.
+func (pb *parBuilder) worker() {
+	defer pb.wg.Done()
+	for j := range pb.jobs {
+		if pb.failed() {
+			continue
+		}
+		c := chunk.New(pb.kind.leafType(), j.payload)
+		_, err := pb.s.Put(c)
+		e := entry{count: j.count, id: c.ID(), key: j.key}
+		pb.mu.Lock()
+		if err != nil && pb.err == nil {
+			pb.err = err
+		}
+		pb.leaves[j.seq] = e
+		pb.mu.Unlock()
+	}
+}
+
+func (pb *parBuilder) failed() bool {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	return pb.err != nil
+}
+
+// scanBlock is the speculative scan: boundaries under the guess that a
+// chunk boundary immediately precedes the block.
+func scanBlock(cfg Config, b *parBlock) {
+	c := rollsum.NewChunker(cfg.LeafQ, cfg.maxLeaf())
+	off := 0
+	for off < len(b.data) {
+		n, boundary := c.FindBoundary(b.data[off:])
+		off += n
+		if boundary {
+			b.bounds = append(b.bounds, off)
+			c.Next()
+		}
+	}
+	b.tail = c
+	close(b.done)
+}
+
+// submitLeaf reserves the next ordered entry slot and queues the leaf
+// for a worker. payload ownership transfers.
+func (pb *parBuilder) submitLeaf(payload []byte, count uint64, key []byte) {
+	pb.mu.Lock()
+	seq := len(pb.leaves)
+	pb.leaves = append(pb.leaves, entry{})
+	pb.mu.Unlock()
+	pb.jobs <- parJob{seq: seq, payload: payload, count: count, key: key}
+}
+
+// emitLeaf builds one Blob leaf payload from the stitched carry plus a
+// block slice and submits it.
+func (pb *parBuilder) emitLeaf(extra []byte) {
+	payload := make([]byte, len(pb.carry)+len(extra))
+	n := copy(payload, pb.carry)
+	copy(payload[n:], extra)
+	pb.carry = pb.carry[:0]
+	pb.submitLeaf(payload, uint64(len(payload)), nil)
+}
+
+// feed accepts Blob bytes in block mode: they accumulate into fixed
+// blocks which are speculatively scanned by workers while the stitcher
+// (the caller, lagging maxAhead blocks behind) validates their
+// boundaries in order.
+func (pb *parBuilder) feed(p []byte) {
+	for len(p) > 0 {
+		if pb.cur == nil {
+			pb.cur = make([]byte, 0, parBlockSize)
+		}
+		n := parBlockSize - len(pb.cur)
+		if n > len(p) {
+			n = len(p)
+		}
+		pb.cur = append(pb.cur, p[:n]...)
+		p = p[n:]
+		if len(pb.cur) == parBlockSize {
+			pb.dispatchBlock()
+			for len(pb.blocks) > pb.maxAhead {
+				pb.stitch(pb.blocks[0])
+				pb.blocks = pb.blocks[1:]
+			}
+		}
+	}
+}
+
+// dispatchBlock launches the current block's speculative scan. The
+// goroutine count is bounded by the stitch-behind loop in feed: at most
+// maxAhead+1 blocks are ever outstanding.
+func (pb *parBuilder) dispatchBlock() {
+	b := &parBlock{data: pb.cur, done: make(chan struct{})}
+	pb.cur = nil
+	pb.blocks = append(pb.blocks, b)
+	go scanBlock(pb.cfg, b)
+}
+
+// stitch validates one block's speculative boundaries against the
+// authoritative scan and emits its leaves. On entry pb.auth is the
+// exact sequential scanner state at the block's first byte; on exit, at
+// the byte after it.
+func (pb *parBuilder) stitch(b *parBlock) {
+	<-b.done
+	data := b.data
+	si, off := 0, 0
+	converged := false
+	for off < len(data) {
+		n, boundary := pb.auth.FindBoundary(data[off:])
+		end := off + n
+		if boundary {
+			pb.emitLeaf(data[off:end])
+			pb.auth.Next()
+			off = end
+			for si < len(b.bounds) && b.bounds[si] < off {
+				si++
+			}
+			if si < len(b.bounds) && b.bounds[si] == off {
+				// The authoritative and speculative scans just placed
+				// the same boundary; both resets leave them in
+				// identical states, so the rest of the block's
+				// speculative boundaries are authoritative too.
+				si++
+				converged = true
+				break
+			}
+			continue
+		}
+		pb.carry = append(pb.carry, data[off:end]...)
+		off = end
+	}
+	if !converged {
+		return // the whole block was scanned authoritatively
+	}
+	for ; si < len(b.bounds); si++ {
+		end := b.bounds[si]
+		pb.emitLeaf(data[off:end])
+		off = end
+	}
+	pb.carry = append(pb.carry, data[off:]...)
+	// The worker's post-boundary scanner state doubles as the
+	// authoritative state: both scans reset at the block's last adopted
+	// boundary and consumed the same tail.
+	pb.auth = b.tail
+}
+
+// finish drains the pipeline: stitches the remaining blocks (including
+// the final partial one), flushes the final partial leaf, joins the
+// workers, and returns the ordered leaf entries.
+func (pb *parBuilder) finish() ([]entry, error) {
+	if pb.blockMode {
+		if len(pb.cur) > 0 {
+			pb.dispatchBlock()
+		}
+		for _, b := range pb.blocks {
+			pb.stitch(b)
+		}
+		pb.blocks = nil
+		if len(pb.carry) > 0 {
+			pb.emitLeaf(nil)
+		}
+	}
+	close(pb.jobs)
+	pb.wg.Wait()
+	if pb.err != nil {
+		return nil, pb.err
+	}
+	return pb.leaves, nil
+}

@@ -1,5 +1,7 @@
 package rollsum
 
+import "math/bits"
+
 // Chunker segments a byte stream into content-defined chunks. The caller
 // feeds element-sized slices (a whole key-value pair for Map chunks, a
 // whole element for List chunks, individual byte runs for Blob chunks)
@@ -61,13 +63,73 @@ func (c *Chunker) Next() {
 // boundary condition is met and returns the number of bytes consumed and
 // whether a boundary was placed there. When it returns (len(p), false)
 // the caller may feed more bytes or close the final chunk.
+//
+// The loop is the throughput ceiling of every large Blob write, so the
+// roller state is hoisted into locals and split into a priming phase
+// (window not yet full: no pattern checks, no exit term) and a steady
+// phase (one rotate, two table lookups, one mask test per byte). The
+// boundary decisions are bit-identical to Feed's.
 func (c *Chunker) FindBoundary(p []byte) (n int, boundary bool) {
-	for i, b := range p {
-		v := c.roller.Roll(b)
-		c.size++
-		if (c.roller.Primed() && c.pattern.Match(v)) || c.size >= c.max {
+	r := c.roller
+	sum, pos, size := r.sum, r.pos, c.size
+	mask, max := c.pattern.mask, c.max
+	i := 0
+	for ; r.n < WindowSize && i < len(p); i++ {
+		b := p[i]
+		r.window[pos] = b
+		pos++
+		if pos == WindowSize {
+			pos = 0
+		}
+		sum = bits.RotateLeft64(sum, 1) ^ byteTable[b]
+		r.n++
+		size++
+		// The byte that fills the window is the first primed position,
+		// so it already gets a pattern check, exactly as Feed does.
+		if (r.n == WindowSize && sum&mask == 0) || size >= max {
+			r.sum, r.pos, c.size = sum, pos, size
 			return i + 1, true
 		}
 	}
+	for ; i < len(p); i++ {
+		b := p[i]
+		old := r.window[pos]
+		r.window[pos] = b
+		pos++
+		if pos == WindowSize {
+			pos = 0
+		}
+		sum = bits.RotateLeft64(sum, 1) ^ byteTable[b] ^ exitTable[old]
+		size++
+		if sum&mask == 0 || size >= max {
+			r.sum, r.pos, c.size = sum, pos, size
+			return i + 1, true
+		}
+	}
+	r.sum, r.pos, c.size = sum, pos, size
 	return len(p), false
+}
+
+// ScanBoundaries finds every boundary a fresh chunker (reset state, as
+// if a boundary sat immediately before p[0]) would place in p, and
+// appends their end offsets (exclusive) to dst. The final partial chunk
+// — bytes after the last boundary — places no offset.
+//
+// This is the speculative half of parallel POS-Tree construction: a
+// worker scans a block under the guess that a boundary precedes it, and
+// a sequential stitcher later verifies the guess (see postree). The
+// offsets are exactly what repeated FindBoundary/Next calls on a fresh
+// Chunker would produce.
+func ScanBoundaries(q uint, maxSize int, p []byte, dst []int) []int {
+	c := NewChunker(q, maxSize)
+	off := 0
+	for off < len(p) {
+		n, boundary := c.FindBoundary(p[off:])
+		off += n
+		if boundary {
+			dst = append(dst, off)
+			c.Next()
+		}
+	}
+	return dst
 }

@@ -196,6 +196,42 @@ func TestChunkerElementExtension(t *testing.T) {
 	}
 }
 
+// FindBoundary's unrolled loop must place boundaries exactly where the
+// byte-at-a-time Feed path does — Feed is the oracle the paper's
+// algorithm describes, FindBoundary the optimized equivalent.
+func TestFindBoundaryMatchesFeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		data := make([]byte, 200<<10)
+		rng.Read(data)
+		if trial == 1 { // pattern-free: every boundary max-forced
+			for i := range data {
+				data[i] = 0xAB
+			}
+		}
+		q, max := uint(10), 8<<10
+		var slow []int
+		c := NewChunker(q, max)
+		for i, b := range data {
+			c.Feed(data[i : i+1])
+			_ = b
+			if c.Boundary() {
+				slow = append(slow, i+1)
+				c.Next()
+			}
+		}
+		fast := ScanBoundaries(q, max, data, nil)
+		if len(slow) != len(fast) {
+			t.Fatalf("trial %d: boundary count %d (Feed) vs %d (FindBoundary)", trial, len(slow), len(fast))
+		}
+		for i := range slow {
+			if slow[i] != fast[i] {
+				t.Fatalf("trial %d: boundary %d at %d (Feed) vs %d (FindBoundary)", trial, i, slow[i], fast[i])
+			}
+		}
+	}
+}
+
 func TestIndexPattern(t *testing.T) {
 	p := NewIndexPattern(4) // 1 in 16
 	hits := 0

@@ -13,6 +13,31 @@ import (
 	"forkbase/internal/chunk"
 )
 
+// OpChunkWant request flags. They travel as an optional trailing byte
+// after the id list: servers that predate the flags never read it
+// (their decoder stops at the ids), which is what makes the extension
+// wire-compatible in both directions. Clients must only set flags
+// after seeing FeatureWantStream in the server's Hello.
+const (
+	// WantFlagStream asks the server to answer across multiple
+	// OpChunkWantPart frames instead of a single prefix response, so
+	// every requested id is answered in one round trip regardless of
+	// the frame cap, and chunks start arriving before the server has
+	// read the whole batch.
+	WantFlagStream uint8 = 1 << 0
+	// WantFlagDeep asks the server to treat the (single) requested id
+	// as a POS-Tree root and stream every chunk reachable from it —
+	// a cold read's whole tree in one round trip instead of one per
+	// level. Implies WantFlagStream. Best-effort: chunks the server
+	// does not hold are skipped, and the client's pull sweep remains
+	// responsible for completeness.
+	WantFlagDeep uint8 = 1 << 1
+)
+
+// Streamed Want parts carry chunk batches in the exact OpChunkSend
+// upload layout, so EncodeChunkUpload/DecodeChunkUpload serve both
+// directions and the verify-before-admit rule applies symmetrically.
+
 // EncodeBitmap appends a presence bitmap: one bit per entry, LSB-first
 // within each byte. The count is not encoded — both ends know it from
 // the id list the bitmap answers.
@@ -55,12 +80,22 @@ type ChunkFrame struct {
 // count, and the one type byte every serialized chunk carries.
 const chunkFrameMin = chunk.IDSize + 4 + 1
 
+// encodeChunkBody appends a chunk's serialized form (type byte +
+// payload) as a length-prefixed blob without materializing the
+// intermediate chunk.Bytes() copy — on the bulk paths (uploads, Want
+// answers) that copy would be the single largest allocation per chunk.
+func encodeChunkBody(e *Enc, c *chunk.Chunk) {
+	e.U32(uint32(1 + len(c.Data())))
+	e.U8(byte(c.Type()))
+	e.buf = append(e.buf, c.Data()...)
+}
+
 // EncodeChunkUpload appends an OpChunkSend chunk batch.
 func EncodeChunkUpload(e *Enc, chunks []*chunk.Chunk) {
 	e.U32(uint32(len(chunks)))
 	for _, c := range chunks {
 		e.UID(c.ID())
-		e.Blob(c.Bytes())
+		encodeChunkBody(e, c)
 	}
 }
 
@@ -100,7 +135,7 @@ func EncodeWantResponse(e *Enc, answered []*chunk.Chunk) {
 			continue
 		}
 		e.Bool(true)
-		e.Blob(c.Bytes())
+		encodeChunkBody(e, c)
 	}
 }
 

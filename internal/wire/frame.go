@@ -106,6 +106,14 @@ const (
 	// via OpChunkSend: the payload names the POS-Tree root, and the
 	// server verifies the tree is complete before the put executes.
 	OpPutChunked
+	// OpChunkWantPart is response-only: one intermediate frame of a
+	// streamed OpChunkWant answer (requested with WantFlagStream). The
+	// server ships chunks in bounded parts as it reads them, each part
+	// a chunk batch in the OpChunkSend upload layout, and terminates
+	// the stream with a normal OpChunkWant status frame — success or
+	// error — so per-request error isolation survives streaming.
+	// Clients never send it.
+	OpChunkWantPart
 	opMax
 )
 
@@ -116,6 +124,13 @@ const (
 	// FeatureChunkSync marks a server that accepts the chunk-granular
 	// transfer ops (OpChunkHave/OpChunkWant/OpChunkSend/OpPutChunked).
 	FeatureChunkSync uint32 = 1 << 0
+	// FeatureWantStream marks a server that understands the trailing
+	// flags byte on OpChunkWant requests and can stream a Want answer
+	// as OpChunkWantPart frames. Clients that saw the bit may set
+	// WantFlagStream / WantFlagDeep; against older servers they fall
+	// back to classic prefix answering (whose decoder ignores the
+	// absent trailing byte by construction).
+	FeatureWantStream uint32 = 1 << 1
 )
 
 // KnownOp reports whether op names an operation this protocol version

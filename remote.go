@@ -51,6 +51,16 @@ type RemoteConfig struct {
 	// ChunkCacheBytes bounds the in-memory chunk cache layered over
 	// the on-disk store (or standing alone); 0 means 64 MiB.
 	ChunkCacheBytes int64
+	// PullWindow is the number of fetch batches a chunk-sync read
+	// keeps in flight (0 = chunksync.DefaultPullWindow). Negative
+	// disables pipelining: the level-synchronous baseline walk, one
+	// round trip per tree level per batch.
+	PullWindow int
+	// DisableWantStream opts out of the streamed Want protocol even
+	// when the server advertises FeatureWantStream, forcing the
+	// one-batch-per-request prefix answering of older servers. Mainly
+	// a benchmark and debugging knob.
+	DisableWantStream bool
 }
 
 // WireStats counts bytes moved over the connection pool since Dial,
@@ -217,7 +227,7 @@ func (rs *RemoteStore) dial() (*remoteConn, error) {
 		c:        nc,
 		br:       bufio.NewReaderSize(nc, connBufSize),
 		maxFrame: rs.cfg.MaxFrame,
-		pending:  make(map[uint64]chan remoteResp),
+		pending:  make(map[uint64]pendingCall),
 		sent:     &rs.bytesSent,
 		recv:     &rs.bytesRecv,
 	}
@@ -282,12 +292,22 @@ type remoteConn struct {
 	recv *atomic.Int64
 
 	mu      sync.Mutex
-	pending map[uint64]chan remoteResp
+	pending map[uint64]pendingCall
 	dead    bool
 	err     error
 }
 
+// pendingCall is one registered in-flight request. Stream calls
+// (streamed Want) receive every OpChunkWantPart frame on ch and stay
+// registered until the final frame (any other op) or a connection
+// failure; ordinary calls receive exactly one response.
+type pendingCall struct {
+	ch     chan remoteResp
+	stream bool
+}
+
 type remoteResp struct {
+	op      uint8
 	payload []byte
 	err     error
 }
@@ -308,28 +328,33 @@ func (c *remoteConn) fail(err error) {
 	c.dead = true
 	c.err = err
 	pending := c.pending
-	c.pending = make(map[uint64]chan remoteResp)
+	c.pending = make(map[uint64]pendingCall)
 	c.mu.Unlock()
 	c.c.Close()
-	for _, ch := range pending {
-		ch <- remoteResp{err: err}
+	for _, pc := range pending {
+		pc.ch <- remoteResp{err: err}
 	}
 }
 
 func (c *remoteConn) readLoop() {
 	for {
-		reqID, _, payload, err := wire.ReadFrame(c.br, c.maxFrame)
+		reqID, op, payload, err := wire.ReadFrame(c.br, c.maxFrame)
 		if err != nil {
 			c.fail(fmt.Errorf("forkbase: remote connection lost: %w", err))
 			return
 		}
 		c.recv.Add(frameWireBytes + int64(len(payload)))
 		c.mu.Lock()
-		ch := c.pending[reqID]
-		delete(c.pending, reqID)
+		pc, ok := c.pending[reqID]
+		// A stream call stays registered across its part frames; any
+		// other op is its final frame. Ordinary calls unregister on
+		// their single response.
+		if ok && !(pc.stream && op == wire.OpChunkWantPart) {
+			delete(c.pending, reqID)
+		}
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- remoteResp{payload: payload}
+		if ok {
+			pc.ch <- remoteResp{op: op, payload: payload}
 		}
 		// Unknown ids are responses to abandoned (cancelled) calls.
 	}
@@ -351,8 +376,41 @@ func (c *remoteConn) register(id uint64) (chan remoteResp, error) {
 		respChanPool.Put(ch) // never registered, provably empty
 		return nil, c.err
 	}
-	c.pending[id] = ch
+	c.pending[id] = pendingCall{ch: ch}
 	return ch, nil
+}
+
+// registerStream registers a stream call. Its channel is buffered
+// deep enough that the read loop rarely blocks handing over parts
+// (and when it does, that is exactly the backpressure wanted), and it
+// is NEVER pooled: an abandoned stream's channel may still receive
+// in-flight sends from the read loop — see reapStream.
+func (c *remoteConn) registerStream(id uint64) (chan remoteResp, error) {
+	ch := make(chan remoteResp, 32)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return nil, c.err
+	}
+	c.pending[id] = pendingCall{ch: ch, stream: true}
+	return ch, nil
+}
+
+// reapStream drains an abandoned stream call in the background until
+// its final frame (or the connection's failure notice) arrives. The
+// server terminates every request with exactly one non-part frame —
+// including cancelled ones — and fail() notifies every registered
+// call, so the reaper always terminates; keeping the registration
+// alive until then is what keeps the read loop from blocking forever
+// on a consumer that walked away.
+func reapStream(ch chan remoteResp) {
+	go func() {
+		for r := range ch {
+			if r.err != nil || r.op != wire.OpChunkWantPart {
+				return
+			}
+		}
+	}()
 }
 
 func (c *remoteConn) unregister(id uint64) {
@@ -845,6 +903,118 @@ func (rs *RemoteStore) chunkWant(ctx context.Context, user, key string, ids []ch
 	return out, d.Err()
 }
 
+// wantStreamOn reports whether streamed Want is usable: chunk sync is
+// configured, the server's Hello advertised FeatureWantStream, and
+// the client did not opt out. Against older servers the bit is absent
+// and every Want stays on the classic prefix-answering path.
+func (rs *RemoteStore) wantStreamOn() bool {
+	return rs.local != nil && !rs.cfg.DisableWantStream &&
+		rs.features.Load()&wire.FeatureWantStream != 0
+}
+
+// chunkWantStream performs one streamed Want: the server ships chunks
+// in OpChunkWantPart frames, handed to sink in arrival order, then a
+// final status frame ends the call. deep marks the ids as POS-Tree
+// roots whose whole reachable subtrees are wanted. sink runs on this
+// goroutine; a ChunkFrame's Bytes are backed by the frame's own
+// buffer and may be retained. Returns how many chunks arrived.
+func (rs *RemoteStore) chunkWantStream(ctx context.Context, user, key string, ids []chunk.ID, deep bool, sink func(f wire.ChunkFrame) error) (int, error) {
+	e := chunkOpts(user, key)
+	wire.EncodeUIDs(e, ids)
+	flags := wire.WantFlagStream
+	if deep {
+		flags |= wire.WantFlagDeep
+	}
+	e.U8(flags)
+	payload := e.Bytes()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if max := wire.MaxPayload(rs.cfg.MaxFrame); len(payload) > max {
+		return 0, fmt.Errorf("forkbase: request of %d bytes exceeds the %d-byte frame cap (RemoteConfig.MaxFrame)", len(payload), max)
+	}
+	c, err := rs.conn(rs.next.Add(1))
+	if err != nil {
+		return 0, err
+	}
+	id := rs.reqID.Add(1)
+	ch, err := c.registerStream(id)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.write(id, wire.OpChunkWant, payload); err != nil {
+		c.unregister(id)
+		c.fail(err)
+		return 0, err
+	}
+	got := 0
+	// abort walks away mid-stream: tell the server to stop paying for
+	// it, and hand the registration to a reaper so the read loop can
+	// keep delivering (and discarding) whatever is already in flight
+	// until the server's final frame lands.
+	abort := func(err error) (int, error) {
+		var ce wire.Enc
+		ce.U64(id)
+		go c.write(rs.reqID.Add(1), wire.OpCancel, ce.Bytes())
+		reapStream(ch)
+		return got, err
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return abort(ctx.Err())
+		case r := <-ch:
+			if r.err != nil {
+				return got, r.err // connection failed; nothing left to reap
+			}
+			if r.op == wire.OpChunkWantPart {
+				d := wire.NewDec(r.payload)
+				frames := wire.DecodeChunkUpload(d)
+				if err := d.Err(); err != nil {
+					return abort(err)
+				}
+				for _, f := range frames {
+					if err := sink(f); err != nil {
+						return abort(err)
+					}
+					got++
+				}
+				continue
+			}
+			// The final frame carries the usual status payload; its
+			// count is advisory (got tracks actual arrivals).
+			d, ep, err := decodeStatus(r.payload)
+			if err != nil {
+				return got, err
+			}
+			if ep != nil {
+				return got, ep.Err
+			}
+			d.U32()
+			return got, d.Err()
+		}
+	}
+}
+
+// chunkWantFetch is the chunksync.FetchFunc over a streamed Want: one
+// round trip answers the whole batch, aligned back to ids with nil
+// for chunks the server does not hold — exactly the classic contract,
+// without its frame-cap prefix limit.
+func (rs *RemoteStore) chunkWantFetch(ctx context.Context, user, key string, ids []chunk.ID) ([][]byte, error) {
+	raws := make(map[chunk.ID][]byte, len(ids))
+	if _, err := rs.chunkWantStream(ctx, user, key, ids, false, func(f wire.ChunkFrame) error {
+		raws[f.ID] = f.Bytes
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(ids))
+	for i, id := range ids {
+		out[i] = raws[id]
+	}
+	return out, nil
+}
+
 // chunkSend uploads a batch of chunks; the server re-verifies each
 // chunk's id before admission. Shield-taking ops ride a caller-pinned
 // slot; see callSlot.
@@ -891,14 +1061,45 @@ func (rs *RemoteStore) valueChunked(ctx context.Context, key string, o *FObject,
 		return nil, err
 	}
 	user := resolveOpts(opts).user
+	streamOn := rs.wantStreamOn()
 	fetch := func(ctx context.Context, ids []chunk.ID) ([][]byte, error) {
+		if streamOn {
+			return rs.chunkWantFetch(ctx, user, key, ids)
+		}
 		return rs.chunkWant(ctx, user, key, ids)
 	}
-	st, err := chunksync.Pull(ctx, rs.local, fetch, root, height, 0)
+	// On a completely cold cache, a deep Want streams the whole tree in
+	// one round trip instead of one per level. The policy is deliberately
+	// all-or-nothing: the moment anything is cached, the value probably
+	// shares most of its chunks with what is already here (the dedup
+	// argument), and a deep stream would ship the full tree where the
+	// discovery pull moves only the delta.
+	deepFetched := 0
+	if streamOn && !root.IsNil() && rs.local.Stats().Chunks == 0 {
+		deepFetched, err = rs.chunkWantStream(ctx, user, key, []chunk.ID{root}, true, func(f wire.ChunkFrame) error {
+			c, derr := chunk.Decode(f.Bytes)
+			if derr != nil {
+				return fmt.Errorf("forkbase: streamed chunk %s: %w", f.ID.Short(), derr)
+			}
+			if c.ID() != f.ID {
+				return fmt.Errorf("forkbase: streamed chunk hashes to %s, claimed %s: %w", c.ID().Short(), f.ID.Short(), store.ErrCorrupt)
+			}
+			_, perr := rs.local.Put(c)
+			return perr
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The pull is the completeness sweep whether or not a deep Want ran:
+	// deep streaming is best-effort (the server skips chunks it cannot
+	// find), so the walk below re-verifies reachability and fetches any
+	// stragglers — from a warm cache it touches no network at all.
+	st, err := chunksync.Pull(ctx, rs.local, fetch, root, height, chunksync.PullConfig{Window: rs.cfg.PullWindow})
 	if err != nil {
 		return nil, err
 	}
-	if st.ChunksFetched == 0 {
+	if st.ChunksFetched == 0 && deepFetched == 0 {
 		// Everything was cached, so no request carried the user's
 		// identity to the server. Deployment modes must not diverge on
 		// who may decode what: make an empty Want purely for the

@@ -373,7 +373,7 @@ func (s *Server) chunkBack() chunkBackend {
 // features is the capability bitmask advertised in the Hello response.
 func (s *Server) features() uint32 {
 	if s.chunkBack() != nil {
-		return wire.FeatureChunkSync
+		return wire.FeatureChunkSync | wire.FeatureWantStream
 	}
 	return 0
 }
@@ -558,7 +558,7 @@ func (sc *serverConn) processFrame(f rawFrame) (keep bool, carry *rawFrame, exit
 		// (OpCancel arrives on this same loop, so it cannot race an op
 		// that completes before the next read) — and cork the response
 		// for the burst flush.
-		resp := sc.srv.dispatch(sc.ctx, sc, f.op, f.payload)
+		resp := sc.srv.dispatch(sc.ctx, sc, f.reqID, f.op, f.payload)
 		sc.send(f.reqID, f.op, resp)
 		sc.deferredDone++
 	case f.op == wire.OpPut && sc.srv.batcher != nil:
@@ -705,7 +705,7 @@ func (sc *serverConn) hello(reqID uint64, payload []byte) bool {
 
 // handle executes one pipelined request on a pool worker.
 func (sc *serverConn) handle(ctx context.Context, cancel context.CancelFunc, reqID uint64, op uint8, payload []byte) {
-	resp := sc.srv.dispatch(ctx, sc, op, payload)
+	resp := sc.srv.dispatch(ctx, sc, reqID, op, payload)
 	// Unregister BEFORE the response leaves: a client is free to reuse
 	// the id the moment it sees the response, and the read loop must
 	// not mistake that for a duplicate.
@@ -812,7 +812,7 @@ func callOptions(o wire.CallOptions) ([]Option, error) {
 // originating connection: the chunk ops scope their GC shields to it,
 // so a client that disconnects mid-negotiation releases whatever it
 // had protected.
-func (s *Server) dispatch(ctx context.Context, sc *serverConn, op uint8, payload []byte) []byte {
+func (s *Server) dispatch(ctx context.Context, sc *serverConn, reqID uint64, op uint8, payload []byte) []byte {
 	d := wire.NewDec(payload)
 	co := wire.DecodeCallOptions(d)
 	opts, err := callOptions(co)
@@ -1013,7 +1013,7 @@ func (s *Server) dispatch(ctx context.Context, sc *serverConn, op uint8, payload
 		if cb == nil {
 			return fail(fmt.Errorf("%w: backend %T does not serve chunk-granular transfer", wire.ErrUnsupported, s.st))
 		}
-		return s.dispatchChunk(ctx, sc, cb, op, d, co, opts)
+		return s.dispatchChunk(ctx, sc, reqID, cb, op, d, co, opts)
 	case wire.OpStats:
 		type statser interface{ Stats() StoreStats }
 		ss, ok := s.st.(statser)
@@ -1044,7 +1044,7 @@ func (s *Server) dispatch(ctx context.Context, sc *serverConn, op uint8, payload
 //     would. Within a granted key, chunk ids act as capabilities —
 //     the server cannot cheaply prove a content-addressed chunk
 //     "belongs" to a key, and does not try (see README, trust model).
-func (s *Server) dispatchChunk(ctx context.Context, sc *serverConn, cb chunkBackend, op uint8, d *wire.Dec, co wire.CallOptions, opts []Option) []byte {
+func (s *Server) dispatchChunk(ctx context.Context, sc *serverConn, reqID uint64, cb chunkBackend, op uint8, d *wire.Dec, co wire.CallOptions, opts []Option) []byte {
 	fail := func(err error) []byte { return errPayload(err, nil, UID{}) }
 	cs := cb.chunkStore()
 	switch op {
@@ -1078,11 +1078,21 @@ func (s *Server) dispatchChunk(ctx context.Context, sc *serverConn, cb chunkBack
 	case wire.OpChunkWant:
 		key := d.Str()
 		ids := wire.DecodeUIDs(d)
+		// Optional trailing flags byte: absent from classic clients,
+		// whose requests therefore take the prefix-answering path below
+		// unchanged.
+		var flags uint8
+		if d.Err() == nil && d.Rest() > 0 {
+			flags = d.U8()
+		}
 		if err := d.Err(); err != nil {
 			return fail(err)
 		}
 		if err := cb.checkChunkAccess(co.User, key, false); err != nil {
 			return fail(err)
+		}
+		if flags&(wire.WantFlagStream|wire.WantFlagDeep) != 0 {
+			return sc.streamWant(ctx, reqID, cs, ids, flags)
 		}
 		// Answer a prefix of the request, stopping before the response
 		// would overflow the frame cap; the client re-requests the
@@ -1103,11 +1113,11 @@ func (s *Server) dispatchChunk(ctx context.Context, sc *serverConn, cb chunkBack
 			if err != nil {
 				return fail(err)
 			}
-			if total+len(c.Bytes()) > budget && len(answered) > 0 {
+			if total+c.Size() > budget && len(answered) > 0 {
 				break
 			}
 			answered = append(answered, c)
-			total += len(c.Bytes())
+			total += c.Size()
 		}
 		return okPayload(func(e *wire.Enc) { wire.EncodeWantResponse(e, answered) })
 	case wire.OpChunkSend:
@@ -1206,6 +1216,86 @@ func (s *Server) dispatchChunk(ctx context.Context, sc *serverConn, cb chunkBack
 		return okPayload(func(e *wire.Enc) { e.UID(uid) })
 	}
 	return fail(fmt.Errorf("%w: unhandled chunk op %d", wire.ErrCodec, op))
+}
+
+// wantPartTarget is the payload size a streamed Want aims for per
+// OpChunkWantPart frame: large enough to amortize framing, small
+// enough that the first part leaves the server long before the last
+// chunk has been read from disk.
+const wantPartTarget = 256 << 10
+
+// streamWant answers one OpChunkWant request in streaming mode:
+// chunks ship in bounded OpChunkWantPart frames as they are read, and
+// the returned payload — written by the caller under op OpChunkWant —
+// terminates the stream with the usual status byte, so a mid-stream
+// failure (or an OpCancel) still costs exactly this request and
+// nothing else on the connection. With WantFlagDeep the requested ids
+// are POS-Tree roots whose whole reachable subtree is streamed —
+// a cold read in one round trip — skipping ids the server does not
+// hold (the client's pull sweep owns completeness, exactly as it does
+// for classic answers).
+func (sc *serverConn) streamWant(ctx context.Context, reqID uint64, cs store.Store, ids []chunk.ID, flags uint8) []byte {
+	fail := func(err error) []byte { return errPayload(err, nil, UID{}) }
+	target := wantPartTarget
+	if max := wire.MaxPayload(sc.srv.opts.MaxFrame) / 2; max < target {
+		target = max
+	}
+	var (
+		part     []*chunk.Chunk
+		partSize int
+		streamed uint32
+	)
+	flushPart := func() {
+		if len(part) == 0 {
+			return
+		}
+		e := wire.EncWith(wire.GetFrameBuf())
+		wire.EncodeChunkUpload(&e, part)
+		sc.write(reqID, wire.OpChunkWantPart, e.Bytes())
+		part, partSize = part[:0], 0
+	}
+	deep := flags&wire.WantFlagDeep != 0
+	queue := append([]chunk.ID(nil), ids...)
+	seen := make(map[chunk.ID]bool, len(queue))
+	for i := 0; i < len(queue); i++ {
+		// Per-chunk cancellation: an OpCancel (or the client hanging
+		// up) stops a long stream mid-way; the error frame returned
+		// here still terminates it, so the consumer always sees a
+		// final frame.
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		id := queue[i]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		c, err := store.GetVerified(cs, id)
+		if errors.Is(err, store.ErrNotFound) {
+			// Ids the server does not hold are simply not streamed; the
+			// client treats unanswered ids as absent, matching the
+			// classic response's present=false.
+			continue
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if partSize+c.Size() > target {
+			flushPart()
+		}
+		part = append(part, c)
+		partSize += c.Size()
+		streamed++
+		if deep && (c.Type() == chunk.TypeUIndex || c.Type() == chunk.TypeSIndex) {
+			kids, err := postree.IndexChildIDs(c.Data())
+			if err != nil {
+				return fail(err)
+			}
+			queue = append(queue, kids...)
+		}
+	}
+	flushPart()
+	return okPayload(func(e *wire.Enc) { e.U32(streamed) })
 }
 
 // okPayload2 is okPayload for encoders that can fail mid-way (value

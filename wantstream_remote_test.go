@@ -1,0 +1,295 @@
+package forkbase_test
+
+// The streamed Want protocol: part framing and flush bounds at the
+// wire level, the one-round-trip deep tree walk, cancellation ending a
+// stream without costing the connection, and the fallback matrix that
+// keeps old and new peers interoperable.
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+
+	forkbase "forkbase"
+	"forkbase/internal/chunk"
+	"forkbase/internal/postree"
+	"forkbase/internal/store"
+	"forkbase/internal/types"
+	"forkbase/internal/wire"
+)
+
+// streamWantRaw sends one flagged OpChunkWant and collects the whole
+// streamed answer: every part's chunk frames, then the final status
+// frame decoded like any other response. Each ReadFrame call allocates
+// its own buffer, so retaining frames across parts is safe here.
+func streamWantRaw(t *testing.T, c net.Conn, key string, ids []chunk.ID, flags uint8) (parts [][]wire.ChunkFrame, final *wire.Dec, ep *wire.ErrorPayload) {
+	t.Helper()
+	var e wire.Enc
+	wire.EncodeCallOptions(&e, wire.CallOptions{})
+	e.Str(key)
+	wire.EncodeUIDs(&e, ids)
+	e.U8(flags)
+	if err := wire.WriteFrame(c, 7, wire.OpChunkWant, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, op, payload, err := wire.ReadFrame(c, 0)
+		if err != nil {
+			t.Fatalf("stream torn down mid-answer: %v", err)
+		}
+		if op == wire.OpChunkWantPart {
+			d := wire.NewDec(payload)
+			frames := wire.DecodeChunkUpload(d)
+			if err := d.Err(); err != nil {
+				t.Fatalf("undecodable part frame: %v", err)
+			}
+			parts = append(parts, frames)
+			continue
+		}
+		if op != wire.OpChunkWant {
+			t.Fatalf("stream answered with op %d", op)
+		}
+		if len(payload) == 0 {
+			t.Fatal("empty final frame")
+		}
+		d := wire.NewDec(payload[1:])
+		if payload[0] != 0 {
+			e, derr := wire.DecodeError(d)
+			if derr != nil {
+				t.Fatalf("undecodable error payload: %v", derr)
+			}
+			return parts, nil, &e
+		}
+		return parts, d, nil
+	}
+}
+
+// TestWantStreamParts: a flagged Want for a batch far beyond one part's
+// budget arrives as multiple bounded OpChunkWantPart frames whose union
+// is exactly the requested-and-present set, ids the server does not
+// hold are skipped, and the final status frame carries the count.
+func TestWantStreamParts(t *testing.T) {
+	db := forkbase.Open()
+	addr, _ := startServer(t, db, forkbase.ServerOptions{})
+	c := rawChunkConn(t, addr)
+
+	rnd := rand.New(rand.NewSource(21))
+	var uploaded []*chunk.Chunk
+	for i := 0; i < 40; i++ {
+		body := make([]byte, 100<<10)
+		rnd.Read(body)
+		uploaded = append(uploaded, chunk.New(chunk.TypeBlob, body))
+	}
+	d, ep := chunkReq(t, c, wire.OpChunkSend, func(e *wire.Enc) {
+		e.Str("doc")
+		wire.EncodeChunkUpload(e, uploaded)
+	})
+	if ep != nil {
+		t.Fatalf("upload: %v", ep.Err)
+	}
+	if stored := d.U32(); stored != 40 {
+		t.Fatalf("upload admitted %d of 40 chunks", stored)
+	}
+
+	ids := make([]chunk.ID, 0, 41)
+	for _, ch := range uploaded {
+		ids = append(ids, ch.ID())
+	}
+	ids = append(ids, chunk.ID{0xde, 0xad}) // phantom: must be skipped, not failed
+
+	parts, final, ep := streamWantRaw(t, c, "doc", ids, wire.WantFlagStream)
+	if ep != nil {
+		t.Fatalf("streamed want failed: %v", ep.Err)
+	}
+	if len(parts) < 4 {
+		t.Fatalf("4 MB answer arrived in %d parts — streaming did not bound the frames", len(parts))
+	}
+	got := make(map[chunk.ID][]byte)
+	for _, frames := range parts {
+		var partBytes int
+		for _, f := range frames {
+			cc, err := chunk.Decode(f.Bytes)
+			if err != nil {
+				t.Fatalf("streamed chunk undecodable: %v", err)
+			}
+			if cc.ID() != f.ID {
+				t.Fatalf("streamed chunk hashes to %s, claimed %s", cc.ID().Short(), f.ID.Short())
+			}
+			got[f.ID] = f.Bytes
+			partBytes += len(f.Bytes)
+		}
+		if partBytes > 512<<10 {
+			t.Fatalf("one part carries %d bytes — parts must stay well under the frame cap", partBytes)
+		}
+	}
+	if n := final.U32(); n != 40 || final.Err() != nil {
+		t.Fatalf("final frame counts %d streamed chunks (err %v), want 40", n, final.Err())
+	}
+	for _, ch := range uploaded {
+		if !bytes.Equal(got[ch.ID()], ch.Bytes()) {
+			t.Fatalf("chunk %s missing or corrupted in the stream", ch.ID().Short())
+		}
+	}
+	if len(got) != 40 {
+		t.Fatalf("stream answered %d distinct chunks, want 40 (phantom skipped)", len(got))
+	}
+}
+
+// TestWantStreamDeep: a deep Want for a POS-Tree root streams the whole
+// reachable tree — every index node and leaf — in one round trip, and
+// the pulled chunks reproduce the content bit-for-bit.
+func TestWantStreamDeep(t *testing.T) {
+	db := forkbase.Open()
+	addr, _ := startServer(t, db, forkbase.ServerOptions{})
+	ctx := context.Background()
+	rnd := rand.New(rand.NewSource(22))
+	data := make([]byte, 2<<20)
+	rnd.Read(data)
+	if _, err := db.Put(ctx, "doc", forkbase.NewBlob(data)); err != nil {
+		t.Fatal(err)
+	}
+	o, err := db.Get(ctx, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, count, height, err := types.ParseChunkRef(o.Data)
+	if err != nil {
+		t.Fatalf("stored blob is not chunked: %v", err)
+	}
+
+	c := rawChunkConn(t, addr)
+	parts, final, ep := streamWantRaw(t, c, "doc", []chunk.ID{root}, wire.WantFlagDeep)
+	if ep != nil {
+		t.Fatalf("deep want failed: %v", ep.Err)
+	}
+	local := store.NewMemStore()
+	streamed := uint32(0)
+	for _, frames := range parts {
+		for _, f := range frames {
+			cc, err := chunk.Decode(f.Bytes)
+			if err != nil || cc.ID() != f.ID {
+				t.Fatalf("deep stream shipped a corrupt chunk: %v", err)
+			}
+			if _, err := local.Put(cc); err != nil {
+				t.Fatal(err)
+			}
+			streamed++
+		}
+	}
+	if n := final.U32(); n != streamed || final.Err() != nil {
+		t.Fatalf("final frame counts %d, client received %d", n, streamed)
+	}
+	at := postree.Attach(local, postree.DefaultConfig(), postree.KindBlob, root, count, height)
+	got, err := at.Bytes()
+	if err != nil {
+		t.Fatalf("deep-pulled tree is incomplete: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("deep-pulled tree does not reproduce the content")
+	}
+}
+
+// TestWantStreamCancelTerminates: cancelling a streamed Want mid-flight
+// still ends the stream with exactly one final frame — the invariant
+// the client's reaper relies on — and costs nothing but that request:
+// the same connection keeps answering.
+func TestWantStreamCancelTerminates(t *testing.T) {
+	db := forkbase.Open()
+	addr, _ := startServer(t, db, forkbase.ServerOptions{})
+	ctx := context.Background()
+	data := make([]byte, 8<<20)
+	rand.New(rand.NewSource(23)).Read(data)
+	if _, err := db.Put(ctx, "doc", forkbase.NewBlob(data)); err != nil {
+		t.Fatal(err)
+	}
+	o, err := db.Get(ctx, "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, _, err := types.ParseChunkRef(o.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := rawChunkConn(t, addr)
+	var e wire.Enc
+	wire.EncodeCallOptions(&e, wire.CallOptions{})
+	e.Str("doc")
+	wire.EncodeUIDs(&e, []chunk.ID{root})
+	e.U8(wire.WantFlagDeep)
+	if err := wire.WriteFrame(c, 7, wire.OpChunkWant, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var ce wire.Enc
+	ce.U64(7)
+	if err := wire.WriteFrame(c, 8, wire.OpCancel, ce.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	// Drain to the final frame. Whether the cancel won the race (typed
+	// error) or the stream completed first (ok) is timing; that it
+	// terminates — and the connection survives — is the contract.
+	for {
+		_, op, _, err := wire.ReadFrame(c, 0)
+		if err != nil {
+			t.Fatalf("cancelled stream killed the connection: %v", err)
+		}
+		if op == wire.OpChunkWant {
+			break
+		}
+		if op != wire.OpChunkWantPart {
+			t.Fatalf("unexpected op %d in stream", op)
+		}
+	}
+	if present := probeChunk(t, c, root); !present {
+		t.Fatal("connection no longer answers after a cancelled stream")
+	}
+}
+
+// TestWantStreamFallbackMatrix: every opt-out combination reads the
+// same bytes. A client that disables streaming speaks the classic
+// prefix protocol; a level-synchronous client (PullWindow < 0) walks
+// the old baseline; both re-read warm with only delta traffic, so the
+// fallbacks preserve the dedup property too.
+func TestWantStreamFallbackMatrix(t *testing.T) {
+	db := forkbase.Open()
+	addr, _ := startServer(t, db, forkbase.ServerOptions{})
+	ctx := context.Background()
+	rnd := rand.New(rand.NewSource(24))
+	data := make([]byte, 4<<20)
+	rnd.Read(data)
+	if _, err := db.Put(ctx, "doc", forkbase.NewBlob(data)); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		cfg  forkbase.RemoteConfig
+	}{
+		{"streamed", forkbase.RemoteConfig{ChunkSync: true}},
+		{"classic-want", forkbase.RemoteConfig{ChunkSync: true, DisableWantStream: true}},
+		{"level-sync", forkbase.RemoteConfig{ChunkSync: true, PullWindow: -1, DisableWantStream: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.ChunkCacheDir = t.TempDir()
+			rc, err := forkbase.Dial(addr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rc.Close()
+			if got := readDoc(t, rc, "doc"); !bytes.Equal(got, data) {
+				t.Fatal("cold read corrupted the object")
+			}
+			base := rc.WireStats().BytesReceived
+			if got := readDoc(t, rc, "doc"); !bytes.Equal(got, data) {
+				t.Fatal("warm read corrupted the object")
+			}
+			if moved := rc.WireStats().BytesReceived - base; moved > int64(len(data))/10 {
+				t.Fatalf("warm re-read moved %d bytes — fallback lost the dedup property", moved)
+			}
+		})
+	}
+}
