@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"forkbase/internal/core"
 	"forkbase/internal/servlet"
@@ -459,7 +460,7 @@ func (db *DB) RemoveBranch(ctx context.Context, key, branchName string, opts ...
 		// leave it for the next round — not an error. The removal
 		// itself succeeded either way; a real GC failure is reported
 		// wrapped so the caller can tell the two apart.
-		if _, err := db.eng.GC(ctx, db.gcThreshold); err != nil && !errors.Is(err, store.ErrSweepInProgress) {
+		if _, err := db.runGC(ctx); err != nil && !errors.Is(err, store.ErrSweepInProgress) {
 			return fmt.Errorf("forkbase: auto-gc after branch removal: %w", err)
 		}
 	}
@@ -504,7 +505,16 @@ func (db *DB) GC(ctx context.Context, opts ...Option) (GCStats, error) {
 	if err := db.check(o.user, "", "", PermAdmin); err != nil {
 		return GCStats{}, err
 	}
-	return db.eng.GC(ctx, db.gcThreshold)
+	return db.runGC(ctx)
+}
+
+// runGC is the single chokepoint every collection (explicit or auto)
+// runs through, so the GC pause histogram sees them all.
+func (db *DB) runGC(ctx context.Context) (GCStats, error) {
+	start := time.Now()
+	stats, err := db.eng.GC(ctx, db.gcThreshold)
+	db.gcPause.ObserveSince(start)
+	return stats, err
 }
 
 // Value implements Store.

@@ -42,6 +42,11 @@
 //	gc                              collect unreachable chunks and
 //	                                compact storage
 //	stats                           storage statistics (embedded only)
+//	stats -server [-watch d]        live per-op server metrics over the
+//	                                wire (-connect only): request counts,
+//	                                error counts and latency quantiles;
+//	                                -watch re-polls every d and shows
+//	                                deltas until interrupted
 //	info                            store stats plus recovered metadata:
 //	                                keys, branches, untagged heads, pins,
 //	                                journal/snapshot sizes — the state a
@@ -52,12 +57,14 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"forkbase"
 )
@@ -326,6 +333,9 @@ func (sh *shell) run(args []string) error {
 		}
 		fmt.Println(stats)
 	case "stats":
+		if len(args) > 1 && args[1] == "-server" {
+			return sh.serverStats(ctx, args[2:])
+		}
 		switch x := sh.st.(type) {
 		case *forkbase.DB:
 			fmt.Println(x.Stats())
@@ -344,6 +354,136 @@ func (sh *shell) run(args []string) error {
 		return fmt.Errorf("unknown command %q", args[0])
 	}
 	return nil
+}
+
+// serverStats renders the server's live per-op metrics (stats -server):
+// one row per op that has seen traffic, with request and error counts
+// and latency quantiles from the server's histograms. With -watch it
+// re-polls on an interval and shows per-interval deltas — quantiles
+// then describe only the ops of that interval — until interrupted.
+func (sh *shell) serverStats(ctx context.Context, args []string) error {
+	rs, ok := sh.st.(*forkbase.RemoteStore)
+	if !ok {
+		return fmt.Errorf("stats -server needs -connect")
+	}
+	var watch time.Duration
+	for i := 0; i < len(args); i++ {
+		if args[i] != "-watch" || i+1 >= len(args) {
+			return fmt.Errorf("usage: stats -server [-watch <interval>]")
+		}
+		d, err := time.ParseDuration(args[i+1])
+		if err != nil || d <= 0 {
+			return fmt.Errorf("-watch needs a positive duration, got %q", args[i+1])
+		}
+		watch = d
+		i++
+	}
+	prev, err := rs.ServerStats(ctx)
+	if err != nil {
+		if errors.Is(err, forkbase.ErrUnsupported) {
+			return fmt.Errorf("this forkserved predates per-op metrics (no server_stats op); upgrade the daemon to use stats -server")
+		}
+		return err
+	}
+	printServerStats(prev, nil)
+	for watch > 0 {
+		time.Sleep(watch)
+		cur, err := rs.ServerStats(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("--- %s (last %v) ---\n", time.Now().Format("15:04:05"), watch)
+		printServerStats(cur, prev)
+		prev = cur
+	}
+	return nil
+}
+
+// tagValue extracts v from a `k="v"` tag string.
+func tagValue(tags, key string) string {
+	_, rest, ok := strings.Cut(tags, key+`="`)
+	if !ok {
+		return ""
+	}
+	v, _, _ := strings.Cut(rest, `"`)
+	return v
+}
+
+// printServerStats renders one snapshot; with prev non-nil every
+// counter and histogram is differenced against it first, so the table
+// describes only the traffic since the previous poll.
+func printServerStats(cur, prev []forkbase.MetricSample) {
+	base := make(map[string]forkbase.MetricSample, len(prev))
+	for _, s := range prev {
+		base[s.Name+"\x00"+s.Tags] = s
+	}
+	diff := func(s forkbase.MetricSample) forkbase.MetricSample {
+		p, ok := base[s.Name+"\x00"+s.Tags]
+		if !ok {
+			return s
+		}
+		s.Value -= p.Value
+		s.Sum -= p.Sum
+		if len(s.Buckets) == len(p.Buckets) {
+			b := make([]uint64, len(s.Buckets))
+			for i := range b {
+				b[i] = s.Buckets[i] - p.Buckets[i]
+			}
+			s.Buckets = b
+		}
+		return s
+	}
+	type row struct {
+		reqs, errs    int64
+		p50, p90, p99 time.Duration
+	}
+	rows := make(map[string]*row)
+	var ops []string
+	get := func(op string) *row {
+		r, ok := rows[op]
+		if !ok {
+			r = &row{}
+			rows[op] = r
+			ops = append(ops, op)
+		}
+		return r
+	}
+	for _, s := range cur {
+		op := tagValue(s.Tags, "op")
+		if op == "" {
+			continue
+		}
+		switch s.Name {
+		case "forkbase_server_requests_total":
+			get(op).reqs = diff(s).Value
+		case "forkbase_server_request_errors_total":
+			get(op).errs = diff(s).Value
+		case "forkbase_server_latency_ns":
+			d := diff(s)
+			r := get(op)
+			r.p50 = time.Duration(d.Quantile(0.5))
+			r.p90 = time.Duration(d.Quantile(0.9))
+			r.p99 = time.Duration(d.Quantile(0.99))
+		}
+	}
+	fmt.Printf("%-16s %10s %8s %10s %10s %10s\n", "op", "requests", "errors", "p50", "p90", "p99")
+	for _, op := range ops {
+		r := rows[op]
+		if r.reqs == 0 {
+			continue
+		}
+		fmt.Printf("%-16s %10d %8d %10v %10v %10v\n", op, r.reqs, r.errs, r.p50, r.p90, r.p99)
+	}
+	for _, s := range cur {
+		switch s.Name {
+		case "forkbase_server_wire_bytes_total", "forkbase_server_chunksync_bytes_total":
+			if d := diff(s); d.Value > 0 {
+				fmt.Printf("%s{%s}: %d bytes\n", strings.TrimPrefix(s.Name, "forkbase_server_"), s.Tags, d.Value)
+			}
+		case "forkbase_server_inflight_requests", "forkbase_server_queue_depth":
+			fmt.Printf("%s: %d\n", strings.TrimPrefix(s.Name, "forkbase_server_"), s.Value)
+		}
+	}
 }
 
 // info prints store statistics plus the metadata a reopen would

@@ -31,6 +31,10 @@
 //	                   true; capable clients then move only chunks
 //	                   the other side is missing)
 //	-drain d           graceful-shutdown drain budget (default 30s)
+//	-debug-addr addr   serve /metrics (Prometheus text) and
+//	                   /debug/pprof on this HTTP address (off by
+//	                   default; bind to loopback)
+//	-slow-op d         log every op dispatched slower than d (0 = off)
 //
 // On SIGTERM or SIGINT the daemon drains: the listener closes,
 // in-flight requests finish and flush, new requests are refused with
@@ -39,8 +43,10 @@
 //
 // Security: the protocol is plaintext and the trust boundary is the
 // listener. Bind to loopback or a private network; -auth guards
-// against accidental cross-talk, not adversaries. See the README's
-// "Serving over the network" section.
+// against accidental cross-talk, not adversaries. The same goes for
+// -debug-addr: it is unauthenticated and pprof can dump heap contents,
+// so never expose it beyond loopback or a private network. See the
+// README's "Serving over the network" section.
 package main
 
 import (
@@ -49,12 +55,15 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"forkbase"
+	"forkbase/internal/obs"
 )
 
 func main() {
@@ -72,6 +81,8 @@ func main() {
 	maxFrame := flag.Int("max-frame", 0, "largest request/response frame in bytes (0 = 256 MiB)")
 	chunkSync := flag.Bool("chunksync", true, "offer chunk-granular delta transfer to capable clients")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this HTTP address (unauthenticated; keep it on loopback)")
+	slowOp := flag.Duration("slow-op", 0, "log every op dispatched slower than this (0 = off)")
 	flag.Parse()
 
 	var acl *forkbase.ACL
@@ -127,7 +138,28 @@ func main() {
 		MaxFrame:         *maxFrame,
 		DisableChunkSync: !*chunkSync,
 		Logf:             log.Printf,
+		SlowOpThreshold:  *slowOp,
 	})
+
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(srv.MetricsSnapshot))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("forkserved: debug listen: %v", err)
+		}
+		log.Printf("forkserved: debug endpoint (metrics, pprof) on %s — unauthenticated, keep it private", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, mux); err != nil {
+				log.Printf("forkserved: debug endpoint: %v", err)
+			}
+		}()
+	}
 
 	backend := "in-memory"
 	switch {

@@ -6,6 +6,8 @@
 //	wireexhaustive  error codes and opcodes plumbed on both wire ends (PR 5)
 //	sentinelcmp     sentinel errors compared with errors.Is, never == (PR 5)
 //	chunkalias      no payload mutation after chunk.New takes ownership (PR 6)
+//	obsmetrics      metrics registered through internal/obs, not ad-hoc
+//	                atomics no export surface can see (PR 10)
 //
 // Usage:
 //
@@ -30,6 +32,7 @@ import (
 	"forkbase/internal/analysis/chunkalias"
 	"forkbase/internal/analysis/ctxflow"
 	"forkbase/internal/analysis/lockhold"
+	"forkbase/internal/analysis/obsmetrics"
 	"forkbase/internal/analysis/sentinelcmp"
 	"forkbase/internal/analysis/wireexhaustive"
 )
@@ -38,6 +41,7 @@ var analyzers = []*analysis.Analyzer{
 	chunkalias.Analyzer,
 	ctxflow.Analyzer,
 	lockhold.Analyzer,
+	obsmetrics.Analyzer,
 	sentinelcmp.Analyzer,
 	wireexhaustive.Analyzer,
 }

@@ -1,6 +1,9 @@
 package forkbase
 
-import "forkbase/internal/store"
+import (
+	"forkbase/internal/store"
+	"forkbase/internal/wire"
+)
 
 // DropChunkCacheForTest replaces the client chunk cache with an empty
 // one, simulating a cache that lost its contents between attaching a
@@ -10,4 +13,12 @@ func (rs *RemoteStore) DropChunkCacheForTest() {
 	if rs.local != nil {
 		rs.local = store.NewCache(store.NewMemStore(), 64<<20)
 	}
+}
+
+// DropServerStatsFeatureForTest clears FeatureServerStats from the
+// client's view of the server's Hello, simulating a peer that predates
+// the stats op. ServerStats must then degrade gracefully: a local
+// ErrUnsupported, no bytes on the wire.
+func (rs *RemoteStore) DropServerStatsFeatureForTest() {
+	rs.features.Store(rs.features.Load() &^ wire.FeatureServerStats)
 }

@@ -45,9 +45,11 @@ import (
 	"forkbase/internal/chunk"
 	"forkbase/internal/core"
 	"forkbase/internal/merge"
+	"forkbase/internal/obs"
 	"forkbase/internal/postree"
 	"forkbase/internal/store"
 	"forkbase/internal/types"
+	"forkbase/internal/wire"
 )
 
 // ParseUID decodes the 64-character hexadecimal form of a UID.
@@ -152,6 +154,10 @@ var (
 	// ErrNotCollectable reports a GC call against a store whose
 	// bottom layer cannot reclaim chunks.
 	ErrNotCollectable = store.ErrNotCollectable
+	// ErrUnsupported reports a request the remote peer does not serve
+	// (a pre-stats server asked for ServerStats, a proxy backend asked
+	// for chunk ops).
+	ErrUnsupported = wire.ErrUnsupported
 )
 
 // DefaultBranch is the branch used by the single-argument Get/Put.
@@ -167,6 +173,22 @@ type DB struct {
 	gcThreshold float64      // segment compaction threshold (0 = default)
 	autoGCEvery int          // run GC after this many branch removals
 	removals    atomic.Int64 // RemoveBranch calls since open
+
+	// reg is the engine/store metric registry (see metrics.go); the
+	// two histograms it owns that the engine feeds directly are cached
+	// here so the hot paths skip the registry lookup.
+	reg       *obs.Registry
+	gcPause   *obs.Histogram
+	fsyncHist *obs.Histogram
+}
+
+// initMetrics builds the DB's registry and its engine-fed histograms.
+// Sampled gauges close over db and only run at snapshot time, so
+// calling this before eng/jrnl are assigned is safe.
+func (db *DB) initMetrics() {
+	db.reg = newDBMetrics(db)
+	db.gcPause = db.reg.Histogram("forkbase_gc_pause_ns", "")
+	db.fsyncHist = db.reg.Histogram("forkbase_journal_fsync_ns", "")
 }
 
 // Options configures Open/OpenPath. A literal Options value can be
@@ -305,12 +327,14 @@ func (o Options) wrapStore(s store.Store) store.Store {
 // Open returns an in-memory ForkBase instance.
 func Open(opts ...OpenOption) *DB {
 	o := resolveOpenOpts(opts)
-	return &DB{
+	db := &DB{
 		eng:         core.NewEngine(o.wrapStore(store.NewMemStore()), o.treeConfig()),
 		acl:         o.ACL,
 		gcThreshold: o.GCThreshold,
 		autoGCEvery: o.AutoGCEvery,
 	}
+	db.initMetrics()
+	return db
 }
 
 // OpenPath returns a ForkBase instance persisted in dir using the
@@ -331,30 +355,34 @@ func OpenPath(dir string, opts ...OpenOption) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	db := &DB{
+		acl:         o.ACL,
+		gcThreshold: o.GCThreshold,
+		autoGCEvery: o.AutoGCEvery,
+	}
+	db.initMetrics()
 	j, err := branch.OpenJournal(dir, branch.JournalOptions{
 		Sync:          o.MetaSync,
 		SnapshotEvery: o.SnapshotEvery,
 		Barrier:       fs.Flush,
+		FsyncHist:     db.fsyncHist,
 	})
 	if err != nil {
 		fs.Close()
 		return nil, err
 	}
-	eng := core.NewEngine(o.wrapStore(fs), o.treeConfig())
-	eng.Recover(j)
-	return &DB{
-		eng:         eng,
-		acl:         o.ACL,
-		jrnl:        j,
-		gcThreshold: o.GCThreshold,
-		autoGCEvery: o.AutoGCEvery,
-	}, nil
+	db.jrnl = j
+	db.eng = core.NewEngine(o.wrapStore(fs), o.treeConfig())
+	db.eng.Recover(j)
+	return db, nil
 }
 
 // NewDBOn builds a DB over an arbitrary chunk store; used by the
 // cluster layer and by tests.
 func NewDBOn(s store.Store, cfg postree.Config) *DB {
-	return &DB{eng: core.NewEngine(s, cfg)}
+	db := &DB{eng: core.NewEngine(s, cfg)}
+	db.initMetrics()
+	return db
 }
 
 // Close releases the underlying store and metadata journal.

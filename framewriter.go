@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"forkbase/internal/obs"
 	"forkbase/internal/wire"
 )
 
@@ -42,15 +43,20 @@ const maxRetainedWrite = 1 << 20
 type frameWriter struct {
 	mu       sync.Mutex
 	w        io.Writer
-	onErr    func(error) // called once per failed flush, outside mu
+	count    *obs.Counter // outbound wire bytes, framing included; nil to skip
+	onErr    func(error)  // called once per failed flush, outside mu
 	pend     []byte
 	spare    []byte // retained empty buffer for pend's next swap
 	flushing bool
 	err      error // first write failure; sticky
 }
 
-func newFrameWriter(w io.Writer, onErr func(error)) *frameWriter {
-	return &frameWriter{w: w, onErr: onErr}
+// newFrameWriter wraps w. count, when non-nil, accumulates every byte
+// actually handed to w — the single choke point both ends route their
+// outbound wire accounting through, so no path (corked bursts, writev
+// frames) can escape the metric.
+func newFrameWriter(w io.Writer, count *obs.Counter, onErr func(error)) *frameWriter {
+	return &frameWriter{w: w, count: count, onErr: onErr}
 }
 
 // enqueue appends one frame without scheduling a flush. The caller
@@ -145,6 +151,14 @@ func (fw *frameWriter) takePend() []byte {
 	return buf
 }
 
+// wrote credits n bytes to the outbound counter. Called outside mu —
+// the counter is atomic and order does not matter for telemetry.
+func (fw *frameWriter) wrote(n int64) {
+	if fw.count != nil && n > 0 {
+		fw.count.Add(n)
+	}
+}
+
 // retire returns a drained buffer to spare duty. Caller holds mu.
 func (fw *frameWriter) retire(buf []byte) {
 	if fw.spare == nil && buf != nil && cap(buf) <= maxRetainedWrite {
@@ -160,14 +174,18 @@ func (fw *frameWriter) runFlush(first net.Buffers, firstBuf []byte) error {
 	var err error
 	if len(first) > 0 {
 		fw.mu.Unlock()
-		_, err = first.WriteTo(fw.w)
+		var n int64
+		n, err = first.WriteTo(fw.w)
+		fw.wrote(n)
 		fw.mu.Lock()
 		fw.retire(firstBuf)
 	}
 	for err == nil && len(fw.pend) > 0 {
 		buf := fw.takePend()
 		fw.mu.Unlock()
-		_, err = fw.w.Write(buf)
+		var n int
+		n, err = fw.w.Write(buf)
+		fw.wrote(int64(n))
 		fw.mu.Lock()
 		fw.retire(buf)
 	}

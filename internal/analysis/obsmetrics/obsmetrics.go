@@ -1,0 +1,131 @@
+// Package obsmetrics flags ad-hoc metric state declared outside
+// internal/obs.
+//
+// Invariant (PR 10): every metric lives in an obs.Registry, registered
+// as an obs.Counter, Gauge or Histogram (or a *Func sampling an
+// existing stat), so one snapshot covers the whole process and every
+// export surface — OpServerStats, /metrics, forkcli stats -server —
+// sees the same numbers. A bespoke package-level atomic counter, or a
+// Stats/Metrics/Counters struct built from raw atomics, is invisible
+// to all of them: it works in the one place that reads it and is dark
+// everywhere else. Two patterns are flagged:
+//
+//   - a package-level var of a sync/atomic numeric type (atomic.Int64
+//     and friends, or an array of them): a global counter nothing can
+//     scrape;
+//   - a struct type whose name ends in Stats, Metrics or Counters with
+//     sync/atomic fields: an ad-hoc instrument table shadowing the
+//     registry.
+//
+// Plain-integer snapshot structs (StoreStats, GCStats, JournalStats)
+// are untouched — they are return values, not live state — and
+// internal/obs itself is exempt: it is the one place atomics are the
+// point. Deliberate exceptions carry //forkvet:allow obsmetrics with a
+// reason.
+package obsmetrics
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"forkbase/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obsmetrics",
+	Doc:  "flags ad-hoc atomic metric state that should be an obs instrument",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if p := pass.Pkg.Path(); p == "internal/obs" || strings.HasSuffix(p, "/internal/obs") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.VAR:
+				checkVars(pass, gd)
+			case token.TYPE:
+				checkTypes(pass, gd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkVars flags package-level vars of atomic numeric types.
+func checkVars(pass *analysis.Pass, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok || obj.Parent() != pass.Pkg.Scope() {
+				continue
+			}
+			if isAtomicNumeric(obj.Type()) {
+				pass.Reportf(name.Pos(), "package-level atomic %s is an ad-hoc metric no export surface can see; register an obs.Counter/Gauge in a registry instead (PR 10)", name.Name)
+			}
+		}
+	}
+}
+
+// checkTypes flags Stats/Metrics/Counters structs built from raw
+// atomics.
+func checkTypes(pass *analysis.Pass, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok || !metricishName(ts.Name.Name) {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if !ok || !isAtomicNumeric(tv.Type) {
+				continue
+			}
+			pass.Reportf(ts.Name.Pos(), "%s aggregates raw atomic fields into an ad-hoc instrument table; build it from obs.Counter/Gauge/Histogram so snapshots and export surfaces see it (PR 10)", ts.Name.Name)
+			break
+		}
+	}
+}
+
+func metricishName(name string) bool {
+	return strings.HasSuffix(name, "Stats") ||
+		strings.HasSuffix(name, "Metrics") ||
+		strings.HasSuffix(name, "Counters")
+}
+
+// isAtomicNumeric reports whether t is one of sync/atomic's numeric
+// types (or an array of them) — counter-shaped state. atomic.Value and
+// atomic.Pointer are not metrics and stay legal.
+func isAtomicNumeric(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return isAtomicNumeric(arr.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch obj.Name() {
+	case "Int32", "Int64", "Uint32", "Uint64", "Uintptr":
+		return true
+	}
+	return false
+}

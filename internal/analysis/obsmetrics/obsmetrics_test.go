@@ -1,0 +1,11 @@
+package obsmetrics
+
+import (
+	"testing"
+
+	"forkbase/internal/analysis/analysistest"
+)
+
+func TestObsmetrics(t *testing.T) {
+	analysistest.Run(t, Analyzer, "obsmetrics", "internal/obs")
+}

@@ -1,0 +1,18 @@
+// Package obs (fixture) stands in for the real internal/obs: the one
+// package where raw atomics ARE the metric implementation, exempt from
+// the analyzer by import-path suffix.
+package obs
+
+import "sync/atomic"
+
+// No diagnostics anywhere in this package.
+var totalObservations atomic.Int64
+
+type shardCounters struct {
+	shards [16]atomic.Int64
+}
+
+func bump(c *shardCounters) {
+	c.shards[0].Add(1)
+	totalObservations.Add(1)
+}

@@ -1,0 +1,74 @@
+package fixture
+
+import "sync/atomic"
+
+// Package-level atomic counters are invisible metrics.
+var requestCount atomic.Int64 // want `register an obs\.Counter/Gauge`
+
+var (
+	hits   atomic.Uint64 // want `register an obs\.Counter/Gauge`
+	misses atomic.Uint64 // want `register an obs\.Counter/Gauge`
+)
+
+var perOp [8]atomic.Int64 // want `register an obs\.Counter/Gauge`
+
+// Ad-hoc instrument tables shadow the registry.
+type serverStats struct { // want `build it from obs\.Counter/Gauge/Histogram`
+	reqs atomic.Int64
+	errs atomic.Int64
+}
+
+type PoolMetrics struct { // want `build it from obs\.Counter/Gauge/Histogram`
+	busy atomic.Int32
+	name string
+}
+
+type hitCounters struct { // want `build it from obs\.Counter/Gauge/Histogram`
+	byShard [16]atomic.Uint64
+}
+
+// Plain-integer snapshot structs are return values, not live state.
+type StoreStats struct {
+	Puts int64
+	Gets int64
+}
+
+// A name without the metric suffix is not an instrument table — the
+// atomics may be concurrency machinery, not metrics.
+type connState struct {
+	inFlight atomic.Int32
+}
+
+// atomic.Value/Pointer/Bool are not counter-shaped.
+var config atomic.Value
+
+// Locals are workers' scratch state, not scrape targets.
+func count() int64 {
+	var n atomic.Int64
+	n.Add(1)
+	return n.Load()
+}
+
+// Deliberate exceptions carry an allow with a reason.
+//
+//forkvet:allow obsmetrics — fixture: negative case
+var legacyGauge atomic.Int64
+
+type exemptStats struct { //forkvet:allow obsmetrics — fixture: negative case
+	n atomic.Int64
+}
+
+func use() {
+	requestCount.Add(1)
+	hits.Add(1)
+	misses.Add(1)
+	perOp[0].Add(1)
+	legacyGauge.Add(1)
+	_ = serverStats{}
+	_ = PoolMetrics{}
+	_ = hitCounters{}
+	_ = StoreStats{}
+	_ = connState{}
+	_ = exemptStats{}
+	_ = config.Load()
+}

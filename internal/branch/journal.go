@@ -36,7 +36,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
+	"forkbase/internal/obs"
 	"forkbase/internal/types"
 )
 
@@ -118,6 +120,10 @@ type JournalOptions struct {
 	// recorded in the WAL always resolves to chunks at least as
 	// durable as the record itself.
 	Barrier func() error
+	// FsyncHist, when set, receives the duration of every per-record
+	// fsync (Sync mode only) — the journal's contribution to write
+	// latency, exported through the owning DB's metric registry.
+	FsyncHist *obs.Histogram
 }
 
 // Journal is the file-backed Sink: an append-only WAL of branch/pin
@@ -341,9 +347,13 @@ func (j *Journal) Record(op Op) error {
 	j.walBytes += int64(len(frame))
 	j.sinceSnap++
 	if j.opts.Sync {
+		start := time.Now()
 		//forkvet:allow lockhold — fsync under j.mu is the point: journal order is apply order, so the barrier must complete before the next Record (PR 4)
 		if err := j.f.Sync(); err != nil {
 			return fmt.Errorf("branch: journal sync: %w", err)
+		}
+		if j.opts.FsyncHist != nil {
+			j.opts.FsyncHist.ObserveSince(start)
 		}
 	}
 	if j.every > 0 && j.sinceSnap >= j.every {

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WriteProm renders samples in the Prometheus text exposition format
+// (version 0.0.4). Samples must already be sorted (Snapshot and
+// MergeSamples guarantee it) so that all series of one metric name are
+// adjacent and the # TYPE line is emitted exactly once per name.
+// Histograms expand into the conventional _bucket/_sum/_count series
+// with cumulative bucket counts and an le label per bound.
+func WriteProm(w io.Writer, samples []Sample) error {
+	prevName := ""
+	for _, s := range samples {
+		if s.Name != prevName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, promType(s.Kind)); err != nil {
+				return err
+			}
+			prevName = s.Name
+		}
+		var err error
+		switch s.Kind {
+		case KindHistogram:
+			err = writePromHistogram(w, s)
+		default:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", s.Name, promLabels(s.Tags, ""), s.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promType(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// promLabels splices a pre-rendered tag string and an extra label into
+// one {...} block, or nothing when both are empty.
+func promLabels(tags, extra string) string {
+	switch {
+	case tags == "" && extra == "":
+		return ""
+	case tags == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + tags + "}"
+	default:
+		return "{" + tags + "," + extra + "}"
+	}
+}
+
+func writePromHistogram(w io.Writer, s Sample) error {
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		le := "+Inf"
+		if i < NumBuckets-1 {
+			le = strconv.FormatInt(BucketBound(i), 10)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, promLabels(s.Tags, `le="`+le+`"`), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", s.Name, promLabels(s.Tags, ""), s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Tags, ""), s.Value)
+	return err
+}
+
+// Handler returns an http.Handler serving the snapshot produced by fn
+// as Prometheus text — the /metrics endpoint behind forkserved's
+// -debug-addr listener.
+func Handler(fn func() []Sample) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, fn())
+	})
+}

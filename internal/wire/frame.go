@@ -114,7 +114,14 @@ const (
 	// error — so per-request error isolation survives streaming.
 	// Clients never send it.
 	OpChunkWantPart
-	opMax
+	// OpServerStats returns the server's observability snapshot — the
+	// per-op request counters, latency histograms and engine metrics of
+	// internal/obs, encoded with EncodeSamples. Feature-gated behind
+	// FeatureServerStats; pre-feature servers answer ErrUnsupported.
+	OpServerStats
+	// OpMax is one past the highest assigned code — the bound both ends
+	// use to size per-op metric tables.
+	OpMax
 )
 
 // Hello feature bits. The server's Hello response advertises a bitmask
@@ -131,11 +138,16 @@ const (
 	// back to classic prefix answering (whose decoder ignores the
 	// absent trailing byte by construction).
 	FeatureWantStream uint32 = 1 << 1
+	// FeatureServerStats marks a server that answers OpServerStats with
+	// its observability snapshot. Clients without the bit never send the
+	// op; clients seeing a server without it fail the call locally with
+	// ErrUnsupported instead of burning a round trip.
+	FeatureServerStats uint32 = 1 << 2
 )
 
 // KnownOp reports whether op names an operation this protocol version
 // understands.
-func KnownOp(op uint8) bool { return op >= OpHello && op < opMax }
+func KnownOp(op uint8) bool { return op >= OpHello && op < OpMax }
 
 // MaxPayload returns the largest payload a frame can carry under the
 // given cap (0 means DefaultMaxFrame). Writers must check against it

@@ -1,0 +1,164 @@
+package forkbase
+
+// Server-side observability: every request the server dispatches is
+// counted, timed and classified through internal/obs instruments that
+// are resolved once at construction and indexed by op code — the hot
+// path does array loads and atomic adds, nothing else. The snapshot
+// surface (OpServerStats, forkserved -debug-addr) merges the server's
+// registry with its backend DB's, so one scrape sees the wire layer
+// and the engine together.
+
+import (
+	"time"
+
+	"forkbase/internal/obs"
+	"forkbase/internal/wire"
+)
+
+// MetricSample is one metric's state in an observability snapshot.
+// Alias of the internal obs.Sample so CLI tooling and embedding
+// applications can consume snapshots without reaching into internal
+// packages.
+type MetricSample = obs.Sample
+
+// Indexes into serverMetrics.chunksync.
+const (
+	csHave = iota
+	csWant
+	csSend
+	csStream
+	csOps
+)
+
+// serverMetrics is the server's instrument table: per-op arrays sized
+// by wire.OpMax so the dispatch path indexes by op code without a map
+// lookup or allocation.
+type serverMetrics struct {
+	reqs    [wire.OpMax]*obs.Counter
+	errs    [wire.OpMax]*obs.Counter
+	lat     [wire.OpMax]*obs.Histogram
+	errCode [wire.NumErrorCodes]*obs.Counter
+
+	inflight *obs.Gauge
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+	putBatch *obs.Histogram
+
+	// chunksync byte counters, one per transfer direction: ids
+	// negotiated (have), chunk bytes answered classically (want),
+	// admitted on upload (send) and shipped in want-part frames
+	// (stream).
+	chunksync [csOps]*obs.Counter
+}
+
+func (m *serverMetrics) init(r *obs.Registry) {
+	for op := wire.OpHello; op < wire.OpMax; op++ {
+		tag := `op="` + wire.OpName(op) + `"`
+		m.reqs[op] = r.Counter("forkbase_server_requests_total", tag)
+		m.errs[op] = r.Counter("forkbase_server_request_errors_total", tag)
+		m.lat[op] = r.Histogram("forkbase_server_latency_ns", tag)
+	}
+	for code := uint8(0); code < wire.NumErrorCodes; code++ {
+		m.errCode[code] = r.Counter("forkbase_server_errors_by_code_total", `code="`+wire.CodeName(code)+`"`)
+	}
+	m.inflight = r.Gauge("forkbase_server_inflight_requests", "")
+	m.bytesIn = r.Counter("forkbase_server_wire_bytes_total", `dir="in"`)
+	m.bytesOut = r.Counter("forkbase_server_wire_bytes_total", `dir="out"`)
+	m.putBatch = r.Histogram("forkbase_server_put_batch_size", "")
+	for i, dir := range []string{"have", "want", "send", "stream"} {
+		m.chunksync[i] = r.Counter("forkbase_server_chunksync_bytes_total", `op="`+dir+`"`)
+	}
+}
+
+// observe records one dispatched request: count, latency, error
+// classification (the response payload's status byte and wire code),
+// and the threshold-gated slow-op log line. Zero allocations unless
+// the slow-op line actually fires.
+func (s *Server) observe(sc *serverConn, op uint8, start time.Time, resp []byte) {
+	s.observeDur(sc, op, time.Since(start), resp)
+}
+
+// observeDur is observe with the duration already taken — the batched
+// put path times the whole batch once instead of calling time.Since
+// per member.
+func (s *Server) observeDur(sc *serverConn, op uint8, d time.Duration, resp []byte) {
+	s.met.reqs[op].Inc()
+	s.met.lat[op].Observe(int64(d))
+	if len(resp) > 0 && resp[0] == 1 {
+		s.met.errs[op].Inc()
+		if len(resp) > 1 && resp[1] < wire.NumErrorCodes {
+			s.met.errCode[resp[1]].Inc()
+		}
+	}
+	if t := s.opts.SlowOpThreshold; t > 0 && d >= t {
+		status := "ok"
+		if len(resp) > 0 && resp[0] == 1 {
+			status = "error"
+			if len(resp) > 1 {
+				status = "error=" + wire.CodeName(resp[1])
+			}
+		}
+		s.logf("forkserved: slow op %s from %s: %v (threshold %v, %s)",
+			wire.OpName(op), sc.c.RemoteAddr(), d, t, status)
+	}
+}
+
+// reqDone releases one admitted request. The drain WaitGroup and the
+// in-flight gauge move together here, always — a site calling one
+// without the other would skew the gauge for the server's lifetime.
+func (s *Server) reqDone() {
+	s.met.inflight.Add(-1)
+	s.inflight.Done()
+}
+
+// Metrics returns the server's own registry: per-op request counters
+// and latency histograms, wire byte counters, in-flight gauge, queue
+// depth. Engine metrics live on the backend DB's registry; use
+// MetricsSnapshot for the merged view.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// MetricsSnapshot returns the merged observability snapshot — the
+// server's registry plus the backend DB's (when the backend is an
+// embedded *DB) — sorted by metric name then tags. This is the body
+// of an OpServerStats response and of forkserved's /metrics page.
+func (s *Server) MetricsSnapshot() []MetricSample {
+	if db, ok := s.st.(*DB); ok {
+		return obs.MergeSamples(s.reg.Snapshot(), db.reg.Snapshot())
+	}
+	return s.reg.Snapshot()
+}
+
+// newDBMetrics builds a DB's registry: engine and store gauges
+// re-homed from the ad-hoc stat structs (sampled at snapshot time, so
+// the hot path pays nothing it was not already paying), plus the GC
+// pause and journal fsync histograms the engine feeds directly.
+func newDBMetrics(db *DB) *obs.Registry {
+	r := obs.NewRegistry()
+	stat := func(f func(StoreStats) int64) func() int64 {
+		return func() int64 { return f(db.Stats()) }
+	}
+	r.CounterFunc("forkbase_store_puts_total", "", stat(func(s StoreStats) int64 { return s.Puts }))
+	r.CounterFunc("forkbase_store_gets_total", "", stat(func(s StoreStats) int64 { return s.Gets }))
+	r.CounterFunc("forkbase_store_dup_chunks_total", "", stat(func(s StoreStats) int64 { return s.Dups }))
+	r.CounterFunc("forkbase_store_dup_bytes_total", "", stat(func(s StoreStats) int64 { return s.DupBytes }))
+	r.CounterFunc("forkbase_store_read_bytes_total", "", stat(func(s StoreStats) int64 { return s.ReadBytes }))
+	r.CounterFunc("forkbase_store_cache_hits_total", "", stat(func(s StoreStats) int64 { return s.CacheHits }))
+	r.CounterFunc("forkbase_store_cache_misses_total", "", stat(func(s StoreStats) int64 { return s.CacheMisses }))
+	r.CounterFunc("forkbase_store_cache_evictions_total", "", stat(func(s StoreStats) int64 { return s.CacheEvictions }))
+	r.GaugeFunc("forkbase_store_cache_bytes", "", stat(func(s StoreStats) int64 { return s.CacheBytes }))
+	r.GaugeFunc("forkbase_store_chunks", "", stat(func(s StoreStats) int64 { return int64(s.Chunks) }))
+	r.GaugeFunc("forkbase_store_bytes", "", stat(func(s StoreStats) int64 { return s.Bytes }))
+	r.GaugeFunc("forkbase_meta_wal_bytes", "", func() int64 {
+		ms, ok := db.MetaStats()
+		if !ok {
+			return 0
+		}
+		return ms.WALBytes
+	})
+	return r
+}
+
+// MetricsSnapshot returns the DB's engine/store metrics, sorted. For
+// a DB behind a Server the server's MetricsSnapshot already includes
+// these.
+func (db *DB) MetricsSnapshot() []MetricSample { return db.reg.Snapshot() }

@@ -1,0 +1,224 @@
+package forkbase_test
+
+// Observability end-to-end: the OpServerStats round trip, graceful
+// degradation against pre-stats peers, the WireStats shim's agreement
+// with the obs counters on both ends, and the slow-op log.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"forkbase"
+	"forkbase/internal/obs"
+)
+
+// sampleValue finds one sample by name and tags; ok reports presence.
+func sampleValue(samples []forkbase.MetricSample, name, tags string) (forkbase.MetricSample, bool) {
+	for _, s := range samples {
+		if s.Name == name && s.Tags == tags {
+			return s, true
+		}
+	}
+	return forkbase.MetricSample{}, false
+}
+
+// TestObsServerStatsRoundTrip drives real traffic at a live server and
+// reads the merged snapshot back over the wire: per-op counters and
+// latency histograms from the server registry, store metrics from the
+// embedded DB's.
+func TestObsServerStatsRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	addr, _ := startServer(t, forkbase.Open(), forkbase.ServerOptions{})
+	rs, err := forkbase.Dial(addr, forkbase.RemoteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	const puts = 5
+	for i := 0; i < puts; i++ {
+		if _, err := rs.Put(ctx, "k", forkbase.String(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rs.Get(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Get(ctx, "no such key"); err == nil {
+		t.Fatal("expected an error for a missing key")
+	}
+
+	samples, err := rs.ServerStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := sampleValue(samples, "forkbase_server_requests_total", `op="put"`); !ok || s.Value < puts {
+		t.Fatalf("put request counter = %+v (present=%v), want >= %d", s, ok, puts)
+	}
+	if s, ok := sampleValue(samples, "forkbase_server_requests_total", `op="get"`); !ok || s.Value < 2 {
+		t.Fatalf("get request counter = %+v (present=%v), want >= 2", s, ok)
+	}
+	if s, ok := sampleValue(samples, "forkbase_server_request_errors_total", `op="get"`); !ok || s.Value < 1 {
+		t.Fatalf("get error counter = %+v (present=%v), want >= 1", s, ok)
+	}
+	if s, ok := sampleValue(samples, "forkbase_server_errors_by_code_total", `code="key_not_found"`); !ok || s.Value < 1 {
+		t.Fatalf("key_not_found code counter = %+v (present=%v), want >= 1", s, ok)
+	}
+	lat, ok := sampleValue(samples, "forkbase_server_latency_ns", `op="put"`)
+	if !ok || lat.Kind != obs.KindHistogram {
+		t.Fatalf("put latency histogram missing or wrong kind: %+v (present=%v)", lat, ok)
+	}
+	if lat.Value < puts || lat.Sum <= 0 || lat.Quantile(0.5) <= 0 {
+		t.Fatalf("put latency histogram not populated: count=%d sum=%d p50=%d", lat.Value, lat.Sum, lat.Quantile(0.5))
+	}
+	// The embedded DB's engine/store metrics ride the same snapshot.
+	if s, ok := sampleValue(samples, "forkbase_store_puts_total", ""); !ok || s.Value <= 0 {
+		t.Fatalf("store puts counter = %+v (present=%v), want > 0", s, ok)
+	}
+	// Wire byte counters move in both directions.
+	for _, dir := range []string{`dir="in"`, `dir="out"`} {
+		if s, ok := sampleValue(samples, "forkbase_server_wire_bytes_total", dir); !ok || s.Value <= 0 {
+			t.Fatalf("server wire bytes %s = %+v (present=%v), want > 0", dir, s, ok)
+		}
+	}
+	// Snapshots are sorted by name then tags — stable scrape output.
+	for i := 1; i < len(samples); i++ {
+		a, b := samples[i-1], samples[i]
+		if a.Name > b.Name || (a.Name == b.Name && a.Tags > b.Tags) {
+			t.Fatalf("snapshot out of order at %d: %s/%s after %s/%s", i, b.Name, b.Tags, a.Name, a.Tags)
+		}
+	}
+}
+
+// TestObsServerStatsPreFeature simulates a peer that predates the
+// stats op: the call must fail locally with ErrUnsupported, without
+// touching the wire.
+func TestObsServerStatsPreFeature(t *testing.T) {
+	ctx := context.Background()
+	addr, _ := startServer(t, forkbase.Open(), forkbase.ServerOptions{})
+	rs, err := forkbase.Dial(addr, forkbase.RemoteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	rs.DropServerStatsFeatureForTest()
+	before := rs.WireStats()
+	if _, err := rs.ServerStats(ctx); !errors.Is(err, forkbase.ErrUnsupported) {
+		t.Fatalf("ServerStats against a pre-stats peer: err = %v, want ErrUnsupported", err)
+	}
+	if after := rs.WireStats(); after.BytesSent != before.BytesSent {
+		t.Fatalf("ServerStats moved %d bytes against a pre-stats peer; must fail locally", after.BytesSent-before.BytesSent)
+	}
+}
+
+// TestObsWireBytesAgree cross-checks the byte accounting end to end:
+// the client's deprecated WireStats shim must agree with its obs
+// counters, and — since every frame either end writes passes through
+// one counted chokepoint — the client's sent bytes must equal the
+// server's received bytes and vice versa once the connection is idle.
+func TestObsWireBytesAgree(t *testing.T) {
+	ctx := context.Background()
+	addr, srv := startServer(t, forkbase.Open(), forkbase.ServerOptions{})
+	rs, err := forkbase.Dial(addr, forkbase.RemoteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	for i := 0; i < 8; i++ {
+		if _, err := rs.Put(ctx, "k", forkbase.String(strings.Repeat("x", 100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rs.Get(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+
+	ws := rs.WireStats()
+	if ws.BytesSent <= 0 || ws.BytesReceived <= 0 {
+		t.Fatalf("WireStats = %+v, want both positive", ws)
+	}
+	cs := rs.MetricsSnapshot()
+	if s, ok := sampleValue(cs, "forkbase_client_wire_bytes_total", `dir="out"`); !ok || s.Value != ws.BytesSent {
+		t.Fatalf("client out counter = %+v (present=%v), want %d (WireStats shim must read the obs counters)", s, ok, ws.BytesSent)
+	}
+	if s, ok := sampleValue(cs, "forkbase_client_wire_bytes_total", `dir="in"`); !ok || s.Value != ws.BytesReceived {
+		t.Fatalf("client in counter = %+v (present=%v), want %d", s, ok, ws.BytesReceived)
+	}
+	if s, ok := sampleValue(cs, "forkbase_client_requests_total", `op="put"`); !ok || s.Value < 8 {
+		t.Fatalf("client put counter = %+v (present=%v), want >= 8", s, ok)
+	}
+	if s, ok := sampleValue(cs, "forkbase_client_latency_ns", `op="put"`); !ok || s.Kind != obs.KindHistogram || s.Value < 8 {
+		t.Fatalf("client put latency = %+v (present=%v), want histogram with >= 8 observations", s, ok)
+	}
+
+	// Both ends count at their socket chokepoints, so with all
+	// responses received the totals must meet exactly. The client's
+	// flusher increments its counter just after the write syscall
+	// returns, so allow a brief settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ws = rs.WireStats()
+		ss := srv.MetricsSnapshot()
+		in, _ := sampleValue(ss, "forkbase_server_wire_bytes_total", `dir="in"`)
+		out, _ := sampleValue(ss, "forkbase_server_wire_bytes_total", `dir="out"`)
+		if ws.BytesSent == in.Value && ws.BytesReceived == out.Value {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("byte accounting disagrees: client sent=%d server in=%d; client recv=%d server out=%d",
+				ws.BytesSent, in.Value, ws.BytesReceived, out.Value)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestObsSlowOpLog sets an absurdly low threshold so every op is slow,
+// and checks the log line carries the op name, duration and status.
+func TestObsSlowOpLog(t *testing.T) {
+	ctx := context.Background()
+	var mu sync.Mutex
+	var lines []string
+	opts := forkbase.ServerOptions{
+		SlowOpThreshold: time.Nanosecond,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	}
+	addr, _ := startServer(t, forkbase.Open(), opts)
+	rs, err := forkbase.Dial(addr, forkbase.RemoteConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	if _, err := rs.Put(ctx, "k", forkbase.String("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Get(ctx, "missing"); err == nil {
+		t.Fatal("expected an error for a missing key")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	var sawOK, sawErr bool
+	for _, l := range lines {
+		if strings.Contains(l, "slow op put") && strings.Contains(l, "ok") {
+			sawOK = true
+		}
+		if strings.Contains(l, "slow op get") && strings.Contains(l, "error=key_not_found") {
+			sawErr = true
+		}
+	}
+	if !sawOK || !sawErr {
+		t.Fatalf("slow-op log missing expected lines (ok=%v err=%v): %q", sawOK, sawErr, lines)
+	}
+}

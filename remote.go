@@ -12,6 +12,7 @@ import (
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/chunksync"
+	"forkbase/internal/obs"
 	"forkbase/internal/postree"
 	"forkbase/internal/store"
 	"forkbase/internal/types"
@@ -66,9 +67,53 @@ type RemoteConfig struct {
 // WireStats counts bytes moved over the connection pool since Dial,
 // framing included. The versioned-workload benchmark and the delta-
 // transfer tests use it to prove chunk sync's bytes-on-wire claim.
+//
+// Deprecated: WireStats is a shim over the client metrics registry —
+// the same two counters appear in MetricsSnapshot as
+// forkbase_client_wire_bytes_total{dir="out"|"in"}, alongside per-op
+// call counts and latency histograms.
 type WireStats struct {
 	BytesSent     int64
 	BytesReceived int64
+}
+
+// clientMetrics is the client's instrument table, the mirror of the
+// server's serverMetrics: per-op arrays sized by wire.OpMax so the
+// call path indexes by op code without a map lookup or allocation.
+type clientMetrics struct {
+	reqs [wire.OpMax]*obs.Counter
+	errs [wire.OpMax]*obs.Counter
+	lat  [wire.OpMax]*obs.Histogram
+
+	// bytesSent/bytesRecv count every byte on the pool's sockets,
+	// framing included. Outbound is counted by the frame writer at the
+	// flush syscall — the one chokepoint all frames pass through,
+	// including streamed want parts — and inbound by the read loop, so
+	// the pair cannot drift from what actually moved.
+	bytesSent *obs.Counter
+	bytesRecv *obs.Counter
+}
+
+func (m *clientMetrics) init(r *obs.Registry) {
+	for op := wire.OpHello; op < wire.OpMax; op++ {
+		tag := `op="` + wire.OpName(op) + `"`
+		m.reqs[op] = r.Counter("forkbase_client_requests_total", tag)
+		m.errs[op] = r.Counter("forkbase_client_request_errors_total", tag)
+		m.lat[op] = r.Histogram("forkbase_client_latency_ns", tag)
+	}
+	m.bytesSent = r.Counter("forkbase_client_wire_bytes_total", `dir="out"`)
+	m.bytesRecv = r.Counter("forkbase_client_wire_bytes_total", `dir="in"`)
+}
+
+// observe records one finished call attempt: local failures (dial,
+// cancellation, frame-cap rejections) count as errors exactly like
+// server-typed ones — from the caller's seat both are failed calls.
+func (m *clientMetrics) observe(op uint8, start time.Time, isErr bool) {
+	m.reqs[op].Inc()
+	m.lat[op].ObserveSince(start)
+	if isErr {
+		m.errs[op].Inc()
+	}
 }
 
 // RemoteStore is the network Store implementation: the same client
@@ -109,8 +154,10 @@ type RemoteStore struct {
 	local   store.Store
 	treeCfg postree.Config
 
-	bytesSent atomic.Int64
-	bytesRecv atomic.Int64
+	// reg holds the client-side instruments (cm resolves into it once
+	// at Dial); see Metrics and MetricsSnapshot.
+	reg *obs.Registry
+	cm  clientMetrics
 
 	mu     sync.Mutex
 	conns  []*remoteConn // fixed-size pool; nil slots dial lazily
@@ -128,6 +175,8 @@ func Dial(addr string, cfg RemoteConfig) (*RemoteStore, error) {
 		cfg.DialTimeout = 10 * time.Second
 	}
 	rs := &RemoteStore{addr: addr, cfg: cfg, conns: make([]*remoteConn, cfg.Conns), treeCfg: postree.DefaultConfig()}
+	rs.reg = obs.NewRegistry()
+	rs.cm.init(rs.reg)
 	if cfg.ChunkSync || cfg.ChunkCacheDir != "" {
 		cacheBytes := cfg.ChunkCacheBytes
 		if cacheBytes <= 0 {
@@ -151,8 +200,41 @@ func Dial(addr string, cfg RemoteConfig) (*RemoteStore, error) {
 }
 
 // WireStats reports bytes moved over the pool since Dial.
+//
+// Deprecated: read forkbase_client_wire_bytes_total from
+// MetricsSnapshot instead; this accessor remains for existing callers.
 func (rs *RemoteStore) WireStats() WireStats {
-	return WireStats{BytesSent: rs.bytesSent.Load(), BytesReceived: rs.bytesRecv.Load()}
+	return WireStats{BytesSent: rs.cm.bytesSent.Value(), BytesReceived: rs.cm.bytesRecv.Value()}
+}
+
+// Metrics returns the client-side instrument registry: per-op call
+// counters and latency histograms plus wire byte counters, all scoped
+// to this RemoteStore's connection pool.
+func (rs *RemoteStore) Metrics() *obs.Registry { return rs.reg }
+
+// MetricsSnapshot returns the client-side metrics, sorted by name then
+// tags. For the server's view of the same traffic, see ServerStats.
+func (rs *RemoteStore) MetricsSnapshot() []MetricSample { return rs.reg.Snapshot() }
+
+// ServerStats fetches the server's live observability snapshot — per-op
+// request counts and latency histograms, wire and chunksync byte
+// counters, and (for embedded-DB backends) engine and store metrics.
+// Servers predating the stats op do not advertise wire.FeatureServerStats
+// in their Hello; the call then fails locally with ErrUnsupported,
+// before any bytes move.
+func (rs *RemoteStore) ServerStats(ctx context.Context) ([]MetricSample, error) {
+	if rs.features.Load()&wire.FeatureServerStats == 0 {
+		return nil, fmt.Errorf("forkbase: server does not advertise per-op metrics (pre-stats forkserved): %w", wire.ErrUnsupported)
+	}
+	d, ep, err := rs.call(ctx, wire.OpServerStats, okStatsPayload())
+	if err != nil {
+		return nil, err
+	}
+	if ep != nil {
+		return nil, ep.Err
+	}
+	samples := wire.DecodeSamples(d)
+	return samples, d.Err()
 }
 
 // chunkSyncOn reports whether chunk-granular transfer is active: the
@@ -228,14 +310,16 @@ func (rs *RemoteStore) dial() (*remoteConn, error) {
 		br:       bufio.NewReaderSize(nc, connBufSize),
 		maxFrame: rs.cfg.MaxFrame,
 		pending:  make(map[uint64]pendingCall),
-		sent:     &rs.bytesSent,
-		recv:     &rs.bytesRecv,
+		recv:     rs.cm.bytesRecv,
 	}
 	// A write failure anywhere fails the whole connection: pending
-	// calls get the error instead of hanging.
-	c.fw = newFrameWriter(nc, func(err error) { c.fail(err) })
+	// calls get the error instead of hanging. The frame writer also
+	// counts outbound bytes at the flush syscall — the one chokepoint
+	// every frame passes through.
+	c.fw = newFrameWriter(nc, rs.cm.bytesSent, func(err error) { c.fail(err) })
 	// Hello is synchronous: the reader starts only once the handshake
 	// frame has been consumed.
+	start := time.Now()
 	var e wire.Enc
 	e.U32(wire.ProtoVersion)
 	e.Str(rs.cfg.AuthToken)
@@ -270,6 +354,7 @@ func (rs *RemoteStore) dial() (*remoteConn, error) {
 		features = d.U32()
 	}
 	rs.features.Store(features)
+	rs.cm.observe(wire.OpHello, start, false)
 	go c.readLoop()
 	return c, nil
 }
@@ -287,9 +372,10 @@ type remoteConn struct {
 	fw       *frameWriter
 	maxFrame int
 
-	// sent/recv point at the owning RemoteStore's wire-byte counters.
-	sent *atomic.Int64
-	recv *atomic.Int64
+	// recv points at the owning RemoteStore's inbound wire-byte
+	// counter; the outbound twin lives inside fw, which counts at the
+	// flush syscall.
+	recv *obs.Counter
 
 	mu      sync.Mutex
 	pending map[uint64]pendingCall
@@ -420,11 +506,7 @@ func (c *remoteConn) unregister(id uint64) {
 }
 
 func (c *remoteConn) write(id uint64, op uint8, payload []byte) error {
-	if err := c.fw.writeFrame(id, op, payload); err != nil {
-		return err
-	}
-	c.sent.Add(frameWireBytes + int64(len(payload)))
-	return nil
+	return c.fw.writeFrame(id, op, payload)
 }
 
 // call performs one request/response exchange. Exactly one of the
@@ -441,7 +523,9 @@ func (rs *RemoteStore) call(ctx context.Context, op uint8, payload []byte) (*wir
 // that negotiated them, so a commit arriving on a different connection
 // would not release them (and a mid-upload disconnect could not be
 // told apart from a still-negotiating client).
-func (rs *RemoteStore) callSlot(ctx context.Context, slot uint64, op uint8, payload []byte) (*wire.Dec, *wire.ErrorPayload, error) {
+func (rs *RemoteStore) callSlot(ctx context.Context, slot uint64, op uint8, payload []byte) (d *wire.Dec, ep *wire.ErrorPayload, err error) {
+	start := time.Now()
+	defer func() { rs.cm.observe(op, start, err != nil || ep != nil) }()
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -918,7 +1002,11 @@ func (rs *RemoteStore) wantStreamOn() bool {
 // roots whose whole reachable subtrees are wanted. sink runs on this
 // goroutine; a ChunkFrame's Bytes are backed by the frame's own
 // buffer and may be retained. Returns how many chunks arrived.
-func (rs *RemoteStore) chunkWantStream(ctx context.Context, user, key string, ids []chunk.ID, deep bool, sink func(f wire.ChunkFrame) error) (int, error) {
+func (rs *RemoteStore) chunkWantStream(ctx context.Context, user, key string, ids []chunk.ID, deep bool, sink func(f wire.ChunkFrame) error) (got int, retErr error) {
+	// Stream calls bypass callSlot, so they record their own per-op
+	// sample; the whole stream is one logical OpChunkWant call.
+	start := time.Now()
+	defer func() { rs.cm.observe(wire.OpChunkWant, start, retErr != nil) }()
 	e := chunkOpts(user, key)
 	wire.EncodeUIDs(e, ids)
 	flags := wire.WantFlagStream
@@ -947,7 +1035,6 @@ func (rs *RemoteStore) chunkWantStream(ctx context.Context, user, key string, id
 		c.fail(err)
 		return 0, err
 	}
-	got := 0
 	// abort walks away mid-stream: tell the server to stop paying for
 	// it, and hand the registration to a reaper so the read loop can
 	// keep delivering (and discarding) whatever is already in flight

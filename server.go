@@ -14,6 +14,7 @@ import (
 
 	"forkbase/internal/chunk"
 	"forkbase/internal/core"
+	"forkbase/internal/obs"
 	"forkbase/internal/postree"
 	"forkbase/internal/store"
 	"forkbase/internal/types"
@@ -63,6 +64,12 @@ type ServerOptions struct {
 	// so the pool sizes against slow requests (deep Track walks, big
 	// Values), not request rate.
 	Workers int
+	// SlowOpThreshold, when positive, logs (via Logf) every dispatched
+	// request whose execution exceeds it — op name, peer address,
+	// duration and error class — so tail-latency outliers in the
+	// histograms are attributable to something. 0 disables the log;
+	// the latency histograms record regardless.
+	SlowOpThreshold time.Duration
 }
 
 // chunkBackend is the optional capability a wrapped store can expose
@@ -114,6 +121,12 @@ type Server struct {
 	// behind it on this connection.
 	inline bool
 
+	// reg/met are the server's observability spine: reg owns every
+	// instrument; met caches them in per-op arrays so the request path
+	// never touches the registry (see metrics.go).
+	reg *obs.Registry
+	met serverMetrics
+
 	tasks    chan serverTask
 	workerWG sync.WaitGroup
 	stopOnce sync.Once
@@ -146,6 +159,9 @@ func NewServer(st Store, opts ServerOptions) *Server {
 	s.batcher, _ = st.(serverBatcher)
 	_, s.inline = st.(*DB)
 	s.tasks = make(chan serverTask, 2*opts.Workers)
+	s.reg = obs.NewRegistry()
+	s.met.init(s.reg)
+	s.reg.GaugeFunc("forkbase_server_queue_depth", "", func() int64 { return int64(len(s.tasks)) })
 	for i := 0; i < opts.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -352,7 +368,7 @@ func (s *Server) newConn(c net.Conn) *serverConn {
 		cancel:   cancel,
 		inflight: make(map[uint64]context.CancelFunc),
 	}
-	sc.fw = newFrameWriter(c, func(err error) {
+	sc.fw = newFrameWriter(c, s.met.bytesOut, func(err error) {
 		if !sc.isClosed() {
 			s.logf("forkserved: write to %s: %v", c.RemoteAddr(), err)
 		}
@@ -372,10 +388,13 @@ func (s *Server) chunkBack() chunkBackend {
 
 // features is the capability bitmask advertised in the Hello response.
 func (s *Server) features() uint32 {
+	// Every server answers OpServerStats: the snapshot surface has no
+	// backend requirement, unlike the chunk ops.
+	f := wire.FeatureServerStats
 	if s.chunkBack() != nil {
-		return wire.FeatureChunkSync | wire.FeatureWantStream
+		f |= wire.FeatureChunkSync | wire.FeatureWantStream
 	}
-	return 0
+	return f
 }
 
 // addShields takes one backend shield per unique id and records it
@@ -511,6 +530,9 @@ func (sc *serverConn) readFrame() (rawFrame, error) {
 	var f rawFrame
 	var err error
 	f.reqID, f.op, f.payload, f.buf, err = wire.ReadFrameInto(sc.br, sc.srv.opts.MaxFrame, wire.GetFrameBuf())
+	if err == nil {
+		sc.srv.met.bytesIn.Add(frameWireBytes + int64(len(f.payload)))
+	}
 	return f, err
 }
 
@@ -518,7 +540,7 @@ func (sc *serverConn) readFrame() (rawFrame, error) {
 // that their bytes have been handed to the connection.
 func (sc *serverConn) releaseDeferred() {
 	for ; sc.deferredDone > 0; sc.deferredDone-- {
-		sc.srv.inflight.Done()
+		sc.srv.reqDone()
 	}
 }
 
@@ -529,7 +551,9 @@ func (sc *serverConn) releaseDeferred() {
 func (sc *serverConn) processFrame(f rawFrame) (keep bool, carry *rawFrame, exit bool) {
 	switch {
 	case f.op == wire.OpCancel:
-		// Abort the named request; no response of its own.
+		// Abort the named request; no response of its own (and no
+		// latency: counted, not timed).
+		sc.srv.met.reqs[wire.OpCancel].Inc()
 		d := wire.NewDec(f.payload)
 		target := d.U64()
 		if d.Err() == nil {
@@ -549,7 +573,8 @@ func (sc *serverConn) processFrame(f rawFrame) (keep bool, carry *rawFrame, exit
 		sc.respondErr(f.reqID, f.op, fmt.Errorf("%w: hello required before requests", ErrAccessDenied), nil, UID{})
 		return false, nil, true
 	case !wire.KnownOp(f.op):
-		sc.respondErr(f.reqID, f.op, fmt.Errorf("%w: unknown op %d", wire.ErrCodec, f.op), nil, UID{})
+		sc.respondErr(f.reqID, f.op, fmt.Errorf("%w: unknown op %d (this server speaks ops %d..%d)",
+			wire.ErrCodec, f.op, wire.OpHello, wire.OpMax-1), nil, UID{})
 	case !sc.srv.admit():
 		sc.respondErr(f.reqID, f.op, ErrServerClosed, nil, UID{})
 	case sc.inlineOp(f.op):
@@ -558,7 +583,9 @@ func (sc *serverConn) processFrame(f rawFrame) (keep bool, carry *rawFrame, exit
 		// (OpCancel arrives on this same loop, so it cannot race an op
 		// that completes before the next read) — and cork the response
 		// for the burst flush.
+		start := time.Now()
 		resp := sc.srv.dispatch(sc.ctx, sc, f.reqID, f.op, f.payload)
+		sc.srv.observe(sc, f.op, start, resp)
 		sc.send(f.reqID, f.op, resp)
 		sc.deferredDone++
 	case f.op == wire.OpPut && sc.srv.batcher != nil:
@@ -598,7 +625,7 @@ func (sc *serverConn) slowPath(f rawFrame) bool {
 	if _, dup := sc.inflight[f.reqID]; dup {
 		sc.mu.Unlock()
 		cancel()
-		sc.srv.inflight.Done()
+		sc.srv.reqDone()
 		// Refuse the reuse rather than overwrite: overwriting would
 		// orphan the original request's cancel registration, leaking
 		// its context and making it uncancelable. The original request
@@ -637,12 +664,12 @@ func (sc *serverConn) dropTask(t serverTask) {
 		delete(sc.inflight, t.reqID)
 		sc.mu.Unlock()
 		t.cancel()
-		sc.srv.inflight.Done()
+		sc.srv.reqDone()
 		wire.PutFrameBuf(t.buf)
 		return
 	}
 	for _, pf := range t.batch {
-		sc.srv.inflight.Done()
+		sc.srv.reqDone()
 		wire.PutFrameBuf(pf.buf)
 	}
 }
@@ -670,6 +697,7 @@ func (s *Server) admit() bool {
 		return false
 	}
 	s.inflight.Add(1)
+	s.met.inflight.Add(1)
 	return true
 }
 
@@ -693,6 +721,7 @@ func (sc *serverConn) hello(reqID uint64, payload []byte) bool {
 		return false
 	}
 	sc.authed.Store(true)
+	sc.srv.met.reqs[wire.OpHello].Inc()
 	e := wire.EncWith(wire.GetFrameBuf())
 	e.U8(0)
 	e.Str("forkbase/1")
@@ -705,7 +734,9 @@ func (sc *serverConn) hello(reqID uint64, payload []byte) bool {
 
 // handle executes one pipelined request on a pool worker.
 func (sc *serverConn) handle(ctx context.Context, cancel context.CancelFunc, reqID uint64, op uint8, payload []byte) {
+	start := time.Now()
 	resp := sc.srv.dispatch(ctx, sc, reqID, op, payload)
+	sc.srv.observe(sc, op, start, resp)
 	// Unregister BEFORE the response leaves: a client is free to reuse
 	// the id the moment it sees the response, and the read loop must
 	// not mistake that for a duplicate.
@@ -714,7 +745,7 @@ func (sc *serverConn) handle(ctx context.Context, cancel context.CancelFunc, req
 	sc.mu.Unlock()
 	cancel()
 	sc.write(reqID, op, resp)
-	sc.srv.inflight.Done()
+	sc.srv.reqDone()
 }
 
 // clampResp downgrades an oversized response: the frame would make
@@ -1022,6 +1053,9 @@ func (s *Server) dispatch(ctx context.Context, sc *serverConn, reqID uint64, op 
 		}
 		stats := ss.Stats()
 		return okPayload(func(e *wire.Enc) { wire.EncodeStats(e, stats) })
+	case wire.OpServerStats:
+		snap := s.MetricsSnapshot()
+		return okPayload(func(e *wire.Enc) { wire.EncodeSamples(e, snap) })
 	}
 	return fail(fmt.Errorf("%w: unhandled op %d", wire.ErrCodec, op))
 }
@@ -1074,6 +1108,7 @@ func (s *Server) dispatchChunk(ctx context.Context, sc *serverConn, reqID uint64
 		// The client will skip re-sending these; keep them alive until
 		// its commit (or disconnect).
 		sc.addShields(cb, present)
+		s.met.chunksync[csHave].Add(int64(len(ids) * chunk.IDSize))
 		return okPayload(func(e *wire.Enc) { wire.EncodeBitmap(e, bits) })
 	case wire.OpChunkWant:
 		key := d.Str()
@@ -1119,6 +1154,7 @@ func (s *Server) dispatchChunk(ctx context.Context, sc *serverConn, reqID uint64
 			answered = append(answered, c)
 			total += c.Size()
 		}
+		s.met.chunksync[csWant].Add(int64(total))
 		return okPayload(func(e *wire.Enc) { wire.EncodeWantResponse(e, answered) })
 	case wire.OpChunkSend:
 		key := d.Str()
@@ -1151,6 +1187,7 @@ func (s *Server) dispatchChunk(ctx context.Context, sc *serverConn, reqID uint64
 		// the commit must treat these as roots.
 		sc.addShields(cb, ids)
 		var stored, dups uint32
+		var admitted int64
 		for _, c := range decoded {
 			dup, err := cs.Put(c)
 			if err != nil {
@@ -1160,8 +1197,10 @@ func (s *Server) dispatchChunk(ctx context.Context, sc *serverConn, reqID uint64
 				dups++
 			} else {
 				stored++
+				admitted += int64(c.Size())
 			}
 		}
+		s.met.chunksync[csSend].Add(admitted)
 		return okPayload(func(e *wire.Enc) {
 			e.U32(stored)
 			e.U32(dups)
@@ -1252,6 +1291,7 @@ func (sc *serverConn) streamWant(ctx context.Context, reqID uint64, cs store.Sto
 		e := wire.EncWith(wire.GetFrameBuf())
 		wire.EncodeChunkUpload(&e, part)
 		sc.write(reqID, wire.OpChunkWantPart, e.Bytes())
+		sc.srv.met.chunksync[csStream].Add(int64(partSize))
 		part, partSize = part[:0], 0
 	}
 	deep := flags&wire.WantFlagDeep != 0
@@ -1419,6 +1459,8 @@ func (sc *serverConn) handlePut(f rawFrame) (keep bool, carry *rawFrame, exit bo
 // engine commit with per-put error isolation, then all responses in
 // one flush.
 func (sc *serverConn) runPutBatch(user string, batch []putFrame) {
+	start := time.Now()
+	sc.srv.met.putBatch.Observe(int64(len(batch)))
 	resp := make([][]byte, len(batch))
 	puts := make([]core.BatchPut, 0, len(batch))
 	idx := make([]int, 0, len(batch))
@@ -1455,12 +1497,18 @@ func (sc *serverConn) runPutBatch(user string, batch []putFrame) {
 			resp[i] = okPayload(func(e *wire.Enc) { e.UID(uid) })
 		}
 	}
+	elapsed := time.Since(start)
 	for i, pf := range batch {
+		// Each coalesced put is observed as its own OpPut — the batch
+		// is an execution detail, invisible in the per-op series — with
+		// the batch's elapsed time as every member's latency (they did
+		// all wait for the batch).
+		sc.srv.observeDur(sc, wire.OpPut, elapsed, resp[i])
 		sc.send(pf.reqID, wire.OpPut, resp[i])
 		wire.PutFrameBuf(pf.buf)
 	}
 	sc.fw.flush()
 	for range batch {
-		sc.srv.inflight.Done()
+		sc.srv.reqDone()
 	}
 }
